@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Shared helpers for the figure/table regeneration binaries.
+ */
+
+#ifndef NDASIM_BENCH_BENCH_COMMON_HH
+#define NDASIM_BENCH_BENCH_COMMON_HH
+
+#include <cstring>
+#include <string>
+
+#include "harness/runner.hh"
+
+namespace nda {
+
+/** Parse --quick / --samples=N / --insts=N from argv. */
+inline SampleParams
+parseSampleArgs(int argc, char **argv)
+{
+    SampleParams p;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--quick") {
+            p.samples = 1;
+            p.warmupInsts = 10'000;
+            p.measureInsts = 30'000;
+        } else if (arg.rfind("--samples=", 0) == 0) {
+            p.samples = static_cast<unsigned>(
+                std::stoul(arg.substr(10)));
+        } else if (arg.rfind("--insts=", 0) == 0) {
+            p.measureInsts = std::stoull(arg.substr(8));
+        } else if (arg.rfind("--warmup=", 0) == 0) {
+            p.warmupInsts = std::stoull(arg.substr(9));
+        }
+    }
+    return p;
+}
+
+} // namespace nda
+
+#endif // NDASIM_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Regenerates paper Figure 8: the Figure 4 experiment repeated with
+ * NDA permissive propagation enabled — the cycle dips disappear and
+ * the secret byte is indistinguishable from the other 255 candidates,
+ * regardless of covert channel.
+ */
+
+#include <cstdio>
+
+#include "attacks/attacks.hh"
+#include "harness/profiles.hh"
+#include "harness/table_printer.hh"
+
+using namespace nda;
+
+int
+main()
+{
+    printBanner("Figure 8: Spectre v1 under NDA permissive propagation "
+                "(cache and BTB channels)");
+    std::printf("Paper reference: the Fig 4 cycle differences are "
+                "eliminated;\nthe secret is concealed regardless of "
+                "the covert channel.\n\n");
+
+    const SimConfig cfg = makeProfile(Profile::kPermissive);
+    const std::uint8_t secret = 42;
+
+    SpectreV1Cache cache_attack;
+    const AttackResult cache_r = cache_attack.run(cfg, secret);
+    SpectreV1Btb btb_attack;
+    const AttackResult btb_r = btb_attack.run(cfg, secret);
+
+    TablePrinter t({"channel", "t[secret]", "median-ish t", "signal",
+                    "leaked"});
+    auto row = [&](const char *name, const AttackResult &r) {
+        t.addRow({name, TablePrinter::fmt(r.timings[r.secret], 0),
+                  TablePrinter::fmt(r.timings[r.secret] + r.signal, 0),
+                  TablePrinter::fmt(r.signal, 1),
+                  r.leaked() ? "YES (!!)" : "no"});
+    };
+    row("d-cache", cache_r);
+    row("BTB", btb_r);
+    t.print();
+
+    std::printf("\nSummary: NDA permissive blocks both channels: %s\n",
+                !cache_r.leaked() && !btb_r.leaked() ? "yes" : "NO");
+    return !cache_r.leaked() && !btb_r.leaked() ? 0 : 1;
+}

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks of the simulator's building
+ * blocks: cache/BTB/predictor operations, LSQ search, the reference
+ * interpreter, and whole-core simulation rates. These measure the
+ * *simulator's* performance (host-side), documenting the cost of a
+ * simulated instruction under each security model.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "branch/btb.hh"
+#include "common/xrandom.hh"
+#include "branch/direction_predictor.hh"
+#include "core/core_factory.hh"
+#include "harness/profiles.hh"
+#include "isa/interpreter.hh"
+#include "isa/random_program.hh"
+#include "mem/cache.hh"
+#include "mem/hierarchy.hh"
+#include "workloads/workload.hh"
+
+namespace {
+
+using namespace nda;
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    Cache cache(CacheParams{});
+    XRandom rng(1);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.access(rng.next() & 0xFFFFF));
+    }
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_HierarchyPeek(benchmark::State &state)
+{
+    MemHierarchy hier;
+    XRandom rng(1);
+    for (int i = 0; i < 10000; ++i)
+        hier.dataAccess(rng.next() & 0xFFFFF);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(hier.dataPeek(rng.next() & 0xFFFFF));
+    }
+}
+BENCHMARK(BM_HierarchyPeek);
+
+void
+BM_BtbLookupUpdate(benchmark::State &state)
+{
+    Btb btb;
+    XRandom rng(1);
+    for (auto _ : state) {
+        const Addr pc = rng.next() & 0xFFFF;
+        benchmark::DoNotOptimize(btb.lookup(pc));
+        btb.update(pc, pc + 1);
+    }
+}
+BENCHMARK(BM_BtbLookupUpdate);
+
+void
+BM_DirectionPredict(benchmark::State &state)
+{
+    DirectionPredictor dp;
+    XRandom rng(1);
+    for (auto _ : state) {
+        const Addr pc = rng.next() & 0xFFF;
+        const auto h = dp.history();
+        const bool taken = dp.predict(pc);
+        dp.update(pc, taken, h);
+    }
+}
+BENCHMARK(BM_DirectionPredict);
+
+void
+BM_InterpreterKips(benchmark::State &state)
+{
+    const Program prog = makeWorkload("compute")->build(1);
+    for (auto _ : state) {
+        state.PauseTiming();
+        Interpreter it(prog);
+        state.ResumeTiming();
+        it.run(10000);
+    }
+    state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_InterpreterKips);
+
+void
+BM_CoreSimRate(benchmark::State &state)
+{
+    const auto profile = static_cast<Profile>(state.range(0));
+    const Program prog = makeWorkload("mixed")->build(1);
+    const SimConfig cfg = makeProfile(profile);
+    for (auto _ : state) {
+        state.PauseTiming();
+        auto core = makeCore(prog, cfg);
+        state.ResumeTiming();
+        core->run(10000, ~Cycle{0});
+    }
+    state.SetItemsProcessed(state.iterations() * 10000);
+    state.SetLabel(profileName(profile));
+}
+BENCHMARK(BM_CoreSimRate)
+    ->Arg(static_cast<int>(Profile::kOoo))
+    ->Arg(static_cast<int>(Profile::kFullProtection))
+    ->Arg(static_cast<int>(Profile::kInOrder))
+    ->Arg(static_cast<int>(Profile::kInvisiSpecFuture));
+
+void
+BM_RandomProgramGen(benchmark::State &state)
+{
+    std::uint64_t seed = 1;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(generateRandomProgram(seed++));
+    }
+}
+BENCHMARK(BM_RandomProgramGen);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Regenerates paper Table 1 (attack taxonomy: access method and
+ * covert channel) and extends it with the empirical leak/block
+ * outcome of every implemented attack against every machine profile —
+ * the matrix Table 2's security columns summarize.
+ */
+
+#include <cstdio>
+
+#include "attacks/attack_registry.hh"
+#include "harness/profiles.hh"
+#include "harness/table_printer.hh"
+
+using namespace nda;
+
+int
+main()
+{
+    printBanner("Table 1: attack taxonomy");
+    {
+        TablePrinter t({"attack", "class", "covert channel",
+                        "description"});
+        for (const auto &a : makeAllAttacks()) {
+            t.addRow({a->name(),
+                      a->isChosenCode() ? "chosen-code"
+                                        : "control-steering",
+                      a->channel(), a->description()});
+        }
+        t.print();
+    }
+
+    printBanner("Empirical leak matrix (secret byte 42; LEAK = "
+                "recovered via timing)");
+    const std::vector<Profile> profiles = {
+        Profile::kOoo,
+        Profile::kPermissive,
+        Profile::kPermissiveBr,
+        Profile::kStrict,
+        Profile::kStrictBr,
+        Profile::kRestrictedLoads,
+        Profile::kFullProtection,
+        Profile::kInvisiSpecSpectre,
+        Profile::kInvisiSpecFuture,
+    };
+    std::vector<std::string> headers{"attack"};
+    for (Profile p : profiles)
+        headers.push_back(profileName(p));
+    TablePrinter t(headers);
+
+    int mismatches = 0;
+    for (const auto &attack : makeAllAttacks()) {
+        std::vector<std::string> row{attack->name()};
+        for (Profile p : profiles) {
+            const SimConfig cfg = makeProfile(p);
+            const AttackResult r = attack->run(cfg, 42);
+            const bool expect_blocked =
+                attack->expectedBlocked(cfg.security);
+            std::string cell = r.leaked() ? "LEAK" : "safe";
+            if (r.leaked() != !expect_blocked) {
+                cell += " (!!)";
+                ++mismatches;
+            }
+            row.push_back(cell);
+        }
+        t.addRow(row);
+        std::fprintf(stderr, "  %s done\n", attack->name().c_str());
+    }
+    t.print();
+
+    std::printf("\nPaper Table 2 semantics check: %d deviations.\n"
+                "Expected pattern: NDA propagation blocks "
+                "control-steering;\n+BR adds SSB; strict adds GPR "
+                "secrets; load restriction blocks\nchosen-code; "
+                "InvisiSpec blocks only the d-cache channel (the\n"
+                "BTB attack defeats it).\n",
+                mismatches);
+    return mismatches == 0 ? 0 : 1;
+}

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Regenerates paper Table 2: the NDA propagation policies (rows 1-6)
+ * plus the InvisiSpec comparison rows, with the threat classes each
+ * defeats and the measured geomean overhead versus insecure OoO.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "common/stats_util.hh"
+#include "harness/table_printer.hh"
+
+using namespace nda;
+
+namespace {
+
+struct RowSpec {
+    Profile profile;
+    const char *steeringMem; ///< control-steering (memory) column
+    const char *steeringGpr; ///< control-steering (GPRs) column
+    const char *chosenCode;  ///< chosen-code column
+    double paperOverhead;    ///< paper's overhead vs OoO
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const SampleParams sp = parseSampleArgs(argc, argv);
+    printBanner("Table 2: NDA propagation policies and the attacks "
+                "they prevent");
+
+    // Legend (from the paper): "all" = defeats all covert channels,
+    // "no SSB" = all channels but store bypass still leaks, "partial"
+    // = all channels except single-micro-op GPR attacks, "d-cache" =
+    // cache-channel attacks only.
+    const RowSpec rows[] = {
+        {Profile::kPermissive, "yes (no SSB)", "-", "-", 0.107},
+        {Profile::kPermissiveBr, "yes", "-", "-", 0.223},
+        {Profile::kStrict, "yes (no SSB)", "partial", "-", 0.361},
+        {Profile::kStrictBr, "yes", "partial", "-", 0.45},
+        {Profile::kRestrictedLoads, "yes", "-", "yes", 1.00},
+        {Profile::kFullProtection, "yes", "partial", "yes", 1.25},
+        {Profile::kInvisiSpecSpectre, "d-cache only", "-", "-", 0.076},
+        {Profile::kInvisiSpecFuture, "d-cache only", "-",
+         "d-cache only", 0.327},
+    };
+
+    // Measure the overheads.
+    const auto workloads = makeAllWorkloads();
+    std::vector<double> base;
+    for (const auto &w : workloads) {
+        base.push_back(
+            runSampled(*w, makeProfile(Profile::kOoo), sp).mean.cpi);
+    }
+
+    TablePrinter t({"mechanism", "ctrl-steer (mem)", "ctrl-steer "
+                    "(GPRs)", "chosen code", "overhead (paper)",
+                    "overhead (measured)"});
+    for (const RowSpec &row : rows) {
+        std::vector<double> rel;
+        for (std::size_t i = 0; i < workloads.size(); ++i) {
+            const double cpi =
+                runSampled(*workloads[i], makeProfile(row.profile), sp)
+                    .mean.cpi;
+            rel.push_back(cpi / base[i]);
+        }
+        const double overhead = geomean(rel) - 1.0;
+        t.addRow({profileName(row.profile), row.steeringMem,
+                  row.steeringGpr, row.chosenCode,
+                  TablePrinter::pct(row.paperOverhead),
+                  TablePrinter::pct(overhead)});
+        std::fprintf(stderr, "  %s done\n", profileName(row.profile));
+    }
+    t.print();
+
+    std::printf("\nNotes: overheads are geomean CPI increases vs "
+                "insecure OoO over\nthe 16-kernel suite (SPEC 2017 "
+                "substitute; see DESIGN.md section 4).\nBypass "
+                "Restriction adds little here because split "
+                "store-address\nmicro-ops resolve quickly in these "
+                "kernels; see EXPERIMENTS.md.\n");
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Quickstart: build a tiny program with the assembler API, run it on
+ * an insecure OoO core and on NDA full protection, and read out the
+ * architectural result and timing statistics.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "core/core_factory.hh"
+#include "harness/profiles.hh"
+#include "isa/program.hh"
+
+using namespace nda;
+
+int
+main()
+{
+    // -- 1. Write a program with the assembler-style builder. -----------
+    // It sums a small array through a data-dependent branch (the
+    // pattern NDA's propagation policies restrict).
+    ProgramBuilder b("quickstart");
+    b.zeroSegment(0x1000, 256 * 8);
+    for (int i = 0; i < 256; ++i)
+        b.word(0x1000 + i * 8, static_cast<std::uint64_t>(i * 37 % 256));
+
+    b.movi(1, 0x1000);               // base
+    b.movi(2, 0);                    // sum
+    b.movi(18, 0);                   // i
+    b.movi(19, 256);
+    auto loop = b.label();
+    b.shli(3, 18, 3);
+    b.add(4, 1, 3);
+    b.load(5, 4, 0, 8);              // a[i]
+    b.movi(6, 128);
+    auto skip = b.futureLabel();
+    b.bgeu(5, 6, skip);              // data-dependent branch
+    b.add(2, 2, 5);                  // sum += a[i] if a[i] < 128
+    b.bind(skip);
+    b.addi(18, 18, 1);
+    b.blt(18, 19, loop);
+    b.halt();
+    const Program prog = b.build();
+
+    // -- 2. Run it on two machine models. --------------------------------
+    for (Profile p : {Profile::kOoo, Profile::kFullProtection}) {
+        const SimConfig cfg = makeProfile(p);
+        auto core = makeCore(prog, cfg);
+        core->run(~std::uint64_t{0}, 1'000'000);
+
+        const PerfCounters &c = core->counters();
+        std::printf("%-18s sum=%llu  cycles=%llu  insts=%llu  "
+                    "CPI=%.2f  mispredicts=%llu\n",
+                    cfg.name.c_str(),
+                    static_cast<unsigned long long>(core->archReg(2)),
+                    static_cast<unsigned long long>(core->cycle()),
+                    static_cast<unsigned long long>(
+                        core->committedInsts()),
+                    c.cpi(),
+                    static_cast<unsigned long long>(
+                        c.condMispredicts));
+    }
+
+    std::printf("\nBoth models compute the same sum — NDA changes "
+                "only timing.\n");
+    return 0;
+}

@@ -1,0 +1,47 @@
+#include "attacks/attack_base.hh"
+
+#include <algorithm>
+
+#include "attacks/covert_channel.hh"
+#include "common/log.hh"
+#include "core/core_factory.hh"
+
+namespace nda {
+
+AttackResult
+AttackBase::run(const SimConfig &cfg, std::uint8_t secret,
+                Cycle max_cycles) const
+{
+    SimConfig attack_cfg = cfg;
+    adjustConfig(attack_cfg);
+
+    const Program prog = build(secret);
+    auto core = makeCore(prog, attack_cfg);
+    core->run(~std::uint64_t{0}, max_cycles);
+    NDA_ASSERT(core->halted(), "attack '%s' did not halt in %llu cycles",
+               name().c_str(),
+               static_cast<unsigned long long>(max_cycles));
+
+    AttackResult result;
+    result.secret = secret;
+    result.cycles = core->cycle();
+    result.threshold = signalThreshold();
+
+    std::array<double, 256> times{};
+    for (int g = 0; g < 256; ++g) {
+        times[g] = static_cast<double>(core->mem().read(
+            attack_layout::kResultsBase + static_cast<Addr>(g) * 8, 8));
+    }
+    result.timings = times;
+
+    result.fastestGuess = static_cast<int>(
+        std::min_element(times.begin(), times.end()) - times.begin());
+
+    std::array<double, 256> sorted = times;
+    std::nth_element(sorted.begin(), sorted.begin() + 128, sorted.end());
+    const double median = sorted[128];
+    result.signal = median - times[secret];
+    return result;
+}
+
+} // namespace nda

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Common driver for the speculative-execution-attack PoCs (paper §3,
+ * Table 1/Table 2). Each attack builds a self-contained program with
+ * a planted secret byte, runs it on a configurable core, and recovers
+ * the secret from the per-guess timing table the program writes.
+ */
+
+#ifndef NDASIM_ATTACKS_ATTACK_BASE_HH
+#define NDASIM_ATTACKS_ATTACK_BASE_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/core_config.hh"
+#include "isa/program.hh"
+
+namespace nda {
+
+/** Outcome of one attack run. */
+struct AttackResult {
+    /** Average measured cycles per guess value. */
+    std::array<double, 256> timings{};
+    /** Guess with the minimum time (the channel signals via speed). */
+    int fastestGuess = -1;
+    /** Median(timings) - timings[secret]: the leak signal strength. */
+    double signal = 0.0;
+    /** Signal threshold the attack used. */
+    double threshold = 0.0;
+    /** The planted secret. */
+    int secret = -1;
+    /** Cycles the whole attack program took. */
+    Cycle cycles = 0;
+
+    /**
+     * Did the covert channel reveal the secret? True when the secret
+     * guess is decisively faster than the median guess (robust to a
+     * stray warm line polluting one other guess value).
+     */
+    bool leaked() const { return signal > threshold; }
+};
+
+/** Base class of all attack PoCs. */
+class AttackBase
+{
+  public:
+    virtual ~AttackBase() = default;
+
+    virtual std::string name() const = 0;
+
+    /** Short description for Table 1 / docs. */
+    virtual std::string description() const = 0;
+
+    /** Control-steering or chosen-code (paper's taxonomy). */
+    virtual bool isChosenCode() const = 0;
+
+    /** Covert channel used ("d-cache" or "btb"). */
+    virtual std::string channel() const = 0;
+
+    /** Build the PoC program with `secret` planted. */
+    virtual Program build(std::uint8_t secret) const = 0;
+
+    /** Attack-specific config tweaks (e.g., smaller BTB tags). */
+    virtual void adjustConfig(SimConfig &cfg) const { (void)cfg; }
+
+    /** Minimum timing signal (cycles) considered a leak. */
+    virtual double signalThreshold() const { return 30.0; }
+
+    /**
+     * Does the paper's Table 2 say this security configuration blocks
+     * this attack? Used by the security test suite.
+     */
+    virtual bool expectedBlocked(const SecurityConfig &cfg) const = 0;
+
+    /** Build, run (up to `max_cycles`), and evaluate the attack. */
+    AttackResult run(const SimConfig &cfg, std::uint8_t secret,
+                     Cycle max_cycles = 40'000'000) const;
+};
+
+} // namespace nda
+
+#endif // NDASIM_ATTACKS_ATTACK_BASE_HH

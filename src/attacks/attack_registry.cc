@@ -1,0 +1,33 @@
+#include "attacks/attack_registry.hh"
+
+#include "attacks/attacks.hh"
+
+namespace nda {
+
+std::vector<std::unique_ptr<AttackBase>>
+makeAllAttacks()
+{
+    std::vector<std::unique_ptr<AttackBase>> attacks;
+    attacks.push_back(std::make_unique<SpectreV1Cache>());
+    attacks.push_back(std::make_unique<SpectreV1Btb>());
+    attacks.push_back(std::make_unique<SpectreV11>());
+    attacks.push_back(std::make_unique<SpectreV2>());
+    attacks.push_back(std::make_unique<Ret2Spec>());
+    attacks.push_back(std::make_unique<SpectreSsb>());
+    attacks.push_back(std::make_unique<SpectreGpr>());
+    attacks.push_back(std::make_unique<Meltdown>());
+    attacks.push_back(std::make_unique<LazyFp>());
+    return attacks;
+}
+
+std::unique_ptr<AttackBase>
+makeAttack(const std::string &name)
+{
+    for (auto &attack : makeAllAttacks()) {
+        if (attack->name() == name)
+            return std::move(attack);
+    }
+    return nullptr;
+}
+
+} // namespace nda

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Registry of all attack PoCs, for the security test suite and the
+ * Table 1 / Table 2 matrix benchmarks.
+ */
+
+#ifndef NDASIM_ATTACKS_ATTACK_REGISTRY_HH
+#define NDASIM_ATTACKS_ATTACK_REGISTRY_HH
+
+#include <memory>
+#include <vector>
+
+#include "attacks/attack_base.hh"
+
+namespace nda {
+
+/** All implemented attacks, control-steering first. */
+std::vector<std::unique_ptr<AttackBase>> makeAllAttacks();
+
+/** Build one attack by name; nullptr if unknown. */
+std::unique_ptr<AttackBase> makeAttack(const std::string &name);
+
+} // namespace nda
+
+#endif // NDASIM_ATTACKS_ATTACK_REGISTRY_HH

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * The speculative-execution-attack PoC suite (paper §3, Table 1):
+ *
+ *  Control-steering attacks (access phase steers victim control flow):
+ *   - SpectreV1Cache : bounds-check bypass, d-cache channel (Listing 1)
+ *   - SpectreV1Btb   : bounds-check bypass, BTB channel (Listing 3)
+ *   - SpectreV2      : indirect-branch target injection (BTB aliasing)
+ *   - Ret2Spec       : return-address mis-steering via the RAS
+ *   - SpectreSsb     : Spectre v4, speculative store bypass
+ *   - SpectreGpr     : hypothetical GPR-resident-secret leak (paper §4.2)
+ *
+ *  Chosen-code attacks (attacker-authored code, implementation flaw):
+ *   - Meltdown       : user-mode read of kernel memory (Listing 2)
+ *   - LazyFp         : privileged-special-register read (LazyFP / v3a)
+ */
+
+#ifndef NDASIM_ATTACKS_ATTACKS_HH
+#define NDASIM_ATTACKS_ATTACKS_HH
+
+#include "attacks/attack_base.hh"
+
+namespace nda {
+
+class SpectreV1Cache : public AttackBase
+{
+  public:
+    std::string name() const override { return "spectre-v1-cache"; }
+    std::string description() const override
+    {
+        return "bounds check bypass, d-cache covert channel";
+    }
+    bool isChosenCode() const override { return false; }
+    std::string channel() const override { return "d-cache"; }
+    Program build(std::uint8_t secret) const override;
+    bool expectedBlocked(const SecurityConfig &cfg) const override;
+};
+
+class SpectreV1Btb : public AttackBase
+{
+  public:
+    std::string name() const override { return "spectre-v1-btb"; }
+    std::string description() const override
+    {
+        return "bounds check bypass, BTB covert channel (paper SS3)";
+    }
+    bool isChosenCode() const override { return false; }
+    std::string channel() const override { return "btb"; }
+    double signalThreshold() const override { return 5.0; }
+    Program build(std::uint8_t secret) const override;
+    bool expectedBlocked(const SecurityConfig &cfg) const override;
+};
+
+class SpectreV11 : public AttackBase
+{
+  public:
+    std::string name() const override { return "spectre-v1.1"; }
+    std::string description() const override
+    {
+        return "speculative buffer overflow steers via SQ forwarding";
+    }
+    bool isChosenCode() const override { return false; }
+    std::string channel() const override { return "d-cache"; }
+    Program build(std::uint8_t secret) const override;
+    bool expectedBlocked(const SecurityConfig &cfg) const override;
+};
+
+class SpectreV2 : public AttackBase
+{
+  public:
+    std::string name() const override { return "spectre-v2"; }
+    std::string description() const override
+    {
+        return "indirect branch target injection via BTB aliasing";
+    }
+    bool isChosenCode() const override { return false; }
+    std::string channel() const override { return "d-cache"; }
+    Program build(std::uint8_t secret) const override;
+    void adjustConfig(SimConfig &cfg) const override;
+    bool expectedBlocked(const SecurityConfig &cfg) const override;
+};
+
+class Ret2Spec : public AttackBase
+{
+  public:
+    std::string name() const override { return "ret2spec"; }
+    std::string description() const override
+    {
+        return "return-address mis-steering via RAS";
+    }
+    bool isChosenCode() const override { return false; }
+    std::string channel() const override { return "d-cache"; }
+    Program build(std::uint8_t secret) const override;
+    bool expectedBlocked(const SecurityConfig &cfg) const override;
+};
+
+class SpectreSsb : public AttackBase
+{
+  public:
+    std::string name() const override { return "spectre-v4-ssb"; }
+    std::string description() const override
+    {
+        return "speculative store bypass reads stale secret";
+    }
+    bool isChosenCode() const override { return false; }
+    std::string channel() const override { return "d-cache"; }
+    Program build(std::uint8_t secret) const override;
+    bool expectedBlocked(const SecurityConfig &cfg) const override;
+};
+
+class SpectreGpr : public AttackBase
+{
+  public:
+    std::string name() const override { return "spectre-gpr"; }
+    std::string description() const override
+    {
+        return "leak of a GPR-resident secret (paper SS4.2)";
+    }
+    bool isChosenCode() const override { return false; }
+    std::string channel() const override { return "d-cache"; }
+    Program build(std::uint8_t secret) const override;
+    bool expectedBlocked(const SecurityConfig &cfg) const override;
+};
+
+class Meltdown : public AttackBase
+{
+  public:
+    std::string name() const override { return "meltdown"; }
+    std::string description() const override
+    {
+        return "user-mode read of kernel memory (Listing 2)";
+    }
+    bool isChosenCode() const override { return true; }
+    std::string channel() const override { return "d-cache"; }
+    Program build(std::uint8_t secret) const override;
+    bool expectedBlocked(const SecurityConfig &cfg) const override;
+};
+
+class LazyFp : public AttackBase
+{
+  public:
+    std::string name() const override { return "lazyfp-v3a"; }
+    std::string description() const override
+    {
+        return "privileged special-register read (LazyFP / v3a)";
+    }
+    bool isChosenCode() const override { return true; }
+    std::string channel() const override { return "d-cache"; }
+    Program build(std::uint8_t secret) const override;
+    bool expectedBlocked(const SecurityConfig &cfg) const override;
+};
+
+} // namespace nda
+
+#endif // NDASIM_ATTACKS_ATTACKS_HH

@@ -1,0 +1,81 @@
+#include "attacks/covert_channel.hh"
+
+namespace nda {
+
+using namespace attack_layout;
+
+void
+declareChannelSegments(ProgramBuilder &b)
+{
+    b.zeroSegment(kProbeBase, 256 * kProbeStride);
+    b.zeroSegment(kResultsBase, 256 * 8);
+}
+
+void
+emitProbeFlush(ProgramBuilder &b)
+{
+    // for (i = 0; i < 256; ++i) clflush(probe[i * 512]);
+    b.movi(18, 0);
+    b.movi(19, 256);
+    b.movi(1, kProbeBase);
+    auto loop = b.label();
+    b.shli(2, 18, 9);
+    b.add(2, 1, 2);
+    b.clflush(2, 0);
+    b.addi(18, 18, 1);
+    b.blt(18, 19, loop);
+    b.fence();
+}
+
+void
+emitCacheTransmit(ProgramBuilder &b, RegId secret_reg)
+{
+    // t &= probe[secret * 512]
+    b.shli(15, secret_reg, 9);
+    b.movi(16, kProbeBase);
+    b.add(16, 16, 15);
+    b.load(17, 16, 0, 1);
+}
+
+void
+emitHistoryScramble(ProgramBuilder &b, RegId salt_reg)
+{
+    b.muli(6, salt_reg, 0x9E3779B1);
+    b.movi(9, 0);
+    for (int bit = 0; bit < 12; ++bit) {
+        b.shri(7, 6, bit);
+        b.andi(7, 7, 1);
+        auto skip = b.futureLabel();
+        b.bne(7, 9, skip); // data-dependent direction
+        b.nop();
+        b.bind(skip);
+    }
+}
+
+void
+emitCacheRecoverLoop(ProgramBuilder &b)
+{
+    // for (guess = 0; guess < 256; ++guess) {
+    //     t1 = rdtsc; tmp = probe[guess * 512]; t2 = rdtsc;
+    //     results[guess] = t2 - t1;
+    // }
+    b.movi(18, 0);
+    b.movi(19, 256);
+    auto loop = b.label();
+    b.shli(2, 18, 9);
+    b.movi(1, kProbeBase);
+    b.add(2, 1, 2);
+    b.fence();
+    b.rdtsc(3);
+    b.load(4, 2, 0, 1);
+    b.rdtsc(5);
+    b.sub(6, 5, 3);
+    b.movi(7, kResultsBase);
+    b.shli(8, 18, 3);
+    b.add(7, 7, 8);
+    b.store(7, 0, 6, 8);
+    b.addi(18, 18, 1);
+    b.blt(18, 19, loop);
+}
+
+} // namespace nda

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Shared building blocks for the attack PoCs: the Flush+Reload probe
+ * array (paper Listing 1), the timing/recovery loop, and memory
+ * layout conventions shared by all attacks.
+ */
+
+#ifndef NDASIM_ATTACKS_COVERT_CHANNEL_HH
+#define NDASIM_ATTACKS_COVERT_CHANNEL_HH
+
+#include "common/types.hh"
+#include "isa/program.hh"
+
+namespace nda {
+
+/** Memory-layout conventions for the attack programs. */
+namespace attack_layout {
+
+/** Probe array: 256 slots, one cache line every 512 bytes. */
+inline constexpr Addr kProbeBase = 0x2000000;
+inline constexpr unsigned kProbeStride = 512;
+
+/** Per-guess recovered timings: 256 x 8 bytes. */
+inline constexpr Addr kResultsBase = 0x3000000;
+
+/** Victim data (arrays, bounds, pointers). */
+inline constexpr Addr kVictimBase = 0x1000000;
+
+/** Kernel-only page holding the Meltdown secret. */
+inline constexpr Addr kKernelSecret = 0x4000000;
+
+/** Table of 256 target-function pointers (BTB covert channel). */
+inline constexpr Addr kTargetTable = 0x5000000;
+
+/** Victim array base (bounds-checked accesses index into this). */
+inline constexpr Addr kVictimArray = kVictimBase;
+/** Address holding the victim's bounds value (16). */
+inline constexpr Addr kBoundAddr = kVictimBase + 0x100;
+/** Out-of-bounds index such that array[kSecretDelta] is the secret. */
+inline constexpr std::int64_t kSecretDelta = 0x200;
+/** Address of the in-victim-memory secret byte. */
+inline constexpr Addr kSecretAddr = kVictimArray + kSecretDelta;
+
+} // namespace attack_layout
+
+/**
+ * Register conventions used by the emitters below. Attack code keeps
+ * scratch registers in r1-r17, link registers r28-r30, loop counters
+ * r18-r19, and leaves r20-r27 for attack-specific state.
+ */
+struct CovertChannelRegs {
+    RegId scratch0 = 1;
+    RegId scratch1 = 2;
+    RegId scratch2 = 3;
+    RegId scratch3 = 4;
+    RegId counter = 18;
+    RegId limit = 19;
+};
+
+/** Emit code flushing all 256 probe-array lines (channel init). */
+void emitProbeFlush(ProgramBuilder &b);
+
+/**
+ * Emit the cache-channel recovery loop (paper Listing 1 lines 13-20):
+ * for each guess, time a load of probe[guess * 512] with RDTSC and
+ * store the cycle count to results[guess].
+ */
+void emitCacheRecoverLoop(ProgramBuilder &b);
+
+/** Declare the probe/results segments on the builder. */
+void declareChannelSegments(ProgramBuilder &b);
+
+/**
+ * Emit the transmit gadget body (paper Listing 1 line 9): given the
+ * secret byte in `secret_reg`, compute probe + secret*512 and load it.
+ * Clobbers r15-r17.
+ */
+void emitCacheTransmit(ProgramBuilder &b, RegId secret_reg);
+
+/**
+ * Emit 12 data-dependent branches keyed off `salt_reg`, randomizing
+ * the global branch history so each subsequent mistrained branch is
+ * predicted from a fresh (untrained) gshare slot. This is the
+ * history-scrambling trick real Spectre PoCs use to keep a repeated
+ * attack branch mispredicting. Clobbers r6, r7, r9.
+ */
+void emitHistoryScramble(ProgramBuilder &b, RegId salt_reg);
+
+} // namespace nda
+
+#endif // NDASIM_ATTACKS_COVERT_CHANNEL_HH

@@ -1,0 +1,70 @@
+#include "branch/direction_predictor.hh"
+
+namespace nda {
+
+DirectionPredictor::DirectionPredictor(const DirectionPredictorParams &p)
+    : params_(p)
+{
+    const std::size_t entries = std::size_t{1} << params_.tableBits;
+    indexMask_ = static_cast<unsigned>(entries - 1);
+    historyMask_ = params_.historyBits >= 64
+                       ? ~std::uint64_t{0}
+                       : (std::uint64_t{1} << params_.historyBits) - 1;
+    gshare_.assign(entries, 1);   // weakly not-taken (gem5-style init)
+    bimodal_.assign(entries, 1);
+    chooser_.assign(entries, 2);  // weakly prefer gshare
+}
+
+unsigned
+DirectionPredictor::gshareIndex(Addr pc, std::uint64_t history) const
+{
+    return static_cast<unsigned>((pc ^ history) & indexMask_);
+}
+
+unsigned
+DirectionPredictor::bimodalIndex(Addr pc) const
+{
+    return static_cast<unsigned>(pc & indexMask_);
+}
+
+bool
+DirectionPredictor::predict(Addr pc)
+{
+    const bool g = counterTaken(gshare_[gshareIndex(pc, history_)]);
+    const bool b = counterTaken(bimodal_[bimodalIndex(pc)]);
+    const bool use_gshare = counterTaken(chooser_[bimodalIndex(pc)]);
+    const bool taken = use_gshare ? g : b;
+    pushHistory(taken);
+    return taken;
+}
+
+void
+DirectionPredictor::pushHistory(bool taken)
+{
+    history_ = ((history_ << 1) | (taken ? 1 : 0)) & historyMask_;
+}
+
+void
+DirectionPredictor::update(Addr pc, bool taken,
+                           std::uint64_t history_at_predict)
+{
+    const unsigned gi = gshareIndex(pc, history_at_predict);
+    const unsigned bi = bimodalIndex(pc);
+    const bool g_correct = counterTaken(gshare_[gi]) == taken;
+    const bool b_correct = counterTaken(bimodal_[bi]) == taken;
+    if (g_correct != b_correct)
+        chooser_[bi] = counterUpdate(chooser_[bi], g_correct);
+    gshare_[gi] = counterUpdate(gshare_[gi], taken);
+    bimodal_[bi] = counterUpdate(bimodal_[bi], taken);
+}
+
+void
+DirectionPredictor::reset()
+{
+    std::fill(gshare_.begin(), gshare_.end(), 1);
+    std::fill(bimodal_.begin(), bimodal_.end(), 1);
+    std::fill(chooser_.begin(), chooser_.end(), 2);
+    history_ = 0;
+}
+
+} // namespace nda

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Tournament direction predictor: gshare + bimodal with a chooser,
+ * 2-bit saturating counters. History is updated speculatively at
+ * predict time and restored from checkpoints on squash; pattern
+ * tables are trained at branch commit only (wrong-path outcomes
+ * never train the tables).
+ */
+
+#ifndef NDASIM_BRANCH_DIRECTION_PREDICTOR_HH
+#define NDASIM_BRANCH_DIRECTION_PREDICTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace nda {
+
+/** Parameters for the tournament predictor. */
+struct DirectionPredictorParams {
+    unsigned tableBits = 12;    ///< log2 entries in each table
+    unsigned historyBits = 12;  ///< global history length
+};
+
+/** Tournament (gshare + bimodal) conditional-branch predictor. */
+class DirectionPredictor
+{
+  public:
+    explicit DirectionPredictor(const DirectionPredictorParams &p = {});
+
+    /** Predict the branch at `pc` and speculatively shift history. */
+    bool predict(Addr pc);
+
+    /** Current speculative global history (for checkpointing). */
+    std::uint64_t history() const { return history_; }
+
+    /** Restore speculative history (squash recovery). */
+    void restoreHistory(std::uint64_t h) { history_ = h; }
+
+    /**
+     * Append an outcome to the speculative history without a predict
+     * call (used when re-steering past a recovered branch).
+     */
+    void pushHistory(bool taken);
+
+    /** Train tables with the committed outcome of the branch at pc. */
+    void update(Addr pc, bool taken, std::uint64_t history_at_predict);
+
+    void reset();
+
+  private:
+    unsigned gshareIndex(Addr pc, std::uint64_t history) const;
+    unsigned bimodalIndex(Addr pc) const;
+
+    static bool counterTaken(std::uint8_t c) { return c >= 2; }
+    static std::uint8_t
+    counterUpdate(std::uint8_t c, bool taken)
+    {
+        if (taken)
+            return c < 3 ? c + 1 : 3;
+        return c > 0 ? c - 1 : 0;
+    }
+
+    DirectionPredictorParams params_;
+    unsigned indexMask_;
+    std::uint64_t historyMask_;
+    std::vector<std::uint8_t> gshare_;
+    std::vector<std::uint8_t> bimodal_;
+    std::vector<std::uint8_t> chooser_; ///< >=2 selects gshare
+    std::uint64_t history_ = 0;
+};
+
+} // namespace nda
+
+#endif // NDASIM_BRANCH_DIRECTION_PREDICTOR_HH

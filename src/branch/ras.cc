@@ -1,0 +1,50 @@
+#include "branch/ras.hh"
+
+namespace nda {
+
+Ras::Ras(unsigned entries)
+    : stack_(entries, 0)
+{
+}
+
+Ras::Checkpoint
+Ras::checkpoint() const
+{
+    Checkpoint ckpt;
+    ckpt.top = topIdx_;
+    // A push would overwrite the slot above the current top.
+    ckpt.overwritten = stack_[(topIdx_ + 1) % stack_.size()];
+    return ckpt;
+}
+
+void
+Ras::restore(const Checkpoint &ckpt)
+{
+    stack_[(ckpt.top + 1) % stack_.size()] = ckpt.overwritten;
+    topIdx_ = ckpt.top;
+}
+
+void
+Ras::push(Addr return_pc)
+{
+    topIdx_ = (topIdx_ + 1) % static_cast<unsigned>(stack_.size());
+    stack_[topIdx_] = return_pc;
+}
+
+Addr
+Ras::pop()
+{
+    const Addr target = stack_[topIdx_];
+    topIdx_ = (topIdx_ + static_cast<unsigned>(stack_.size()) - 1) %
+              static_cast<unsigned>(stack_.size());
+    return target;
+}
+
+void
+Ras::reset()
+{
+    std::fill(stack_.begin(), stack_.end(), 0);
+    topIdx_ = 0;
+}
+
+} // namespace nda

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Return Address Stack, 16 entries (Table 3). Pushed/popped
+ * speculatively at fetch; each speculative branch records a small
+ * checkpoint so squash can restore the stack exactly (ret2spec-style
+ * mis-steering then arises only from *architectural* call/return
+ * mismatches, as in the paper's threat model).
+ */
+
+#ifndef NDASIM_BRANCH_RAS_HH
+#define NDASIM_BRANCH_RAS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace nda {
+
+/** Fixed-depth circular return-address stack. */
+class Ras
+{
+  public:
+    /** Snapshot sufficient to undo any single push or pop. */
+    struct Checkpoint {
+        unsigned top = 0;
+        Addr overwritten = 0; ///< entry clobbered by a subsequent push
+    };
+
+    explicit Ras(unsigned entries = 16);
+
+    /** Capture state before a speculative push/pop. */
+    Checkpoint checkpoint() const;
+
+    /** Restore a previously captured checkpoint. */
+    void restore(const Checkpoint &ckpt);
+
+    /** Push a return address (speculative, at fetch of a call). */
+    void push(Addr return_pc);
+
+    /** Pop the predicted return target (speculative, at fetch of ret). */
+    Addr pop();
+
+    /** Peek without popping. */
+    Addr top() const { return stack_[topIdx_]; }
+
+    void reset();
+
+    unsigned capacity() const { return static_cast<unsigned>(stack_.size()); }
+
+  private:
+    std::vector<Addr> stack_;
+    unsigned topIdx_ = 0;
+};
+
+} // namespace nda
+
+#endif // NDASIM_BRANCH_RAS_HH

@@ -1,0 +1,67 @@
+#include "common/histogram.hh"
+
+#include <cstdio>
+
+namespace nda {
+
+Histogram::Histogram(std::size_t max_value)
+    : buckets_(max_value + 2, 0)
+{
+}
+
+void
+Histogram::add(std::uint64_t value)
+{
+    const std::size_t overflow = buckets_.size() - 1;
+    const std::size_t idx =
+        value < overflow ? static_cast<std::size_t>(value) : overflow;
+    ++buckets_[idx];
+    ++count_;
+    sum_ += value;
+}
+
+double
+Histogram::mean() const
+{
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_)
+                  : 0.0;
+}
+
+std::uint64_t
+Histogram::percentile(double q) const
+{
+    if (count_ == 0)
+        return 0;
+    const auto target =
+        static_cast<std::uint64_t>(q * static_cast<double>(count_));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        seen += buckets_[i];
+        if (seen > target)
+            return i;
+    }
+    return buckets_.size() - 1;
+}
+
+void
+Histogram::reset()
+{
+    for (auto &b : buckets_)
+        b = 0;
+    count_ = 0;
+    sum_ = 0;
+}
+
+std::string
+Histogram::summary() const
+{
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "n=%llu mean=%.2f p50=%llu p95=%llu",
+                  static_cast<unsigned long long>(count_), mean(),
+                  static_cast<unsigned long long>(percentile(0.50)),
+                  static_cast<unsigned long long>(percentile(0.95)));
+    return buf;
+}
+
+} // namespace nda

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Fixed-bucket integer histogram used for latency distributions
+ * (e.g., dispatch-to-issue latency, Fig 9d).
+ */
+
+#ifndef NDASIM_COMMON_HISTOGRAM_HH
+#define NDASIM_COMMON_HISTOGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nda {
+
+/**
+ * Histogram over non-negative integer samples with unit-width buckets
+ * up to a cap; samples beyond the cap land in an overflow bucket.
+ */
+class Histogram
+{
+  public:
+    explicit Histogram(std::size_t max_value = 256);
+
+    /** Record one sample. */
+    void add(std::uint64_t value);
+
+    /** Number of recorded samples. */
+    std::uint64_t count() const { return count_; }
+
+    /** Arithmetic mean of recorded samples. */
+    double mean() const;
+
+    /** Smallest value v such that at least `q` of samples are <= v. */
+    std::uint64_t percentile(double q) const;
+
+    /** Bucket counts (last bucket is overflow). */
+    const std::vector<std::uint64_t> &buckets() const { return buckets_; }
+
+    /** Reset all counts. */
+    void reset();
+
+    /** Render a compact textual summary. */
+    std::string summary() const;
+
+  private:
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+};
+
+} // namespace nda
+
+#endif // NDASIM_COMMON_HISTOGRAM_HH

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Minimal logging / fatal-error helpers in the spirit of gem5's
+ * base/logging.hh: panic() for simulator bugs, fatal() for user errors,
+ * warn()/inform() for status messages.
+ */
+
+#ifndef NDASIM_COMMON_LOG_HH
+#define NDASIM_COMMON_LOG_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace nda {
+
+/** Global verbosity: 0 = quiet, 1 = inform, 2 = debug. */
+extern int logVerbosity;
+
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+namespace detail {
+
+std::string formatMessage(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace detail
+
+} // namespace nda
+
+/** Something happened that should never happen: a simulator bug. */
+#define NDA_PANIC(...) \
+    ::nda::panicImpl(__FILE__, __LINE__, \
+                     ::nda::detail::formatMessage(__VA_ARGS__))
+
+/** The simulation cannot continue due to a user/configuration error. */
+#define NDA_FATAL(...) \
+    ::nda::fatalImpl(__FILE__, __LINE__, \
+                     ::nda::detail::formatMessage(__VA_ARGS__))
+
+#define NDA_WARN(...) \
+    ::nda::warnImpl(::nda::detail::formatMessage(__VA_ARGS__))
+
+#define NDA_INFORM(...) \
+    ::nda::informImpl(::nda::detail::formatMessage(__VA_ARGS__))
+
+/**
+ * Invariant check that survives NDEBUG; panics with context on failure.
+ * Always requires a printf-style message after the condition.
+ */
+#define NDA_ASSERT(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            ::nda::panicImpl(__FILE__, __LINE__, \
+                std::string("assertion failed: ") + #cond + "; " + \
+                ::nda::detail::formatMessage(__VA_ARGS__)); \
+        } \
+    } while (0)
+
+#endif // NDASIM_COMMON_LOG_HH

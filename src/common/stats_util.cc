@@ -1,0 +1,65 @@
+#include "common/stats_util.hh"
+
+#include <cmath>
+
+namespace nda {
+
+double
+sampleMean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double x : xs)
+        sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+double
+sampleStddev(const std::vector<double> &xs)
+{
+    const std::size_t n = xs.size();
+    if (n < 2)
+        return 0.0;
+    const double mean = sampleMean(xs);
+    double acc = 0.0;
+    for (double x : xs)
+        acc += (x - mean) * (x - mean);
+    return std::sqrt(acc / static_cast<double>(n - 1));
+}
+
+namespace {
+
+/** Two-sided 95% Student-t critical values for df = 1..30. */
+constexpr double kT95[31] = {
+    0.0,    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365,
+    2.306,  2.262,  2.228, 2.201, 2.179, 2.160, 2.145, 2.131,
+    2.120,  2.110,  2.101, 2.093, 2.086, 2.080, 2.074, 2.069,
+    2.064,  2.060,  2.056, 2.052, 2.048, 2.045, 2.042,
+};
+
+} // namespace
+
+double
+confidenceHalfWidth95(const std::vector<double> &xs)
+{
+    const std::size_t n = xs.size();
+    if (n < 2)
+        return 0.0;
+    const std::size_t df = n - 1;
+    const double t = df <= 30 ? kT95[df] : 1.960;
+    return t * sampleStddev(xs) / std::sqrt(static_cast<double>(n));
+}
+
+double
+geomean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double x : xs)
+        acc += std::log(x);
+    return std::exp(acc / static_cast<double>(xs.size()));
+}
+
+} // namespace nda

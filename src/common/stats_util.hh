@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Small statistics helpers: sample mean, 95% confidence interval
+ * (Student-t for small samples), geometric mean, and a running-mean
+ * accumulator. Used by the SMARTS-style sampling harness (paper §6.1).
+ */
+
+#ifndef NDASIM_COMMON_STATS_UTIL_HH
+#define NDASIM_COMMON_STATS_UTIL_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace nda {
+
+/** Mean of a sample; 0 for an empty sample. */
+double sampleMean(const std::vector<double> &xs);
+
+/** Unbiased sample standard deviation; 0 for n < 2. */
+double sampleStddev(const std::vector<double> &xs);
+
+/**
+ * Half-width of the 95% confidence interval on the mean, using
+ * Student-t critical values for n <= 30 and the normal value above.
+ */
+double confidenceHalfWidth95(const std::vector<double> &xs);
+
+/** Geometric mean; inputs must be positive. 0 for an empty sample. */
+double geomean(const std::vector<double> &xs);
+
+/** Incremental mean/min/max accumulator. */
+class RunningStat
+{
+  public:
+    void
+    add(double x)
+    {
+        ++count_;
+        sum_ += x;
+        if (count_ == 1 || x < min_)
+            min_ = x;
+        if (count_ == 1 || x > max_)
+            max_ = x;
+    }
+
+    std::size_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double min() const { return min_; }
+    double max() const { return max_; }
+
+    void
+    reset()
+    {
+        count_ = 0;
+        sum_ = 0.0;
+        min_ = 0.0;
+        max_ = 0.0;
+    }
+
+  private:
+    std::size_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+} // namespace nda
+
+#endif // NDASIM_COMMON_STATS_UTIL_HH

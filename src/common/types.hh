@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the simulator.
+ */
+
+#ifndef NDASIM_COMMON_TYPES_HH
+#define NDASIM_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace nda {
+
+/** Byte address in the simulated physical/virtual address space. */
+using Addr = std::uint64_t;
+
+/** Simulated clock cycle count. */
+using Cycle = std::uint64_t;
+
+/** 64-bit architectural/physical register value. */
+using RegVal = std::uint64_t;
+
+/** Architectural register identifier. */
+using RegId = std::uint8_t;
+
+/** Physical register identifier. */
+using PhysRegId = std::uint16_t;
+
+/** Global dynamic-instruction sequence number (monotonic). */
+using InstSeqNum = std::uint64_t;
+
+/** Sentinel for "no physical register". */
+inline constexpr PhysRegId kInvalidPhysReg =
+    std::numeric_limits<PhysRegId>::max();
+
+/** Sentinel for "no sequence number". */
+inline constexpr InstSeqNum kInvalidSeqNum =
+    std::numeric_limits<InstSeqNum>::max();
+
+/** Number of architectural integer registers. */
+inline constexpr int kNumArchRegs = 32;
+
+/** Number of model-specific (special) registers. */
+inline constexpr int kNumMsrRegs = 8;
+
+/** Cache line size in bytes (fixed across the hierarchy, Table 3). */
+inline constexpr unsigned kLineSize = 64;
+
+/** Byte size of one encoded instruction in the simulated i-stream. */
+inline constexpr Addr kInstBytes = 4;
+
+/** Base address of the simulated instruction stream (for the i-cache). */
+inline constexpr Addr kTextBase = 0x400000;
+
+/** Faults an instruction can raise. */
+enum class FaultType : std::uint8_t {
+    kNone = 0,
+    /** User-mode access to kernel-only memory (Meltdown substrate). */
+    kPrivilegedLoad,
+    /** User-mode read of a privileged MSR (LazyFP / v3a substrate). */
+    kPrivilegedMsr,
+    /** Store to read-only or kernel memory. */
+    kPrivilegedStore,
+};
+
+/** Protection domain of a memory page. */
+enum class MemPerm : std::uint8_t {
+    kUser = 0,   ///< accessible from user mode
+    kKernel,     ///< privileged; user-mode access faults
+};
+
+/** Privilege mode the core executes in. */
+enum class CpuMode : std::uint8_t {
+    kUser = 0,
+    kKernel,
+};
+
+/** Convert a PC (instruction index) to its i-cache byte address. */
+inline constexpr Addr
+pcToFetchAddr(Addr pc)
+{
+    return kTextBase + pc * kInstBytes;
+}
+
+} // namespace nda
+
+#endif // NDASIM_COMMON_TYPES_HH

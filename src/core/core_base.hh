@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Common interface of all timing core models (OoO with any security
+ * configuration, and the in-order baseline), so the harness, attacks,
+ * and tests can drive them uniformly.
+ */
+
+#ifndef NDASIM_CORE_CORE_BASE_HH
+#define NDASIM_CORE_CORE_BASE_HH
+
+#include <memory>
+
+#include "common/types.hh"
+#include "core/perf_counters.hh"
+#include "mem/hierarchy.hh"
+#include "mem/memory_map.hh"
+
+namespace nda {
+
+struct Program;
+
+/** Abstract timing core. */
+class CoreBase
+{
+  public:
+    virtual ~CoreBase() = default;
+
+    /** Advance one cycle. */
+    virtual void tick() = 0;
+
+    /**
+     * Run until the program halts, `max_insts` more instructions
+     * commit, or `max_cycles` more cycles elapse.
+     */
+    virtual void run(std::uint64_t max_insts,
+                     Cycle max_cycles = ~Cycle{0}) = 0;
+
+    virtual bool halted() const = 0;
+    virtual Cycle cycle() const = 0;
+    /** Total committed instructions since construction. */
+    virtual std::uint64_t committedInsts() const = 0;
+
+    /** Committed architectural register value. */
+    virtual RegVal archReg(RegId r) const = 0;
+    virtual RegVal msr(unsigned idx) const = 0;
+
+    virtual MemoryMap &mem() = 0;
+    virtual const MemoryMap &mem() const = 0;
+    virtual MemHierarchy &hierarchy() = 0;
+
+    virtual PerfCounters &counters() = 0;
+    virtual const PerfCounters &counters() const = 0;
+
+    /** Start a fresh measurement window (SMARTS warm-up boundary). */
+    virtual void resetCounters() = 0;
+};
+
+} // namespace nda
+
+#endif // NDASIM_CORE_CORE_BASE_HH

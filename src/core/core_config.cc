@@ -1,0 +1,34 @@
+#include "core/core_config.hh"
+
+#include <cstdio>
+
+namespace nda {
+
+std::string
+configTable(const SimConfig &cfg)
+{
+    char buf[1024];
+    std::snprintf(
+        buf, sizeof(buf),
+        "Architecture      : custom RISC-like at 2.0 GHz\n"
+        "Core (OoO)        : %u-issue, %u LQ, %u SQ, %u ROB, "
+        "%u BTB, %u RAS\n"
+        "Core (in-order)   : non-pipelined timing model\n"
+        "L1-I / L1-D cache : %zu kB, %u B line, %u-way SA, "
+        "%u-cycle RT, %u port(s)\n"
+        "L2 cache          : %zu MB, %u B line, %u-way SA, %u-cycle RT\n"
+        "DRAM              : %u-cycle (50 ns) response latency\n"
+        "Security          : %s\n",
+        cfg.core.issueWidth, cfg.core.lqEntries, cfg.core.sqEntries,
+        cfg.core.robEntries, cfg.core.predictor.btb.entries,
+        cfg.core.predictor.rasEntries,
+        cfg.memory.l1d.sizeBytes / 1024, cfg.memory.l1d.lineBytes,
+        cfg.memory.l1d.ways, cfg.memory.l1d.hitLatency,
+        cfg.core.memPorts,
+        cfg.memory.l2.sizeBytes / (1024 * 1024), cfg.memory.l2.lineBytes,
+        cfg.memory.l2.ways, cfg.memory.l2.hitLatency,
+        cfg.memory.dramLatency, describe(cfg.security).c_str());
+    return buf;
+}
+
+} // namespace nda

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Structural parameters of the simulated cores and the combined
+ * simulation configuration (paper Table 3 defaults).
+ */
+
+#ifndef NDASIM_CORE_CORE_CONFIG_HH
+#define NDASIM_CORE_CORE_CONFIG_HH
+
+#include <string>
+
+#include "branch/predictor_unit.hh"
+#include "mem/hierarchy.hh"
+#include "nda/policy.hh"
+
+namespace nda {
+
+/** Out-of-order core structural parameters (Table 3). */
+struct CoreParams {
+    unsigned fetchWidth = 8;
+    unsigned dispatchWidth = 8;
+    unsigned issueWidth = 8;
+    unsigned commitWidth = 8;
+    unsigned robEntries = 192;
+    unsigned iqEntries = 60;
+    unsigned lqEntries = 32;
+    unsigned sqEntries = 32;
+    unsigned numPhysRegs = 320;
+    /** Fetch-to-dispatch pipeline depth in cycles. Sized so a branch
+     *  mispredict costs ~16 cycles, matching the paper's measured BTB
+     *  miss penalty (Fig 5) on its Haswell-like configuration. */
+    unsigned frontendDelay = 12;
+    /** Fetch buffer capacity in micro-ops. */
+    unsigned fetchQueueEntries = 48;
+    /** Data accesses that may begin per cycle (Table 3: 1 port). */
+    unsigned memPorts = 1;
+    /**
+     * Cycles between a faulting instruction reaching the ROB head and
+     * the pipeline flush (trap delivery latency). During this window
+     * dependents of the faulting instruction keep executing — the
+     * race Meltdown-class chosen-code attacks exploit (paper §3.1).
+     */
+    unsigned faultLatency = 16;
+    /**
+     * Cycles for a retirement-time wake-up (NDA load restriction's
+     * broadcast-at-head, paper §5.3) to reach the issue queue. The
+     * commit stage has no bypass path into the scheduler, so this is
+     * several cycles on real designs (gem5 O3's commit-to-IEW path).
+     */
+    unsigned retireWakeDelay = 3;
+    PredictorParams predictor;
+};
+
+/** In-order (TimingSimpleCPU-like) core parameters. */
+struct InOrderParams {
+    /**
+     * When true, charge an i-cache access only on line crossings
+     * (a kinder fetch-buffer model). The default (false) matches
+     * gem5's TimingSimpleCPU — the paper's in-order baseline — which
+     * performs a timed i-cache access for every instruction.
+     */
+    bool lineBuffer = false;
+};
+
+/** A complete simulated-machine configuration. */
+struct SimConfig {
+    std::string name = "ooo";
+    bool inOrder = false;
+    CoreParams core;
+    InOrderParams inOrderParams;
+    HierarchyParams memory;
+    SecurityConfig security;
+};
+
+/** Render the key parameters as a Table-3-style listing. */
+std::string configTable(const SimConfig &cfg);
+
+} // namespace nda
+
+#endif // NDASIM_CORE_CORE_CONFIG_HH

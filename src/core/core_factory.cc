@@ -1,0 +1,16 @@
+#include "core/core_factory.hh"
+
+#include "core/inorder_core.hh"
+#include "core/ooo_core.hh"
+
+namespace nda {
+
+std::unique_ptr<CoreBase>
+makeCore(const Program &prog, const SimConfig &cfg)
+{
+    if (cfg.inOrder)
+        return std::make_unique<InOrderCore>(prog, cfg);
+    return std::make_unique<OooCore>(prog, cfg);
+}
+
+} // namespace nda

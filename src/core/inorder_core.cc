@@ -1,0 +1,172 @@
+#include "core/inorder_core.hh"
+
+#include "common/log.hh"
+#include "isa/interpreter.hh"
+
+namespace nda {
+
+InOrderCore::InOrderCore(Program prog, const SimConfig &cfg)
+    : prog_(std::move(prog)), cfg_(cfg), hier_(cfg.memory)
+{
+    loadDataSegments(prog_, mem_);
+    for (int i = 0; i < kNumArchRegs; ++i)
+        regs_[i] = prog_.initialRegs[i];
+    for (int i = 0; i < kNumMsrRegs; ++i)
+        msrs_[i] = prog_.initialMsrs[i];
+    pc_ = prog_.entry;
+}
+
+void
+InOrderCore::tick()
+{
+    if (halted_)
+        return;
+    ++cycle_;
+    ++counters_.cycles;
+    if (cycle_ < busyUntil_) {
+        ++counters_.cycleClass[static_cast<int>(stallClass_)];
+        return;
+    }
+    const Cycle cost = step();
+    busyUntil_ = cycle_ + cost;
+    ++counters_.cycleClass[static_cast<int>(CycleClass::kCommit)];
+}
+
+void
+InOrderCore::run(std::uint64_t max_insts, Cycle max_cycles)
+{
+    const std::uint64_t target = committed_ + max_insts;
+    const Cycle limit =
+        max_cycles == ~Cycle{0} ? ~Cycle{0} : cycle_ + max_cycles;
+    while (!halted_ && committed_ < target && cycle_ < limit)
+        tick();
+}
+
+Cycle
+InOrderCore::step()
+{
+    if (!prog_.validPc(pc_)) {
+        halted_ = true;
+        return 0;
+    }
+    const MicroOp &uop = prog_.at(pc_);
+    const OpTraits &t = uop.traits();
+    const RegVal a = t.readsRs1 ? regs_[uop.rs1] : 0;
+    const RegVal b = t.readsRs2 ? regs_[uop.rs2] : 0;
+
+    // --- fetch cost -------------------------------------------------------
+    Cycle cost = 0; // the commit cycle itself is charged by tick()
+    stallClass_ = CycleClass::kFrontendStall;
+    const Addr fetch_addr = pcToFetchAddr(pc_);
+    const Addr line = fetch_addr / kLineSize;
+    if (!cfg_.inOrderParams.lineBuffer || line != lastFetchLine_) {
+        const AccessResult res = hier_.instAccess(fetch_addr);
+        cost += res.latency - 1;
+        lastFetchLine_ = line;
+    }
+
+    ++committed_;
+    ++counters_.committedInsts;
+    ++counters_.ilpCycles;
+    ++counters_.ilpAccum;
+
+    auto raise_fault = [&]() {
+        ++counters_.squashes;
+        if (prog_.faultHandler == ~Addr{0}) {
+            halted_ = true;
+        } else {
+            pc_ = prog_.faultHandler;
+        }
+    };
+
+    switch (uop.op) {
+      case Opcode::kHalt:
+        halted_ = true;
+        return cost;
+      case Opcode::kNop:
+      case Opcode::kFence:
+      case Opcode::kSpecOff:
+      case Opcode::kSpecOn:
+        break;
+      case Opcode::kLoad: {
+        const Addr addr = a + static_cast<Addr>(uop.imm);
+        if (!mem_.accessAllowed(addr, uop.size, CpuMode::kUser)) {
+            raise_fault();
+            return cost;
+        }
+        const AccessResult res = hier_.dataAccess(addr);
+        regs_[uop.rd] = mem_.read(addr, uop.size);
+        stallClass_ = CycleClass::kMemoryStall;
+        cost += res.latency;
+        ++counters_.loads;
+        if (res.offChip()) {
+            counters_.mlpCycles += res.latency;
+            counters_.mlpAccum += res.latency;
+        }
+        break;
+      }
+      case Opcode::kStore: {
+        const Addr addr = a + static_cast<Addr>(uop.imm);
+        if (!mem_.accessAllowed(addr, uop.size, CpuMode::kUser)) {
+            raise_fault();
+            return cost;
+        }
+        const AccessResult res = hier_.dataAccess(addr);
+        mem_.write(addr, b, uop.size);
+        stallClass_ = CycleClass::kMemoryStall;
+        cost += res.latency;
+        ++counters_.stores;
+        break;
+      }
+      case Opcode::kClflush:
+        hier_.flushLine(a + static_cast<Addr>(uop.imm));
+        break;
+      case Opcode::kPrefetch:
+        hier_.dataAccess(a + static_cast<Addr>(uop.imm));
+        break;
+      case Opcode::kRdMsr: {
+        const unsigned idx = static_cast<unsigned>(uop.imm);
+        if (prog_.privilegedMsrMask & (1u << idx)) {
+            raise_fault();
+            return cost;
+        }
+        regs_[uop.rd] = msrs_[idx];
+        break;
+      }
+      case Opcode::kWrMsr: {
+        const unsigned idx = static_cast<unsigned>(uop.imm);
+        if (prog_.privilegedMsrMask & (1u << idx)) {
+            raise_fault();
+            return cost;
+        }
+        msrs_[idx] = a;
+        break;
+      }
+      case Opcode::kRdTsc:
+        regs_[uop.rd] = cycle_;
+        break;
+      default:
+        if (t.isBranch) {
+            if (t.hasDest)
+                regs_[uop.rd] = pc_ + 1;
+            if (t.isCondBranch) {
+                ++counters_.condBranches;
+                pc_ = evalNextPc(uop, pc_, a, b);
+            } else {
+                if (t.isIndirect)
+                    ++counters_.indirectBranches;
+                pc_ = evalNextPc(uop, pc_, a, b);
+            }
+            return cost;
+        }
+        regs_[uop.rd] = evalAlu(uop.op, a, b, uop.imm);
+        stallClass_ = CycleClass::kBackendStall;
+        cost += opLatencyCycles(uop.op) - 1;
+        break;
+    }
+
+    pc_ = pc_ + 1;
+    return cost;
+}
+
+} // namespace nda

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * In-order, non-pipelined timing core in the spirit of gem5's
+ * TimingSimpleCPU (paper Table 3's in-order baseline). No
+ * speculation of any kind, hence trivially immune to speculative
+ * execution attacks — the paper's secure-performance lower bound.
+ */
+
+#ifndef NDASIM_CORE_INORDER_CORE_HH
+#define NDASIM_CORE_INORDER_CORE_HH
+
+#include "core/core_base.hh"
+#include "core/core_config.hh"
+#include "isa/program.hh"
+
+namespace nda {
+
+/** Non-pipelined in-order timing model. */
+class InOrderCore : public CoreBase
+{
+  public:
+    /** The core keeps its own copy of `prog`. */
+    InOrderCore(Program prog, const SimConfig &cfg);
+
+    /**
+     * Advance one cycle; when the current instruction's latency has
+     * elapsed, the next instruction executes.
+     */
+    void tick() override;
+    void run(std::uint64_t max_insts, Cycle max_cycles) override;
+
+    bool halted() const override { return halted_; }
+    Cycle cycle() const override { return cycle_; }
+    std::uint64_t committedInsts() const override { return committed_; }
+
+    RegVal archReg(RegId r) const override { return regs_[r]; }
+    RegVal msr(unsigned idx) const override { return msrs_[idx]; }
+
+    MemoryMap &mem() override { return mem_; }
+    const MemoryMap &mem() const override { return mem_; }
+    MemHierarchy &hierarchy() override { return hier_; }
+
+    PerfCounters &counters() override { return counters_; }
+    const PerfCounters &counters() const override { return counters_; }
+    void resetCounters() override { counters_.reset(); }
+
+  private:
+    /** Execute one instruction; returns its total cycle cost. */
+    Cycle step();
+
+    const Program prog_;
+    SimConfig cfg_;
+    MemoryMap mem_;
+    MemHierarchy hier_;
+
+    RegVal regs_[kNumArchRegs] = {};
+    RegVal msrs_[kNumMsrRegs] = {};
+    Addr pc_ = 0;
+    bool halted_ = false;
+    Cycle cycle_ = 0;
+    Cycle busyUntil_ = 0;
+    CycleClass stallClass_ = CycleClass::kCommit;
+    std::uint64_t committed_ = 0;
+    Addr lastFetchLine_ = ~Addr{0};
+
+    PerfCounters counters_;
+};
+
+} // namespace nda
+
+#endif // NDASIM_CORE_INORDER_CORE_HH

@@ -1,0 +1,77 @@
+#include "core/issue_queue.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace nda {
+
+IssueQueue::IssueQueue(unsigned capacity)
+    : capacity_(capacity)
+{
+    entries_.reserve(capacity);
+}
+
+void
+IssueQueue::insert(const DynInstPtr &inst)
+{
+    NDA_ASSERT(!full(), "issue queue overflow");
+    inst->inIq = true;
+    entries_.push_back(inst);
+}
+
+bool
+IssueQueue::sourcesReady(const DynInst &inst, const PhysRegFile &regs)
+{
+    if (inst.src1 != kInvalidPhysReg && !regs.ready(inst.src1))
+        return false;
+    // Stores issue their address phase as soon as the base register
+    // is ready (split store-address/store-data micro-ops, as in real
+    // OoO cores); the data register is read at commit.
+    if (inst.uop.isStore())
+        return true;
+    if (inst.src2 != kInvalidPhysReg && !regs.ready(inst.src2))
+        return false;
+    return true;
+}
+
+void
+IssueQueue::selectReady(const PhysRegFile &regs,
+                        const std::function<bool(const DynInstPtr &)>
+                            &try_issue)
+{
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        DynInstPtr inst = entries_[i];
+        if (inst->squashed) {
+            inst->inIq = false;
+            continue; // drop
+        }
+        bool issued = false;
+        if (sourcesReady(*inst, regs))
+            issued = try_issue(inst);
+        if (issued) {
+            inst->inIq = false;
+        } else {
+            entries_[out++] = std::move(inst);
+        }
+    }
+    entries_.resize(out);
+}
+
+void
+IssueQueue::removeSquashed()
+{
+    const auto is_squashed = [](const DynInstPtr &inst) {
+        if (inst->squashed) {
+            inst->inIq = false;
+            return true;
+        }
+        return false;
+    };
+    entries_.erase(
+        std::remove_if(entries_.begin(), entries_.end(), is_squashed),
+        entries_.end());
+}
+
+} // namespace nda

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Age-ordered issue queue. Entries wake when both source physical
+ * registers are ready; NDA delays readiness by deferring the
+ * producer's tag broadcast, so unsafe producers keep their dependents
+ * parked here (paper Fig 2).
+ */
+
+#ifndef NDASIM_CORE_ISSUE_QUEUE_HH
+#define NDASIM_CORE_ISSUE_QUEUE_HH
+
+#include <functional>
+#include <vector>
+
+#include "core/dyn_inst.hh"
+#include "core/phys_reg_file.hh"
+
+namespace nda {
+
+/** Simple unified issue queue with age-ordered select. */
+class IssueQueue
+{
+  public:
+    explicit IssueQueue(unsigned capacity);
+
+    bool full() const { return entries_.size() >= capacity_; }
+    std::size_t size() const { return entries_.size(); }
+    bool empty() const { return entries_.empty(); }
+
+    /** Insert at dispatch (entries stay age-ordered by construction). */
+    void insert(const DynInstPtr &inst);
+
+    /**
+     * Age-ordered select: invoke `try_issue` on each entry whose
+     * sources are ready; the callback returns true to issue (entry is
+     * removed) or false to leave the entry parked (e.g., structural
+     * hazard or serialization constraint). Squashed entries are
+     * dropped as encountered.
+     */
+    void selectReady(const PhysRegFile &regs,
+                     const std::function<bool(const DynInstPtr &)>
+                         &try_issue);
+
+    /** Drop squashed entries eagerly (called after a squash). */
+    void removeSquashed();
+
+    void clear() { entries_.clear(); }
+
+  private:
+    static bool sourcesReady(const DynInst &inst, const PhysRegFile &regs);
+
+    unsigned capacity_;
+    std::vector<DynInstPtr> entries_;
+};
+
+} // namespace nda
+
+#endif // NDASIM_CORE_ISSUE_QUEUE_HH

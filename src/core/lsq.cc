@@ -1,0 +1,148 @@
+#include "core/lsq.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace nda {
+
+Lsq::Lsq(unsigned lq_entries, unsigned sq_entries)
+    : lqEntries_(lq_entries), sqEntries_(sq_entries)
+{
+}
+
+void
+Lsq::insertLoad(const DynInstPtr &inst)
+{
+    NDA_ASSERT(!lqFull(), "load queue overflow");
+    loads_.push_back(inst);
+}
+
+void
+Lsq::insertStore(const DynInstPtr &inst)
+{
+    NDA_ASSERT(!sqFull(), "store queue overflow");
+    stores_.push_back(inst);
+}
+
+StoreSearchResult
+Lsq::searchStores(InstSeqNum load_seq, Addr addr, unsigned size,
+                  const PhysRegFile &regs) const
+{
+    StoreSearchResult result;
+    // Youngest-to-oldest among stores older than the load.
+    for (auto it = stores_.rbegin(); it != stores_.rend(); ++it) {
+        const DynInst &store = **it;
+        if (store.squashed || store.seq >= load_seq)
+            continue;
+        if (!store.effAddrValid) {
+            // Speculative store bypass: proceed past the unresolved
+            // store, but remember it (violation detection + NDA BR).
+            result.bypassedStores.push_back(store.seq);
+            continue;
+        }
+        if (!overlaps(addr, size, store.effAddr, store.uop.size))
+            continue;
+        if (contains(addr, size, store.effAddr, store.uop.size)) {
+            // Forward from the youngest covering store — but only if
+            // its data register has been broadcast. An unsafe (NDA)
+            // producer's value must not propagate via the store queue
+            // either.
+            if (store.src2 != kInvalidPhysReg &&
+                !regs.ready(store.src2)) {
+                result.mustStall = true;
+                return result;
+            }
+            const unsigned shift =
+                static_cast<unsigned>(addr - store.effAddr) * 8;
+            RegVal v = regs.value(store.src2) >> shift;
+            if (size < 8)
+                v &= (RegVal{1} << (8 * size)) - 1;
+            result.forward = true;
+            result.value = v;
+            return result;
+        }
+        // Partial overlap: cannot forward; wait for the store to drain.
+        result.mustStall = true;
+        return result;
+    }
+    return result;
+}
+
+DynInstPtr
+Lsq::checkViolations(const DynInst &store) const
+{
+    NDA_ASSERT(store.effAddrValid, "violation check on unresolved store");
+    for (const DynInstPtr &load : loads_) {
+        // A load captures its data when it issues (effAddrValid), so
+        // even a not-yet-completed load can hold stale data and must
+        // be snooped.
+        if (load->squashed || load->seq <= store.seq)
+            continue;
+        if (!load->effAddrValid)
+            continue;
+        if (!overlaps(load->effAddr, load->uop.size, store.effAddr,
+                      store.uop.size)) {
+            continue;
+        }
+        // Did this load execute past this (then-unresolved) store?
+        const auto &bypassed = load->bypassedStores;
+        if (std::find(bypassed.begin(), bypassed.end(), store.seq) !=
+            bypassed.end()) {
+            return load; // oldest violating load (loads_ is age-ordered)
+        }
+    }
+    return nullptr;
+}
+
+std::vector<DynInstPtr>
+Lsq::retireBypass(InstSeqNum store_seq)
+{
+    std::vector<DynInstPtr> cleared;
+    for (const DynInstPtr &load : loads_) {
+        if (load->squashed)
+            continue;
+        auto &bypassed = load->bypassedStores;
+        auto it = std::find(bypassed.begin(), bypassed.end(), store_seq);
+        if (it == bypassed.end())
+            continue;
+        bypassed.erase(it);
+        if (bypassed.empty())
+            cleared.push_back(load);
+    }
+    return cleared;
+}
+
+void
+Lsq::commitLoad(const DynInst &inst)
+{
+    NDA_ASSERT(!loads_.empty() && loads_.front()->seq == inst.seq,
+               "commit of non-head load");
+    loads_.pop_front();
+}
+
+void
+Lsq::commitStore(const DynInst &inst)
+{
+    NDA_ASSERT(!stores_.empty() && stores_.front()->seq == inst.seq,
+               "commit of non-head store");
+    stores_.pop_front();
+}
+
+void
+Lsq::squashYoungerThan(InstSeqNum squash_seq)
+{
+    while (!loads_.empty() && loads_.back()->seq > squash_seq)
+        loads_.pop_back();
+    while (!stores_.empty() && stores_.back()->seq > squash_seq)
+        stores_.pop_back();
+}
+
+void
+Lsq::clear()
+{
+    loads_.clear();
+    stores_.clear();
+}
+
+} // namespace nda

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Load/Store Queue: store-to-load forwarding, speculative store
+ * bypass (the SSB attack substrate), memory-order-violation
+ * detection, and the bookkeeping NDA's Bypass Restriction needs
+ * (paper §4.1, §5.2).
+ */
+
+#ifndef NDASIM_CORE_LSQ_HH
+#define NDASIM_CORE_LSQ_HH
+
+#include <deque>
+#include <optional>
+
+#include "core/dyn_inst.hh"
+#include "core/phys_reg_file.hh"
+
+namespace nda {
+
+/** Result of checking a load against the store queue. */
+struct StoreSearchResult {
+    /** Full-overlap resolved store found: forward this value. */
+    bool forward = false;
+    RegVal value = 0;
+    /** Partial overlap with a resolved store: load must retry later. */
+    bool mustStall = false;
+    /** Seq numbers of older stores whose address is still unknown. */
+    std::vector<InstSeqNum> bypassedStores;
+};
+
+/** Combined load queue + store queue. */
+class Lsq
+{
+  public:
+    Lsq(unsigned lq_entries, unsigned sq_entries);
+
+    bool lqFull() const { return loads_.size() >= lqEntries_; }
+    bool sqFull() const { return stores_.size() >= sqEntries_; }
+    std::size_t lqSize() const { return loads_.size(); }
+    std::size_t sqSize() const { return stores_.size(); }
+
+    /** Allocate at dispatch (in program order). */
+    void insertLoad(const DynInstPtr &inst);
+    void insertStore(const DynInstPtr &inst);
+
+    /**
+     * Search older stores for a load at `addr`/`size`.
+     * Scans youngest-to-oldest among stores older than `load_seq`.
+     * `regs` is consulted for store-data readiness: a covering store
+     * whose data has not been broadcast cannot forward (and, under
+     * NDA, an unsafe producer's value must not propagate this way).
+     */
+    StoreSearchResult searchStores(InstSeqNum load_seq, Addr addr,
+                                   unsigned size,
+                                   const PhysRegFile &regs) const;
+
+    /**
+     * Called when a store's address resolves: find the oldest younger
+     * load that already executed against an overlapping address while
+     * this store was unresolved (a memory-order violation).
+     * @return the violating load, if any.
+     */
+    DynInstPtr checkViolations(const DynInst &store) const;
+
+    /**
+     * Bypass Restriction bookkeeping: remove `store_seq` from every
+     * load's bypassed-store set; return loads whose set became empty
+     * (candidates to become safe, paper §5.2).
+     */
+    std::vector<DynInstPtr> retireBypass(InstSeqNum store_seq);
+
+    /** Remove the (committed) head load/store. */
+    void commitLoad(const DynInst &inst);
+    void commitStore(const DynInst &inst);
+
+    /** Drop all entries younger than `squash_seq` (exclusive). */
+    void squashYoungerThan(InstSeqNum squash_seq);
+
+    /** Oldest un-retired store, if any (for fences / ordering). */
+    const std::deque<DynInstPtr> &stores() const { return stores_; }
+    const std::deque<DynInstPtr> &loads() const { return loads_; }
+
+    void clear();
+
+    static bool
+    overlaps(Addr a1, unsigned s1, Addr a2, unsigned s2)
+    {
+        return a1 < a2 + s2 && a2 < a1 + s1;
+    }
+
+    /** Store [a2,s2) fully covers load [a1,s1)? */
+    static bool
+    contains(Addr a1, unsigned s1, Addr a2, unsigned s2)
+    {
+        return a2 <= a1 && a1 + s1 <= a2 + s2;
+    }
+
+  private:
+    unsigned lqEntries_;
+    unsigned sqEntries_;
+    std::deque<DynInstPtr> loads_;   ///< age-ordered
+    std::deque<DynInstPtr> stores_;  ///< age-ordered
+};
+
+} // namespace nda
+
+#endif // NDASIM_CORE_LSQ_HH

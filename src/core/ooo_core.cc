@@ -1,0 +1,895 @@
+#include "core/ooo_core.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+#include "isa/interpreter.hh"
+
+namespace nda {
+
+OooCore::OooCore(Program prog, const SimConfig &cfg)
+    : prog_(std::move(prog)),
+      cfg_(cfg),
+      hier_(cfg.memory),
+      bp_(cfg.core.predictor),
+      regs_(cfg.core.numPhysRegs),
+      iq_(cfg.core.iqEntries),
+      lsq_(cfg.core.lqEntries, cfg.core.sqEntries)
+{
+    NDA_ASSERT(cfg.core.numPhysRegs >=
+                   kNumArchRegs + cfg.core.robEntries,
+               "need at least arch + ROB physical registers");
+    loadDataSegments(prog_, mem_);
+    regs_.reset(kNumArchRegs);
+    rmap_.reset();
+    for (unsigned r = 0; r < kNumArchRegs; ++r) {
+        regs_.setValue(static_cast<PhysRegId>(r), prog_.initialRegs[r]);
+        commitMap_[r] = static_cast<PhysRegId>(r);
+    }
+    for (int i = 0; i < kNumMsrRegs; ++i)
+        msrs_[i] = prog_.initialMsrs[i];
+    fetchPc_ = prog_.entry;
+}
+
+RegVal
+OooCore::archReg(RegId r) const
+{
+    return regs_.value(commitMap_[r]);
+}
+
+void
+OooCore::tick()
+{
+    ++cycle_;
+    ++counters_.cycles;
+    completionsThisCycle_ = 0;
+
+    commitStage();
+    completeStage();
+    issueStage();
+    dispatchStage();
+    fetchStage();
+
+    if (outstandingMisses_ > 0) {
+        ++counters_.mlpCycles;
+        counters_.mlpAccum += static_cast<std::uint64_t>(outstandingMisses_);
+    }
+    if (completionsThisCycle_ > 0) {
+        ++counters_.ilpCycles;
+        counters_.ilpAccum += completionsThisCycle_;
+    }
+}
+
+void
+OooCore::run(std::uint64_t max_insts, Cycle max_cycles)
+{
+    const std::uint64_t target =
+        max_insts > ~std::uint64_t{0} - committed_ ? ~std::uint64_t{0}
+                                                   : committed_ + max_insts;
+    commitTarget_ = target;
+    const Cycle cycle_limit =
+        max_cycles == ~Cycle{0} ? ~Cycle{0} : cycle_ + max_cycles;
+    lastCommitCycle_ = cycle_;
+    while (!halted_ && committed_ < target && cycle_ < cycle_limit) {
+        tick();
+        NDA_ASSERT(cycle_ - lastCommitCycle_ < 500000,
+                   "no commit for 500k cycles at pc ~%llu (deadlock?)",
+                   static_cast<unsigned long long>(
+                       rob_.empty() ? fetchPc_ : rob_.front()->pc));
+    }
+}
+
+// --------------------------------------------------------------------------
+// Commit
+// --------------------------------------------------------------------------
+
+void
+OooCore::commitStage()
+{
+    unsigned ncommit = 0;
+    // Stop exactly at the run() instruction target so measurement
+    // windows have precise boundaries.
+    while (ncommit < cfg_.core.commitWidth && !rob_.empty() &&
+           !halted_ && committed_ < commitTarget_) {
+        DynInstPtr inst = rob_.front();
+
+        if (!inst->executed)
+            break; // stall; classified below
+
+        if (inst->fault != FaultType::kNone) {
+            // Trap delivery is not instantaneous: the fault fires
+            // `faultLatency` cycles after the op reaches the head.
+            // Dependents keep executing meanwhile — the wrong-path
+            // window chosen-code attacks exploit (paper §3.1). NDA's
+            // load restriction closes it by never broadcasting the
+            // faulting load's value.
+            if (!inst->faultPending) {
+                inst->faultPending = true;
+                inst->faultDeliverAt =
+                    cycle_ + cfg_.core.faultLatency;
+            }
+            if (cycle_ < inst->faultDeliverAt)
+                break;
+            raiseFault(inst);
+            break;
+        }
+
+        // InvisiSpec-Future: loads that executed invisibly must
+        // validate before retirement. The expose (cache fill) was
+        // issued when older branches resolved; if the line was absent
+        // from L1 at peek time, validation re-accesses the (now
+        // filled) L1 and stalls retirement for one L1 round trip.
+        if (cfg_.security.invisiSpec == InvisiSpecMode::kFuture &&
+            inst->shadowLoad && !inst->validating) {
+            if (!inst->exposed) {
+                hier_.dataFill(inst->effAddr);
+                inst->exposed = true;
+            }
+            inst->validating = true;
+            inst->validateDoneAt =
+                inst->peekLevel == HitLevel::kL1
+                    ? cycle_
+                    : cycle_ + hier_.params().l1d.hitLatency;
+        }
+        if (inst->validating && cycle_ < inst->validateDoneAt)
+            break; // retirement stalled on validation
+
+        // NDA load restriction: a load wakes its dependents iff it is
+        // about to retire (paper §5.3). The wake-up signal from the
+        // retire stage reaches the issue queue one cycle later (there
+        // is no bypass path from commit).
+        inst->unsafeLoad = false;
+        // Defensive: nothing older remains, so branch/bypass unsafety
+        // is moot at the head.
+        inst->unsafeBranch = false;
+        inst->unsafeBypass = false;
+        if (inst->hasDest() && !inst->broadcasted &&
+            !inst->pendingBcast) {
+            inst->pendingBcast = true;
+            inst->bcastEligibleAt = cycle_ +
+                cfg_.core.retireWakeDelay +
+                cfg_.security.extraBroadcastDelay;
+            pendingBcast_.push_back(inst);
+        }
+
+        // Commit actions. A store needs its data register broadcast
+        // before it can drain (split store-data micro-op).
+        if (inst->isStore() && inst->src2 != kInvalidPhysReg &&
+            !regs_.ready(inst->src2)) {
+            break;
+        }
+        if (inst->isStore()) {
+            inst->storeData = regs_.value(inst->src2);
+            mem_.write(inst->effAddr, inst->storeData, inst->uop.size);
+            hier_.dataAccess(inst->effAddr);
+            lsq_.commitStore(*inst);
+            ++counters_.stores;
+        } else if (inst->isLoad()) {
+            lsq_.commitLoad(*inst);
+            ++counters_.loads;
+        }
+
+        if (inst->uop.traits().isCondBranch) {
+            bp_.commitUpdate(inst->uop, inst->pc, inst->actualTaken,
+                             inst->bpCkpt.history);
+            ++counters_.condBranches;
+            if (inst->mispredicted)
+                ++counters_.condMispredicts;
+        } else if (inst->uop.traits().isIndirect) {
+            ++counters_.indirectBranches;
+            if (inst->mispredicted)
+                ++counters_.indirectMispredicts;
+        }
+
+        if (inst->uop.op == Opcode::kFence) {
+            NDA_ASSERT(!fencesInFlight_.empty() &&
+                           fencesInFlight_.front() == inst->seq,
+                       "fence bookkeeping mismatch");
+            fencesInFlight_.pop_front();
+        }
+        if (inst->uop.op == Opcode::kWrMsr) {
+            NDA_ASSERT(!wrmsrInFlight_.empty() &&
+                           wrmsrInFlight_.front() == inst->seq,
+                       "wrmsr bookkeeping mismatch");
+            wrmsrInFlight_.pop_front();
+        }
+
+        // Free the register holding the previous committed value.
+        if (inst->dest != kInvalidPhysReg) {
+            const RegId rd = inst->uop.rd;
+            if (commitMap_[rd] != kInvalidPhysReg)
+                regs_.free(commitMap_[rd]);
+            commitMap_[rd] = inst->dest;
+        }
+
+        inst->committed = true;
+        if (retireHook_)
+            retireHook_(*inst, cycle_);
+        rob_.pop_front();
+        ++ncommit;
+        ++committed_;
+        ++counters_.committedInsts;
+        lastCommitCycle_ = cycle_;
+
+        if (inst->uop.op == Opcode::kHalt) {
+            halted_ = true;
+            break;
+        }
+        if (inst->uop.op == Opcode::kSpecOff ||
+            inst->uop.op == Opcode::kSpecOn) {
+            // Serializing: flush everything younger and refetch it
+            // under the new speculation mode (paper SS8, Listing 4).
+            specDisabled_ = inst->uop.op == Opcode::kSpecOff;
+            squashAfter(inst->seq, inst->pc + 1);
+            break;
+        }
+    }
+    classifyCycle(ncommit);
+}
+
+void
+OooCore::classifyCycle(unsigned committed_now)
+{
+    CycleClass cls;
+    if (committed_now > 0) {
+        cls = CycleClass::kCommit;
+    } else if (rob_.empty()) {
+        cls = CycleClass::kFrontendStall;
+    } else {
+        const DynInstPtr &head = rob_.front();
+        const bool mem_op = head->uop.isMemory() ||
+                            (head->validating &&
+                             cycle_ < head->validateDoneAt);
+        cls = mem_op ? CycleClass::kMemoryStall
+                     : CycleClass::kBackendStall;
+    }
+    ++counters_.cycleClass[static_cast<int>(cls)];
+}
+
+void
+OooCore::raiseFault(const DynInstPtr &inst)
+{
+    // The faulting instruction does not retire; everything from it on
+    // (inclusive) is squashed and fetch redirects to the handler.
+    ++counters_.squashes;
+    const Addr handler = prog_.faultHandler;
+    squashAfter(inst->seq - 1,
+                handler == ~Addr{0} ? 0 : handler);
+    if (handler == ~Addr{0})
+        halted_ = true;
+}
+
+// --------------------------------------------------------------------------
+// Complete / broadcast
+// --------------------------------------------------------------------------
+
+void
+OooCore::completeStage()
+{
+    // Collect this cycle's completion events in age order.
+    std::vector<DynInstPtr> done;
+    auto range_end = completionEvents_.upper_bound(cycle_);
+    for (auto it = completionEvents_.begin(); it != range_end; ++it)
+        done.push_back(it->second);
+    completionEvents_.erase(completionEvents_.begin(), range_end);
+    std::sort(done.begin(), done.end(),
+              [](const DynInstPtr &a, const DynInstPtr &b) {
+                  return a->seq < b->seq;
+              });
+
+    std::vector<DynInstPtr> to_broadcast;
+    for (const DynInstPtr &inst : done) {
+        if (inst->countedMiss) {
+            --outstandingMisses_;
+            inst->countedMiss = false;
+        }
+        if (inst->squashed)
+            continue;
+
+        inst->executed = true;
+        inst->completedAt = cycle_;
+        ++completionsThisCycle_;
+
+        if (inst->isStore()) {
+            inst->effAddrValid = true;
+            // Memory-order violation? (speculative store bypass)
+            if (DynInstPtr victim = lsq_.checkViolations(*inst)) {
+                ++counters_.memOrderViolations;
+                ++counters_.squashes;
+                squashAfter(victim->seq - 1, victim->pc);
+            }
+            // Bypass Restriction: loads that no longer have any
+            // unresolved bypassed store become safe (paper §5.2).
+            for (const DynInstPtr &ld : lsq_.retireBypass(inst->seq)) {
+                if (ld->unsafeBypass) {
+                    ld->unsafeBypass = false;
+                    maybeQueueBroadcast(ld);
+                }
+            }
+        }
+
+        if (inst->squashed)
+            continue; // a violation squash may have taken this one too
+
+        if (inst->uop.op == Opcode::kWrMsr &&
+            inst->fault == FaultType::kNone) {
+            msrs_[static_cast<unsigned>(inst->uop.imm)] =
+                inst->storeData;
+        }
+
+        if (inst->isBranch())
+            resolveBranch(inst);
+
+        if (inst->squashed)
+            continue;
+
+        if (inst->dest != kInvalidPhysReg) {
+            // Write back the value; readiness (the broadcast) is what
+            // NDA defers for unsafe instructions (paper Fig 2).
+            regs_.setValue(inst->dest, inst->result);
+            if (inst->isUnsafe()) {
+                ++counters_.deferredBroadcasts;
+            } else {
+                to_broadcast.push_back(inst);
+            }
+        }
+    }
+
+    // Broadcast-port arbitration: same-cycle completions have
+    // priority over deferred (newly-safe) broadcasts (paper §5.1).
+    unsigned ports = cfg_.core.issueWidth;
+    for (const DynInstPtr &inst : to_broadcast) {
+        if (ports > 0) {
+            broadcast(inst);
+            --ports;
+        } else {
+            inst->pendingBcast = true;
+            inst->bcastEligibleAt = cycle_ + 1;
+            pendingBcast_.push_back(inst);
+        }
+    }
+    std::sort(pendingBcast_.begin(), pendingBcast_.end(),
+              [](const DynInstPtr &a, const DynInstPtr &b) {
+                  return a->seq < b->seq;
+              });
+    std::deque<DynInstPtr> keep;
+    for (const DynInstPtr &inst : pendingBcast_) {
+        // A retired instruction's register may have been freed and
+        // reallocated by the time its deferred retire-wake fires; by
+        // then every consumer has already committed, so the wake is
+        // both unnecessary and unsafe — drop it.
+        const bool reg_reused =
+            inst->committed && commitMap_[inst->uop.rd] != inst->dest;
+        if (inst->squashed || inst->broadcasted || reg_reused) {
+            inst->pendingBcast = false;
+            continue;
+        }
+        if (ports > 0 && cycle_ >= inst->bcastEligibleAt) {
+            inst->pendingBcast = false;
+            broadcast(inst);
+            --ports;
+        } else {
+            keep.push_back(inst);
+        }
+    }
+    pendingBcast_.swap(keep);
+}
+
+void
+OooCore::broadcast(const DynInstPtr &inst)
+{
+    NDA_ASSERT(inst->dest != kInvalidPhysReg, "broadcast without dest");
+    regs_.setReady(inst->dest);
+    inst->broadcasted = true;
+    inst->broadcastedAt = cycle_;
+}
+
+void
+OooCore::maybeQueueBroadcast(const DynInstPtr &inst)
+{
+    if (inst->squashed || inst->isUnsafe() || !inst->executed ||
+        inst->dest == kInvalidPhysReg || inst->broadcasted ||
+        inst->pendingBcast) {
+        return;
+    }
+    inst->pendingBcast = true;
+    inst->bcastEligibleAt = cycle_ + cfg_.security.extraBroadcastDelay;
+    pendingBcast_.push_back(inst);
+}
+
+// --------------------------------------------------------------------------
+// Branch resolution / squash
+// --------------------------------------------------------------------------
+
+void
+OooCore::resolveBranch(const DynInstPtr &inst)
+{
+    const OpTraits &t = inst->uop.traits();
+
+    // Speculative BTB update at execution; never reverted on squash.
+    // This is the covert channel demonstrated in paper §3.
+    if (t.isIndirect && !t.isReturn)
+        bp_.btbUpdate(inst->pc, inst->actualNextPc);
+
+    // Squash *before* marking this branch resolved: the resolve walk
+    // clears unsafe bits and exposes InvisiSpec shadow loads, and must
+    // never touch the wrong-path instructions being discarded.
+    inst->mispredicted = inst->actualNextPc != inst->predNextPc;
+    if (inst->mispredicted) {
+        ++counters_.squashes;
+        squashAfter(inst->seq, inst->actualNextPc);
+        // Recover predictor state to just before this branch, then
+        // apply its actual outcome.
+        bp_.restore(inst->bpCkpt);
+        bp_.applyResolved(inst->uop, inst->pc, inst->actualTaken,
+                          inst->actualNextPc);
+    }
+
+    if (inst->isSpecBranch())
+        branchResolved(inst->seq);
+}
+
+void
+OooCore::branchResolved(InstSeqNum seq)
+{
+    const bool was_front =
+        !unresolvedBranches_.empty() && unresolvedBranches_.front() == seq;
+    auto it = std::find(unresolvedBranches_.begin(),
+                        unresolvedBranches_.end(), seq);
+    if (it != unresolvedBranches_.end())
+        unresolvedBranches_.erase(it);
+    if (was_front)
+        ndaClearWalk();
+}
+
+void
+OooCore::ndaClearWalk()
+{
+    const InstSeqNum boundary = unresolvedBranches_.empty()
+                                    ? kInvalidSeqNum
+                                    : unresolvedBranches_.front();
+    // IS-Spectre exposes (fills) once no older branch can squash the
+    // load. IS-Future must wait until retirement: older *faults* can
+    // still squash, so exposing here would leak chosen-code accesses.
+    const bool expose =
+        cfg_.security.invisiSpec == InvisiSpecMode::kSpectre;
+    for (const DynInstPtr &inst : rob_) {
+        if (inst->seq >= boundary)
+            break;
+        if (inst->unsafeBranch) {
+            inst->unsafeBranch = false;
+            maybeQueueBroadcast(inst);
+        }
+        if (expose && inst->shadowLoad && !inst->exposed &&
+            inst->effAddrValid) {
+            hier_.dataFill(inst->effAddr);
+            inst->exposed = true;
+        }
+    }
+}
+
+void
+OooCore::squashAfter(InstSeqNum keep_seq, Addr redirect_pc)
+{
+    // Restore front-end speculative predictor state youngest-first.
+    for (auto it = fetchQueue_.rbegin(); it != fetchQueue_.rend(); ++it) {
+        if ((*it)->isBranch())
+            bp_.restore((*it)->bpCkpt);
+    }
+    fetchQueue_.clear();
+
+    bool unresolved_changed = false;
+    while (!rob_.empty() && rob_.back()->seq > keep_seq) {
+        DynInstPtr inst = rob_.back();
+        inst->squashed = true;
+        if (retireHook_)
+            retireHook_(*inst, cycle_);
+        if (inst->dest != kInvalidPhysReg) {
+            rmap_.restore(inst->uop.rd, inst->prevDest);
+            regs_.free(inst->dest);
+        }
+        if (inst->isBranch())
+            bp_.restore(inst->bpCkpt);
+        if (inst->isSpecBranch()) {
+            auto it = std::find(unresolvedBranches_.begin(),
+                                unresolvedBranches_.end(), inst->seq);
+            if (it != unresolvedBranches_.end()) {
+                unresolved_changed = unresolved_changed ||
+                    it == unresolvedBranches_.begin();
+                unresolvedBranches_.erase(it);
+            }
+        }
+        if (inst->uop.op == Opcode::kFence) {
+            auto it = std::find(fencesInFlight_.begin(),
+                                fencesInFlight_.end(), inst->seq);
+            if (it != fencesInFlight_.end())
+                fencesInFlight_.erase(it);
+        }
+        if (inst->uop.op == Opcode::kWrMsr) {
+            auto it = std::find(wrmsrInFlight_.begin(),
+                                wrmsrInFlight_.end(), inst->seq);
+            if (it != wrmsrInFlight_.end())
+                wrmsrInFlight_.erase(it);
+        }
+        rob_.pop_back();
+    }
+    lsq_.squashYoungerThan(keep_seq);
+    iq_.removeSquashed();
+
+    // Redirect fetch.
+    fetchPc_ = redirect_pc;
+    fetchBlocked_ = false;
+    lastFetchLine_ = ~Addr{0};
+
+    if (unresolved_changed)
+        ndaClearWalk();
+}
+
+// --------------------------------------------------------------------------
+// Issue / execute
+// --------------------------------------------------------------------------
+
+bool
+OooCore::hasOlderUnresolvedBranch(InstSeqNum seq) const
+{
+    return !unresolvedBranches_.empty() &&
+           unresolvedBranches_.front() < seq;
+}
+
+bool
+OooCore::hasOlderWrmsr(InstSeqNum seq) const
+{
+    return !wrmsrInFlight_.empty() && wrmsrInFlight_.front() < seq;
+}
+
+void
+OooCore::issueStage()
+{
+    unsigned issued = 0;
+    unsigned mem_issued = 0;
+    iq_.selectReady(regs_, [&](const DynInstPtr &inst) -> bool {
+        if (issued >= cfg_.core.issueWidth)
+            return false;
+        const OpTraits &t = inst->uop.traits();
+        // lfence-like semantics: younger ops wait for fence retire.
+        if (!fencesInFlight_.empty() &&
+            fencesInFlight_.front() < inst->seq) {
+            return false;
+        }
+        if (t.serializeAtHead &&
+            (rob_.empty() || rob_.front() != inst)) {
+            return false;
+        }
+        if (inst->uop.op == Opcode::kRdMsr && hasOlderWrmsr(inst->seq))
+            return false;
+        if (inst->uop.isMemory() && mem_issued >= cfg_.core.memPorts)
+            return false;
+
+        bool rejected = false;
+        executeInst(inst, mem_issued, rejected);
+        if (rejected)
+            return false;
+        ++issued;
+        inst->issued = true;
+        inst->issuedAt = cycle_;
+        counters_.dispatchToIssue.add(cycle_ - inst->dispatchedAt);
+        return true;
+    });
+}
+
+void
+OooCore::executeInst(const DynInstPtr &inst, unsigned &mem_issued,
+                     bool &rejected)
+{
+    const MicroOp &uop = inst->uop;
+    const OpTraits &t = uop.traits();
+    const RegVal a = t.readsRs1 ? srcValue(inst->src1) : 0;
+    const RegVal b = t.readsRs2 ? srcValue(inst->src2) : 0;
+
+    rejected = false;
+
+    if (t.isBranch) {
+        if (t.hasDest)
+            inst->result = inst->pc + 1; // link value
+        if (t.isCondBranch)
+            inst->actualTaken = evalCondBranch(uop.op, a, b);
+        else
+            inst->actualTaken = true;
+        inst->actualNextPc = evalNextPc(uop, inst->pc, a, b);
+        scheduleCompletion(inst, 1);
+        return;
+    }
+
+    switch (uop.op) {
+      case Opcode::kLoad:
+        if (!executeLoad(inst)) {
+            rejected = true;
+            return;
+        }
+        ++mem_issued;
+        return;
+      case Opcode::kStore: {
+        // Address phase only (split store micro-ops): the data
+        // register is read at commit, once its producer broadcast.
+        inst->effAddr = a + static_cast<Addr>(uop.imm);
+        if (!mem_.accessAllowed(inst->effAddr, uop.size, CpuMode::kUser))
+            inst->fault = FaultType::kPrivilegedStore;
+        ++mem_issued;
+        scheduleCompletion(inst, 1); // address resolution
+        return;
+      }
+      case Opcode::kClflush: {
+        const Addr addr = a + static_cast<Addr>(uop.imm);
+        hier_.flushLine(addr);
+        scheduleCompletion(inst, 1);
+        return;
+      }
+      case Opcode::kPrefetch: {
+        const Addr addr = a + static_cast<Addr>(uop.imm);
+        hier_.dataAccess(addr);
+        scheduleCompletion(inst, 1);
+        return;
+      }
+      case Opcode::kRdMsr: {
+        const unsigned idx = static_cast<unsigned>(uop.imm);
+        const bool privileged =
+            prog_.privilegedMsrMask & (1u << idx);
+        if (privileged) {
+            inst->fault = FaultType::kPrivilegedMsr;
+            // The Meltdown-class implementation flaw: the value still
+            // propagates speculatively (paper §4.3 / LazyFP).
+            inst->result = cfg_.security.meltdownFlaw ? msrs_[idx] : 0;
+        } else {
+            inst->result = msrs_[idx];
+        }
+        scheduleCompletion(inst, 1);
+        return;
+      }
+      case Opcode::kWrMsr: {
+        const unsigned idx = static_cast<unsigned>(uop.imm);
+        if (prog_.privilegedMsrMask & (1u << idx))
+            inst->fault = FaultType::kPrivilegedMsr;
+        inst->storeData = a; // applied at completion
+        scheduleCompletion(inst, 1);
+        return;
+      }
+      case Opcode::kRdTsc:
+        inst->result = cycle_;
+        scheduleCompletion(inst, 1);
+        return;
+      case Opcode::kFence:
+      case Opcode::kSpecOff:
+      case Opcode::kSpecOn:
+        scheduleCompletion(inst, 1);
+        return;
+      default:
+        inst->result = evalAlu(uop.op, a, b, uop.imm);
+        scheduleCompletion(inst, opLatencyCycles(uop.op));
+        return;
+    }
+}
+
+bool
+OooCore::executeLoad(const DynInstPtr &inst)
+{
+    const MicroOp &uop = inst->uop;
+    const RegVal base = srcValue(inst->src1);
+    const Addr addr = base + static_cast<Addr>(uop.imm);
+
+    const StoreSearchResult search =
+        lsq_.searchStores(inst->seq, addr, uop.size, regs_);
+    if (search.mustStall)
+        return false; // partial overlap: retry next cycle
+
+    inst->effAddr = addr;
+    inst->effAddrValid = true;
+    inst->bypassedStores = search.bypassedStores;
+
+    // Permission check (Meltdown substrate).
+    const bool allowed =
+        mem_.accessAllowed(addr, uop.size, CpuMode::kUser);
+    if (!allowed)
+        inst->fault = FaultType::kPrivilegedLoad;
+
+    unsigned latency;
+    if (search.forward) {
+        inst->forwarded = true;
+        inst->result = search.value;
+        inst->hitLevel = HitLevel::kL1;
+        latency = hier_.params().l1d.hitLatency;
+    } else {
+        RegVal data = mem_.read(addr, uop.size);
+        if (!allowed && !cfg_.security.meltdownFlaw)
+            data = 0; // fixed hardware: no forwarding of faulting data
+        inst->result = data;
+
+        // InvisiSpec: speculative loads access the hierarchy
+        // invisibly (no fills / LRU updates).
+        bool shadow = false;
+        switch (cfg_.security.invisiSpec) {
+          case InvisiSpecMode::kOff:
+            break;
+          case InvisiSpecMode::kSpectre:
+            shadow = hasOlderUnresolvedBranch(inst->seq);
+            break;
+          case InvisiSpecMode::kFuture:
+            shadow = rob_.empty() || rob_.front() != inst;
+            break;
+        }
+        AccessResult res;
+        if (shadow) {
+            res = hier_.dataPeek(addr);
+            inst->shadowLoad = true;
+            inst->peekLevel = res.level;
+        } else {
+            res = hier_.dataAccess(addr);
+        }
+        inst->hitLevel = res.level;
+        latency = res.latency;
+        if (res.offChip()) {
+            ++outstandingMisses_;
+            inst->countedMiss = true;
+        }
+    }
+
+    // NDA Bypass Restriction (paper §5.2): the load stays unsafe
+    // until every bypassed store resolves its address.
+    if (cfg_.security.bypassRestriction &&
+        !inst->bypassedStores.empty()) {
+        inst->unsafeBypass = true;
+        inst->everUnsafe = true;
+    }
+
+    scheduleCompletion(inst, latency);
+    return true;
+}
+
+void
+OooCore::scheduleCompletion(const DynInstPtr &inst, unsigned latency)
+{
+    completionEvents_.emplace(cycle_ + std::max(1u, latency), inst);
+}
+
+// --------------------------------------------------------------------------
+// Dispatch / rename
+// --------------------------------------------------------------------------
+
+void
+OooCore::dispatchStage()
+{
+    for (unsigned n = 0; n < cfg_.core.dispatchWidth; ++n) {
+        if (fetchQueue_.empty())
+            break;
+        DynInstPtr inst = fetchQueue_.front();
+        if (cycle_ < inst->fetchedAt + cfg_.core.frontendDelay)
+            break;
+        if (rob_.size() >= cfg_.core.robEntries || iq_.full())
+            break;
+        if (inst->isLoad() && lsq_.lqFull())
+            break;
+        if (inst->isStore() && lsq_.sqFull())
+            break;
+        if (inst->uop.traits().hasDest && !regs_.hasFree())
+            break;
+        fetchQueue_.pop_front();
+
+        inst->seq = ++nextSeq_;
+        inst->dispatchedAt = cycle_;
+
+        const OpTraits &t = inst->uop.traits();
+        if (t.readsRs1)
+            inst->src1 = rmap_.lookup(inst->uop.rs1);
+        if (t.readsRs2)
+            inst->src2 = rmap_.lookup(inst->uop.rs2);
+        if (t.hasDest) {
+            inst->dest = regs_.alloc();
+            inst->prevDest = rmap_.rename(inst->uop.rd, inst->dest);
+        }
+
+        // NDA unsafe marking at dispatch (paper §5.1/§5.2/§5.3).
+        if (!unresolvedBranches_.empty() &&
+            cfg_.security.marksUnsafeUnderBranch(inst->uop)) {
+            inst->unsafeBranch = true;
+        }
+        if (cfg_.security.loadRestriction && inst->isLoadLike())
+            inst->unsafeLoad = true;
+        if (inst->isUnsafe()) {
+            inst->everUnsafe = true;
+            ++counters_.unsafeMarked;
+        }
+
+        if (inst->isSpecBranch())
+            unresolvedBranches_.push_back(inst->seq);
+        if (inst->uop.op == Opcode::kFence)
+            fencesInFlight_.push_back(inst->seq);
+        if (inst->uop.op == Opcode::kWrMsr)
+            wrmsrInFlight_.push_back(inst->seq);
+
+        rob_.push_back(inst);
+        if (inst->isLoad())
+            lsq_.insertLoad(inst);
+        if (inst->isStore())
+            lsq_.insertStore(inst);
+
+        if (inst->uop.op == Opcode::kNop ||
+            inst->uop.op == Opcode::kHalt) {
+            inst->issued = true;
+            inst->executed = true;
+            inst->completedAt = cycle_;
+        } else {
+            iq_.insert(inst);
+        }
+    }
+}
+
+// --------------------------------------------------------------------------
+// Fetch
+// --------------------------------------------------------------------------
+
+void
+OooCore::fetchStage()
+{
+    if (fetchBlocked_ || halted_ || cycle_ < icacheStallUntil_)
+        return;
+
+    for (unsigned n = 0; n < cfg_.core.fetchWidth; ++n) {
+        if (fetchQueue_.size() >= cfg_.core.fetchQueueEntries)
+            break;
+        if (!prog_.validPc(fetchPc_)) {
+            // Wrong-path fetch ran off the program: models dispatch
+            // stalling on an unknown opcode until squash redirects.
+            fetchBlocked_ = true;
+            break;
+        }
+
+        const Addr fetch_addr = pcToFetchAddr(fetchPc_);
+        const Addr line = fetch_addr / kLineSize;
+        if (line != lastFetchLine_) {
+            const AccessResult res = hier_.instAccess(fetch_addr);
+            lastFetchLine_ = line;
+            if (res.level != HitLevel::kL1) {
+                icacheStallUntil_ = cycle_ + res.latency;
+                break;
+            }
+        }
+
+        auto inst = std::make_shared<DynInst>();
+        inst->uop = prog_.at(fetchPc_);
+        inst->pc = fetchPc_;
+        inst->fetchedAt = cycle_;
+
+        Addr next = fetchPc_ + 1;
+        if (inst->uop.isBranch()) {
+            if (specDisabled_ && inst->uop.isSpeculativeBranch()) {
+                // Speculation-off window (paper SS8, Listing 4): do
+                // not predict; fetch stalls until the branch resolves
+                // and redirects (the sentinel never matches).
+                inst->bpCkpt = bp_.capture();
+                inst->predNextPc = ~Addr{0};
+                fetchQueue_.push_back(inst);
+                fetchBlocked_ = true;
+                break;
+            }
+            const BranchPrediction pred =
+                bp_.predict(inst->uop, fetchPc_);
+            inst->predTaken = pred.taken;
+            inst->fromBtb = pred.fromBtb;
+            inst->btbMiss = pred.btbMiss;
+            inst->bpCkpt = pred.ckpt;
+            next = pred.nextPc;
+        }
+        inst->predNextPc = next;
+        fetchQueue_.push_back(inst);
+
+        if (inst->uop.op == Opcode::kHalt) {
+            fetchBlocked_ = true;
+            break;
+        }
+        const bool redirected = next != fetchPc_ + 1;
+        fetchPc_ = next;
+        if (redirected)
+            break; // at most one taken control transfer per cycle
+    }
+}
+
+} // namespace nda

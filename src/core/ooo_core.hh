@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Cycle-level out-of-order core with genuine wrong-path execution,
+ * physical-register renaming, an issue queue woken by tag broadcast,
+ * a load/store queue with speculative store bypass, and the NDA
+ * safety unit (paper §5) plus the InvisiSpec comparison model.
+ *
+ * Stage order within a cycle (commit-first so broadcasts in cycle C
+ * allow dependent issue in cycle C):
+ *   commit -> complete/broadcast -> issue -> dispatch/rename -> fetch
+ */
+
+#ifndef NDASIM_CORE_OOO_CORE_HH
+#define NDASIM_CORE_OOO_CORE_HH
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "branch/predictor_unit.hh"
+#include "core/core_base.hh"
+#include "core/core_config.hh"
+#include "core/dyn_inst.hh"
+#include "core/issue_queue.hh"
+#include "core/lsq.hh"
+#include "core/phys_reg_file.hh"
+#include "core/rename_map.hh"
+#include "isa/program.hh"
+
+namespace nda {
+
+/** The out-of-order core model. */
+class OooCore : public CoreBase
+{
+  public:
+    /** The core keeps its own copy of `prog`. */
+    OooCore(Program prog, const SimConfig &cfg);
+
+    void tick() override;
+    void run(std::uint64_t max_insts, Cycle max_cycles) override;
+
+    bool halted() const override { return halted_; }
+    Cycle cycle() const override { return cycle_; }
+    std::uint64_t committedInsts() const override { return committed_; }
+
+    RegVal archReg(RegId r) const override;
+    RegVal msr(unsigned idx) const override { return msrs_[idx]; }
+
+    MemoryMap &mem() override { return mem_; }
+    const MemoryMap &mem() const override { return mem_; }
+    MemHierarchy &hierarchy() override { return hier_; }
+
+    PerfCounters &counters() override { return counters_; }
+    const PerfCounters &counters() const override { return counters_; }
+    void resetCounters() override { counters_.reset(); }
+
+    // --- introspection for tests & the ROB-snapshot example -------------
+    const std::deque<DynInstPtr> &rob() const { return rob_; }
+    PredictorUnit &predictor() { return bp_; }
+    const SimConfig &config() const { return cfg_; }
+    std::size_t fetchQueueSize() const { return fetchQueue_.size(); }
+
+    /**
+     * Install a callback invoked once per dynamic instruction when it
+     * leaves the machine (at commit, or when squashed), with the
+     * current cycle. Used by debug::PipeTrace.
+     */
+    void
+    setRetireHook(std::function<void(const DynInst &, Cycle)> hook)
+    {
+        retireHook_ = std::move(hook);
+    }
+
+  private:
+    // --- pipeline stages -------------------------------------------------
+    void commitStage();
+    void completeStage();
+    void issueStage();
+    void dispatchStage();
+    void fetchStage();
+
+    // --- helpers ----------------------------------------------------------
+    bool tryIssue(const DynInstPtr &inst, unsigned &mem_issued);
+    void executeInst(const DynInstPtr &inst, unsigned &mem_issued,
+                     bool &rejected);
+    bool executeLoad(const DynInstPtr &inst);
+    void resolveBranch(const DynInstPtr &inst);
+    void scheduleCompletion(const DynInstPtr &inst, unsigned latency);
+
+    /** Broadcast the tag: mark dest ready so dependents can wake. */
+    void broadcast(const DynInstPtr &inst);
+    /** Queue a newly-safe completed instruction for broadcast. */
+    void maybeQueueBroadcast(const DynInstPtr &inst);
+
+    /** Squash all instructions with seq > `keep_seq`; redirect fetch. */
+    void squashAfter(InstSeqNum keep_seq, Addr redirect_pc);
+    void raiseFault(const DynInstPtr &inst);
+
+    /** Remove a resolved/squashed branch from the unresolved list. */
+    void branchResolved(InstSeqNum seq);
+    /**
+     * Paper §5.1: when the eldest unresolved branch changes, clear
+     * `unsafe` on older ROB entries and queue their deferred
+     * broadcasts; also exposes InvisiSpec-Spectre shadow loads.
+     */
+    void ndaClearWalk();
+
+    bool hasOlderUnresolvedBranch(InstSeqNum seq) const;
+    bool hasOlderWrmsr(InstSeqNum seq) const;
+
+    RegVal srcValue(PhysRegId r) const
+    {
+        return r == kInvalidPhysReg ? 0 : regs_.value(r);
+    }
+
+    void classifyCycle(unsigned committed_now);
+
+    // --- configuration / program -----------------------------------------
+    const Program prog_;
+    SimConfig cfg_;
+
+    // --- architectural + micro-architectural state ------------------------
+    MemoryMap mem_;
+    MemHierarchy hier_;
+    PredictorUnit bp_;
+    PhysRegFile regs_;
+    RenameMap rmap_;
+    IssueQueue iq_;
+    Lsq lsq_;
+    RegVal msrs_[kNumMsrRegs] = {};
+
+    std::deque<DynInstPtr> rob_;
+    /** Committed arch reg -> phys reg holding the committed value. */
+    PhysRegId commitMap_[kNumArchRegs] = {};
+
+    // --- front end ---------------------------------------------------------
+    std::deque<DynInstPtr> fetchQueue_;
+    Addr fetchPc_ = 0;
+    bool fetchBlocked_ = false;
+    Cycle icacheStallUntil_ = 0;
+    Addr lastFetchLine_ = ~Addr{0};
+
+    // --- events -------------------------------------------------------------
+    std::multimap<Cycle, DynInstPtr> completionEvents_;
+
+    // --- NDA / ordering bookkeeping ----------------------------------------
+    std::deque<InstSeqNum> unresolvedBranches_;
+    std::deque<DynInstPtr> pendingBcast_;
+    std::deque<InstSeqNum> fencesInFlight_;
+    std::deque<InstSeqNum> wrmsrInFlight_;
+
+    // --- misc state -----------------------------------------------------------
+    InstSeqNum nextSeq_ = 0;
+    Cycle cycle_ = 0;
+    std::uint64_t commitTarget_ = ~std::uint64_t{0};
+    std::uint64_t committed_ = 0;
+    bool halted_ = false;
+    bool specDisabled_ = false; ///< inside a specoff window (SS8)
+    int outstandingMisses_ = 0;
+    unsigned completionsThisCycle_ = 0;
+    Cycle lastCommitCycle_ = 0;
+    std::function<void(const DynInst &, Cycle)> retireHook_;
+
+    PerfCounters counters_;
+};
+
+} // namespace nda
+
+#endif // NDASIM_CORE_OOO_CORE_HH

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Performance counters for the evaluation figures: CPI, the Fig 9a
+ * commit-cycle breakdown, MLP/ILP (Fig 9b/9c, following Chou et al.),
+ * and dispatch-to-issue latency (Fig 9d). Supports window reset so
+ * the SMARTS-style harness can warm up and then measure.
+ */
+
+#ifndef NDASIM_CORE_PERF_COUNTERS_HH
+#define NDASIM_CORE_PERF_COUNTERS_HH
+
+#include <cstdint>
+
+#include "common/histogram.hh"
+#include "common/types.hh"
+
+namespace nda {
+
+/** Classification of each simulated cycle (Fig 9a). */
+enum class CycleClass : std::uint8_t {
+    kCommit = 0,     ///< >=1 instruction retired this cycle
+    kMemoryStall,    ///< ROB head is an incomplete memory op
+    kBackendStall,   ///< ROB head is an incomplete non-memory op
+    kFrontendStall,  ///< ROB empty or squash recovery in progress
+    kNumClasses,
+};
+
+/** Aggregated core statistics over a measurement window. */
+struct PerfCounters {
+    Cycle cycles = 0;
+    std::uint64_t committedInsts = 0;
+    std::uint64_t cycleClass[static_cast<int>(CycleClass::kNumClasses)] =
+        {};
+
+    // Branches
+    std::uint64_t condBranches = 0;
+    std::uint64_t condMispredicts = 0;
+    std::uint64_t indirectBranches = 0;
+    std::uint64_t indirectMispredicts = 0;
+    std::uint64_t squashes = 0;
+    std::uint64_t memOrderViolations = 0;
+
+    // Memory
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+
+    // MLP (Chou et al.): average outstanding off-chip misses over
+    // cycles with at least one outstanding.
+    std::uint64_t mlpCycles = 0;      ///< cycles with >=1 outstanding
+    std::uint64_t mlpAccum = 0;       ///< sum of outstanding counts
+
+    // ILP: completions per cycle over cycles with >=1 completion.
+    std::uint64_t ilpCycles = 0;
+    std::uint64_t ilpAccum = 0;
+
+    // NDA instrumentation
+    std::uint64_t deferredBroadcasts = 0; ///< broadcasts NDA delayed
+    std::uint64_t unsafeMarked = 0;       ///< insts marked unsafe
+
+    Histogram dispatchToIssue{192};
+
+    double
+    cpi() const
+    {
+        return committedInsts
+                   ? static_cast<double>(cycles) /
+                         static_cast<double>(committedInsts)
+                   : 0.0;
+    }
+
+    double
+    ipc() const
+    {
+        return cycles ? static_cast<double>(committedInsts) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+    }
+
+    double
+    mlp() const
+    {
+        return mlpCycles ? static_cast<double>(mlpAccum) /
+                               static_cast<double>(mlpCycles)
+                         : 0.0;
+    }
+
+    double
+    ilp() const
+    {
+        return ilpCycles ? static_cast<double>(ilpAccum) /
+                               static_cast<double>(ilpCycles)
+                         : 0.0;
+    }
+
+    double
+    cycleFraction(CycleClass c) const
+    {
+        return cycles ? static_cast<double>(
+                            cycleClass[static_cast<int>(c)]) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+    }
+
+    double
+    condMispredictRate() const
+    {
+        return condBranches ? static_cast<double>(condMispredicts) /
+                                  static_cast<double>(condBranches)
+                            : 0.0;
+    }
+
+    /** Zero every counter (start of a measurement window). */
+    void reset();
+};
+
+} // namespace nda
+
+#endif // NDASIM_CORE_PERF_COUNTERS_HH

@@ -1,0 +1,45 @@
+#include "core/phys_reg_file.hh"
+
+#include "common/log.hh"
+
+namespace nda {
+
+PhysRegFile::PhysRegFile(unsigned num_regs)
+    : values_(num_regs, 0), ready_(num_regs, false)
+{
+    freeList_.reserve(num_regs);
+}
+
+PhysRegId
+PhysRegFile::alloc()
+{
+    NDA_ASSERT(!freeList_.empty(), "physical register file exhausted");
+    const PhysRegId r = freeList_.back();
+    freeList_.pop_back();
+    ready_[r] = false;
+    return r;
+}
+
+void
+PhysRegFile::free(PhysRegId r)
+{
+    NDA_ASSERT(r < values_.size(), "freeing bogus phys reg %u", r);
+    freeList_.push_back(r);
+}
+
+void
+PhysRegFile::reset(unsigned reserved)
+{
+    freeList_.clear();
+    for (unsigned r = 0; r < values_.size(); ++r) {
+        values_[r] = 0;
+        ready_[r] = r < reserved;
+    }
+    // Push high registers first so low ids allocate first (stable tests).
+    for (unsigned r = static_cast<unsigned>(values_.size()); r > reserved;
+         --r) {
+        freeList_.push_back(static_cast<PhysRegId>(r - 1));
+    }
+}
+
+} // namespace nda

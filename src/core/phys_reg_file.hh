@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Physical register file with per-register ready bits and a free list.
+ *
+ * The ready bit is the heart of NDA: an unsafe completing instruction
+ * writes its value here but does NOT set ready, so dependents in the
+ * issue queue cannot wake (paper §5.1, Fig 2 step 3 -> 4).
+ */
+
+#ifndef NDASIM_CORE_PHYS_REG_FILE_HH
+#define NDASIM_CORE_PHYS_REG_FILE_HH
+
+#include <vector>
+
+#include "common/types.hh"
+
+namespace nda {
+
+/** Physical integer register file + free list. */
+class PhysRegFile
+{
+  public:
+    explicit PhysRegFile(unsigned num_regs);
+
+    /** Allocate a free register; panics if exhausted (caller checks). */
+    PhysRegId alloc();
+
+    /** Return a register to the free list. */
+    void free(PhysRegId r);
+
+    bool hasFree() const { return !freeList_.empty(); }
+    std::size_t numFree() const { return freeList_.size(); }
+
+    RegVal value(PhysRegId r) const { return values_[r]; }
+    void setValue(PhysRegId r, RegVal v) { values_[r] = v; }
+
+    bool ready(PhysRegId r) const { return ready_[r]; }
+    void setReady(PhysRegId r) { ready_[r] = true; }
+    void clearReady(PhysRegId r) { ready_[r] = false; }
+
+    /** Reset all registers to not-ready and rebuild the free list,
+     *  keeping the first `reserved` registers allocated and ready
+     *  (the initial architectural mappings). */
+    void reset(unsigned reserved);
+
+    unsigned size() const { return static_cast<unsigned>(values_.size()); }
+
+  private:
+    std::vector<RegVal> values_;
+    std::vector<bool> ready_;
+    std::vector<PhysRegId> freeList_;
+};
+
+} // namespace nda
+
+#endif // NDASIM_CORE_PHYS_REG_FILE_HH

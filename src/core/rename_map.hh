@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Architectural-to-physical register rename map. Squash recovery is
+ * done by walking squashed ROB entries youngest-first and restoring
+ * each entry's previous mapping (R10000-style, paper §5 baseline).
+ */
+
+#ifndef NDASIM_CORE_RENAME_MAP_HH
+#define NDASIM_CORE_RENAME_MAP_HH
+
+#include <array>
+
+#include "common/types.hh"
+
+namespace nda {
+
+/** Speculative rename table for the architectural integer registers. */
+class RenameMap
+{
+  public:
+    RenameMap() { reset(); }
+
+    /** Identity-map arch reg i -> phys reg i. */
+    void
+    reset()
+    {
+        for (unsigned i = 0; i < kNumArchRegs; ++i)
+            map_[i] = static_cast<PhysRegId>(i);
+    }
+
+    PhysRegId lookup(RegId arch) const { return map_[arch]; }
+
+    /**
+     * Point `arch` at `phys`.
+     * @return the previous mapping (recorded as prevDest for recovery).
+     */
+    PhysRegId
+    rename(RegId arch, PhysRegId phys)
+    {
+        const PhysRegId prev = map_[arch];
+        map_[arch] = phys;
+        return prev;
+    }
+
+    /** Undo a rename during squash recovery. */
+    void restore(RegId arch, PhysRegId prev) { map_[arch] = prev; }
+
+  private:
+    std::array<PhysRegId, kNumArchRegs> map_{};
+};
+
+} // namespace nda
+
+#endif // NDASIM_CORE_RENAME_MAP_HH

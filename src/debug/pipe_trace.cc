@@ -1,0 +1,114 @@
+#include "debug/pipe_trace.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace nda {
+
+PipeTrace::PipeTrace(std::size_t max_records)
+    : maxRecords_(max_records)
+{
+    records_.reserve(std::min<std::size_t>(max_records, 4096));
+}
+
+std::function<void(const DynInst &, Cycle)>
+PipeTrace::hook()
+{
+    return [this](const DynInst &inst, Cycle now) {
+        if (records_.size() >= maxRecords_)
+            records_.erase(records_.begin());
+        InstTraceRecord rec;
+        rec.seq = inst.seq;
+        rec.pc = inst.pc;
+        rec.disasm = inst.uop.disasm();
+        rec.fetched = inst.fetchedAt;
+        rec.dispatched = inst.dispatchedAt;
+        rec.issued = inst.issuedAt;
+        rec.completed = inst.completedAt;
+        rec.broadcasted = inst.broadcastedAt;
+        rec.retired = now;
+        rec.squashed = inst.squashed;
+        rec.wasUnsafe = inst.everUnsafe;
+        rec.mispredicted = inst.mispredicted;
+        records_.push_back(std::move(rec));
+    };
+}
+
+std::vector<InstTraceRecord>
+PipeTrace::committedRecords() const
+{
+    std::vector<InstTraceRecord> out;
+    for (const auto &r : records_) {
+        if (!r.squashed)
+            out.push_back(r);
+    }
+    return out;
+}
+
+std::string
+PipeTrace::render(std::size_t first, std::size_t count,
+                  unsigned width) const
+{
+    if (records_.empty() || first >= records_.size())
+        return "(no trace records)\n";
+    const std::size_t last =
+        std::min(records_.size(), first + count);
+
+    Cycle lo = ~Cycle{0}, hi = 0;
+    for (std::size_t i = first; i < last; ++i) {
+        lo = std::min(lo, records_[i].fetched);
+        hi = std::max(hi, records_[i].retired);
+    }
+    if (hi <= lo)
+        hi = lo + 1;
+    const double scale =
+        static_cast<double>(width - 1) / static_cast<double>(hi - lo);
+    auto col = [&](Cycle c) -> unsigned {
+        if (c < lo)
+            return 0;
+        return static_cast<unsigned>(
+            static_cast<double>(c - lo) * scale);
+    };
+
+    std::string out;
+    char hdr[128];
+    std::snprintf(hdr, sizeof(hdr),
+                  "cycles %llu..%llu   "
+                  "(f=fetch d=dispatch i=issue c=complete "
+                  "b=broadcast r=retire x=squash)\n",
+                  static_cast<unsigned long long>(lo),
+                  static_cast<unsigned long long>(hi));
+    out += hdr;
+    for (std::size_t i = first; i < last; ++i) {
+        const InstTraceRecord &r = records_[i];
+        std::string lane(width, '.');
+        auto put = [&](Cycle c, char ch) {
+            if (c == 0 && ch != 'f')
+                return;
+            lane[col(c)] = ch;
+        };
+        put(r.fetched, 'f');
+        put(r.dispatched, 'd');
+        if (r.issued >= r.dispatched && r.issued > 0) {
+            put(r.issued, 'i');
+            for (unsigned k = col(r.issued) + 1;
+                 r.completed > r.issued && k < col(r.completed); ++k) {
+                lane[k] = '=';
+            }
+            put(r.completed, 'c');
+        }
+        put(r.broadcasted, 'b');
+        put(r.retired, r.squashed ? 'x' : 'r');
+
+        char buf[192];
+        std::snprintf(buf, sizeof(buf), "%6llu %-26.26s %s%s%s\n",
+                      static_cast<unsigned long long>(r.seq),
+                      r.disasm.c_str(), lane.c_str(),
+                      r.wasUnsafe ? "  U" : "",
+                      r.mispredicted ? "  MISP" : "");
+        out += buf;
+    }
+    return out;
+}
+
+} // namespace nda

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Pipeline tracing: records the per-instruction event timeline
+ * (fetch, dispatch, issue, complete, broadcast, retire/squash) from a
+ * core run and renders it as a gem5-O3-pipeview-style waterfall.
+ * This is the tool used to *see* NDA at work: under strict
+ * propagation the gap between an instruction's `complete` and
+ * `broadcast` columns is the deferred wake-up (paper Fig 2).
+ */
+
+#ifndef NDASIM_DEBUG_PIPE_TRACE_HH
+#define NDASIM_DEBUG_PIPE_TRACE_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "core/dyn_inst.hh"
+
+namespace nda {
+
+/** One traced dynamic instruction. */
+struct InstTraceRecord {
+    InstSeqNum seq = 0;
+    Addr pc = 0;
+    std::string disasm;
+    Cycle fetched = 0;
+    Cycle dispatched = 0;
+    Cycle issued = 0;
+    Cycle completed = 0;
+    Cycle broadcasted = 0;   ///< 0 if never broadcast
+    Cycle retired = 0;       ///< commit or squash cycle
+    bool squashed = false;
+    bool wasUnsafe = false;  ///< was NDA-unsafe at some point
+    bool mispredicted = false;
+};
+
+/**
+ * Collects instruction timelines via OooCore's retire hook.
+ *
+ *   PipeTrace trace;
+ *   core.setRetireHook(trace.hook());
+ *   core.run(...);
+ *   std::puts(trace.render().c_str());
+ */
+class PipeTrace
+{
+  public:
+    /** Limit on retained records (oldest dropped beyond this). */
+    explicit PipeTrace(std::size_t max_records = 4096);
+
+    /** The callback to install on the core. */
+    std::function<void(const DynInst &, Cycle)> hook();
+
+    const std::vector<InstTraceRecord> &records() const
+    {
+        return records_;
+    }
+
+    /** Records for committed instructions only. */
+    std::vector<InstTraceRecord> committedRecords() const;
+
+    /**
+     * Render a waterfall diagram. Each row is one instruction; the
+     * time axis is compressed to `width` columns covering the traced
+     * cycle range. Letters: f=fetch d=dispatch i=issue c=complete
+     * b=broadcast r=retire x=squash; '=' fills issue..complete.
+     */
+    std::string render(std::size_t first = 0,
+                       std::size_t count = 64,
+                       unsigned width = 64) const;
+
+    void clear() { records_.clear(); }
+
+  private:
+    std::size_t maxRecords_;
+    std::vector<InstTraceRecord> records_;
+};
+
+} // namespace nda
+
+#endif // NDASIM_DEBUG_PIPE_TRACE_HH

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Minimal CSV writer so bench binaries can export the figure data for
+ * external plotting (the repository's text tables remain the primary
+ * artifact).
+ */
+
+#ifndef NDASIM_HARNESS_CSV_HH
+#define NDASIM_HARNESS_CSV_HH
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace nda {
+
+/** Row-oriented CSV writer with RFC-4180-style quoting. */
+class CsvWriter
+{
+  public:
+    /** Opens `path` for writing; check ok() before use. */
+    explicit CsvWriter(const std::string &path);
+
+    bool ok() const { return static_cast<bool>(out_); }
+
+    /** Write one row; fields are quoted when needed. */
+    void row(const std::vector<std::string> &fields);
+
+    /** Convenience: format a double with fixed precision. */
+    static std::string num(double v, int precision = 6);
+
+  private:
+    static std::string escape(const std::string &field);
+
+    std::ofstream out_;
+};
+
+} // namespace nda
+
+#endif // NDASIM_HARNESS_CSV_HH

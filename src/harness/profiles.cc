@@ -1,0 +1,114 @@
+#include "harness/profiles.hh"
+
+#include "common/log.hh"
+
+namespace nda {
+
+SimConfig
+makeProfile(Profile p)
+{
+    SimConfig cfg;
+    cfg.name = profileName(p);
+    SecurityConfig &s = cfg.security;
+    switch (p) {
+      case Profile::kOoo:
+        break;
+      case Profile::kPermissive:
+        s.propagation = NdaPolicy::kPermissive;
+        break;
+      case Profile::kPermissiveBr:
+        s.propagation = NdaPolicy::kPermissive;
+        s.bypassRestriction = true;
+        break;
+      case Profile::kStrict:
+        s.propagation = NdaPolicy::kStrict;
+        break;
+      case Profile::kStrictBr:
+        s.propagation = NdaPolicy::kStrict;
+        s.bypassRestriction = true;
+        break;
+      case Profile::kRestrictedLoads:
+        s.loadRestriction = true;
+        break;
+      case Profile::kFullProtection:
+        s.propagation = NdaPolicy::kStrict;
+        s.bypassRestriction = true;
+        s.loadRestriction = true;
+        break;
+      case Profile::kInOrder:
+        cfg.inOrder = true;
+        break;
+      case Profile::kInvisiSpecSpectre:
+        s.invisiSpec = InvisiSpecMode::kSpectre;
+        break;
+      case Profile::kInvisiSpecFuture:
+        s.invisiSpec = InvisiSpecMode::kFuture;
+        break;
+      default:
+        NDA_FATAL("unknown profile");
+    }
+    return cfg;
+}
+
+const char *
+profileName(Profile p)
+{
+    switch (p) {
+      case Profile::kOoo:
+        return "OoO";
+      case Profile::kPermissive:
+        return "Permissive";
+      case Profile::kPermissiveBr:
+        return "Permissive+BR";
+      case Profile::kStrict:
+        return "Strict";
+      case Profile::kStrictBr:
+        return "Strict+BR";
+      case Profile::kRestrictedLoads:
+        return "Restricted Loads";
+      case Profile::kFullProtection:
+        return "Full Protection";
+      case Profile::kInOrder:
+        return "In-Order";
+      case Profile::kInvisiSpecSpectre:
+        return "InvisiSpec-Spectre";
+      case Profile::kInvisiSpecFuture:
+        return "InvisiSpec-Future";
+      default:
+        return "?";
+    }
+}
+
+std::vector<Profile>
+allProfiles()
+{
+    return {
+        Profile::kOoo,
+        Profile::kPermissive,
+        Profile::kPermissiveBr,
+        Profile::kStrict,
+        Profile::kStrictBr,
+        Profile::kRestrictedLoads,
+        Profile::kFullProtection,
+        Profile::kInOrder,
+        Profile::kInvisiSpecSpectre,
+        Profile::kInvisiSpecFuture,
+    };
+}
+
+std::vector<Profile>
+ndaProfiles()
+{
+    return {
+        Profile::kOoo,
+        Profile::kPermissive,
+        Profile::kPermissiveBr,
+        Profile::kStrict,
+        Profile::kStrictBr,
+        Profile::kRestrictedLoads,
+        Profile::kFullProtection,
+        Profile::kInOrder,
+    };
+}
+
+} // namespace nda

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * The ten machine profiles evaluated in the paper (§6.3): insecure
+ * OoO, the six NDA policies of Table 2, the in-order baseline, and
+ * the two InvisiSpec variants.
+ */
+
+#ifndef NDASIM_HARNESS_PROFILES_HH
+#define NDASIM_HARNESS_PROFILES_HH
+
+#include <vector>
+
+#include "core/core_config.hh"
+
+namespace nda {
+
+/** Profile identifiers in Fig 7 legend order. */
+enum class Profile {
+    kOoo = 0,
+    kPermissive,
+    kPermissiveBr,
+    kStrict,
+    kStrictBr,
+    kRestrictedLoads,
+    kFullProtection,
+    kInOrder,
+    kInvisiSpecSpectre,
+    kInvisiSpecFuture,
+    kNumProfiles,
+};
+
+/** Build the SimConfig for one profile (Table 3 structural params). */
+SimConfig makeProfile(Profile p);
+
+/** Display name matching the paper's Fig 7 legend. */
+const char *profileName(Profile p);
+
+/** All profiles in Fig 7 order. */
+std::vector<Profile> allProfiles();
+
+/** The six NDA profiles plus baselines, excluding InvisiSpec. */
+std::vector<Profile> ndaProfiles();
+
+} // namespace nda
+
+#endif // NDASIM_HARNESS_PROFILES_HH

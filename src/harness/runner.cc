@@ -1,0 +1,82 @@
+#include "harness/runner.hh"
+
+#include "common/log.hh"
+#include "common/stats_util.hh"
+#include "core/core_factory.hh"
+
+namespace nda {
+
+WindowStats
+runWindow(const Workload &workload, const SimConfig &cfg,
+          std::uint64_t seed, const SampleParams &p)
+{
+    const Program prog = workload.build(seed);
+    auto core = makeCore(prog, cfg);
+
+    // Warm caches, predictors, and pipeline state.
+    core->run(p.warmupInsts, ~Cycle{0});
+    NDA_ASSERT(!core->halted(),
+               "workload '%s' halted during warm-up — too short",
+               workload.name().c_str());
+
+    // Measured window.
+    core->resetCounters();
+    core->run(p.measureInsts, ~Cycle{0});
+    NDA_ASSERT(!core->halted(),
+               "workload '%s' halted during measurement",
+               workload.name().c_str());
+
+    const PerfCounters &c = core->counters();
+    WindowStats w;
+    w.cpi = c.cpi();
+    w.mlp = c.mlp();
+    w.ilp = c.ilp();
+    w.dispatchToIssue = c.dispatchToIssue.mean();
+    w.commitFrac = c.cycleFraction(CycleClass::kCommit);
+    w.memStallFrac = c.cycleFraction(CycleClass::kMemoryStall);
+    w.backendStallFrac = c.cycleFraction(CycleClass::kBackendStall);
+    w.frontendStallFrac = c.cycleFraction(CycleClass::kFrontendStall);
+    w.condMispredictRate = c.condMispredictRate();
+    w.instructions = c.committedInsts;
+    w.cycles = c.cycles;
+    return w;
+}
+
+RunResult
+runSampled(const Workload &workload, const SimConfig &cfg,
+           const SampleParams &p)
+{
+    RunResult result;
+    WindowStats acc;
+    for (unsigned s = 0; s < p.samples; ++s) {
+        const WindowStats w =
+            runWindow(workload, cfg, p.baseSeed + s, p);
+        result.cpiSamples.push_back(w.cpi);
+        acc.cpi += w.cpi;
+        acc.mlp += w.mlp;
+        acc.ilp += w.ilp;
+        acc.dispatchToIssue += w.dispatchToIssue;
+        acc.commitFrac += w.commitFrac;
+        acc.memStallFrac += w.memStallFrac;
+        acc.backendStallFrac += w.backendStallFrac;
+        acc.frontendStallFrac += w.frontendStallFrac;
+        acc.condMispredictRate += w.condMispredictRate;
+        acc.instructions += w.instructions;
+        acc.cycles += w.cycles;
+    }
+    const double n = static_cast<double>(p.samples);
+    acc.cpi /= n;
+    acc.mlp /= n;
+    acc.ilp /= n;
+    acc.dispatchToIssue /= n;
+    acc.commitFrac /= n;
+    acc.memStallFrac /= n;
+    acc.backendStallFrac /= n;
+    acc.frontendStallFrac /= n;
+    acc.condMispredictRate /= n;
+    result.mean = acc;
+    result.cpiCi95 = confidenceHalfWidth95(result.cpiSamples);
+    return result;
+}
+
+} // namespace nda

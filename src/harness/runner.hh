@@ -1,0 +1,62 @@
+/**
+ * @file
+ * SMARTS-style sampled-measurement harness (paper §6.1): for each
+ * (workload, profile) pair, run K independently-seeded samples, each
+ * with a warm-up phase followed by a measured window, and report the
+ * mean and 95% confidence interval of CPI plus the Fig 9 statistics.
+ */
+
+#ifndef NDASIM_HARNESS_RUNNER_HH
+#define NDASIM_HARNESS_RUNNER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/core_config.hh"
+#include "core/perf_counters.hh"
+#include "harness/profiles.hh"
+#include "workloads/workload.hh"
+
+namespace nda {
+
+/** Per-sample measurement knobs. */
+struct SampleParams {
+    std::uint64_t warmupInsts = 20'000;
+    std::uint64_t measureInsts = 100'000;
+    unsigned samples = 3;       ///< independently-seeded runs
+    std::uint64_t baseSeed = 1;
+};
+
+/** Measured statistics of one sample window. */
+struct WindowStats {
+    double cpi = 0.0;
+    double mlp = 0.0;
+    double ilp = 0.0;
+    double dispatchToIssue = 0.0;
+    double commitFrac = 0.0;
+    double memStallFrac = 0.0;
+    double backendStallFrac = 0.0;
+    double frontendStallFrac = 0.0;
+    double condMispredictRate = 0.0;
+    std::uint64_t instructions = 0;
+    std::uint64_t cycles = 0;
+};
+
+/** Aggregated result over all samples of one (workload, profile). */
+struct RunResult {
+    WindowStats mean;
+    double cpiCi95 = 0.0;       ///< 95% CI half-width on CPI
+    std::vector<double> cpiSamples;
+};
+
+/** Run one sample window and return its statistics. */
+WindowStats runWindow(const Workload &workload, const SimConfig &cfg,
+                      std::uint64_t seed, const SampleParams &p);
+
+/** Run all samples for one (workload, profile) pair. */
+RunResult runSampled(const Workload &workload, const SimConfig &cfg,
+                     const SampleParams &p);
+
+} // namespace nda
+
+#endif // NDASIM_HARNESS_RUNNER_HH

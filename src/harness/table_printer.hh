@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Plain-text table/series rendering helpers shared by the bench
+ * binaries so every figure/table prints in a consistent format.
+ */
+
+#ifndef NDASIM_HARNESS_TABLE_PRINTER_HH
+#define NDASIM_HARNESS_TABLE_PRINTER_HH
+
+#include <string>
+#include <vector>
+
+namespace nda {
+
+/** Column-aligned text table. */
+class TablePrinter
+{
+  public:
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with aligned columns to stdout. */
+    void print() const;
+
+    static std::string fmt(double v, int precision = 3);
+    static std::string pct(double v, int precision = 1);
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Print a figure banner: "=== Figure 7: ... ===". */
+void printBanner(const std::string &title);
+
+/** Render a simple ASCII bar chart line (for figure-like output). */
+std::string asciiBar(double value, double max_value, int width = 40);
+
+} // namespace nda
+
+#endif // NDASIM_HARNESS_TABLE_PRINTER_HH

@@ -1,0 +1,211 @@
+#include "isa/interpreter.hh"
+
+#include "common/log.hh"
+
+namespace nda {
+
+RegVal
+evalAlu(Opcode op, RegVal a, RegVal b, std::int64_t imm)
+{
+    const auto uimm = static_cast<RegVal>(imm);
+    switch (op) {
+      case Opcode::kMovImm:
+        return uimm;
+      case Opcode::kMov:
+        return a;
+      case Opcode::kAdd:
+        return a + b;
+      case Opcode::kSub:
+        return a - b;
+      case Opcode::kAnd:
+        return a & b;
+      case Opcode::kOr:
+        return a | b;
+      case Opcode::kXor:
+        return a ^ b;
+      case Opcode::kShl:
+        return a << (b & 63);
+      case Opcode::kShr:
+        return a >> (b & 63);
+      case Opcode::kMul:
+        return a * b;
+      case Opcode::kDiv:
+        return b == 0 ? 0 : a / b;
+      case Opcode::kAddImm:
+        return a + uimm;
+      case Opcode::kSubImm:
+        return a - uimm;
+      case Opcode::kAndImm:
+        return a & uimm;
+      case Opcode::kOrImm:
+        return a | uimm;
+      case Opcode::kXorImm:
+        return a ^ uimm;
+      case Opcode::kShlImm:
+        return a << (uimm & 63);
+      case Opcode::kShrImm:
+        return a >> (uimm & 63);
+      case Opcode::kMulImm:
+        return a * uimm;
+      case Opcode::kCmpEq:
+        return a == b ? 1 : 0;
+      case Opcode::kCmpLt:
+        return static_cast<std::int64_t>(a) < static_cast<std::int64_t>(b)
+                   ? 1 : 0;
+      case Opcode::kCmpLtu:
+        return a < b ? 1 : 0;
+      default:
+        NDA_PANIC("evalAlu called on non-ALU opcode %s",
+                  opName(op).data());
+    }
+}
+
+bool
+evalCondBranch(Opcode op, RegVal a, RegVal b)
+{
+    switch (op) {
+      case Opcode::kBeq:
+        return a == b;
+      case Opcode::kBne:
+        return a != b;
+      case Opcode::kBlt:
+        return static_cast<std::int64_t>(a) < static_cast<std::int64_t>(b);
+      case Opcode::kBge:
+        return static_cast<std::int64_t>(a) >= static_cast<std::int64_t>(b);
+      case Opcode::kBltu:
+        return a < b;
+      case Opcode::kBgeu:
+        return a >= b;
+      default:
+        NDA_PANIC("evalCondBranch on non-branch opcode %s",
+                  opName(op).data());
+    }
+}
+
+Addr
+evalNextPc(const MicroOp &uop, Addr pc, RegVal a, RegVal b)
+{
+    const OpTraits &t = uop.traits();
+    if (!t.isBranch)
+        return pc + 1;
+    if (t.isIndirect)
+        return static_cast<Addr>(a);
+    if (t.isCondBranch) {
+        return evalCondBranch(uop.op, a, b) ? static_cast<Addr>(uop.imm)
+                                            : pc + 1;
+    }
+    return static_cast<Addr>(uop.imm); // direct jmp / call
+}
+
+void
+loadDataSegments(const Program &prog, MemoryMap &mem)
+{
+    for (const DataSegment &seg : prog.data) {
+        mem.writeBytes(seg.base, seg.bytes.data(), seg.bytes.size());
+        mem.setPerm(seg.base, seg.bytes.size(), seg.perm);
+    }
+}
+
+Interpreter::Interpreter(Program prog)
+    : prog_(std::move(prog)), pc_(prog_.entry)
+{
+    loadDataSegments(prog_, mem_);
+    for (int i = 0; i < kNumArchRegs; ++i)
+        regs_[i] = prog_.initialRegs[i];
+    for (int i = 0; i < kNumMsrRegs; ++i)
+        msrs_[i] = prog_.initialMsrs[i];
+}
+
+StepResult
+Interpreter::step()
+{
+    if (halted_)
+        return StepResult::kHalted;
+    if (!prog_.validPc(pc_)) {
+        halted_ = true;
+        return StepResult::kOutOfRange;
+    }
+
+    const MicroOp &uop = prog_.at(pc_);
+    const OpTraits &t = uop.traits();
+    const RegVal a = t.readsRs1 ? regs_[uop.rs1] : 0;
+    const RegVal b = t.readsRs2 ? regs_[uop.rs2] : 0;
+    ++instCount_;
+
+    auto raise_fault = [&]() -> StepResult {
+        ++faultCount_;
+        if (prog_.faultHandler == ~Addr{0}) {
+            halted_ = true;
+            return StepResult::kFaulted;
+        }
+        pc_ = prog_.faultHandler;
+        return StepResult::kFaulted;
+    };
+
+    switch (uop.op) {
+      case Opcode::kNop:
+      case Opcode::kFence:
+      case Opcode::kSpecOff:
+      case Opcode::kSpecOn:
+      case Opcode::kClflush:
+      case Opcode::kPrefetch:
+        break;
+      case Opcode::kHalt:
+        halted_ = true;
+        return StepResult::kHalted;
+      case Opcode::kLoad: {
+        const Addr addr = a + static_cast<Addr>(uop.imm);
+        if (!mem_.accessAllowed(addr, uop.size, CpuMode::kUser))
+            return raise_fault();
+        regs_[uop.rd] = mem_.read(addr, uop.size);
+        break;
+      }
+      case Opcode::kStore: {
+        const Addr addr = a + static_cast<Addr>(uop.imm);
+        if (!mem_.accessAllowed(addr, uop.size, CpuMode::kUser))
+            return raise_fault();
+        mem_.write(addr, b, uop.size);
+        break;
+      }
+      case Opcode::kRdMsr: {
+        const unsigned idx = static_cast<unsigned>(uop.imm);
+        if (prog_.privilegedMsrMask & (1u << idx))
+            return raise_fault();
+        regs_[uop.rd] = msrs_[idx];
+        break;
+      }
+      case Opcode::kWrMsr: {
+        const unsigned idx = static_cast<unsigned>(uop.imm);
+        if (prog_.privilegedMsrMask & (1u << idx))
+            return raise_fault();
+        msrs_[idx] = a;
+        break;
+      }
+      case Opcode::kRdTsc:
+        regs_[uop.rd] = tscValue();
+        break;
+      default:
+        if (t.isBranch) {
+            if (t.hasDest)
+                regs_[uop.rd] = pc_ + 1; // link value for call/callr
+            pc_ = evalNextPc(uop, pc_, a, b);
+            return StepResult::kOk;
+        }
+        regs_[uop.rd] = evalAlu(uop.op, a, b, uop.imm);
+        break;
+    }
+
+    pc_ = pc_ + 1;
+    return StepResult::kOk;
+}
+
+std::uint64_t
+Interpreter::run(std::uint64_t max_insts)
+{
+    const std::uint64_t start = instCount_;
+    while (!halted_ && instCount_ - start < max_insts)
+        step();
+    return instCount_ - start;
+}
+
+} // namespace nda

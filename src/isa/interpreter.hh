@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Architectural reference interpreter and shared functional semantics.
+ *
+ * The interpreter defines the ISA's architectural behaviour and serves
+ * as the oracle for differential testing: every core model (in-order,
+ * OoO, any NDA/InvisiSpec configuration) must produce the same final
+ * architectural state, since NDA only changes *timing*.
+ */
+
+#ifndef NDASIM_ISA_INTERPRETER_HH
+#define NDASIM_ISA_INTERPRETER_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "isa/program.hh"
+#include "mem/memory_map.hh"
+
+namespace nda {
+
+/**
+ * Pure ALU semantics shared by the interpreter and the core exec unit.
+ * `a` = rs1 value, `b` = rs2 value, `imm` = immediate.
+ */
+RegVal evalAlu(Opcode op, RegVal a, RegVal b, std::int64_t imm);
+
+/** Direction of a conditional branch given its source values. */
+bool evalCondBranch(Opcode op, RegVal a, RegVal b);
+
+/**
+ * Architectural next-PC of any instruction at `pc`, given source
+ * values (for indirect branches, `a` = rs1 value).
+ */
+Addr evalNextPc(const MicroOp &uop, Addr pc, RegVal a, RegVal b);
+
+/** Outcome of stepping the interpreter once. */
+enum class StepResult : std::uint8_t {
+    kOk,
+    kHalted,
+    kFaulted,      ///< fault raised and handled (or halted, if no handler)
+    kOutOfRange,   ///< pc left the program (treated as halt)
+};
+
+/** Architectural-state interpreter (no timing). */
+class Interpreter
+{
+  public:
+    /** The interpreter keeps its own copy of `prog`. */
+    explicit Interpreter(Program prog);
+
+    /** Execute one instruction. */
+    StepResult step();
+
+    /**
+     * Run until halt/fault-without-handler or until `max_insts`
+     * instructions have committed.
+     * @return number of instructions executed.
+     */
+    std::uint64_t run(std::uint64_t max_insts);
+
+    bool halted() const { return halted_; }
+    Addr pc() const { return pc_; }
+    RegVal reg(RegId r) const { return regs_[r]; }
+    void setReg(RegId r, RegVal v) { regs_[r] = v; }
+    RegVal msr(unsigned i) const { return msrs_[i]; }
+    std::uint64_t instCount() const { return instCount_; }
+    std::uint64_t faultCount() const { return faultCount_; }
+
+    MemoryMap &mem() { return mem_; }
+    const MemoryMap &mem() const { return mem_; }
+
+    /**
+     * Pseudo-cycle counter returned by RDTSC in the interpreter: the
+     * instruction count (architectural time has no cycles).
+     */
+    std::uint64_t tscValue() const { return instCount_; }
+
+  private:
+    const Program prog_;
+    MemoryMap mem_;
+    RegVal regs_[kNumArchRegs] = {};
+    RegVal msrs_[kNumMsrRegs] = {};
+    Addr pc_ = 0;
+    bool halted_ = false;
+    std::uint64_t instCount_ = 0;
+    std::uint64_t faultCount_ = 0;
+};
+
+/** Initialize a MemoryMap from a program's data segments. */
+void loadDataSegments(const Program &prog, MemoryMap &mem);
+
+} // namespace nda
+
+#endif // NDASIM_ISA_INTERPRETER_HH

@@ -1,0 +1,60 @@
+#include "isa/microop.hh"
+
+#include <cstdio>
+
+namespace nda {
+
+std::string
+MicroOp::disasm() const
+{
+    const OpTraits &t = traits();
+    char buf[96];
+    if (t.isLoad) {
+        std::snprintf(buf, sizeof(buf), "%s r%u, [r%u%+lld] (%u)",
+                      t.mnemonic.data(), rd, rs1,
+                      static_cast<long long>(imm), size);
+    } else if (t.isStore) {
+        std::snprintf(buf, sizeof(buf), "%s [r%u%+lld], r%u (%u)",
+                      t.mnemonic.data(), rs1,
+                      static_cast<long long>(imm), rs2, size);
+    } else if (t.isBranch) {
+        if (t.isIndirect) {
+            if (t.hasDest) {
+                std::snprintf(buf, sizeof(buf), "%s r%u, r%u",
+                              t.mnemonic.data(), rd, rs1);
+            } else {
+                std::snprintf(buf, sizeof(buf), "%s r%u",
+                              t.mnemonic.data(), rs1);
+            }
+        } else if (t.isCondBranch) {
+            std::snprintf(buf, sizeof(buf), "%s r%u, r%u, %lld",
+                          t.mnemonic.data(), rs1, rs2,
+                          static_cast<long long>(imm));
+        } else if (t.hasDest) {
+            std::snprintf(buf, sizeof(buf), "%s r%u, %lld",
+                          t.mnemonic.data(), rd,
+                          static_cast<long long>(imm));
+        } else {
+            std::snprintf(buf, sizeof(buf), "%s %lld", t.mnemonic.data(),
+                          static_cast<long long>(imm));
+        }
+    } else if (t.hasDest && t.readsRs1 && t.readsRs2) {
+        std::snprintf(buf, sizeof(buf), "%s r%u, r%u, r%u",
+                      t.mnemonic.data(), rd, rs1, rs2);
+    } else if (t.hasDest && t.readsRs1) {
+        std::snprintf(buf, sizeof(buf), "%s r%u, r%u, %lld",
+                      t.mnemonic.data(), rd, rs1,
+                      static_cast<long long>(imm));
+    } else if (t.hasDest) {
+        std::snprintf(buf, sizeof(buf), "%s r%u, %lld", t.mnemonic.data(),
+                      rd, static_cast<long long>(imm));
+    } else if (t.readsRs1) {
+        std::snprintf(buf, sizeof(buf), "%s r%u, %lld", t.mnemonic.data(),
+                      rs1, static_cast<long long>(imm));
+    } else {
+        std::snprintf(buf, sizeof(buf), "%s", t.mnemonic.data());
+    }
+    return buf;
+}
+
+} // namespace nda

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The static micro-op: one decoded instruction of the simulated ISA.
+ */
+
+#ifndef NDASIM_ISA_MICROOP_HH
+#define NDASIM_ISA_MICROOP_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+#include "isa/opcode.hh"
+
+namespace nda {
+
+/**
+ * A decoded static instruction. PCs are instruction indices into the
+ * owning Program; `imm` doubles as branch target, memory displacement,
+ * MSR index, or literal depending on the opcode.
+ */
+struct MicroOp {
+    Opcode op = Opcode::kNop;
+    RegId rd = 0;
+    RegId rs1 = 0;
+    RegId rs2 = 0;
+    std::int64_t imm = 0;
+    std::uint8_t size = 8;   ///< memory access size in bytes (1/2/4/8)
+
+    const OpTraits &traits() const { return opTraits(op); }
+
+    bool isLoad() const { return traits().isLoad; }
+    bool isStore() const { return traits().isStore; }
+    bool isLoadLike() const { return traits().isLoadLike; }
+    bool isBranch() const { return traits().isBranch; }
+    bool isMemory() const { return isLoad() || isStore(); }
+
+    /**
+     * True for branches whose outcome is predicted and can therefore
+     * mispredict (conditional and indirect ones). NDA treats only
+     * these as "unresolved branch" boundaries; direct unconditional
+     * jumps have a decode-time-known target (paper §5.1).
+     */
+    bool isSpeculativeBranch() const { return traits().isSpeculable; }
+
+    /** Render a human-readable disassembly string. */
+    std::string disasm() const;
+};
+
+} // namespace nda
+
+#endif // NDASIM_ISA_MICROOP_HH

@@ -1,0 +1,147 @@
+#include "isa/opcode.hh"
+
+#include "common/log.hh"
+
+namespace nda {
+
+namespace {
+
+using LC = LatencyClass;
+
+constexpr OpTraits
+alu2(std::string_view name, LC lat = LC::kSingleCycle)
+{
+    return {name, true, true, true, false, false, false,
+            false, false, false, false, false, false, false, lat};
+}
+
+constexpr OpTraits
+alu1(std::string_view name, LC lat = LC::kSingleCycle)
+{
+    return {name, true, true, false, false, false, false,
+            false, false, false, false, false, false, false, lat};
+}
+
+constexpr OpTraits
+condBranch(std::string_view name)
+{
+    return {name, false, true, true, false, false, false,
+            true, true, false, false, false, true, false,
+            LC::kSingleCycle};
+}
+
+// Table indexed by Opcode. Field order matches OpTraits.
+constexpr OpTraits kTraits[] = {
+    // mnemonic  dest  rs1   rs2   load  store ldlike br   cond  ind
+    //           call  ret   spec  serHd latency
+    {"nop",      false, false, false, false, false, false,
+     false, false, false, false, false, false, false, LC::kSingleCycle},
+    {"halt",     false, false, false, false, false, false,
+     false, false, false, false, false, false, false, LC::kSingleCycle},
+    {"movi",     true,  false, false, false, false, false,
+     false, false, false, false, false, false, false, LC::kSingleCycle},
+    alu1("mov"),
+    alu2("add"),
+    alu2("sub"),
+    alu2("and"),
+    alu2("or"),
+    alu2("xor"),
+    alu2("shl"),
+    alu2("shr"),
+    alu2("mul", LC::kMul),
+    alu2("div", LC::kDiv),
+    alu1("addi"),
+    alu1("subi"),
+    alu1("andi"),
+    alu1("ori"),
+    alu1("xori"),
+    alu1("shli"),
+    alu1("shri"),
+    alu1("muli", LC::kMul),
+    alu2("cmpeq"),
+    alu2("cmplt"),
+    alu2("cmpltu"),
+    // load: rd = mem[rs1+imm]
+    {"ld",       true,  true,  false, true,  false, true,
+     false, false, false, false, false, false, false, LC::kMemory},
+    // store: mem[rs1+imm] = rs2
+    {"st",       false, true,  true,  false, true,  false,
+     false, false, false, false, false, false, false, LC::kMemory},
+    {"clflush",  false, true,  false, false, false, false,
+     false, false, false, false, false, false, false, LC::kSingleCycle},
+    {"prefetch", false, true,  false, false, false, false,
+     false, false, false, false, false, false, false, LC::kSingleCycle},
+    // rdmsr: rd = msr[imm]; load-like
+    {"rdmsr",    true,  false, false, false, false, true,
+     false, false, false, false, false, false, false, LC::kSingleCycle},
+    {"wrmsr",    false, true,  false, false, false, false,
+     false, false, false, false, false, false, true,  LC::kSingleCycle},
+    {"rdtsc",    true,  false, false, false, false, false,
+     false, false, false, false, false, false, true,  LC::kSingleCycle},
+    {"fence",    false, false, false, false, false, false,
+     false, false, false, false, false, false, true,  LC::kSingleCycle},
+    {"specoff",  false, false, false, false, false, false,
+     false, false, false, false, false, false, true,  LC::kSingleCycle},
+    {"specon",   false, false, false, false, false, false,
+     false, false, false, false, false, false, true,  LC::kSingleCycle},
+    // jmp imm: direct, never mispredicts (target known at decode)
+    {"jmp",      false, false, false, false, false, false,
+     true,  false, false, false, false, false, false, LC::kSingleCycle},
+    // call imm: rd = return pc
+    {"call",     true,  false, false, false, false, false,
+     true,  false, false, true,  false, false, false, LC::kSingleCycle},
+    condBranch("beq"),
+    condBranch("bne"),
+    condBranch("blt"),
+    condBranch("bge"),
+    condBranch("bltu"),
+    condBranch("bgeu"),
+    // jmpr rs1: indirect, BTB-predicted
+    {"jmpr",     false, true,  false, false, false, false,
+     true,  false, true,  false, false, true,  false, LC::kSingleCycle},
+    // callr rd, rs1
+    {"callr",    true,  true,  false, false, false, false,
+     true,  false, true,  true,  false, true,  false, LC::kSingleCycle},
+    // ret rs1: indirect, RAS-predicted
+    {"ret",      false, true,  false, false, false, false,
+     true,  false, true,  false, true,  true,  false, LC::kSingleCycle},
+};
+
+static_assert(sizeof(kTraits) / sizeof(kTraits[0]) ==
+                  static_cast<std::size_t>(Opcode::kNumOpcodes),
+              "traits table out of sync with Opcode enum");
+
+} // namespace
+
+const OpTraits &
+opTraits(Opcode op)
+{
+    const auto idx = static_cast<std::size_t>(op);
+    NDA_ASSERT(idx < static_cast<std::size_t>(Opcode::kNumOpcodes),
+               "opcode %zu out of range", idx);
+    return kTraits[idx];
+}
+
+std::string_view
+opName(Opcode op)
+{
+    return opTraits(op).mnemonic;
+}
+
+unsigned
+opLatencyCycles(Opcode op)
+{
+    switch (opTraits(op).latency) {
+      case LatencyClass::kSingleCycle:
+        return 1;
+      case LatencyClass::kMul:
+        return 3;
+      case LatencyClass::kDiv:
+        return 12;
+      case LatencyClass::kMemory:
+        return 1; // placeholder; real latency comes from the hierarchy
+    }
+    return 1;
+}
+
+} // namespace nda

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Micro-op opcodes of the simulated RISC-like ISA and their static
+ * traits (operand usage, latency class, branch/memory behaviour).
+ *
+ * The ISA is deliberately close to the micro-op level the NDA paper
+ * reasons about: loads/stores, ALU ops, direct/indirect control flow,
+ * and "load-like" special-register reads (RDMSR) that NDA treats like
+ * loads (paper §5.2/§5.3).
+ */
+
+#ifndef NDASIM_ISA_OPCODE_HH
+#define NDASIM_ISA_OPCODE_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace nda {
+
+enum class Opcode : std::uint8_t {
+    kNop = 0,
+    kHalt,
+
+    // Immediate / move
+    kMovImm,     ///< rd = imm
+    kMov,        ///< rd = rs1
+
+    // Register-register ALU
+    kAdd,        ///< rd = rs1 + rs2
+    kSub,        ///< rd = rs1 - rs2
+    kAnd,        ///< rd = rs1 & rs2
+    kOr,         ///< rd = rs1 | rs2
+    kXor,        ///< rd = rs1 ^ rs2
+    kShl,        ///< rd = rs1 << (rs2 & 63)
+    kShr,        ///< rd = rs1 >> (rs2 & 63)
+    kMul,        ///< rd = rs1 * rs2 (3-cycle)
+    kDiv,        ///< rd = rs1 / rs2, 0 if rs2 == 0 (12-cycle)
+
+    // Register-immediate ALU
+    kAddImm,     ///< rd = rs1 + imm
+    kSubImm,     ///< rd = rs1 - imm
+    kAndImm,     ///< rd = rs1 & imm
+    kOrImm,      ///< rd = rs1 | imm
+    kXorImm,     ///< rd = rs1 ^ imm
+    kShlImm,     ///< rd = rs1 << (imm & 63)
+    kShrImm,     ///< rd = rs1 >> (imm & 63)
+    kMulImm,     ///< rd = rs1 * imm (3-cycle)
+
+    // Comparisons producing 0/1
+    kCmpEq,      ///< rd = (rs1 == rs2)
+    kCmpLt,      ///< rd = (signed rs1 < signed rs2)
+    kCmpLtu,     ///< rd = (rs1 < rs2)
+
+    // Memory
+    kLoad,       ///< rd = mem[rs1 + imm] (size bytes, zero-extended)
+    kStore,      ///< mem[rs1 + imm] = rs2 (size bytes)
+    kClflush,    ///< flush cache line containing rs1 + imm
+    kPrefetch,   ///< warm line containing rs1 + imm (no dest)
+
+    // Special registers / timing
+    kRdMsr,      ///< rd = msr[imm]; load-like for NDA; may fault
+    kWrMsr,      ///< msr[imm] = rs1 (privileged in user mode)
+    kRdTsc,      ///< rd = current cycle; serializes at ROB head
+    kFence,      ///< full barrier; younger ops issue after it retires
+    kSpecOff,    ///< disable control speculation (paper SS8, Listing 4)
+    kSpecOn,     ///< re-enable control speculation
+
+    // Direct control flow (target = imm, an instruction index)
+    kJmp,        ///< unconditional direct jump
+    kCall,       ///< rd = return pc; jump imm; pushes RAS
+    kBeq,        ///< if (rs1 == rs2) jump imm
+    kBne,        ///< if (rs1 != rs2) jump imm
+    kBlt,        ///< if (signed rs1 < signed rs2) jump imm
+    kBge,        ///< if (signed rs1 >= signed rs2) jump imm
+    kBltu,       ///< if (rs1 < rs2) jump imm
+    kBgeu,       ///< if (rs1 >= rs2) jump imm
+
+    // Indirect control flow (target = rs1), predicted via BTB / RAS
+    kJmpReg,     ///< jump to rs1
+    kCallReg,    ///< rd = return pc; jump to rs1; pushes RAS
+    kRet,        ///< jump to rs1; predicted by RAS pop
+
+    kNumOpcodes,
+};
+
+/** Functional-unit latency class of an opcode. */
+enum class LatencyClass : std::uint8_t {
+    kSingleCycle,  ///< 1-cycle ALU / control
+    kMul,          ///< 3 cycles
+    kDiv,          ///< 12 cycles
+    kMemory,       ///< latency from the cache hierarchy
+};
+
+/** Static operand/behaviour traits of an opcode. */
+struct OpTraits {
+    std::string_view mnemonic;
+    bool hasDest;        ///< writes an integer register
+    bool readsRs1;
+    bool readsRs2;
+    bool isLoad;         ///< reads data memory
+    bool isStore;        ///< writes data memory
+    bool isLoadLike;     ///< treated like a load by NDA (loads + RDMSR)
+    bool isBranch;       ///< any control transfer
+    bool isCondBranch;   ///< direction-predicted conditional branch
+    bool isIndirect;     ///< target comes from a register
+    bool isCall;
+    bool isReturn;
+    bool isSpeculable;   ///< branch whose outcome is predicted (can
+                         ///< mispredict): conditional or indirect
+    bool serializeAtHead; ///< may only issue at the ROB head
+    LatencyClass latency;
+};
+
+/** Look up the static traits of an opcode. */
+const OpTraits &opTraits(Opcode op);
+
+/** Short mnemonic for an opcode. */
+std::string_view opName(Opcode op);
+
+/** Execution latency in cycles for non-memory ops. */
+unsigned opLatencyCycles(Opcode op);
+
+} // namespace nda
+
+#endif // NDASIM_ISA_OPCODE_HH

@@ -1,0 +1,201 @@
+#include "isa/random_program.hh"
+
+#include <vector>
+
+#include "common/xrandom.hh"
+
+namespace nda {
+
+namespace {
+
+/** Registers freely clobbered by random ops. */
+constexpr RegId kDataRegLo = 0;
+constexpr RegId kDataRegHi = 15;
+/** Base register pointing at the data segment. */
+constexpr RegId kMemBase = 16;
+/** Scratch for address computation. */
+constexpr RegId kAddrReg = 17;
+/** Loop counter / limit (never clobbered by random ops). */
+constexpr RegId kLoopCtr = 20;
+constexpr RegId kLoopLim = 21;
+/** Link register for calls. */
+constexpr RegId kLink = 28;
+/** Scratch holding indirect-call targets. */
+constexpr RegId kFnPtr = 27;
+
+RegId
+dataReg(XRandom &rng)
+{
+    return static_cast<RegId>(
+        kDataRegLo + rng.below(kDataRegHi - kDataRegLo + 1));
+}
+
+void
+emitRandomAlu(ProgramBuilder &b, XRandom &rng)
+{
+    const RegId rd = dataReg(rng);
+    const RegId rs1 = dataReg(rng);
+    const RegId rs2 = dataReg(rng);
+    const auto imm = static_cast<std::int64_t>(rng.next() & 0xFFFF);
+    switch (rng.below(17)) {
+      case 0: b.add(rd, rs1, rs2); break;
+      case 1: b.sub(rd, rs1, rs2); break;
+      case 2: b.and_(rd, rs1, rs2); break;
+      case 3: b.or_(rd, rs1, rs2); break;
+      case 4: b.xor_(rd, rs1, rs2); break;
+      case 5: b.shl(rd, rs1, rs2); break;
+      case 6: b.shr(rd, rs1, rs2); break;
+      case 7: b.mul(rd, rs1, rs2); break;
+      case 8: b.div(rd, rs1, rs2); break;
+      case 9: b.addi(rd, rs1, imm); break;
+      case 10: b.xori(rd, rs1, imm); break;
+      case 11: b.muli(rd, rs1, imm | 1); break;
+      case 12: b.cmpeq(rd, rs1, rs2); break;
+      case 13: b.cmplt(rd, rs1, rs2); break;
+      case 14: b.cmpltu(rd, rs1, rs2); break;
+      case 15: b.movi(rd, static_cast<std::int64_t>(rng.next())); break;
+      default: b.mov(rd, rs1); break;
+    }
+}
+
+void
+emitAddrCompute(ProgramBuilder &b, XRandom &rng)
+{
+    // kAddrReg = kMemBase + (reg & mask), always inside the segment.
+    const RegId idx = dataReg(rng);
+    b.andi(kAddrReg, idx, kRandomProgDataBytes - 16);
+    b.add(kAddrReg, kMemBase, kAddrReg);
+}
+
+void
+emitRandomMem(ProgramBuilder &b, XRandom &rng)
+{
+    static constexpr std::uint8_t kSizes[] = {1, 2, 4, 8};
+    const std::uint8_t size = kSizes[rng.below(4)];
+    const auto disp = static_cast<std::int64_t>(rng.below(8));
+    emitAddrCompute(b, rng);
+    if (rng.chance(1, 2)) {
+        b.load(dataReg(rng), kAddrReg, disp, size);
+    } else {
+        b.store(kAddrReg, disp, dataReg(rng), size);
+    }
+}
+
+void
+emitRandomBranch(ProgramBuilder &b, XRandom &rng,
+                 ProgramBuilder::Label target)
+{
+    const RegId a = dataReg(rng);
+    const RegId c = dataReg(rng);
+    switch (rng.below(4)) {
+      case 0: b.beq(a, c, target); break;
+      case 1: b.bne(a, c, target); break;
+      case 2: b.bltu(a, c, target); break;
+      default: b.bge(a, c, target); break;
+    }
+}
+
+} // namespace
+
+Program
+generateRandomProgram(std::uint64_t seed,
+                      const RandomProgramParams &params)
+{
+    XRandom rng(seed ^ 0xA5A5A5A5ULL);
+    ProgramBuilder b("random-" + std::to_string(seed));
+
+    // Data segment with random contents.
+    std::vector<std::uint8_t> data(kRandomProgDataBytes);
+    for (auto &byte : data)
+        byte = static_cast<std::uint8_t>(rng.next());
+    b.segment(kRandomProgDataBase, std::move(data));
+    b.zeroSegment(kRandomProgResultBase, 32 * 8);
+
+    // Random initial register contents.
+    for (RegId r = kDataRegLo; r <= kDataRegHi; ++r)
+        b.initReg(r, rng.next());
+    b.initReg(kMemBase, kRandomProgDataBase);
+
+    auto main_l = b.futureLabel();
+    b.jmp(main_l);
+
+    // --- leaf functions -------------------------------------------------
+    std::vector<Addr> fn_pcs;
+    for (unsigned f = 0; f < params.functions; ++f) {
+        fn_pcs.push_back(b.here());
+        const unsigned n = 2 + static_cast<unsigned>(rng.below(4));
+        for (unsigned i = 0; i < n; ++i)
+            emitRandomAlu(b, rng);
+        b.ret(kLink);
+    }
+
+    // Function-pointer table for indirect calls.
+    std::vector<std::uint8_t> table;
+    for (Addr pc : fn_pcs) {
+        for (int j = 0; j < 8; ++j)
+            table.push_back(static_cast<std::uint8_t>(pc >> (8 * j)));
+    }
+    const Addr table_base = kRandomProgDataBase + kRandomProgDataBytes;
+    b.segment(table_base, std::move(table));
+
+    // --- main body --------------------------------------------------------
+    b.bind(main_l);
+    for (unsigned blk = 0; blk < params.blocks; ++blk) {
+        auto block_end = b.futureLabel();
+
+        // Optionally open a counted loop for this block.
+        const bool looped = rng.chance(1, 3);
+        ProgramBuilder::Label loop_top;
+        if (looped) {
+            b.movi(kLoopCtr, 0);
+            b.movi(kLoopLim,
+                   static_cast<std::int64_t>(
+                       1 + rng.below(params.loopIterations)));
+            loop_top = b.label();
+        }
+
+        for (unsigned op = 0; op < params.opsPerBlock; ++op) {
+            const auto kind = rng.below(10);
+            if (kind < 5) {
+                emitRandomAlu(b, rng);
+            } else if (kind < 8 && params.useMemory) {
+                emitRandomMem(b, rng);
+            } else if (kind == 8) {
+                emitRandomBranch(b, rng, block_end);
+            } else if (!fn_pcs.empty()) {
+                if (params.useIndirectCalls && rng.chance(1, 2)) {
+                    const auto idx = rng.below(fn_pcs.size());
+                    b.movi(kFnPtr,
+                           static_cast<std::int64_t>(
+                               table_base + idx * 8));
+                    b.load(kFnPtr, kFnPtr, 0, 8);
+                    b.callr(kLink, kFnPtr);
+                } else {
+                    b.movi(kFnPtr,
+                           static_cast<std::int64_t>(
+                               fn_pcs[rng.below(fn_pcs.size())]));
+                    b.callr(kLink, kFnPtr);
+                }
+            } else {
+                emitRandomAlu(b, rng);
+            }
+        }
+
+        if (looped) {
+            b.addi(kLoopCtr, kLoopCtr, 1);
+            b.bltu(kLoopCtr, kLoopLim, loop_top);
+        }
+        b.bind(block_end);
+    }
+
+    // --- epilogue: spill registers for state comparison -----------------
+    for (RegId r = kDataRegLo; r <= kAddrReg; ++r) {
+        b.movi(kLoopCtr,
+               static_cast<std::int64_t>(kRandomProgResultBase + r * 8));
+        b.store(kLoopCtr, 0, r, 8);
+    }
+    b.halt();
+    return b.build();
+}
+
+} // namespace nda

@@ -1,0 +1,85 @@
+#include "isa/transform.hh"
+
+#include <vector>
+
+#include "common/log.hh"
+
+namespace nda {
+
+Program
+insertFencesAfterBranches(const Program &prog, TransformStats *stats)
+{
+    // The pass relocates code, so data-embedded code pointers cannot
+    // be fixed up. Returns are fine (their targets are runtime link
+    // values created in the new layout), register-indirect
+    // calls/jumps are not.
+    for (const MicroOp &uop : prog.code) {
+        NDA_ASSERT(uop.op != Opcode::kCallReg &&
+                       uop.op != Opcode::kJmpReg,
+                   "fence-insertion pass cannot relocate programs "
+                   "with register-indirect calls/jumps");
+    }
+
+    // Which old PCs are conditional-branch targets?
+    std::vector<bool> is_cond_target(prog.code.size(), false);
+    for (const MicroOp &uop : prog.code) {
+        if (uop.traits().isCondBranch)
+            is_cond_target[static_cast<std::size_t>(uop.imm)] = true;
+    }
+
+    // First pass: compute each old instruction's entry point in the
+    // new layout (including a fence inserted before cond targets).
+    std::vector<Addr> new_start(prog.code.size() + 1);
+    Addr pos = 0;
+    for (std::size_t i = 0; i < prog.code.size(); ++i) {
+        new_start[i] = pos;
+        if (is_cond_target[i])
+            ++pos;                    // fence at the taken target
+        ++pos;                        // the instruction itself
+        if (prog.code[i].traits().isCondBranch)
+            ++pos;                    // fence on the fall-through
+    }
+    new_start[prog.code.size()] = pos;
+
+    // Second pass: emit.
+    Program out;
+    out.name = prog.name + "+lfence";
+    out.data = prog.data;
+    for (int i = 0; i < kNumArchRegs; ++i)
+        out.initialRegs[i] = prog.initialRegs[i];
+    for (int i = 0; i < kNumMsrRegs; ++i)
+        out.initialMsrs[i] = prog.initialMsrs[i];
+    out.privilegedMsrMask = prog.privilegedMsrMask;
+    out.entry = new_start[static_cast<std::size_t>(prog.entry)];
+    if (prog.faultHandler != ~Addr{0}) {
+        out.faultHandler =
+            new_start[static_cast<std::size_t>(prog.faultHandler)];
+    }
+
+    MicroOp fence;
+    fence.op = Opcode::kFence;
+    TransformStats local;
+    for (std::size_t i = 0; i < prog.code.size(); ++i) {
+        if (is_cond_target[i]) {
+            out.code.push_back(fence);
+            ++local.fencesInserted;
+        }
+        MicroOp uop = prog.code[i];
+        const OpTraits &t = uop.traits();
+        if (t.isBranch && !t.isIndirect) {
+            uop.imm = static_cast<std::int64_t>(
+                new_start[static_cast<std::size_t>(uop.imm)]);
+            ++local.branchesPatched;
+        }
+        out.code.push_back(uop);
+        if (t.isCondBranch) {
+            out.code.push_back(fence);
+            ++local.fencesInserted;
+        }
+    }
+    if (stats)
+        *stats = local;
+    return out;
+}
+
+} // namespace nda

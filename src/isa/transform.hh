@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Program transformation passes. The headline pass models the
+ * software mitigation the paper's §3.2 discusses: inserting an
+ * lfence-style barrier after every conditional branch, which stops
+ * Spectre-v1-style steering at a large performance cost (the paper
+ * cites 68-247% for comparable compiler approaches) — the software
+ * baseline NDA's hardware approach is measured against.
+ */
+
+#ifndef NDASIM_ISA_TRANSFORM_HH
+#define NDASIM_ISA_TRANSFORM_HH
+
+#include "isa/program.hh"
+
+namespace nda {
+
+/** Pass statistics. */
+struct TransformStats {
+    std::size_t fencesInserted = 0;
+    std::size_t branchesPatched = 0;
+};
+
+/**
+ * Insert a FENCE after every conditional branch (on the fall-through
+ * path) and at every conditional-branch target, so no instruction
+ * issues under an unresolved conditional branch — the
+ * "lfence-everywhere" software mitigation. All branch targets and the
+ * fault handler are remapped to the new layout.
+ */
+Program insertFencesAfterBranches(const Program &prog,
+                                  TransformStats *stats = nullptr);
+
+} // namespace nda
+
+#endif // NDASIM_ISA_TRANSFORM_HH

@@ -1,0 +1,100 @@
+#include "mem/cache.hh"
+
+#include "common/log.hh"
+
+namespace nda {
+
+Cache::Cache(const CacheParams &params)
+    : params_(params)
+{
+    NDA_ASSERT(params_.ways > 0, "cache needs at least one way");
+    NDA_ASSERT(params_.lineBytes > 0 &&
+                   (params_.lineBytes & (params_.lineBytes - 1)) == 0,
+               "line size must be a power of two");
+    const std::size_t num_lines = params_.sizeBytes / params_.lineBytes;
+    NDA_ASSERT(num_lines % params_.ways == 0,
+               "size/line/ways mismatch in %s", params_.name.c_str());
+    numSets_ = static_cast<unsigned>(num_lines / params_.ways);
+    lines_.resize(num_lines);
+}
+
+Cache::Line *
+Cache::findLine(Addr addr)
+{
+    const Addr line = lineAddr(addr);
+    const unsigned set = setIndex(line);
+    const Addr tag = tagOf(line);
+    Line *base = &lines_[static_cast<std::size_t>(set) * params_.ways];
+    for (unsigned w = 0; w < params_.ways; ++w) {
+        if (base[w].valid && base[w].tag == tag)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+const Cache::Line *
+Cache::findLineConst(Addr addr) const
+{
+    return const_cast<Cache *>(this)->findLine(addr);
+}
+
+bool
+Cache::access(Addr addr)
+{
+    ++useClock_;
+    if (Line *line = findLine(addr)) {
+        line->lastUse = useClock_;
+        ++hits_;
+        return true;
+    }
+    ++misses_;
+    fill(addr);
+    return false;
+}
+
+bool
+Cache::probe(Addr addr) const
+{
+    return findLineConst(addr) != nullptr;
+}
+
+void
+Cache::fill(Addr addr)
+{
+    ++useClock_;
+    if (Line *line = findLine(addr)) {
+        line->lastUse = useClock_;
+        return;
+    }
+    const Addr line_addr = lineAddr(addr);
+    const unsigned set = setIndex(line_addr);
+    Line *base = &lines_[static_cast<std::size_t>(set) * params_.ways];
+    Line *victim = &base[0];
+    for (unsigned w = 0; w < params_.ways; ++w) {
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+        if (base[w].lastUse < victim->lastUse)
+            victim = &base[w];
+    }
+    victim->valid = true;
+    victim->tag = tagOf(line_addr);
+    victim->lastUse = useClock_;
+}
+
+void
+Cache::flush(Addr addr)
+{
+    if (Line *line = findLine(addr))
+        line->valid = false;
+}
+
+void
+Cache::flushAll()
+{
+    for (auto &line : lines_)
+        line.valid = false;
+}
+
+} // namespace nda

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Single-level set-associative cache model with true-LRU replacement.
+ *
+ * State-only (tags + LRU); data always comes from the functional
+ * MemoryMap. Supports non-mutating `probe` lookups so the InvisiSpec
+ * model can compute the latency a speculative load *would* see without
+ * perturbing cache state (paper §7 / InvisiSpec).
+ */
+
+#ifndef NDASIM_MEM_CACHE_HH
+#define NDASIM_MEM_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace nda {
+
+/** Geometry/latency parameters of one cache level. */
+struct CacheParams {
+    std::string name = "cache";
+    std::size_t sizeBytes = 32 * 1024;
+    unsigned ways = 8;
+    unsigned lineBytes = kLineSize;
+    /** Round-trip hit latency in cycles (Table 3). */
+    unsigned hitLatency = 4;
+};
+
+/** Tag-array model of a set-associative cache with true LRU. */
+class Cache
+{
+  public:
+    explicit Cache(const CacheParams &params);
+
+    /**
+     * Look up `addr`; on hit, update LRU. On miss, allocate the line
+     * (evicting LRU).
+     * @return true on hit.
+     */
+    bool access(Addr addr);
+
+    /** Look up without changing any state. */
+    bool probe(Addr addr) const;
+
+    /** Insert the line containing addr (used for fills from below). */
+    void fill(Addr addr);
+
+    /** Invalidate the line containing addr if present. */
+    void flush(Addr addr);
+
+    /** Invalidate everything. */
+    void flushAll();
+
+    const CacheParams &params() const { return params_; }
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    void resetStats() { hits_ = 0; misses_ = 0; }
+
+    unsigned numSets() const { return numSets_; }
+
+  private:
+    struct Line {
+        Addr tag = 0;
+        bool valid = false;
+        std::uint64_t lastUse = 0; ///< LRU timestamp
+    };
+
+    Addr lineAddr(Addr addr) const { return addr / params_.lineBytes; }
+    unsigned setIndex(Addr line) const
+    {
+        return static_cast<unsigned>(line % numSets_);
+    }
+    Addr tagOf(Addr line) const { return line / numSets_; }
+
+    Line *findLine(Addr addr);
+    const Line *findLineConst(Addr addr) const;
+
+    CacheParams params_;
+    unsigned numSets_;
+    std::vector<Line> lines_;   ///< numSets_ * ways, set-major
+    std::uint64_t useClock_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace nda
+
+#endif // NDASIM_MEM_CACHE_HH

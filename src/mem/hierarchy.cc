@@ -1,0 +1,63 @@
+#include "mem/hierarchy.hh"
+
+namespace nda {
+
+MemHierarchy::MemHierarchy(const HierarchyParams &params)
+    : params_(params), l1i_(params.l1i), l1d_(params.l1d), l2_(params.l2)
+{
+}
+
+AccessResult
+MemHierarchy::dataAccess(Addr addr)
+{
+    if (l1d_.access(addr))
+        return {params_.l1d.hitLatency, HitLevel::kL1};
+    if (l2_.access(addr))
+        return {params_.l2.hitLatency, HitLevel::kL2};
+    return {params_.l2.hitLatency + params_.dramLatency, HitLevel::kMemory};
+}
+
+AccessResult
+MemHierarchy::dataPeek(Addr addr) const
+{
+    if (l1d_.probe(addr))
+        return {params_.l1d.hitLatency, HitLevel::kL1};
+    if (l2_.probe(addr))
+        return {params_.l2.hitLatency, HitLevel::kL2};
+    return {params_.l2.hitLatency + params_.dramLatency, HitLevel::kMemory};
+}
+
+void
+MemHierarchy::dataFill(Addr addr)
+{
+    l1d_.fill(addr);
+    l2_.fill(addr);
+}
+
+AccessResult
+MemHierarchy::instAccess(Addr addr)
+{
+    if (l1i_.access(addr))
+        return {params_.l1i.hitLatency, HitLevel::kL1};
+    if (l2_.access(addr))
+        return {params_.l2.hitLatency, HitLevel::kL2};
+    return {params_.l2.hitLatency + params_.dramLatency, HitLevel::kMemory};
+}
+
+void
+MemHierarchy::flushLine(Addr addr)
+{
+    l1d_.flush(addr);
+    l1i_.flush(addr);
+    l2_.flush(addr);
+}
+
+void
+MemHierarchy::flushAll()
+{
+    l1i_.flushAll();
+    l1d_.flushAll();
+    l2_.flushAll();
+}
+
+} // namespace nda

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Two-level cache hierarchy + DRAM timing model (paper Table 3):
+ * split 32 KiB L1I/L1D (4-cycle round trip), unified 2 MiB L2
+ * (40-cycle round trip), 50 ns DRAM (100 cycles at 2 GHz).
+ */
+
+#ifndef NDASIM_MEM_HIERARCHY_HH
+#define NDASIM_MEM_HIERARCHY_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "mem/cache.hh"
+
+namespace nda {
+
+/** Which level serviced an access. */
+enum class HitLevel : std::uint8_t { kL1, kL2, kMemory };
+
+/** Timing outcome of one access. */
+struct AccessResult {
+    unsigned latency = 0;
+    HitLevel level = HitLevel::kL1;
+
+    bool offChip() const { return level == HitLevel::kMemory; }
+};
+
+/** Parameters of the full hierarchy. */
+struct HierarchyParams {
+    CacheParams l1i{"l1i", 32 * 1024, 8, kLineSize, 4};
+    CacheParams l1d{"l1d", 32 * 1024, 8, kLineSize, 4};
+    CacheParams l2{"l2", 2 * 1024 * 1024, 16, kLineSize, 40};
+    /** DRAM response latency in cycles (50 ns at 2 GHz). */
+    unsigned dramLatency = 100;
+};
+
+/**
+ * The memory-side timing model. Tags only — data always comes from the
+ * functional MemoryMap owned by the core.
+ */
+class MemHierarchy
+{
+  public:
+    explicit MemHierarchy(const HierarchyParams &params = {});
+
+    /** Data access (load or store, write-allocate); mutates state. */
+    AccessResult dataAccess(Addr addr);
+
+    /**
+     * Compute the latency a data access would see *without* changing
+     * any cache state (InvisiSpec speculative shadow access).
+     */
+    AccessResult dataPeek(Addr addr) const;
+
+    /** Fill the line containing addr into L1D and L2 (expose). */
+    void dataFill(Addr addr);
+
+    /** Instruction fetch access; mutates L1I/L2 state. */
+    AccessResult instAccess(Addr addr);
+
+    /** clflush semantics: evict the line from L1D, L1I and L2. */
+    void flushLine(Addr addr);
+
+    /** Invalidate all caches. */
+    void flushAll();
+
+    Cache &l1i() { return l1i_; }
+    Cache &l1d() { return l1d_; }
+    Cache &l2() { return l2_; }
+    const Cache &l1d() const { return l1d_; }
+    const Cache &l2() const { return l2_; }
+    const HierarchyParams &params() const { return params_; }
+
+    void
+    resetStats()
+    {
+        l1i_.resetStats();
+        l1d_.resetStats();
+        l2_.resetStats();
+    }
+
+  private:
+    HierarchyParams params_;
+    Cache l1i_;
+    Cache l1d_;
+    Cache l2_;
+};
+
+} // namespace nda
+
+#endif // NDASIM_MEM_HIERARCHY_HH

@@ -1,0 +1,97 @@
+#include "mem/memory_map.hh"
+
+namespace nda {
+
+MemoryMap::Page &
+MemoryMap::pageFor(Addr addr)
+{
+    return pages_[pageBase(addr)];
+}
+
+const MemoryMap::Page *
+MemoryMap::pageForConst(Addr addr) const
+{
+    auto it = pages_.find(pageBase(addr));
+    return it == pages_.end() ? nullptr : &it->second;
+}
+
+RegVal
+MemoryMap::read(Addr addr, unsigned size) const
+{
+    RegVal value = 0;
+    for (unsigned i = 0; i < size; ++i) {
+        const Addr a = addr + i;
+        const Page *page = pageForConst(a);
+        const std::uint8_t byte =
+            page ? page->bytes[a & (kPageBytes - 1)] : 0;
+        value |= static_cast<RegVal>(byte) << (8 * i);
+    }
+    return value;
+}
+
+void
+MemoryMap::write(Addr addr, RegVal value, unsigned size)
+{
+    for (unsigned i = 0; i < size; ++i) {
+        const Addr a = addr + i;
+        pageFor(a).bytes[a & (kPageBytes - 1)] =
+            static_cast<std::uint8_t>(value >> (8 * i));
+    }
+}
+
+void
+MemoryMap::writeBytes(Addr addr, const std::uint8_t *bytes, std::size_t len)
+{
+    for (std::size_t i = 0; i < len; ++i) {
+        const Addr a = addr + i;
+        pageFor(a).bytes[a & (kPageBytes - 1)] = bytes[i];
+    }
+}
+
+void
+MemoryMap::readBytes(Addr addr, std::uint8_t *out, std::size_t len) const
+{
+    for (std::size_t i = 0; i < len; ++i) {
+        const Addr a = addr + i;
+        const Page *page = pageForConst(a);
+        out[i] = page ? page->bytes[a & (kPageBytes - 1)] : 0;
+    }
+}
+
+void
+MemoryMap::setPerm(Addr addr, std::size_t len, MemPerm perm)
+{
+    const Addr first = pageBase(addr);
+    const Addr last = pageBase(addr + (len ? len - 1 : 0));
+    for (Addr base = first; base <= last; base += kPageBytes)
+        pages_[base].perm = perm;
+}
+
+MemPerm
+MemoryMap::permAt(Addr addr) const
+{
+    const Page *page = pageForConst(addr);
+    return page ? page->perm : MemPerm::kUser;
+}
+
+bool
+MemoryMap::accessAllowed(Addr addr, unsigned size, CpuMode mode) const
+{
+    if (mode == CpuMode::kKernel)
+        return true;
+    const Addr first = pageBase(addr);
+    const Addr last = pageBase(addr + (size ? size - 1 : 0));
+    for (Addr base = first; base <= last; base += kPageBytes) {
+        if (permAt(base) == MemPerm::kKernel)
+            return false;
+    }
+    return true;
+}
+
+void
+MemoryMap::clear()
+{
+    pages_.clear();
+}
+
+} // namespace nda

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Sparse functional memory with page-granular protection domains.
+ *
+ * This is the architectural backing store: stores become visible here
+ * only at commit. Kernel pages model the privileged memory that
+ * Meltdown-class chosen-code attacks target (paper §4.3).
+ */
+
+#ifndef NDASIM_MEM_MEMORY_MAP_HH
+#define NDASIM_MEM_MEMORY_MAP_HH
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace nda {
+
+/** Sparse byte-addressable memory, 4 KiB pages allocated on demand. */
+class MemoryMap
+{
+  public:
+    static constexpr Addr kPageBytes = 4096;
+
+    /** Read `size` bytes, zero-extended; unmapped bytes read as 0. */
+    RegVal read(Addr addr, unsigned size) const;
+
+    /** Write the low `size` bytes of `value`. */
+    void write(Addr addr, RegVal value, unsigned size);
+
+    /** Bulk-initialize a span. */
+    void writeBytes(Addr addr, const std::uint8_t *bytes, std::size_t len);
+
+    /** Read a span into `out`; unmapped bytes are 0. */
+    void readBytes(Addr addr, std::uint8_t *out, std::size_t len) const;
+
+    /** Set protection on all pages overlapping [addr, addr+len). */
+    void setPerm(Addr addr, std::size_t len, MemPerm perm);
+
+    /** Protection of the page containing addr (kUser if unmapped). */
+    MemPerm permAt(Addr addr) const;
+
+    /**
+     * True if an access of `size` bytes at `addr` from `mode` is
+     * allowed on every touched page.
+     */
+    bool accessAllowed(Addr addr, unsigned size, CpuMode mode) const;
+
+    /** Drop all contents and permissions. */
+    void clear();
+
+    /** Number of resident pages (for tests). */
+    std::size_t pageCount() const { return pages_.size(); }
+
+  private:
+    struct Page {
+        std::array<std::uint8_t, kPageBytes> bytes{};
+        MemPerm perm = MemPerm::kUser;
+    };
+
+    static Addr pageBase(Addr addr) { return addr & ~(kPageBytes - 1); }
+
+    Page &pageFor(Addr addr);
+    const Page *pageForConst(Addr addr) const;
+
+    std::unordered_map<Addr, Page> pages_;
+};
+
+} // namespace nda
+
+#endif // NDASIM_MEM_MEMORY_MAP_HH

@@ -1,0 +1,48 @@
+#include "nda/policy.hh"
+
+namespace nda {
+
+std::string
+policyName(NdaPolicy p)
+{
+    switch (p) {
+      case NdaPolicy::kNone:
+        return "none";
+      case NdaPolicy::kPermissive:
+        return "permissive";
+      case NdaPolicy::kStrict:
+        return "strict";
+    }
+    return "?";
+}
+
+std::string
+invisiSpecName(InvisiSpecMode m)
+{
+    switch (m) {
+      case InvisiSpecMode::kOff:
+        return "off";
+      case InvisiSpecMode::kSpectre:
+        return "spectre";
+      case InvisiSpecMode::kFuture:
+        return "future";
+    }
+    return "?";
+}
+
+std::string
+describe(const SecurityConfig &cfg)
+{
+    std::string s = "propagation=" + policyName(cfg.propagation);
+    if (cfg.bypassRestriction)
+        s += "+BR";
+    if (cfg.loadRestriction)
+        s += "+loadRestriction";
+    if (cfg.invisiSpec != InvisiSpecMode::kOff)
+        s += " invisispec=" + invisiSpecName(cfg.invisiSpec);
+    if (cfg.extraBroadcastDelay)
+        s += " bcastDelay=" + std::to_string(cfg.extraBroadcastDelay);
+    return s;
+}
+
+} // namespace nda

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * NDA propagation policies and the security configuration knob set
+ * (paper §5, Table 2 rows 1-6) plus the InvisiSpec comparison modes
+ * (rows 7-8).
+ */
+
+#ifndef NDASIM_NDA_POLICY_HH
+#define NDASIM_NDA_POLICY_HH
+
+#include <cstdint>
+#include <string>
+
+#include "isa/microop.hh"
+
+namespace nda {
+
+/**
+ * Data-propagation restriction applied to instructions dispatched
+ * while an older *unresolved speculative branch* is in flight.
+ */
+enum class NdaPolicy : std::uint8_t {
+    kNone = 0,     ///< insecure baseline OoO
+    kPermissive,   ///< only load-like ops become unsafe (paper §5.2)
+    kStrict,       ///< every op becomes unsafe (paper §5.1)
+};
+
+/** InvisiSpec comparison model (paper §6.1, Table 2 rows 7-8). */
+enum class InvisiSpecMode : std::uint8_t {
+    kOff = 0,
+    kSpectre,  ///< loads invisible until older branches resolve
+    kFuture,   ///< loads also validated before retirement
+};
+
+/** Full security configuration of a simulated core. */
+struct SecurityConfig {
+    NdaPolicy propagation = NdaPolicy::kNone;
+    /** Bypass Restriction: loads that bypassed unresolved-address
+     *  stores stay unsafe until those stores resolve (paper §5.2). */
+    bool bypassRestriction = false;
+    /** Load restriction: load-like ops wake dependents only when they
+     *  are the eldest unretired instruction (paper §5.3). */
+    bool loadRestriction = false;
+    /** Extra cycles between becoming safe and broadcasting (Fig 9e). */
+    unsigned extraBroadcastDelay = 0;
+    InvisiSpecMode invisiSpec = InvisiSpecMode::kOff;
+    /**
+     * Model the hardware implementation flaw chosen-code attacks
+     * exploit: a faulting load/RDMSR forwards the real value to
+     * dependents before the fault squashes them (paper §4.3).
+     */
+    bool meltdownFlaw = true;
+
+    bool
+    anyNda() const
+    {
+        return propagation != NdaPolicy::kNone || bypassRestriction ||
+               loadRestriction;
+    }
+
+    /**
+     * Does this policy mark `uop` unsafe when dispatched under an
+     * unresolved speculative branch?
+     */
+    bool
+    marksUnsafeUnderBranch(const MicroOp &uop) const
+    {
+        switch (propagation) {
+          case NdaPolicy::kNone:
+            return false;
+          case NdaPolicy::kPermissive:
+            return uop.isLoadLike();
+          case NdaPolicy::kStrict:
+            return true;
+        }
+        return false;
+    }
+};
+
+/** Human-readable policy name. */
+std::string policyName(NdaPolicy p);
+
+/** Human-readable InvisiSpec mode name. */
+std::string invisiSpecName(InvisiSpecMode m);
+
+/** One-line description of a SecurityConfig. */
+std::string describe(const SecurityConfig &cfg);
+
+} // namespace nda
+
+#endif // NDASIM_NDA_POLICY_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Branch-heavy byte-classification kernel (xalancbmk-like): loads
+ * pseudo-random bytes from a 256 KiB table and takes several
+ * data-dependent branches with skewed probabilities (~10% overall
+ * mispredict rate). Branches resolve only after an L1/L2 load,
+ * exercising NDA's unsafe window.
+ */
+
+#include "common/xrandom.hh"
+#include "workloads/workload.hh"
+
+namespace nda {
+
+namespace {
+
+constexpr Addr kData = 0x23000000;
+constexpr unsigned kBytes = 64 * 1024;
+
+class Branchy : public Workload
+{
+  public:
+    Branchy() : Workload("branchy", "623.xalancbmk") {}
+
+    Program
+    build(std::uint64_t seed) const override
+    {
+        XRandom rng(seed * 2 + 1);
+
+        ProgramBuilder b("branchy");
+        b.segment(kData, randomBytes(rng, kBytes));
+
+        b.movi(1, kData);
+        b.movi(2, 0);                     // counter A
+        b.movi(3, 0);                     // counter B
+        b.movi(18, 0);
+        b.movi(19, 1'000'000'000);
+        b.movi(15, kBytes - 1);
+        auto loop = b.label();
+        // index = lcg(i) & mask  (address ready early: induction-based)
+        b.muli(4, 18, 0x9E3779B1);
+        b.and_(4, 4, 15);
+        b.add(5, 1, 4);
+        b.load(6, 5, 0, 1);               // random byte
+        // branch 1: ~87.5% taken (byte < 224)
+        b.movi(7, 224);
+        auto skip1 = b.futureLabel();
+        b.bltu(6, 7, skip1);
+        b.addi(2, 2, 3);
+        b.bind(skip1);
+        // branch 2: ~75% taken (byte & 3 != 0 -> skip)
+        b.andi(8, 6, 3);
+        b.movi(9, 0);
+        auto skip2 = b.futureLabel();
+        b.bne(8, 9, skip2);
+        b.addi(3, 3, 1);
+        b.muli(3, 3, 3);
+        b.bind(skip2);
+        // branch 3: 50/50 on bit 4 of the loaded byte
+        b.andi(10, 6, 16);
+        auto skip3 = b.futureLabel();
+        b.beq(10, 9, skip3);
+        b.xor_(2, 2, 6);
+        b.bind(skip3);
+        b.addi(18, 18, 1);
+        b.bltu(18, 19, loop);
+        b.halt();
+        return b.build();
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeBranchy()
+{
+    return std::make_unique<Branchy>();
+}
+
+} // namespace nda

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Match-finding kernel (xz/zstd-like): compare byte pairs at a
+ * sliding offset and extend matches in a short data-dependent inner
+ * loop. Mispredicts cluster at match boundaries.
+ */
+
+#include "common/xrandom.hh"
+#include "workloads/workload.hh"
+
+namespace nda {
+
+namespace {
+
+constexpr Addr kData = 0x28000000;
+constexpr unsigned kBytes = 32 * 1024;
+
+class Compress : public Workload
+{
+  public:
+    Compress() : Workload("compress", "557.xz") {}
+
+    Program
+    build(std::uint64_t seed) const override
+    {
+        XRandom rng(seed * 2 + 1);
+        // Compressible-ish data: long runs of a few symbols.
+        std::vector<std::uint8_t> data(kBytes);
+        std::uint8_t sym = 0;
+        for (auto &d : data) {
+            if (rng.chance(1, 6))
+                sym = static_cast<std::uint8_t>(rng.below(8));
+            d = sym;
+        }
+
+        ProgramBuilder b("compress");
+        b.segment(kData, std::move(data));
+        b.movi(1, kData);
+        b.movi(2, 0);                     // match length accumulator
+        b.movi(15, kBytes / 2 - 64);
+        b.movi(18, 0);
+        b.movi(19, 1'000'000'000);
+        auto outer = b.label();
+        // pos = lcg(i) % (kBytes/2): candidate match position
+        b.muli(3, 18, 0x9E3779B1);
+        b.andi(3, 3, kBytes / 2 - 1);
+        b.add(4, 1, 3);                   // p
+        b.addi(5, 4, 4096);               // q = p + offset
+        // extend while bytes match, up to 8 (data-dependent trip count)
+        b.movi(6, 0);                     // len
+        auto extend = b.label();
+        auto done = b.futureLabel();
+        b.add(7, 4, 6);
+        b.load(8, 7, 0, 1);
+        b.add(9, 5, 6);
+        b.load(10, 9, 0, 1);
+        b.bne(8, 10, done);               // mismatch -> stop
+        b.addi(6, 6, 1);
+        b.movi(11, 8);
+        b.bltu(6, 11, extend);
+        b.bind(done);
+        b.add(2, 2, 6);
+        b.addi(18, 18, 1);
+        b.bltu(18, 19, outer);
+        b.halt();
+        return b.build();
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeCompress()
+{
+    return std::make_unique<Compress>();
+}
+
+} // namespace nda

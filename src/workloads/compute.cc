@@ -1,0 +1,81 @@
+/**
+ * @file
+ * ALU-bound numeric kernel (namd/nab-like): integer force-field-style
+ * arithmetic with four independent accumulation streams (high ILP),
+ * an L1-resident coefficient table, and perfectly-predictable loops.
+ */
+
+#include "common/xrandom.hh"
+#include "workloads/workload.hh"
+
+namespace nda {
+
+namespace {
+
+constexpr Addr kCoeff = 0x25000000;
+constexpr unsigned kCoeffWords = 512; // 4 KiB: L1-resident
+
+class Compute : public Workload
+{
+  public:
+    Compute() : Workload("compute", "644.nab") {}
+
+    Program
+    build(std::uint64_t seed) const override
+    {
+        XRandom rng(seed * 2 + 1);
+        std::vector<std::uint64_t> coeff(kCoeffWords);
+        for (auto &w : coeff)
+            w = rng.next() | 1;
+
+        ProgramBuilder b("compute");
+        b.segment(kCoeff, packWords(coeff));
+        b.movi(1, kCoeff);
+        for (RegId r = 2; r <= 5; ++r)
+            b.movi(r, 0x1234 + r);        // four accumulators
+        b.movi(18, 0);
+        b.movi(19, 1'000'000'000);
+        b.movi(15, (kCoeffWords - 1) * 8);
+        auto loop = b.label();
+        b.andi(6, 18, (kCoeffWords - 1));
+        b.shli(6, 6, 3);
+        b.add(7, 1, 6);
+        b.load(8, 7, 0, 8);               // coefficient (L1 hit)
+        // Four independent medium-length chains.
+        for (RegId r = 2; r <= 5; ++r) {
+            b.mul(9, r, 8);
+            b.shri(10, 9, 7);
+            b.xor_(11, 10, r);
+            b.add(r, 11, 8);
+        }
+        // Guard branch (overflow check) every 4th iteration: never
+        // taken and perfectly predictable, but its source is the
+        // iteration's result, so it resolves late — the pattern that
+        // makes ops dispatched under it "unsafe" for NDA's
+        // propagation policies.
+        b.andi(13, 18, 3);
+        b.movi(14, 0);
+        auto no_guard = b.futureLabel();
+        b.bne(13, 14, no_guard);
+        b.movi(12, 0x7FFFFFFFFFFFLL);
+        auto no_trap = b.futureLabel();
+        b.bne(5, 12, no_trap);
+        b.halt();                         // unreachable trap
+        b.bind(no_trap);
+        b.bind(no_guard);
+        b.addi(18, 18, 1);
+        b.bltu(18, 19, loop);
+        b.halt();
+        return b.build();
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeCompute()
+{
+    return std::make_unique<Compute>();
+}
+
+} // namespace nda

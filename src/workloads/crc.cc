@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Table-driven CRC (checksum-style serial kernel): every step is
+ * load -> xor -> mask -> dependent table load -> xor -> shift. A
+ * fully serial dependent-load chain with no branches to mispredict —
+ * the adversarial case for load restriction (every load's consumer
+ * waits for retirement).
+ */
+
+#include "common/xrandom.hh"
+#include "workloads/workload.hh"
+
+namespace nda {
+
+namespace {
+
+constexpr Addr kTable = 0x2B000000; // 256 x 8 bytes, L1-resident
+constexpr Addr kInput = 0x2B100000;
+constexpr unsigned kBytes = 64 * 1024;
+
+class Crc : public Workload
+{
+  public:
+    Crc() : Workload("crc", "625.x264(chain)") {}
+
+    Program
+    build(std::uint64_t seed) const override
+    {
+        XRandom rng(seed * 2 + 1);
+        std::vector<std::uint64_t> table(256);
+        for (auto &w : table)
+            w = rng.next();
+
+        ProgramBuilder b("crc");
+        b.segment(kTable, packWords(table));
+        b.segment(kInput, randomBytes(rng, kBytes));
+        b.movi(1, kTable);
+        b.movi(2, kInput);
+        b.movi(3, 0xFFFFFFFFFFFFFFFLL);   // crc
+        b.movi(15, kBytes - 1);
+        b.movi(18, 0);
+        b.movi(19, 1'000'000'000);
+        auto loop = b.label();
+        b.and_(4, 18, 15);
+        b.add(5, 2, 4);
+        b.load(6, 5, 0, 1);               // input byte (sequential)
+        b.xor_(7, 3, 6);
+        b.andi(7, 7, 0xFF);
+        b.shli(7, 7, 3);
+        b.add(8, 1, 7);
+        b.load(9, 8, 0, 8);               // table[(crc^b)&255] (serial!)
+        b.shri(10, 3, 8);
+        b.xor_(3, 9, 10);                 // crc = t ^ (crc >> 8)
+        b.addi(18, 18, 1);
+        b.bltu(18, 19, loop);
+        b.halt();
+        return b.build();
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeCrc()
+{
+    return std::make_unique<Crc>();
+}
+
+} // namespace nda

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Record-filter kernel (database/leela-like branch-dense scan): read
+ * 16-byte records from an L1/L2-resident table and apply a cascade of
+ * mostly-predictable predicates, each branching on just-loaded data.
+ * With a conditional branch every ~4 instructions whose source is a
+ * fresh load, essentially every load completes under an unresolved
+ * branch — the SPEC-like density that gives NDA's *permissive* policy
+ * its cost (paper Table 2 row 1).
+ */
+
+#include "common/xrandom.hh"
+#include "workloads/workload.hh"
+
+namespace nda {
+
+namespace {
+
+constexpr Addr kRecords = 0x30000000;
+constexpr unsigned kNumRecords = 8 * 1024; // 128 KiB of 16 B records
+
+class Filter : public Workload
+{
+  public:
+    Filter() : Workload("filter", "641.leela(scan)") {}
+
+    Program
+    build(std::uint64_t seed) const override
+    {
+        XRandom rng(seed * 2 + 1);
+        std::vector<std::uint64_t> words(kNumRecords * 2);
+        for (unsigned i = 0; i < kNumRecords; ++i) {
+            words[i * 2] = rng.below(1000);        // key
+            words[i * 2 + 1] = rng.below(1 << 20); // value
+        }
+
+        ProgramBuilder b("filter");
+        b.segment(kRecords, packWords(words));
+        b.movi(1, kRecords);
+        b.movi(2, 0);                     // selected count
+        b.movi(3, 0);                     // value sum
+        b.movi(15, (kNumRecords - 1) * 16);
+        b.movi(18, 0);
+        b.movi(19, 1'000'000'000);
+        auto loop = b.label();
+        b.shli(4, 18, 4);
+        b.and_(4, 4, 15);
+        b.add(5, 1, 4);
+        b.load(6, 5, 0, 8);               // key
+        // predicate 1: key < 900 (~90% taken)
+        b.movi(7, 900);
+        auto reject = b.futureLabel();
+        b.bgeu(6, 7, reject);
+        // predicate 2: key != 123 (~99.9% taken)
+        b.movi(8, 123);
+        b.beq(6, 8, reject);
+        b.load(9, 5, 8, 8);               // value (only if selected)
+        // predicate 3: value below threshold (~75% taken)
+        b.movi(10, 786432);               // 0.75 * 2^20
+        auto big = b.futureLabel();
+        b.bgeu(9, 10, big);
+        b.add(3, 3, 9);
+        b.bind(big);
+        b.addi(2, 2, 1);
+        b.bind(reject);
+        b.addi(18, 18, 1);
+        b.bltu(18, 19, loop);
+        b.halt();
+        return b.build();
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeFilter()
+{
+    return std::make_unique<Filter>();
+}
+
+} // namespace nda

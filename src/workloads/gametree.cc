@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Game-tree-search kernel (deepsjeng/leela-like): hash computation,
+ * transposition-table lookups (L2-resident), moderately-predictable
+ * cutoff branches, and a short data-dependent refinement loop.
+ */
+
+#include "common/xrandom.hh"
+#include "workloads/workload.hh"
+
+namespace nda {
+
+namespace {
+
+constexpr Addr kTable = 0x24000000;
+constexpr unsigned kWords = 128 * 1024; // 1 MiB
+
+class GameTree : public Workload
+{
+  public:
+    GameTree() : Workload("gametree", "631.deepsjeng") {}
+
+    Program
+    build(std::uint64_t seed) const override
+    {
+        XRandom rng(seed * 2 + 1);
+        std::vector<std::uint64_t> entries(kWords);
+        for (auto &w : entries)
+            w = rng.next() % 64; // small scores; ~1/64 zero
+
+        ProgramBuilder b("gametree");
+        b.segment(kTable, packWords(entries));
+        b.movi(1, kTable);
+        b.movi(2, 0x12345);               // position hash
+        b.movi(3, 0);                     // best score
+        b.movi(15, (kWords - 1) * 8);
+        b.movi(18, 0);
+        b.movi(19, 1'000'000'000);
+        auto loop = b.label();
+        // hash update (mul chain, some ILP)
+        b.muli(2, 2, 6364136223846793005LL);
+        b.addi(2, 2, 1442695040888963407LL);
+        b.shri(4, 2, 17);
+        b.xor_(4, 4, 2);
+        b.andi(5, 4, 0xFFFF8);           // aligned table offset
+        b.and_(5, 5, 15);
+        b.add(6, 1, 5);
+        b.load(7, 6, 0, 8);              // tt entry (L2-resident)
+        // score refinement: arithmetic only on the slow load (real
+        // evaluators blend scores branchlessly)
+        b.shri(8, 7, 3);
+        b.add(3, 3, 8);
+        b.cmpltu(9, 3, 7);
+        b.mul(10, 9, 8);
+        b.add(3, 3, 10);
+        // cutoff branch driven by a small L1-resident history table
+        // (fast to resolve, ~80% predictable)
+        b.andi(11, 2, 511 * 8);
+        b.andi(11, 11, ~7LL);
+        b.add(12, 1, 11);                // low table region stays hot
+        b.load(13, 12, 0, 8);
+        b.andi(13, 13, 7);
+        b.movi(14, 6);
+        auto no_cutoff = b.futureLabel();
+        b.bltu(13, 14, no_cutoff);       // ~75% taken
+        b.xor_(3, 3, 13);
+        b.bind(no_cutoff);
+        // periodic reset every 64 iterations (predictable)
+        b.andi(9, 18, 63);
+        b.movi(10, 0);
+        auto no_reset = b.futureLabel();
+        b.bne(9, 10, no_reset);
+        b.movi(3, 0);
+        b.bind(no_reset);
+        b.addi(18, 18, 1);
+        b.bltu(18, 19, loop);
+        b.halt();
+        return b.build();
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeGameTree()
+{
+    return std::make_unique<GameTree>();
+}
+
+} // namespace nda

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Hash-join probe kernel (database-style, omnetpp-like memory
+ * behaviour): hash a streaming key, probe a 2 MiB bucket table
+ * (random access, L2/DRAM boundary), and branch on match (~12% hit).
+ */
+
+#include "common/xrandom.hh"
+#include "workloads/workload.hh"
+
+namespace nda {
+
+namespace {
+
+constexpr Addr kTable = 0x26000000;
+constexpr unsigned kBuckets = 64 * 1024; // 512 KiB of 8-byte buckets
+
+class HashJoin : public Workload
+{
+  public:
+    HashJoin() : Workload("hashjoin", "620.omnetpp") {}
+
+    Program
+    build(std::uint64_t seed) const override
+    {
+        XRandom rng(seed * 2 + 1);
+        std::vector<std::uint64_t> buckets(kBuckets);
+        for (auto &w : buckets)
+            w = rng.chance(1, 8) ? 1 : 0; // ~12% occupied
+
+        ProgramBuilder b("hashjoin");
+        b.segment(kTable, packWords(buckets));
+        b.movi(1, kTable);
+        b.movi(2, 0);                     // match count
+        b.movi(3, 0);                     // payload sum
+        b.movi(15, (kBuckets - 1));
+        b.movi(14, 1);
+        b.movi(18, 0);
+        b.movi(19, 1'000'000'000);
+        auto loop = b.label();
+        // Three independent branchless probes per iteration (batch
+        // probing, database style): cmpeq-accumulate each match.
+        b.movi(12, 0);                    // matches this iteration
+        for (int u = 0; u < 3; ++u) {
+            b.addi(4, 18, u * 12345);
+            b.muli(4, 4, 0x2545F4914F6CDD1DLL);
+            b.shri(5, 4, 29);
+            b.xor_(5, 5, 4);
+            b.and_(5, 5, 15);
+            b.shli(5, 5, 3);
+            b.add(6, 1, 5);
+            b.load(7, 6, 0, 8);           // bucket (random access)
+            b.cmpeq(8, 7, 14);
+            b.add(12, 12, 8);
+            b.add(3, 3, 7);               // payload accumulation
+        }
+        // Insert: mark the last bucket visited — a store whose
+        // address came from computation (store-bypass pressure).
+        b.store(6, 0, 12, 8);
+        // One emit branch per batch (~30 insts), dependent on the
+        // probed data, so it resolves at L2/DRAM latency.
+        b.movi(13, 0);
+        auto no_emit = b.futureLabel();
+        b.beq(12, 13, no_emit);           // ~70% taken (no match)
+        b.addi(2, 2, 1);
+        b.bind(no_emit);
+        b.addi(18, 18, 1);
+        b.bltu(18, 19, loop);
+        b.halt();
+        return b.build();
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeHashJoin()
+{
+    return std::make_unique<HashJoin>();
+}
+
+} // namespace nda

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Bytecode-interpreter kernel (perlbench/python-like dispatch loops):
+ * fetch a bytecode byte, dispatch through a jump table with an
+ * register-indirect jump, execute a tiny handler, repeat. The
+ * dispatch target depends on a load, so the indirect branch resolves
+ * late and every handler runs under it — the densest unsafe-window
+ * pattern real interpreters create for NDA's propagation policies.
+ */
+
+#include "common/xrandom.hh"
+#include "workloads/workload.hh"
+
+namespace nda {
+
+namespace {
+
+constexpr Addr kBytecode = 0x2F000000;
+constexpr unsigned kProgBytes = 16 * 1024; // L1/L2-resident program
+constexpr Addr kJumpTable = 0x2F100000;
+constexpr unsigned kNumOps = 8;
+
+class Interp : public Workload
+{
+  public:
+    Interp() : Workload("interp", "600.perlbench(dispatch)") {}
+
+    Program
+    build(std::uint64_t seed) const override
+    {
+        XRandom rng(seed * 2 + 1);
+        std::vector<std::uint8_t> bytecode(kProgBytes);
+        for (auto &op : bytecode)
+            op = static_cast<std::uint8_t>(rng.below(kNumOps));
+
+        ProgramBuilder b("interp");
+        b.segment(kBytecode, std::move(bytecode));
+
+        // regs: r1 = vm accumulator, r2 = vm operand, r3 = vm pc,
+        //        r4 = bytecode base, r5 = jump-table base
+        auto main_l = b.futureLabel();
+        b.jmp(main_l);
+
+        // --- handlers: each ends by jumping back to the dispatcher.
+        auto dispatch = b.futureLabel();
+        std::vector<Addr> handler_pcs;
+        // op 0: acc += operand
+        handler_pcs.push_back(b.here());
+        b.add(1, 1, 2);
+        b.jmp(dispatch);
+        // op 1: acc -= operand
+        handler_pcs.push_back(b.here());
+        b.sub(1, 1, 2);
+        b.jmp(dispatch);
+        // op 2: acc ^= operand << 3
+        handler_pcs.push_back(b.here());
+        b.shli(6, 2, 3);
+        b.xor_(1, 1, 6);
+        b.jmp(dispatch);
+        // op 3: acc = acc * 33 + operand
+        handler_pcs.push_back(b.here());
+        b.muli(1, 1, 33);
+        b.add(1, 1, 2);
+        b.jmp(dispatch);
+        // op 4: operand = acc >> 7
+        handler_pcs.push_back(b.here());
+        b.shri(2, 1, 7);
+        b.jmp(dispatch);
+        // op 5: conditional: skip next vm-op if acc odd
+        handler_pcs.push_back(b.here());
+        {
+            b.andi(6, 1, 1);
+            b.movi(7, 0);
+            auto no_skip = b.futureLabel();
+            b.beq(6, 7, no_skip);
+            b.addi(3, 3, 1);             // vm-level skip
+            b.bind(no_skip);
+            b.jmp(dispatch);
+        }
+        // op 6: reload operand from the bytecode stream (data load)
+        handler_pcs.push_back(b.here());
+        b.andi(6, 1, kProgBytes - 1);
+        b.add(7, 4, 6);
+        b.load(2, 7, 0, 1);
+        b.jmp(dispatch);
+        // op 7: mix
+        handler_pcs.push_back(b.here());
+        b.xor_(1, 1, 2);
+        b.addi(2, 2, 13);
+        b.jmp(dispatch);
+
+        std::vector<std::uint64_t> table;
+        for (Addr pc : handler_pcs)
+            table.push_back(pc);
+        b.segment(kJumpTable, packWords(table));
+
+        // --- main / dispatcher ------------------------------------------
+        b.bind(main_l);
+        b.movi(1, 0x1234);
+        b.movi(2, 7);
+        b.movi(3, 0);
+        b.movi(4, kBytecode);
+        b.movi(5, kJumpTable);
+        b.movi(18, 0);
+        b.movi(19, 1'000'000'000);
+        b.bind(dispatch);
+        // vm pc wraps around the bytecode program
+        b.andi(6, 3, kProgBytes - 1);
+        b.add(7, 4, 6);
+        b.load(8, 7, 0, 1);              // opcode byte
+        b.shli(8, 8, 3);
+        b.add(9, 5, 8);
+        b.load(10, 9, 0, 8);             // handler address
+        b.addi(3, 3, 1);
+        b.addi(18, 18, 1);
+        auto done = b.futureLabel();
+        b.bgeu(18, 19, done);
+        b.jmpr(10);                      // indirect dispatch
+        b.bind(done);
+        b.halt();
+        return b.build();
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeInterp()
+{
+    return std::make_unique<Interp>();
+}
+
+} // namespace nda

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * 64x64 integer matrix multiply (blas-like core of many SPECfp
+ * codes): unrolled inner product with L1/L2-resident operands,
+ * perfectly predictable branches, abundant ILP.
+ */
+
+#include "common/xrandom.hh"
+#include "workloads/workload.hh"
+
+namespace nda {
+
+namespace {
+
+constexpr Addr kMatA = 0x2D000000;
+constexpr Addr kMatB = 0x2D100000;
+constexpr Addr kMatC = 0x2D200000;
+constexpr unsigned kN = 64;
+
+class MatMul : public Workload
+{
+  public:
+    MatMul() : Workload("matmul", "603.bwaves(core)") {}
+
+    Program
+    build(std::uint64_t seed) const override
+    {
+        XRandom rng(seed * 2 + 1);
+        std::vector<std::uint64_t> m(kN * kN);
+        for (auto &w : m)
+            w = rng.below(1 << 16);
+
+        ProgramBuilder b("matmul");
+        b.segment(kMatA, packWords(m));
+        for (auto &w : m)
+            w = rng.below(1 << 16);
+        b.segment(kMatB, packWords(m));
+        b.zeroSegment(kMatC, kN * kN * 8);
+
+        constexpr std::int64_t kRow = kN * 8;
+        b.movi(17, 0);                     // repetition counter
+        auto outer = b.label();
+        b.movi(18, 0);                     // i
+        b.movi(19, kN);
+        auto iloop = b.label();
+        b.movi(14, 0);                     // j
+        auto jloop = b.label();
+        b.movi(2, 0);                      // acc
+        b.movi(13, 0);                     // k
+        auto kloop = b.label();
+        // A[i][k..k+3] * B[k..k+3][j], unrolled 4x
+        for (int u = 0; u < 4; ++u) {
+            b.muli(3, 18, kRow);          // A row offset
+            b.shli(4, 13, 3);
+            b.add(3, 3, 4);
+            b.movi(5, kMatA);
+            b.add(5, 5, 3);
+            b.load(6, 5, u * 8, 8);       // A[i][k+u]
+            b.addi(7, 13, u);
+            b.muli(7, 7, kRow);           // B row offset
+            b.shli(8, 14, 3);
+            b.add(7, 7, 8);
+            b.movi(9, kMatB);
+            b.add(9, 9, 7);
+            b.load(10, 9, 0, 8);          // B[k+u][j]
+            b.mul(11, 6, 10);
+            b.add(2, 2, 11);
+        }
+        b.addi(13, 13, 4);
+        b.bltu(13, 19, kloop);
+        // Guard (overflow check) on the finished inner product:
+        // predictable but late-resolving, once per j iteration.
+        b.movi(12, 0x7FFFFFFFFFFFLL);
+        auto no_trap = b.futureLabel();
+        b.bne(2, 12, no_trap);
+        b.halt();                          // unreachable trap
+        b.bind(no_trap);
+        // C[i][j] = acc
+        b.muli(3, 18, kRow);
+        b.shli(4, 14, 3);
+        b.add(3, 3, 4);
+        b.movi(5, kMatC);
+        b.add(5, 5, 3);
+        b.store(5, 0, 2, 8);
+        b.addi(14, 14, 1);
+        b.bltu(14, 19, jloop);
+        b.addi(18, 18, 1);
+        b.bltu(18, 19, iloop);
+        b.addi(17, 17, 1);
+        b.movi(16, 1'000'000);
+        b.bltu(17, 16, outer);
+        b.halt();
+        return b.build();
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeMatMul()
+{
+    return std::make_unique<MatMul>();
+}
+
+} // namespace nda

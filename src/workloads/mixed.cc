@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Phase-mixed kernel (gcc/x264-like whole-program behaviour):
+ * interleaves a pointer-chase burst, a streaming burst, and an ALU
+ * burst per outer iteration, so all pipeline resources see pressure.
+ */
+
+#include "common/xrandom.hh"
+#include "workloads/workload.hh"
+
+namespace nda {
+
+namespace {
+
+constexpr Addr kChain = 0x2E000000;
+constexpr Addr kArray = 0x2E800000;
+constexpr unsigned kChainNodes = 32 * 1024; // 2 MiB at 64B/node
+constexpr unsigned kArrayWords = 64 * 1024; // 512 KiB
+
+class Mixed : public Workload
+{
+  public:
+    Mixed() : Workload("mixed", "625.x264") {}
+
+    Program
+    build(std::uint64_t seed) const override
+    {
+        XRandom rng(seed * 2 + 1);
+
+        std::vector<std::uint32_t> next(kChainNodes);
+        for (std::uint32_t i = 0; i < kChainNodes; ++i)
+            next[i] = i;
+        for (std::uint32_t i = kChainNodes - 1; i > 0; --i)
+            std::swap(next[i],
+                      next[static_cast<std::uint32_t>(rng.below(i))]);
+        std::vector<std::uint64_t> nodes(kChainNodes * 8);
+        for (std::uint32_t i = 0; i < kChainNodes; ++i)
+            nodes[i * 8] = kChain + static_cast<Addr>(next[i]) * 64;
+
+        std::vector<std::uint64_t> arr(kArrayWords);
+        for (auto &w : arr)
+            w = rng.next();
+
+        ProgramBuilder b("mixed");
+        b.segment(kChain, packWords(nodes));
+        b.segment(kArray, packWords(arr));
+
+        b.movi(1, kChain);                 // chase pointer
+        b.movi(2, 0);                      // accumulator
+        b.movi(12, 0);                     // stream offset
+        b.movi(15, (kArrayWords - 4) * 8);
+        b.movi(18, 0);
+        b.movi(19, 1'000'000'000);
+        auto loop = b.label();
+        // Phase 1: two chase steps (serial loads).
+        b.load(1, 1, 0, 8);
+        b.load(1, 1, 0, 8);
+        // Phase 2: streaming reads (independent loads).
+        b.movi(3, kArray);
+        b.add(3, 3, 12);
+        b.load(4, 3, 0, 8);
+        b.load(5, 3, 8, 8);
+        b.load(6, 3, 16, 8);
+        b.add(2, 2, 4);
+        b.add(7, 5, 6);
+        b.add(2, 2, 7);
+        b.addi(12, 12, 24);
+        b.and_(12, 12, 15);
+        // Phase 3: ALU burst with a skewed branch.
+        b.muli(8, 2, 0x9E3779B1);
+        b.shri(9, 8, 13);
+        b.xor_(2, 2, 9);
+        b.andi(10, 8, 7);
+        b.movi(11, 7);
+        auto skip = b.futureLabel();
+        b.bne(10, 11, skip);               // ~87% taken
+        b.addi(2, 2, 13);
+        b.bind(skip);
+        b.addi(18, 18, 1);
+        b.bltu(18, 19, loop);
+        b.halt();
+        return b.build();
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeMixed()
+{
+    return std::make_unique<Mixed>();
+}
+
+} // namespace nda

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Pointer-chase kernel (mcf-like): serial dependent loads over an
+ * 8 MiB linked structure (DRAM-resident), with a highly-biased
+ * value-dependent branch. Stresses dependent-load latency; MLP ~= 1.
+ */
+
+#include "common/xrandom.hh"
+#include "workloads/workload.hh"
+
+namespace nda {
+
+namespace {
+
+constexpr Addr kNodeBase = 0x10000000;
+constexpr unsigned kNodeBytes = 64;
+constexpr unsigned kNumNodes = 32 * 1024; // 2 MiB: L2-resident
+
+class PointerChase : public Workload
+{
+  public:
+    PointerChase() : Workload("ptrchase", "605.mcf") {}
+
+    Program
+    build(std::uint64_t seed) const override
+    {
+        XRandom rng(seed * 2 + 1);
+
+        // Random single-cycle permutation (Sattolo's algorithm).
+        std::vector<std::uint32_t> next(kNumNodes);
+        for (std::uint32_t i = 0; i < kNumNodes; ++i)
+            next[i] = i;
+        for (std::uint32_t i = kNumNodes - 1; i > 0; --i) {
+            const auto j =
+                static_cast<std::uint32_t>(rng.below(i));
+            std::swap(next[i], next[j]);
+        }
+
+        std::vector<std::uint64_t> words(kNumNodes * (kNodeBytes / 8));
+        for (std::uint32_t i = 0; i < kNumNodes; ++i) {
+            const std::size_t base = i * (kNodeBytes / 8);
+            words[base] = kNodeBase +
+                          static_cast<Addr>(next[i]) * kNodeBytes;
+            // ~3% of nodes carry a "large" value (rarely-taken branch).
+            words[base + 1] =
+                rng.chance(3, 100) ? 5000 + rng.below(100)
+                                   : rng.below(900);
+        }
+
+        ProgramBuilder b("ptrchase");
+        b.segment(kNodeBase, packWords(words));
+        // Small L1-resident cost table consulted per node (the "work"
+        // mcf does per arc).
+        constexpr Addr kCostTable = kNodeBase - 0x10000;
+        {
+            XRandom trng(seed + 7);
+            std::vector<std::uint64_t> costs(512);
+            for (auto &c : costs)
+                c = trng.below(4096);
+            b.segment(kCostTable, packWords(costs));
+        }
+        b.movi(1, kNodeBase);
+        b.movi(2, 0);                // accumulator
+        b.movi(13, kCostTable);
+        b.movi(18, 0);
+        b.movi(19, 1'000'000'000);
+        auto loop = b.label();
+        b.load(3, 1, 0, 8);          // node->next (serial chain)
+        b.load(4, 1, 8, 8);          // node->value
+        b.add(2, 2, 4);
+        // per-node work: two cost lookups + arithmetic
+        b.andi(6, 4, 511 * 8);
+        b.andi(6, 6, ~7LL);
+        b.add(7, 13, 6);
+        b.load(8, 7, 0, 8);          // cost[value & mask] (L1)
+        b.load(9, 7, 8, 8);
+        b.mul(10, 8, 9);
+        b.shri(10, 10, 5);
+        b.add(2, 2, 10);
+        b.movi(5, 1000);
+        auto skip = b.futureLabel();
+        b.bltu(4, 5, skip);          // ~97% taken
+        b.addi(2, 2, 7);
+        b.bind(skip);
+        b.mov(1, 3);
+        b.addi(18, 18, 1);
+        b.bltu(18, 19, loop);
+        b.halt();
+        return b.build();
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makePointerChase()
+{
+    return std::make_unique<PointerChase>();
+}
+
+} // namespace nda

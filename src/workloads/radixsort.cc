@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Radix-sort counting pass (x264/xz-style integer mix): stream keys,
+ * extract a digit, and increment an in-memory 256-entry count table.
+ * The load-modify-store on a data-dependent address creates the
+ * store-queue bypass pressure NDA's Bypass Restriction pays for.
+ */
+
+#include "common/xrandom.hh"
+#include "workloads/workload.hh"
+
+namespace nda {
+
+namespace {
+
+constexpr Addr kKeys = 0x27000000;
+constexpr Addr kCounts = 0x27800000;
+constexpr unsigned kNumKeys = 128 * 1024; // 1 MiB
+
+class RadixSort : public Workload
+{
+  public:
+    RadixSort() : Workload("radixsort", "557.xz(int)") {}
+
+    Program
+    build(std::uint64_t seed) const override
+    {
+        XRandom rng(seed * 2 + 1);
+        std::vector<std::uint64_t> keys(kNumKeys);
+        for (auto &w : keys)
+            w = rng.next();
+
+        ProgramBuilder b("radixsort");
+        b.segment(kKeys, packWords(keys));
+        b.zeroSegment(kCounts, 256 * 8);
+        b.movi(1, kKeys);
+        b.movi(2, kCounts);
+        b.movi(15, (kNumKeys - 1) * 8);
+        b.movi(18, 0);
+        b.movi(19, 1'000'000'000);
+        auto loop = b.label();
+        b.shli(3, 18, 3);
+        b.and_(3, 3, 15);                 // wrap the key stream
+        b.add(4, 1, 3);
+        b.load(5, 4, 0, 8);               // key (sequential)
+        b.andi(6, 5, 0xFF);               // digit
+        b.shli(6, 6, 3);
+        b.add(7, 2, 6);
+        b.load(8, 7, 0, 8);               // count[digit]
+        b.addi(8, 8, 1);
+        b.store(7, 0, 8, 8);              // count[digit]++
+        b.addi(18, 18, 1);
+        b.bltu(18, 19, loop);
+        b.halt();
+        return b.build();
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeRadixSort()
+{
+    return std::make_unique<RadixSort>();
+}
+
+} // namespace nda

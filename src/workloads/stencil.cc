@@ -1,0 +1,87 @@
+/**
+ * @file
+ * 5-point stencil over a 256x256 grid (fotonik/cactu-like): four
+ * neighbour loads + one store per point, L2-resident, perfectly
+ * predictable control flow, high ILP and MLP.
+ */
+
+#include "common/xrandom.hh"
+#include "workloads/workload.hh"
+
+namespace nda {
+
+namespace {
+
+constexpr Addr kSrc = 0x29000000;
+constexpr Addr kDst = 0x29800000;
+constexpr unsigned kDim = 128; // 128 KiB grid: L2-resident, hot rows in L1
+
+class Stencil : public Workload
+{
+  public:
+    Stencil() : Workload("stencil", "649.fotonik3d") {}
+
+    Program
+    build(std::uint64_t seed) const override
+    {
+        XRandom rng(seed * 2 + 1);
+        std::vector<std::uint64_t> grid(kDim * kDim);
+        for (auto &w : grid)
+            w = rng.below(1 << 20);
+
+        ProgramBuilder b("stencil");
+        b.segment(kSrc, packWords(grid));
+        b.zeroSegment(kDst, kDim * kDim * 8);
+
+        constexpr std::int64_t kRow = kDim * 8;
+        b.movi(1, kSrc);
+        b.movi(2, kDst);
+        b.movi(17, 0);                     // sweep counter
+        auto sweep = b.label();
+        b.movi(18, 1);                     // row i
+        b.movi(19, kDim - 1);
+        auto row = b.label();
+        b.movi(14, 1);                     // col j
+        auto col = b.label();
+        // off = (i*kDim + j) * 8
+        b.muli(3, 18, kRow);
+        b.shli(4, 14, 3);
+        b.add(3, 3, 4);
+        b.add(5, 1, 3);
+        b.load(6, 5, -8, 8);               // west
+        b.load(7, 5, 8, 8);                // east
+        b.load(8, 5, -kRow, 8);            // north
+        b.load(9, 5, kRow, 8);             // south
+        b.add(10, 6, 7);
+        b.add(11, 8, 9);
+        b.add(10, 10, 11);
+        b.shri(10, 10, 2);
+        b.add(12, 2, 3);
+        b.store(12, 0, 10, 8);
+        // Late-resolving, never-taken range check on the result.
+        b.movi(13, 0x7FFFFFFFFFFFLL);
+        auto no_trap = b.futureLabel();
+        b.bne(10, 13, no_trap);
+        b.halt();                          // unreachable trap
+        b.bind(no_trap);
+        b.addi(14, 14, 1);
+        b.bltu(14, 19, col);
+        b.addi(18, 18, 1);
+        b.bltu(18, 19, row);
+        b.addi(17, 17, 1);
+        b.movi(16, 1'000'000);
+        b.bltu(17, 16, sweep);
+        b.halt();
+        return b.build();
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeStencil()
+{
+    return std::make_unique<Stencil>();
+}
+
+} // namespace nda

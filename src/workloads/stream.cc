@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Streaming kernel (lbm-like): a[i] = b[i] + 3*c[i] over 2 MiB
+ * arrays, unrolled 4x. Sequential DRAM traffic with high MLP,
+ * perfectly predictable branches.
+ */
+
+#include "common/xrandom.hh"
+#include "workloads/workload.hh"
+
+namespace nda {
+
+namespace {
+
+constexpr Addr kA = 0x20000000;
+constexpr Addr kB = 0x21000000;
+constexpr Addr kC = 0x22000000;
+constexpr unsigned kWords = 256 * 1024; // 2 MiB each
+
+class Stream : public Workload
+{
+  public:
+    Stream() : Workload("stream", "619.lbm") {}
+
+    Program
+    build(std::uint64_t seed) const override
+    {
+        XRandom rng(seed * 2 + 1);
+        std::vector<std::uint64_t> init(kWords);
+        for (auto &w : init)
+            w = rng.next();
+
+        ProgramBuilder b("stream");
+        b.zeroSegment(kA, kWords * 8);
+        b.segment(kB, packWords(init));
+        for (auto &w : init)
+            w = rng.next();
+        b.segment(kC, packWords(init));
+
+        b.movi(18, 0);                    // byte offset
+        b.movi(19, kWords * 8);
+        b.movi(1, kA);
+        b.movi(2, kB);
+        b.movi(3, kC);
+        b.movi(17, 0);                    // pass counter
+        auto outer = b.label();
+        auto loop = b.label();
+        for (int u = 0; u < 4; ++u) {
+            const std::int64_t d = u * 8;
+            b.add(4, 2, 18);
+            b.load(5, 4, d, 8);           // b[i+u]
+            b.add(6, 3, 18);
+            b.load(7, 6, d, 8);           // c[i+u]
+            b.muli(8, 7, 3);
+            b.add(9, 5, 8);
+            b.add(10, 1, 18);
+            b.store(10, d, 9, 8);         // a[i+u]
+        }
+        // NaN/overflow-style guard on the last computed element:
+        // predictable, but resolves only when the loads return.
+        b.movi(13, 0x7FFFFFFFFFFFLL);
+        auto no_trap = b.futureLabel();
+        b.bne(9, 13, no_trap);
+        b.halt();                          // unreachable trap
+        b.bind(no_trap);
+        b.addi(18, 18, 32);
+        b.bltu(18, 19, loop);
+        b.movi(18, 0);
+        b.addi(17, 17, 1);
+        b.movi(16, 1'000'000);
+        b.bltu(17, 16, outer);
+        b.halt();
+        return b.build();
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeStream()
+{
+    return std::make_unique<Stream>();
+}
+
+} // namespace nda

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Text-scanning kernel (perlbench-like): classify a stream of
+ * text-distributed bytes with range-check branches (letter / digit /
+ * separator). Branches are data-dependent but skewed like real text,
+ * giving a moderate mispredict rate.
+ */
+
+#include "common/xrandom.hh"
+#include "workloads/workload.hh"
+
+namespace nda {
+
+namespace {
+
+constexpr Addr kText = 0x2C000000;
+constexpr unsigned kBytes = 128 * 1024;
+
+class StrProc : public Workload
+{
+  public:
+    StrProc() : Workload("strproc", "600.perlbench") {}
+
+    Program
+    build(std::uint64_t seed) const override
+    {
+        XRandom rng(seed * 2 + 1);
+        // Text-like byte distribution: ~70% letters, 10% digits,
+        // 20% separators.
+        std::vector<std::uint8_t> text(kBytes);
+        for (auto &c : text) {
+            const auto p = rng.below(100);
+            if (p < 70)
+                c = static_cast<std::uint8_t>('a' + rng.below(26));
+            else if (p < 80)
+                c = static_cast<std::uint8_t>('0' + rng.below(10));
+            else
+                c = ' ';
+        }
+
+        ProgramBuilder b("strproc");
+        b.segment(kText, std::move(text));
+        b.movi(1, kText);
+        b.movi(2, 0);                     // letters
+        b.movi(3, 0);                     // digits
+        b.movi(4, 0);                     // tokens
+        b.movi(15, kBytes - 1);
+        b.movi(18, 0);
+        b.movi(19, 1'000'000'000);
+        auto loop = b.label();
+        b.and_(5, 18, 15);
+        b.add(6, 1, 5);
+        b.load(7, 6, 0, 1);               // byte (sequential)
+        b.movi(8, 'a');
+        b.movi(9, 'z' + 1);
+        auto not_alpha = b.futureLabel();
+        auto next = b.futureLabel();
+        b.bltu(7, 8, not_alpha);          // ~70% fall through
+        b.bgeu(7, 9, not_alpha);
+        b.addi(2, 2, 1);
+        b.jmp(next);
+        b.bind(not_alpha);
+        b.movi(8, '0');
+        b.movi(9, '9' + 1);
+        auto not_digit = b.futureLabel();
+        b.bltu(7, 8, not_digit);
+        b.bgeu(7, 9, not_digit);
+        b.add(3, 3, 7);
+        b.jmp(next);
+        b.bind(not_digit);
+        b.addi(4, 4, 1);                  // separator: token boundary
+        b.bind(next);
+        b.addi(18, 18, 1);
+        b.bltu(18, 19, loop);
+        b.halt();
+        return b.build();
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeStrProc()
+{
+    return std::make_unique<StrProc>();
+}
+
+} // namespace nda

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Binary-search-tree descent (gcc/perlbench pointer-and-branch mix):
+ * each level is a dependent load feeding a 50/50 data-dependent
+ * branch that selects the next child pointer. Late-resolving,
+ * poorly-predictable branches — the adversarial case for strict
+ * propagation (paper Fig 7's high-overhead benchmarks).
+ */
+
+#include "common/xrandom.hh"
+#include "workloads/workload.hh"
+
+namespace nda {
+
+namespace {
+
+constexpr Addr kNodes = 0x2A000000;
+constexpr unsigned kNumNodes = 64 * 1024; // 1.5 MiB of 24-byte nodes
+constexpr unsigned kNodeBytes = 24;       // key, left, right
+
+class TreeWalk : public Workload
+{
+  public:
+    TreeWalk() : Workload("treewalk", "602.gcc") {}
+
+    Program
+    build(std::uint64_t seed) const override
+    {
+        XRandom rng(seed * 2 + 1);
+        // Random binary tree laid out by heap index with random keys.
+        std::vector<std::uint64_t> words(kNumNodes * 3);
+        for (unsigned i = 0; i < kNumNodes; ++i) {
+            const auto addr_of = [](unsigned idx) {
+                return kNodes + static_cast<Addr>(idx) * kNodeBytes;
+            };
+            words[i * 3] = rng.next() & 0xFFFFFFFF; // key
+            const unsigned l = 2 * i + 1;
+            const unsigned r = 2 * i + 2;
+            words[i * 3 + 1] =
+                l < kNumNodes ? addr_of(l) : addr_of(0);
+            words[i * 3 + 2] =
+                r < kNumNodes ? addr_of(r) : addr_of(0);
+        }
+
+        ProgramBuilder b("treewalk");
+        b.segment(kNodes, packWords(words));
+        b.movi(1, kNodes);                // current node
+        b.movi(2, 0);                     // checksum
+        b.movi(18, 0);
+        b.movi(19, 1'000'000'000);
+        auto loop = b.label();
+        // fresh pseudo-random search key each step
+        b.muli(3, 18, 0x9E3779B97F4A7C15LL);
+        b.shri(4, 3, 31);
+        b.andi(4, 4, 0xFFFFFFFF);
+        b.load(5, 1, 0, 8);               // node->key
+        b.add(2, 2, 5);
+        auto go_right = b.futureLabel();
+        auto next = b.futureLabel();
+        b.bltu(5, 4, go_right);           // ~50/50, resolves late
+        b.load(1, 1, 8, 8);               // node = node->left
+        b.jmp(next);
+        b.bind(go_right);
+        b.load(1, 1, 16, 8);              // node = node->right
+        b.bind(next);
+        // restart from the root every 14 levels (predictable)
+        b.andi(6, 18, 15);
+        b.movi(7, 14);
+        auto no_reset = b.futureLabel();
+        b.bltu(6, 7, no_reset);
+        b.movi(1, kNodes);
+        b.bind(no_reset);
+        b.addi(18, 18, 1);
+        b.bltu(18, 19, loop);
+        b.halt();
+        return b.build();
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeTreeWalk()
+{
+    return std::make_unique<TreeWalk>();
+}
+
+} // namespace nda

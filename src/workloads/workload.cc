@@ -1,0 +1,62 @@
+#include "workloads/workload.hh"
+
+#include "common/xrandom.hh"
+
+namespace nda {
+
+std::vector<std::uint8_t>
+randomBytes(XRandom &rng, std::size_t len)
+{
+    std::vector<std::uint8_t> bytes(len);
+    for (auto &b : bytes)
+        b = static_cast<std::uint8_t>(rng.next());
+    return bytes;
+}
+
+std::vector<std::uint8_t>
+packWords(const std::vector<std::uint64_t> &ws)
+{
+    std::vector<std::uint8_t> bytes(ws.size() * 8);
+    for (std::size_t i = 0; i < ws.size(); ++i) {
+        for (int j = 0; j < 8; ++j) {
+            bytes[i * 8 + static_cast<std::size_t>(j)] =
+                static_cast<std::uint8_t>(ws[i] >> (8 * j));
+        }
+    }
+    return bytes;
+}
+
+std::vector<std::unique_ptr<Workload>>
+makeAllWorkloads()
+{
+    std::vector<std::unique_ptr<Workload>> w;
+    w.push_back(makePointerChase());
+    w.push_back(makeStream());
+    w.push_back(makeBranchy());
+    w.push_back(makeGameTree());
+    w.push_back(makeCompute());
+    w.push_back(makeHashJoin());
+    w.push_back(makeRadixSort());
+    w.push_back(makeCompress());
+    w.push_back(makeStencil());
+    w.push_back(makeTreeWalk());
+    w.push_back(makeCrc());
+    w.push_back(makeStrProc());
+    w.push_back(makeMatMul());
+    w.push_back(makeMixed());
+    w.push_back(makeInterp());
+    w.push_back(makeFilter());
+    return w;
+}
+
+std::unique_ptr<Workload>
+makeWorkload(const std::string &name)
+{
+    for (auto &w : makeAllWorkloads()) {
+        if (w->name() == name)
+            return std::move(w);
+    }
+    return nullptr;
+}
+
+} // namespace nda

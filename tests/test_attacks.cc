@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Security test suite: every attack PoC is run against every machine
+ * profile, and the observed leak/block outcome must match the paper's
+ * Table 2 exactly. Also checks the covert-channel signal magnitudes
+ * the paper reports (Fig 4: ~140-cycle cache signal, ~16-cycle BTB
+ * signal) and Fig 8 (NDA flattens the curves).
+ */
+
+#include <gtest/gtest.h>
+
+#include "attacks/attack_registry.hh"
+#include "attacks/attacks.hh"
+#include "harness/profiles.hh"
+
+namespace nda {
+namespace {
+
+/** Profiles to test attacks against (in-order is trivially immune). */
+std::vector<Profile>
+attackProfiles()
+{
+    return {
+        Profile::kOoo,
+        Profile::kPermissive,
+        Profile::kPermissiveBr,
+        Profile::kStrict,
+        Profile::kStrictBr,
+        Profile::kRestrictedLoads,
+        Profile::kFullProtection,
+        Profile::kInvisiSpecSpectre,
+        Profile::kInvisiSpecFuture,
+    };
+}
+
+class AttackMatrixTest
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(AttackMatrixTest, OutcomeMatchesTable2)
+{
+    const auto attacks = makeAllAttacks();
+    const auto &attack =
+        *attacks[static_cast<std::size_t>(std::get<0>(GetParam()))];
+    const Profile profile =
+        attackProfiles()[static_cast<std::size_t>(std::get<1>(GetParam()))];
+
+    SimConfig cfg = makeProfile(profile);
+    const AttackResult result = attack.run(cfg, 42);
+    const bool expect_blocked = attack.expectedBlocked(cfg.security);
+
+    EXPECT_EQ(result.leaked(), !expect_blocked)
+        << attack.name() << " on " << cfg.name << ": signal "
+        << result.signal << " (threshold " << result.threshold << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAttacksAllProfiles, AttackMatrixTest,
+    ::testing::Combine(::testing::Range(0, 9), ::testing::Range(0, 9)),
+    [](const auto &info) {
+        const auto attacks = makeAllAttacks();
+        std::string name =
+            attacks[static_cast<std::size_t>(std::get<0>(info.param))]
+                ->name() +
+            "_on_" +
+            profileName(attackProfiles()[static_cast<std::size_t>(
+                std::get<1>(info.param))]);
+        for (auto &c : name) {
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        }
+        return name;
+    });
+
+TEST(AttackSignals, CacheChannelMagnitudeMatchesFig4)
+{
+    // Paper Fig 4: the correct guess is ~140 cycles faster through
+    // the d-cache channel.
+    SpectreV1Cache atk;
+    const auto r = atk.run(makeProfile(Profile::kOoo), 42);
+    ASSERT_TRUE(r.leaked());
+    EXPECT_NEAR(r.signal, 140.0, 30.0);
+    EXPECT_EQ(r.fastestGuess == 42 || r.timings[42] < 20, true);
+}
+
+TEST(AttackSignals, BtbChannelMagnitudeMatchesFig4)
+{
+    // Paper Fig 4/5: the BTB channel signal is the mispredict
+    // penalty, ~16 cycles on the paper's configuration.
+    SpectreV1Btb atk;
+    const auto r = atk.run(makeProfile(Profile::kOoo), 42);
+    ASSERT_TRUE(r.leaked());
+    EXPECT_GT(r.signal, 5.0);
+    EXPECT_LT(r.signal, 40.0);
+}
+
+TEST(AttackSignals, NdaFlattensCurvesLikeFig8)
+{
+    // Paper Fig 8: under NDA permissive the secret guess is
+    // indistinguishable from the other 255 candidates.
+    for (auto *attack_name : {"spectre-v1-cache", "spectre-v1-btb"}) {
+        auto atk = makeAttack(attack_name);
+        ASSERT_NE(atk, nullptr);
+        const auto r = atk->run(makeProfile(Profile::kPermissive), 42);
+        EXPECT_FALSE(r.leaked()) << attack_name;
+        EXPECT_LT(r.signal, r.threshold) << attack_name;
+    }
+}
+
+TEST(AttackSignals, DifferentSecretsRecovered)
+{
+    // The channel must carry arbitrary byte values, not just one.
+    SpectreV1Cache atk;
+    for (std::uint8_t secret : {7, 42, 201, 255}) {
+        const auto r = atk.run(makeProfile(Profile::kOoo), secret);
+        EXPECT_TRUE(r.leaked()) << int(secret);
+        EXPECT_LT(r.timings[secret], 60.0) << int(secret);
+    }
+}
+
+TEST(AttackSignals, MeltdownNeedsTheHardwareFlaw)
+{
+    Meltdown atk;
+    SimConfig cfg = makeProfile(Profile::kOoo);
+    cfg.security.meltdownFlaw = false; // fixed silicon
+    const auto r = atk.run(cfg, 42);
+    EXPECT_FALSE(r.leaked())
+        << "without the implementation flaw there is nothing to leak";
+}
+
+TEST(AttackRegistry, NamesAndTaxonomy)
+{
+    const auto attacks = makeAllAttacks();
+    ASSERT_EQ(attacks.size(), 9u);
+    int chosen_code = 0;
+    for (const auto &a : attacks) {
+        EXPECT_FALSE(a->name().empty());
+        EXPECT_FALSE(a->description().empty());
+        EXPECT_TRUE(a->channel() == "d-cache" || a->channel() == "btb");
+        chosen_code += a->isChosenCode();
+    }
+    EXPECT_EQ(chosen_code, 2) << "meltdown + lazyfp";
+    EXPECT_NE(makeAttack("spectre-v1-cache"), nullptr);
+    EXPECT_EQ(makeAttack("no-such-attack"), nullptr);
+}
+
+TEST(AttackRegistry, InOrderTriviallyImmune)
+{
+    // The paper's other fully-secure baseline: no speculation at all.
+    SpectreV1Cache atk;
+    const auto r = atk.run(makeProfile(Profile::kInOrder), 42);
+    EXPECT_FALSE(r.leaked());
+}
+
+} // namespace
+} // namespace nda

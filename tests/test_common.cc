@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Unit tests for common utilities: PRNG, statistics, histogram.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/histogram.hh"
+#include "common/stats_util.hh"
+#include "common/xrandom.hh"
+
+namespace nda {
+namespace {
+
+TEST(XRandom, DeterministicForSeed)
+{
+    XRandom a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(XRandom, DifferentSeedsDiffer)
+{
+    XRandom a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(XRandom, BelowStaysInRange)
+{
+    XRandom rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(XRandom, RangeInclusive)
+{
+    XRandom rng(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = rng.range(3, 5);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 5u);
+        saw_lo |= v == 3;
+        saw_hi |= v == 5;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(XRandom, ChanceApproximatesProbability)
+{
+    XRandom rng(11);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += rng.chance(1, 4);
+    EXPECT_NEAR(hits, 2500, 200);
+}
+
+TEST(XRandom, UniformInUnitInterval)
+{
+    XRandom rng(13);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(XRandom, ReseedRestartsSequence)
+{
+    XRandom rng(5);
+    const auto first = rng.next();
+    rng.next();
+    rng.reseed(5);
+    EXPECT_EQ(rng.next(), first);
+}
+
+TEST(StatsUtil, MeanOfKnownSample)
+{
+    EXPECT_DOUBLE_EQ(sampleMean({1.0, 2.0, 3.0}), 2.0);
+    EXPECT_DOUBLE_EQ(sampleMean({}), 0.0);
+}
+
+TEST(StatsUtil, StddevOfKnownSample)
+{
+    // Sample {2, 4, 4, 4, 5, 5, 7, 9}: sample stddev ~= 2.138.
+    const std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
+    EXPECT_NEAR(sampleStddev(xs), 2.138, 0.001);
+    EXPECT_DOUBLE_EQ(sampleStddev({5.0}), 0.0);
+}
+
+TEST(StatsUtil, ConfidenceIntervalUsesStudentT)
+{
+    // n=2, values {1, 3}: mean 2, s = sqrt(2), CI = 12.706*s/sqrt(2).
+    const double ci = confidenceHalfWidth95({1.0, 3.0});
+    EXPECT_NEAR(ci, 12.706, 0.01);
+    EXPECT_DOUBLE_EQ(confidenceHalfWidth95({1.0}), 0.0);
+}
+
+TEST(StatsUtil, ConfidenceShrinksWithSamples)
+{
+    std::vector<double> xs;
+    double prev = 1e9;
+    for (int n = 2; n <= 30; n += 7) {
+        xs.clear();
+        for (int i = 0; i < n; ++i)
+            xs.push_back(i % 2 ? 1.0 : 3.0);
+        const double ci = confidenceHalfWidth95(xs);
+        EXPECT_LT(ci, prev);
+        prev = ci;
+    }
+}
+
+TEST(StatsUtil, GeomeanOfKnownSample)
+{
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-9);
+    EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-9);
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+}
+
+TEST(RunningStat, TracksMinMaxMean)
+{
+    RunningStat s;
+    s.add(3.0);
+    s.add(1.0);
+    s.add(5.0);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 5.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(Histogram, MeanAndCount)
+{
+    Histogram h(16);
+    h.add(2);
+    h.add(4);
+    h.add(6);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_DOUBLE_EQ(h.mean(), 4.0);
+}
+
+TEST(Histogram, PercentileOrdering)
+{
+    Histogram h(128);
+    for (std::uint64_t v = 0; v < 100; ++v)
+        h.add(v);
+    EXPECT_NEAR(static_cast<double>(h.percentile(0.5)), 50.0, 2.0);
+    EXPECT_NEAR(static_cast<double>(h.percentile(0.95)), 95.0, 2.0);
+}
+
+TEST(Histogram, OverflowBucket)
+{
+    Histogram h(4);
+    h.add(1000);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_EQ(h.buckets().back(), 1u);
+}
+
+TEST(Histogram, ResetClears)
+{
+    Histogram h(4);
+    h.add(1);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+} // namespace
+} // namespace nda

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Differential property tests: randomly-generated terminating
+ * programs must produce identical architectural state (spilled
+ * registers + data segment contents + instruction count) on the
+ * reference interpreter, the in-order core, and the OoO core under
+ * EVERY security configuration. NDA and InvisiSpec may only change
+ * timing, never results (paper §5: squash discards never-safe values).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/core_factory.hh"
+#include "harness/profiles.hh"
+#include "isa/interpreter.hh"
+#include "isa/random_program.hh"
+
+namespace nda {
+namespace {
+
+struct ArchSnapshot {
+    RegVal spilled[18] = {};
+    std::vector<std::uint8_t> data;
+    std::uint64_t faults = 0;
+
+    bool
+    operator==(const ArchSnapshot &o) const
+    {
+        for (int i = 0; i < 18; ++i) {
+            if (spilled[i] != o.spilled[i])
+                return false;
+        }
+        return data == o.data;
+    }
+};
+
+ArchSnapshot
+snapshotFromMem(const MemoryMap &mem)
+{
+    ArchSnapshot s;
+    for (int r = 0; r < 18; ++r) {
+        s.spilled[r] =
+            mem.read(kRandomProgResultBase + static_cast<Addr>(r) * 8, 8);
+    }
+    s.data.resize(kRandomProgDataBytes);
+    mem.readBytes(kRandomProgDataBase, s.data.data(), s.data.size());
+    return s;
+}
+
+class DifferentialTest
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, int>>
+{
+};
+
+TEST_P(DifferentialTest, CoreMatchesInterpreter)
+{
+    const auto seed = std::get<0>(GetParam());
+    const auto profile = static_cast<Profile>(std::get<1>(GetParam()));
+
+    const Program prog = generateRandomProgram(seed);
+
+    Interpreter ref(prog);
+    ref.run(5'000'000);
+    ASSERT_TRUE(ref.halted()) << "random program must terminate";
+    const ArchSnapshot want = snapshotFromMem(ref.mem());
+
+    SimConfig cfg = makeProfile(profile);
+    auto core = makeCore(prog, cfg);
+    core->run(~std::uint64_t{0}, 20'000'000);
+    ASSERT_TRUE(core->halted()) << cfg.name << " seed " << seed;
+
+    EXPECT_EQ(core->committedInsts(), ref.instCount())
+        << cfg.name << " seed " << seed;
+
+    const ArchSnapshot got = snapshotFromMem(core->mem());
+    for (int r = 0; r < 18; ++r) {
+        EXPECT_EQ(got.spilled[r], want.spilled[r])
+            << cfg.name << " seed " << seed << " r" << r;
+    }
+    EXPECT_TRUE(got.data == want.data)
+        << cfg.name << " seed " << seed << " data segment differs";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomPrograms, DifferentialTest,
+    ::testing::Combine(
+        ::testing::Range<std::uint64_t>(1, 21),
+        ::testing::Range(0, static_cast<int>(Profile::kNumProfiles))),
+    [](const auto &info) {
+        std::string name =
+            "seed" + std::to_string(std::get<0>(info.param)) + "_" +
+            std::string(profileName(
+                static_cast<Profile>(std::get<1>(info.param))));
+        for (auto &c : name) {
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        }
+        return name;
+    });
+
+// A few structurally different generator configurations.
+TEST(DifferentialExtra, HeavyMemoryPrograms)
+{
+    RandomProgramParams params;
+    params.blocks = 20;
+    params.opsPerBlock = 12;
+    for (std::uint64_t seed = 100; seed < 106; ++seed) {
+        const Program prog = generateRandomProgram(seed, params);
+        Interpreter ref(prog);
+        ref.run(5'000'000);
+        ASSERT_TRUE(ref.halted());
+        SimConfig cfg = makeProfile(Profile::kFullProtection);
+        auto core = makeCore(prog, cfg);
+        core->run(~std::uint64_t{0}, 20'000'000);
+        ASSERT_TRUE(core->halted()) << seed;
+        EXPECT_TRUE(snapshotFromMem(core->mem()) ==
+                    snapshotFromMem(ref.mem()))
+            << seed;
+    }
+}
+
+TEST(DifferentialExtra, NoMemoryPrograms)
+{
+    RandomProgramParams params;
+    params.useMemory = false;
+    for (std::uint64_t seed = 200; seed < 206; ++seed) {
+        const Program prog = generateRandomProgram(seed, params);
+        Interpreter ref(prog);
+        ref.run(5'000'000);
+        ASSERT_TRUE(ref.halted());
+        auto core = makeCore(prog, makeProfile(Profile::kStrictBr));
+        core->run(~std::uint64_t{0}, 20'000'000);
+        ASSERT_TRUE(core->halted()) << seed;
+        EXPECT_TRUE(snapshotFromMem(core->mem()) ==
+                    snapshotFromMem(ref.mem()))
+            << seed;
+    }
+}
+
+TEST(DifferentialExtra, NoIndirectCallPrograms)
+{
+    RandomProgramParams params;
+    params.useIndirectCalls = false;
+    for (std::uint64_t seed = 300; seed < 306; ++seed) {
+        const Program prog = generateRandomProgram(seed, params);
+        Interpreter ref(prog);
+        ref.run(5'000'000);
+        ASSERT_TRUE(ref.halted());
+        auto core = makeCore(prog, makeProfile(Profile::kOoo));
+        core->run(~std::uint64_t{0}, 20'000'000);
+        ASSERT_TRUE(core->halted()) << seed;
+        EXPECT_TRUE(snapshotFromMem(core->mem()) ==
+                    snapshotFromMem(ref.mem()))
+            << seed;
+    }
+}
+
+} // namespace
+} // namespace nda

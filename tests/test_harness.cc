@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Tests of the evaluation harness: profile construction (Table 2
+ * semantics), the SMARTS-style sampling runner, counter windowing,
+ * and the table renderer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "core/core_factory.hh"
+#include "harness/profiles.hh"
+#include "harness/runner.hh"
+#include "harness/csv.hh"
+#include "harness/table_printer.hh"
+#include "workloads/workload.hh"
+
+namespace nda {
+namespace {
+
+TEST(Profiles, TableTwoSemantics)
+{
+    EXPECT_FALSE(makeProfile(Profile::kOoo).security.anyNda());
+
+    auto perm = makeProfile(Profile::kPermissive).security;
+    EXPECT_EQ(perm.propagation, NdaPolicy::kPermissive);
+    EXPECT_FALSE(perm.bypassRestriction);
+
+    auto perm_br = makeProfile(Profile::kPermissiveBr).security;
+    EXPECT_TRUE(perm_br.bypassRestriction);
+
+    auto strict = makeProfile(Profile::kStrict).security;
+    EXPECT_EQ(strict.propagation, NdaPolicy::kStrict);
+
+    auto lr = makeProfile(Profile::kRestrictedLoads).security;
+    EXPECT_TRUE(lr.loadRestriction);
+    EXPECT_EQ(lr.propagation, NdaPolicy::kNone);
+
+    auto full = makeProfile(Profile::kFullProtection).security;
+    EXPECT_EQ(full.propagation, NdaPolicy::kStrict);
+    EXPECT_TRUE(full.bypassRestriction);
+    EXPECT_TRUE(full.loadRestriction);
+
+    EXPECT_TRUE(makeProfile(Profile::kInOrder).inOrder);
+    EXPECT_EQ(makeProfile(Profile::kInvisiSpecSpectre)
+                  .security.invisiSpec,
+              InvisiSpecMode::kSpectre);
+    EXPECT_EQ(
+        makeProfile(Profile::kInvisiSpecFuture).security.invisiSpec,
+        InvisiSpecMode::kFuture);
+}
+
+TEST(Profiles, AllProfilesEnumerated)
+{
+    EXPECT_EQ(allProfiles().size(),
+              static_cast<std::size_t>(Profile::kNumProfiles));
+    EXPECT_EQ(ndaProfiles().size(), 8u);
+    for (Profile p : allProfiles())
+        EXPECT_STRNE(profileName(p), "?");
+}
+
+TEST(Profiles, Table3Defaults)
+{
+    const SimConfig cfg = makeProfile(Profile::kOoo);
+    EXPECT_EQ(cfg.core.issueWidth, 8u);
+    EXPECT_EQ(cfg.core.robEntries, 192u);
+    EXPECT_EQ(cfg.core.lqEntries, 32u);
+    EXPECT_EQ(cfg.core.sqEntries, 32u);
+    EXPECT_EQ(cfg.core.predictor.btb.entries, 4096u);
+    EXPECT_EQ(cfg.core.predictor.rasEntries, 16u);
+    EXPECT_EQ(cfg.memory.l1d.sizeBytes, 32u * 1024);
+    EXPECT_EQ(cfg.memory.l1d.hitLatency, 4u);
+    EXPECT_EQ(cfg.memory.l2.sizeBytes, 2u * 1024 * 1024);
+    EXPECT_EQ(cfg.memory.l2.hitLatency, 40u);
+    EXPECT_EQ(cfg.memory.dramLatency, 100u);
+    const std::string table = configTable(cfg);
+    EXPECT_NE(table.find("192 ROB"), std::string::npos);
+    EXPECT_NE(table.find("4096 BTB"), std::string::npos);
+}
+
+TEST(Runner, WindowExcludesWarmup)
+{
+    auto w = makeWorkload("compute");
+    SampleParams sp;
+    sp.warmupInsts = 10'000;
+    sp.measureInsts = 20'000;
+    const auto s = runWindow(*w, makeProfile(Profile::kOoo), 1, sp);
+    EXPECT_EQ(s.instructions, 20'000u);
+    EXPECT_GT(s.cycles, 0u);
+    EXPECT_GT(s.cpi, 0.0);
+}
+
+TEST(Runner, SampledRunsProduceCi)
+{
+    auto w = makeWorkload("branchy");
+    SampleParams sp;
+    sp.warmupInsts = 5'000;
+    sp.measureInsts = 10'000;
+    sp.samples = 3;
+    const auto r = runSampled(*w, makeProfile(Profile::kOoo), sp);
+    EXPECT_EQ(r.cpiSamples.size(), 3u);
+    EXPECT_GT(r.mean.cpi, 0.0);
+    EXPECT_GE(r.cpiCi95, 0.0);
+    // The stall-fraction breakdown must cover every cycle.
+    const double total = r.mean.commitFrac + r.mean.memStallFrac +
+                         r.mean.backendStallFrac +
+                         r.mean.frontendStallFrac;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Runner, CountersResetBetweenWindows)
+{
+    auto w = makeWorkload("compute");
+    const Program p = w->build(1);
+    auto core = makeCore(p, makeProfile(Profile::kOoo));
+    core->run(5'000, ~Cycle{0});
+    core->resetCounters();
+    EXPECT_EQ(core->counters().committedInsts, 0u);
+    EXPECT_EQ(core->counters().cycles, 0u);
+    core->run(1'000, ~Cycle{0});
+    EXPECT_EQ(core->counters().committedInsts, 1'000u);
+}
+
+TEST(CsvWriter, QuotesAndWrites)
+{
+    const std::string path = "/tmp/ndasim_csv_test.csv";
+    {
+        CsvWriter csv(path);
+        ASSERT_TRUE(csv.ok());
+        csv.row({"a", "b,c", "d\"e"});
+        csv.row({CsvWriter::num(1.5, 2)});
+    }
+    std::ifstream in(path);
+    std::string line1, line2;
+    std::getline(in, line1);
+    std::getline(in, line2);
+    EXPECT_EQ(line1, "a,\"b,c\",\"d\"\"e\"");
+    EXPECT_EQ(line2, "1.50");
+}
+
+TEST(TablePrinter, FormatsNumbers)
+{
+    EXPECT_EQ(TablePrinter::fmt(1.23456, 2), "1.23");
+    EXPECT_EQ(TablePrinter::pct(0.107), "10.7%");
+}
+
+TEST(TablePrinter, AsciiBarScales)
+{
+    EXPECT_EQ(asciiBar(1.0, 1.0, 10).size(), 10u);
+    EXPECT_EQ(asciiBar(0.5, 1.0, 10).size(), 5u);
+    EXPECT_EQ(asciiBar(0.0, 1.0, 10).size(), 0u);
+    EXPECT_EQ(asciiBar(5.0, 1.0, 10).size(), 10u) << "clamped";
+}
+
+} // namespace
+} // namespace nda

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Tests of the architectural reference interpreter — the oracle all
+ * timing cores are differentially tested against.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/interpreter.hh"
+#include "isa/program.hh"
+
+namespace nda {
+namespace {
+
+Program
+simpleLoop()
+{
+    ProgramBuilder b("loop");
+    b.movi(1, 0);
+    b.movi(2, 10);
+    auto loop = b.label();
+    b.addi(1, 1, 1);
+    b.blt(1, 2, loop);
+    b.halt();
+    return b.build();
+}
+
+TEST(Interpreter, CountedLoop)
+{
+    Program p = simpleLoop();
+    Interpreter it(p);
+    it.run(1000);
+    EXPECT_TRUE(it.halted());
+    EXPECT_EQ(it.reg(1), 10u);
+}
+
+TEST(Interpreter, LoadStoreRoundTrip)
+{
+    ProgramBuilder b("mem");
+    b.zeroSegment(0x1000, 64);
+    b.movi(1, 0x1000);
+    b.movi(2, 0xDEADBEEF);
+    b.store(1, 0, 2, 4);
+    b.load(3, 1, 0, 4);
+    b.load(4, 1, 0, 2);
+    b.load(5, 1, 2, 2);
+    b.load(6, 1, 0, 1);
+    b.halt();
+    Interpreter it(b.build());
+    it.run(100);
+    EXPECT_EQ(it.reg(3), 0xDEADBEEFu);
+    EXPECT_EQ(it.reg(4), 0xBEEFu);
+    EXPECT_EQ(it.reg(5), 0xDEADu);
+    EXPECT_EQ(it.reg(6), 0xEFu);
+}
+
+TEST(Interpreter, UnalignedAndCrossPage)
+{
+    ProgramBuilder b("cross");
+    b.zeroSegment(0x1000, 8192);
+    b.movi(1, 0x1FFC);              // 4 bytes below a page boundary
+    b.movi(2, 0x0102030405060708ULL);
+    b.store(1, 0, 2, 8);            // crosses into the next page
+    b.load(3, 1, 0, 8);
+    b.load(4, 1, 4, 4);
+    b.halt();
+    Interpreter it(b.build());
+    it.run(100);
+    EXPECT_EQ(it.reg(3), 0x0102030405060708ULL);
+    EXPECT_EQ(it.reg(4), 0x01020304u);
+}
+
+TEST(Interpreter, CallAndReturn)
+{
+    ProgramBuilder b("call");
+    auto main_l = b.futureLabel();
+    b.jmp(main_l);
+    auto fn = b.label();
+    b.addi(2, 2, 5);
+    b.ret(30);
+    b.bind(main_l);
+    b.movi(2, 0);
+    b.call(30, fn);
+    b.call(30, fn);
+    b.halt();
+    Interpreter it(b.build());
+    it.run(100);
+    EXPECT_TRUE(it.halted());
+    EXPECT_EQ(it.reg(2), 10u);
+}
+
+TEST(Interpreter, IndirectCallThroughTable)
+{
+    ProgramBuilder b("icall");
+    auto main_l = b.futureLabel();
+    b.jmp(main_l);
+    const Addr fn_pc = b.here();
+    b.movi(3, 77);
+    b.ret(28);
+    b.word(0x2000, fn_pc);
+    b.bind(main_l);
+    b.movi(1, 0x2000);
+    b.load(2, 1, 0, 8);
+    b.callr(28, 2);
+    b.halt();
+    Interpreter it(b.build());
+    it.run(100);
+    EXPECT_EQ(it.reg(3), 77u);
+}
+
+TEST(Interpreter, KernelLoadFaultsWithoutHandler)
+{
+    ProgramBuilder b("fault");
+    b.segment(0x4000, {0x5A}, MemPerm::kKernel);
+    b.movi(1, 0x4000);
+    b.load(2, 1, 0, 1);
+    b.movi(3, 1); // never reached
+    b.halt();
+    Interpreter it(b.build());
+    it.run(100);
+    EXPECT_TRUE(it.halted());
+    EXPECT_EQ(it.faultCount(), 1u);
+    EXPECT_EQ(it.reg(2), 0u) << "faulting load must not write rd";
+    EXPECT_EQ(it.reg(3), 0u);
+}
+
+TEST(Interpreter, FaultHandlerRedirects)
+{
+    ProgramBuilder b("handler");
+    b.segment(0x4000, {0x5A}, MemPerm::kKernel);
+    b.movi(1, 0x4000);
+    b.load(2, 1, 0, 1);
+    b.halt();                        // skipped by the fault
+    auto handler = b.label();
+    b.movi(3, 42);
+    b.halt();
+    b.faultHandlerAt(handler);
+    Interpreter it(b.build());
+    it.run(100);
+    EXPECT_EQ(it.reg(3), 42u);
+    EXPECT_EQ(it.faultCount(), 1u);
+}
+
+TEST(Interpreter, KernelStoreFaults)
+{
+    ProgramBuilder b("sfault");
+    b.segment(0x4000, {0x00}, MemPerm::kKernel);
+    b.movi(1, 0x4000);
+    b.movi(2, 7);
+    b.store(1, 0, 2, 1);
+    b.halt();
+    Interpreter it(b.build());
+    it.run(100);
+    EXPECT_EQ(it.faultCount(), 1u);
+    EXPECT_EQ(it.mem().read(0x4000, 1), 0x00u)
+        << "faulting store must not write memory";
+}
+
+TEST(Interpreter, PrivilegedMsrFaults)
+{
+    ProgramBuilder b("msr");
+    b.initMsr(2, 1234, true);
+    b.initMsr(1, 55, false);
+    b.rdmsr(3, 1);
+    b.rdmsr(4, 2);                   // faults
+    b.halt();
+    Interpreter it(b.build());
+    it.run(100);
+    EXPECT_EQ(it.reg(3), 55u);
+    EXPECT_EQ(it.reg(4), 0u);
+    EXPECT_EQ(it.faultCount(), 1u);
+}
+
+TEST(Interpreter, WrMsrRoundTrip)
+{
+    ProgramBuilder b("wrmsr");
+    b.movi(1, 999);
+    b.wrmsr(0, 1);
+    b.rdmsr(2, 0);
+    b.halt();
+    Interpreter it(b.build());
+    it.run(100);
+    EXPECT_EQ(it.reg(2), 999u);
+    EXPECT_EQ(it.msr(0), 999u);
+}
+
+TEST(Interpreter, RunsOffEndHalts)
+{
+    ProgramBuilder b("off");
+    b.nop();
+    Program p = b.build();
+    Interpreter it(p);
+    it.run(100);
+    EXPECT_TRUE(it.halted());
+}
+
+TEST(Interpreter, MaxInstsBound)
+{
+    ProgramBuilder b("inf");
+    auto top = b.label();
+    b.jmp(top);
+    Interpreter it(b.build());
+    const auto n = it.run(500);
+    EXPECT_EQ(n, 500u);
+    EXPECT_FALSE(it.halted());
+}
+
+TEST(Interpreter, LinkRegisterSemantics)
+{
+    // callr with rd == rs1: target must be the OLD register value.
+    ProgramBuilder b("link");
+    auto main_l = b.futureLabel();
+    b.jmp(main_l);
+    const Addr fn_pc = b.here();
+    b.movi(5, 1);
+    b.ret(28);
+    b.bind(main_l);
+    b.movi(28, static_cast<std::int64_t>(fn_pc));
+    b.callr(28, 28);
+    b.halt();
+    Interpreter it(b.build());
+    it.run(100);
+    EXPECT_TRUE(it.halted());
+    EXPECT_EQ(it.reg(5), 1u);
+}
+
+} // namespace
+} // namespace nda

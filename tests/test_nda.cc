@@ -1,0 +1,321 @@
+/**
+ * @file
+ * Tests of NDA's mechanism (paper §5): unsafe marking at dispatch,
+ * deferred tag broadcast, the eldest-resolve clearing walk, bypass
+ * restriction, load restriction, and the guarantee that NDA never
+ * changes architectural results — only timing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/core_factory.hh"
+#include "core/ooo_core.hh"
+#include "harness/profiles.hh"
+#include "isa/interpreter.hh"
+#include "isa/program.hh"
+
+namespace nda {
+namespace {
+
+/**
+ * A kernel with a slow-resolving branch followed by a dependent
+ * load+compute chain: the canonical NDA-restricted pattern.
+ */
+Program
+slowBranchKernel()
+{
+    ProgramBuilder b("slowbranch");
+    b.word(0x1000, 5);               // condition (flushed -> slow)
+    b.word(0x2000, 123);             // data the wrong/right path loads
+    b.movi(18, 0);
+    b.movi(19, 40);
+    auto loop = b.label();
+    b.movi(1, 0x1000);
+    b.clflush(1, 0);
+    b.fence();
+    b.load(2, 1, 0, 8);              // 5, slow
+    b.movi(3, 100);
+    auto skip = b.futureLabel();
+    b.bgeu(2, 3, skip);              // not taken (5 < 100), slow resolve
+    b.movi(4, 0x2000);
+    b.load(5, 4, 0, 8);              // under the unresolved branch
+    b.muli(6, 5, 3);                 // dependent (transmit-shaped)
+    b.add(7, 6, 2);
+    b.bind(skip);
+    b.addi(18, 18, 1);
+    b.blt(18, 19, loop);
+    b.halt();
+    return b.build();
+}
+
+std::uint64_t
+cyclesFor(const Program &p, const SecurityConfig &sec)
+{
+    SimConfig cfg;
+    cfg.security = sec;
+    OooCore core(p, cfg);
+    core.run(~std::uint64_t{0}, 10'000'000);
+    EXPECT_TRUE(core.halted());
+    return core.cycle();
+}
+
+TEST(Nda, PoliciesOnlyChangeTiming)
+{
+    const Program p = slowBranchKernel();
+    Interpreter ref(p);
+    ref.run(10'000'000);
+    for (Profile prof : allProfiles()) {
+        SimConfig cfg = makeProfile(prof);
+        auto core = makeCore(p, cfg);
+        core->run(~std::uint64_t{0}, 10'000'000);
+        ASSERT_TRUE(core->halted()) << cfg.name;
+        for (RegId r = 1; r < 20; ++r) {
+            EXPECT_EQ(core->archReg(r), ref.reg(r))
+                << cfg.name << " r" << int(r);
+        }
+    }
+}
+
+TEST(Nda, StrictSlowerThanPermissiveSlowerThanBaseline)
+{
+    const Program p = slowBranchKernel();
+    SecurityConfig base, perm, strict;
+    perm.propagation = NdaPolicy::kPermissive;
+    strict.propagation = NdaPolicy::kStrict;
+    const auto c_base = cyclesFor(p, base);
+    const auto c_perm = cyclesFor(p, perm);
+    const auto c_strict = cyclesFor(p, strict);
+    EXPECT_GE(c_perm, c_base);
+    EXPECT_GE(c_strict, c_perm);
+}
+
+TEST(Nda, UnsafeMarkingCounters)
+{
+    const Program p = slowBranchKernel();
+    SimConfig perm, strict;
+    perm.security.propagation = NdaPolicy::kPermissive;
+    strict.security.propagation = NdaPolicy::kStrict;
+    OooCore cp(p, perm);
+    cp.run(~std::uint64_t{0}, 10'000'000);
+    OooCore cs(p, strict);
+    cs.run(~std::uint64_t{0}, 10'000'000);
+    EXPECT_GT(cp.counters().unsafeMarked, 0u);
+    EXPECT_GT(cs.counters().unsafeMarked, cp.counters().unsafeMarked)
+        << "strict marks every op, permissive only load-like ops";
+    EXPECT_GT(cp.counters().deferredBroadcasts, 0u)
+        << "loads completing under the branch must defer";
+}
+
+TEST(Nda, DependentCannotIssueWhileProducerUnsafe)
+{
+    // Drive tick-by-tick: while the bounds branch is unresolved, the
+    // load may complete (exec) but must not broadcast, and its
+    // dependent must not issue (paper Fig 2 / Fig 6).
+    ProgramBuilder b("micro");
+    b.word(0x1000, 5);
+    b.word(0x2000, 9);
+    b.movi(9, 0x2000);
+    b.prefetch(9, 0);                // inner load must be fast
+    b.movi(1, 0x1000);
+    b.clflush(1, 0);
+    b.fence();
+    b.load(2, 1, 0, 8);
+    b.movi(3, 100);
+    auto skip = b.futureLabel();
+    b.bgeu(2, 3, skip);
+    b.movi(4, 0x2000);
+    b.load(5, 4, 0, 8);              // marked unsafe (permissive)
+    b.muli(6, 5, 3);                 // dependent
+    b.bind(skip);
+    b.halt();
+    SimConfig cfg;
+    cfg.security.propagation = NdaPolicy::kPermissive;
+    OooCore core(b.build(), cfg);
+
+    bool saw_deferred_window = false;
+    while (!core.halted() && core.cycle() < 100000) {
+        core.tick();
+        for (const auto &inst : core.rob()) {
+            if (inst->uop.op == Opcode::kLoad &&
+                inst->pc >= 9 && inst->executed && inst->isUnsafe()) {
+                EXPECT_FALSE(inst->broadcasted);
+                saw_deferred_window = true;
+            }
+            if (inst->uop.op == Opcode::kMulImm) {
+                EXPECT_FALSE(inst->issued && inst->isUnsafe());
+            }
+        }
+    }
+    EXPECT_TRUE(saw_deferred_window)
+        << "the unsafe load should complete before the branch resolves";
+}
+
+TEST(Nda, PermissiveLeavesNonLoadsSafe)
+{
+    // Under permissive propagation, an ALU op after an unresolved
+    // branch broadcasts on completion (paper §5.2, Fig 6 column B).
+    ProgramBuilder b("alusafe");
+    b.word(0x1000, 5);
+    b.movi(1, 0x1000);
+    b.clflush(1, 0);
+    b.fence();
+    b.load(2, 1, 0, 8);
+    b.movi(3, 100);
+    auto skip = b.futureLabel();
+    b.bgeu(2, 3, skip);
+    b.muli(6, 3, 3);                 // non-load: safe under permissive
+    b.addi(7, 6, 1);                 // its dependent
+    b.bind(skip);
+    b.halt();
+    SimConfig cfg;
+    cfg.security.propagation = NdaPolicy::kPermissive;
+    OooCore core(b.build(), cfg);
+    bool dependent_ran_under_branch = false;
+    while (!core.halted() && core.cycle() < 100000) {
+        core.tick();
+        for (const auto &inst : core.rob()) {
+            if (inst->uop.op == Opcode::kAddImm && inst->executed) {
+                // The branch (pc 4) may still be unresolved.
+                for (const auto &other : core.rob()) {
+                    if (other->uop.op == Opcode::kBgeu &&
+                        !other->executed) {
+                        dependent_ran_under_branch = true;
+                    }
+                }
+            }
+        }
+    }
+    EXPECT_TRUE(dependent_ran_under_branch);
+}
+
+TEST(Nda, BypassRestrictionDefersUntilStoreResolves)
+{
+    // A load bypassing an unresolved store is unsafe until the store
+    // resolves (paper §5.2).
+    ProgramBuilder b("br");
+    b.word(0x1000, 0x3000);          // pointer (flushed)
+    b.word(0x3000, 7);
+    b.word(0x2000, 42);
+    b.movi(9, 0x2000);
+    b.prefetch(9, 0);                // bypassing load must be fast
+    b.movi(1, 0x1000);
+    b.clflush(1, 0);
+    b.fence();
+    b.movi(2, 9);
+    b.load(3, 1, 0, 8);              // slow store address
+    b.store(3, 0, 2, 8);             // address unresolved for ~140
+    b.movi(4, 0x2000);
+    b.load(5, 4, 0, 8);              // bypasses the store (no alias)
+    b.addi(6, 5, 1);                 // dependent
+    b.halt();
+    SimConfig cfg;
+    cfg.security.bypassRestriction = true;
+    OooCore core(b.build(), cfg);
+    bool saw_bypass_unsafe = false;
+    while (!core.halted() && core.cycle() < 100000) {
+        core.tick();
+        for (const auto &inst : core.rob()) {
+            if (inst->pc == 9 && inst->executed && inst->unsafeBypass) {
+                saw_bypass_unsafe = true;
+                EXPECT_FALSE(inst->broadcasted);
+            }
+        }
+    }
+    EXPECT_TRUE(saw_bypass_unsafe);
+    EXPECT_EQ(core.archReg(6), 43u);
+}
+
+TEST(Nda, LoadRestrictionWakesOnlyAtHead)
+{
+    // Under load restriction, a completed load must never broadcast
+    // while anything older is unretired (paper §5.3).
+    ProgramBuilder b("lr");
+    b.word(0x2000, 5);
+    b.zeroSegment(0x1000, 64);
+    b.movi(9, 0x2000);
+    b.prefetch(9, 0);                // the early load must hit
+    b.movi(1, 0x1000);
+    b.clflush(1, 0);
+    b.load(2, 1, 0, 8);              // slow head blocker
+    b.movi(4, 0x2000);
+    b.load(5, 4, 0, 8);              // completes early (L1-ish)
+    b.addi(6, 5, 1);                 // dependent
+    b.halt();
+    SimConfig cfg;
+    cfg.security.loadRestriction = true;
+    OooCore core(b.build(), cfg);
+    bool saw_completed_waiting = false;
+    while (!core.halted() && core.cycle() < 100000) {
+        core.tick();
+        const auto &rob = core.rob();
+        for (std::size_t i = 1; i < rob.size(); ++i) { // skip head
+            const auto &inst = rob[i];
+            if (inst->pc == 6 && inst->executed) {
+                EXPECT_FALSE(inst->broadcasted)
+                    << "non-head load must not have broadcast";
+                saw_completed_waiting = true;
+            }
+        }
+    }
+    EXPECT_TRUE(saw_completed_waiting);
+    EXPECT_EQ(core.archReg(6), 6u);
+}
+
+TEST(Nda, ExtraBroadcastDelayMonotonicCpi)
+{
+    // Fig 9e: adding NDA-logic latency may only slow execution.
+    const Program p = slowBranchKernel();
+    std::uint64_t prev = 0;
+    for (unsigned delay : {0u, 1u, 2u}) {
+        SecurityConfig sec;
+        sec.propagation = NdaPolicy::kStrict;
+        sec.extraBroadcastDelay = delay;
+        const auto c = cyclesFor(p, sec);
+        EXPECT_GE(c, prev) << "delay " << delay;
+        prev = c;
+    }
+}
+
+TEST(Nda, FullProtectionCombinesMechanisms)
+{
+    const Program p = slowBranchKernel();
+    SecurityConfig strict_br, full;
+    strict_br.propagation = NdaPolicy::kStrict;
+    strict_br.bypassRestriction = true;
+    full = strict_br;
+    full.loadRestriction = true;
+    EXPECT_GE(cyclesFor(p, full), cyclesFor(p, strict_br));
+}
+
+TEST(Nda, SquashClearsUnsafeBacklog)
+{
+    // After a mispredict squash, no stale unsafe instruction may
+    // linger and deadlock the pipeline: the program must finish.
+    ProgramBuilder b("squashclear");
+    b.word(0x1000, 1);
+    b.movi(18, 0);
+    b.movi(19, 30);
+    auto loop = b.label();
+    b.movi(1, 0x1000);
+    b.clflush(1, 0);
+    b.fence();
+    b.load(2, 1, 0, 8);
+    b.movi(3, 0);
+    auto skip = b.futureLabel();
+    b.bne(2, 3, skip);               // always taken; mistrained start
+    b.movi(4, 0x1000);
+    b.load(5, 4, 0, 8);
+    b.muli(6, 5, 3);
+    b.bind(skip);
+    b.addi(18, 18, 1);
+    b.blt(18, 19, loop);
+    b.halt();
+    SecurityConfig strict;
+    strict.propagation = NdaPolicy::kStrict;
+    strict.bypassRestriction = true;
+    strict.loadRestriction = true;
+    EXPECT_GT(cyclesFor(b.build(), strict), 0u);
+}
+
+} // namespace
+} // namespace nda

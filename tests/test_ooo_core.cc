@@ -1,0 +1,364 @@
+/**
+ * @file
+ * Behavioural tests of the OoO core: architectural correctness,
+ * speculation and recovery, wrong-path side effects (the attack
+ * substrate), serialization, and fault semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/core_factory.hh"
+#include "core/ooo_core.hh"
+#include "isa/interpreter.hh"
+#include "isa/program.hh"
+
+namespace nda {
+namespace {
+
+std::unique_ptr<OooCore>
+runOoo(const Program &p, SimConfig cfg = {}, Cycle max_cycles = 200000)
+{
+    auto core = std::make_unique<OooCore>(p, cfg);
+    core->run(~std::uint64_t{0}, max_cycles);
+    EXPECT_TRUE(core->halted());
+    return core;
+}
+
+TEST(OooCore, AluChainResult)
+{
+    ProgramBuilder b("alu");
+    b.movi(1, 6);
+    b.movi(2, 7);
+    b.mul(3, 1, 2);
+    b.addi(3, 3, 1);
+    b.div(4, 3, 2);
+    b.halt();
+    auto core = runOoo(b.build());
+    EXPECT_EQ(core->archReg(3), 43u);
+    EXPECT_EQ(core->archReg(4), 6u);
+}
+
+TEST(OooCore, StoreLoadForwarding)
+{
+    ProgramBuilder b("fwd");
+    b.zeroSegment(0x1000, 64);
+    b.movi(1, 0x1000);
+    b.movi(2, 1234);
+    b.store(1, 0, 2, 8);
+    b.load(3, 1, 0, 8);   // must forward from the in-flight store
+    b.halt();
+    auto core = runOoo(b.build());
+    EXPECT_EQ(core->archReg(3), 1234u);
+    EXPECT_EQ(core->mem().read(0x1000, 8), 1234u);
+}
+
+TEST(OooCore, MemoryOrderViolationRecovers)
+{
+    // A store with a late-resolving address followed by a load to the
+    // same address: the load speculatively reads stale data, the
+    // violation squashes it, and the replay returns the stored value.
+    ProgramBuilder b("ssb");
+    b.word(0x1000, 0xAA);            // stale value
+    b.word(0x2000, 0x1000);          // pointer cell
+    b.movi(1, 0x2000);
+    b.clflush(1, 0);
+    b.fence();
+    b.movi(2, 0x55);
+    b.load(3, 1, 0, 8);              // slow: store address dep
+    b.store(3, 0, 2, 1);             // [0x1000] = 0x55, address late
+    b.movi(4, 0x1000);
+    b.load(5, 4, 0, 1);              // bypasses, then replays
+    b.halt();
+    auto core = runOoo(b.build());
+    EXPECT_EQ(core->archReg(5), 0x55u)
+        << "architectural result must see the store";
+    EXPECT_GE(core->counters().memOrderViolations, 1u);
+}
+
+TEST(OooCore, BranchMispredictRecovery)
+{
+    // Data-dependent branch with a slow condition: wrong path must be
+    // squashed and the architectural result must be correct.
+    ProgramBuilder b("mispredict");
+    b.word(0x1000, 100);
+    b.movi(1, 0x1000);
+    b.clflush(1, 0);
+    b.fence();
+    b.load(2, 1, 0, 8);              // 100 (slow)
+    b.movi(3, 50);
+    auto big = b.futureLabel();
+    b.bgeu(2, 3, big);               // taken (100 >= 50); predicted NT
+    b.movi(4, 111);                  // wrong path
+    b.halt();
+    b.bind(big);
+    b.movi(4, 222);
+    b.halt();
+    auto core = runOoo(b.build());
+    EXPECT_EQ(core->archReg(4), 222u);
+    EXPECT_GE(core->counters().squashes, 1u);
+}
+
+TEST(OooCore, WrongPathCacheFillSurvivesSquash)
+{
+    // The attack substrate (paper §2): wrong-path loads leave cache
+    // state that the squash does not revert.
+    ProgramBuilder b("wrongpath");
+    b.word(0x1000, 1);               // condition cell
+    b.zeroSegment(0x9000, 64);       // wrong-path target line
+    b.movi(1, 0x1000);
+    b.clflush(1, 0);
+    b.fence();
+    b.load(2, 1, 0, 8);              // 1 (slow)
+    b.movi(3, 0);
+    auto skip = b.futureLabel();
+    b.bne(2, 3, skip);               // taken; predicted not-taken
+    b.movi(4, 0x9000);
+    b.load(5, 4, 0, 8);              // wrong-path load
+    b.bind(skip);
+    b.halt();
+    auto core = runOoo(b.build());
+    EXPECT_EQ(core->archReg(5), 0u) << "wrong path must not commit";
+    EXPECT_TRUE(core->hierarchy().l1d().probe(0x9000))
+        << "wrong-path fill must survive the squash";
+}
+
+TEST(OooCore, WrongPathBtbUpdateSurvivesSquash)
+{
+    // Paper §3: speculative BTB updates are not reverted.
+    ProgramBuilder b("btbpoison");
+    b.word(0x1000, 1);
+    auto main_l = b.futureLabel();
+    b.jmp(main_l);
+    const Addr fn_pc = b.here();
+    b.ret(28);
+    b.bind(main_l);
+    b.movi(1, 0x1000);
+    b.clflush(1, 0);
+    b.fence();
+    b.load(2, 1, 0, 8);
+    b.movi(3, 0);
+    auto skip = b.futureLabel();
+    b.bne(2, 3, skip);               // taken; predicted not-taken
+    b.movi(6, static_cast<std::int64_t>(fn_pc));
+    const Addr callr_pc = b.here();
+    b.callr(28, 6);                  // wrong-path indirect call
+    b.bind(skip);
+    b.halt();
+    auto core = runOoo(b.build());
+    auto target = core->predictor().btb().probe(callr_pc);
+    ASSERT_TRUE(target.has_value());
+    EXPECT_EQ(*target, fn_pc);
+}
+
+TEST(OooCore, FaultSquashesDependents)
+{
+    ProgramBuilder b("fault");
+    b.segment(0x4000, {0x7}, MemPerm::kKernel);
+    b.movi(1, 0x4000);
+    b.load(2, 1, 0, 1);              // faults at commit
+    b.addi(3, 2, 1);                 // consumes forwarded value
+    b.halt();
+    auto handler = b.label();
+    b.movi(4, 9);
+    b.halt();
+    b.faultHandlerAt(handler);
+    auto core = runOoo(b.build());
+    EXPECT_EQ(core->archReg(4), 9u) << "handler must run";
+    EXPECT_EQ(core->archReg(3), 0u)
+        << "dependent of faulting load must not commit";
+}
+
+TEST(OooCore, MeltdownFlawForwardsData)
+{
+    // With the flaw, a dependent of a faulting load executes with the
+    // real value and leaves a trace; without it, the value is zero.
+    for (bool flaw : {true, false}) {
+        ProgramBuilder b("meltdownflaw");
+        b.segment(0x4000, {0x2}, MemPerm::kKernel);
+        b.zeroSegment(0x8000, 4096);
+        b.movi(1, 0x4000);
+        b.load(2, 1, 0, 1);          // faults; forwards 2 iff flaw
+        b.shli(3, 2, 9);
+        b.movi(4, 0x8000);
+        b.add(4, 4, 3);
+        b.load(5, 4, 0, 1);          // touches 0x8400 iff flaw
+        b.halt();
+        auto handler = b.label();
+        b.halt();
+        b.faultHandlerAt(handler);
+        SimConfig cfg;
+        cfg.security.meltdownFlaw = flaw;
+        auto core = runOoo(b.build(), cfg);
+        EXPECT_EQ(core->hierarchy().l1d().probe(0x8000 + 0x400), flaw);
+    }
+}
+
+TEST(OooCore, RdtscMonotonicAndSerialized)
+{
+    ProgramBuilder b("tsc");
+    b.rdtsc(1);
+    b.movi(5, 100);
+    b.mul(6, 5, 5);
+    b.rdtsc(2);
+    b.sub(3, 2, 1);
+    b.halt();
+    auto core = runOoo(b.build());
+    EXPECT_GT(core->archReg(2), core->archReg(1));
+}
+
+TEST(OooCore, FenceOrdersExecution)
+{
+    // Identical timing loads around a fence must be measured after it.
+    ProgramBuilder b("fence");
+    b.zeroSegment(0x1000, 64);
+    b.movi(1, 0x1000);
+    b.clflush(1, 0);
+    b.fence();
+    b.rdtsc(2);
+    b.load(3, 1, 0, 8);              // DRAM-latency load
+    b.rdtsc(4);
+    b.sub(5, 4, 2);
+    b.halt();
+    auto core = runOoo(b.build());
+    EXPECT_GE(core->archReg(5), 140u)
+        << "rdtsc must serialize: the miss latency is visible";
+}
+
+TEST(OooCore, WrMsrThenRdMsrInOrder)
+{
+    ProgramBuilder b("msr");
+    b.movi(1, 77);
+    b.wrmsr(0, 1);
+    b.rdmsr(2, 0);
+    b.halt();
+    auto core = runOoo(b.build());
+    EXPECT_EQ(core->archReg(2), 77u);
+    EXPECT_EQ(core->msr(0), 77u);
+}
+
+TEST(OooCore, DeepCallChainWithRas)
+{
+    // Nested calls/returns deeper than fetch can see at once.
+    ProgramBuilder b("nest");
+    auto main_l = b.futureLabel();
+    b.jmp(main_l);
+    auto f3 = b.label();
+    b.addi(2, 2, 1);
+    b.ret(27);
+    auto f2 = b.label();
+    b.call(27, f3);
+    b.addi(2, 2, 1);
+    b.ret(29);
+    auto f1 = b.label();
+    b.call(29, f2);
+    b.addi(2, 2, 1);
+    b.ret(30);
+    b.bind(main_l);
+    b.movi(2, 0);
+    b.movi(18, 0);
+    b.movi(19, 50);
+    auto loop = b.label();
+    b.call(30, f1);
+    b.addi(18, 18, 1);
+    b.blt(18, 19, loop);
+    b.halt();
+    auto core = runOoo(b.build());
+    EXPECT_EQ(core->archReg(2), 150u);
+}
+
+TEST(OooCore, MatchesInterpreterOnLoopKernel)
+{
+    ProgramBuilder b("kernel");
+    b.zeroSegment(0x1000, 4096);
+    b.movi(1, 0x1000);
+    b.movi(2, 0);
+    b.movi(18, 0);
+    b.movi(19, 200);
+    auto loop = b.label();
+    b.andi(3, 18, 255);
+    b.shli(3, 3, 3);
+    b.add(4, 1, 3);
+    b.store(4, 0, 18, 8);
+    b.load(5, 4, 0, 8);
+    b.add(2, 2, 5);
+    b.addi(18, 18, 1);
+    b.blt(18, 19, loop);
+    b.halt();
+    Program p = b.build();
+    Interpreter ref(p);
+    ref.run(1000000);
+    auto core = runOoo(p);
+    for (RegId r = 1; r < 20; ++r)
+        EXPECT_EQ(core->archReg(r), ref.reg(r)) << "r" << int(r);
+}
+
+TEST(OooCore, CommittedInstCountMatchesInterpreter)
+{
+    ProgramBuilder b("count");
+    b.movi(1, 0);
+    b.movi(2, 37);
+    auto loop = b.label();
+    b.addi(1, 1, 1);
+    b.blt(1, 2, loop);
+    b.halt();
+    Program p = b.build();
+    Interpreter ref(p);
+    ref.run(1000000);
+    auto core = runOoo(p);
+    EXPECT_EQ(core->committedInsts(), ref.instCount());
+}
+
+TEST(OooCore, IcacheMissStallsFetch)
+{
+    // A program long enough to span many i-cache lines still runs.
+    ProgramBuilder b("long");
+    for (int i = 0; i < 2000; ++i)
+        b.addi(1, 1, 1);
+    b.halt();
+    auto core = runOoo(b.build());
+    EXPECT_EQ(core->archReg(1), 2000u);
+    EXPECT_GT(core->hierarchy().l1i().misses(), 50u);
+}
+
+TEST(OooCore, CpiBelowOneOnIlpKernel)
+{
+    ProgramBuilder b("ilp");
+    for (RegId r = 1; r <= 8; ++r)
+        b.movi(r, r);
+    b.movi(18, 0);
+    b.movi(19, 2000);
+    auto loop = b.label();
+    for (RegId r = 1; r <= 8; ++r)
+        b.addi(r, r, 1);
+    b.addi(18, 18, 1);
+    b.blt(18, 19, loop);
+    b.halt();
+    auto core = runOoo(b.build(), {}, 2'000'000);
+    EXPECT_LT(core->counters().cpi(), 1.0)
+        << "8-wide OoO should exceed IPC 1 on independent chains";
+}
+
+TEST(OooCore, RobNeverExceedsCapacity)
+{
+    SimConfig cfg;
+    cfg.core.robEntries = 16;
+    cfg.core.numPhysRegs = 64;
+    ProgramBuilder b("rob");
+    b.zeroSegment(0x1000, 64);
+    b.movi(1, 0x1000);
+    b.clflush(1, 0);
+    b.load(2, 1, 0, 8); // long stall while younger insts pile up
+    for (int i = 0; i < 100; ++i)
+        b.addi(3, 3, 1);
+    b.halt();
+    OooCore core(b.build(), cfg);
+    while (!core.halted() && core.cycle() < 100000) {
+        core.tick();
+        EXPECT_LE(core.rob().size(), 16u);
+    }
+    EXPECT_TRUE(core.halted());
+    EXPECT_EQ(core.archReg(3), 100u);
+}
+
+} // namespace
+} // namespace nda

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Tests of the pipeline trace facility: event ordering invariants,
+ * squash/commit classification, the NDA-visible complete-to-broadcast
+ * gap, and rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/ooo_core.hh"
+#include "debug/pipe_trace.hh"
+#include "harness/profiles.hh"
+#include "isa/program.hh"
+
+namespace nda {
+namespace {
+
+Program
+tracedProgram()
+{
+    ProgramBuilder b("traced");
+    b.word(0x1000, 5);
+    b.word(0x2000, 9);
+    b.movi(9, 0x2000);
+    b.prefetch(9, 0);
+    b.movi(1, 0x1000);
+    b.clflush(1, 0);
+    b.fence();
+    b.load(2, 1, 0, 8);              // slow condition
+    b.movi(3, 100);
+    auto skip = b.futureLabel();
+    b.bgeu(2, 3, skip);              // not taken; slow resolve
+    b.movi(4, 0x2000);
+    b.load(5, 4, 0, 8);              // unsafe under permissive
+    b.muli(6, 5, 3);
+    b.bind(skip);
+    b.halt();
+    return b.build();
+}
+
+TEST(PipeTrace, EventOrderingInvariants)
+{
+    PipeTrace trace;
+    OooCore core(tracedProgram(), makeProfile(Profile::kOoo));
+    core.setRetireHook(trace.hook());
+    core.run(~std::uint64_t{0}, 100000);
+    ASSERT_TRUE(core.halted());
+    ASSERT_FALSE(trace.records().empty());
+
+    for (const auto &r : trace.committedRecords()) {
+        EXPECT_LE(r.fetched, r.dispatched) << r.disasm;
+        if (r.issued > 0) {
+            EXPECT_LE(r.dispatched, r.issued) << r.disasm;
+            EXPECT_LE(r.issued, r.completed) << r.disasm;
+        }
+        EXPECT_LE(r.completed, r.retired) << r.disasm;
+        EXPECT_FALSE(r.squashed);
+    }
+}
+
+TEST(PipeTrace, CommitCountMatchesCore)
+{
+    PipeTrace trace;
+    OooCore core(tracedProgram(), makeProfile(Profile::kOoo));
+    core.setRetireHook(trace.hook());
+    core.run(~std::uint64_t{0}, 100000);
+    EXPECT_EQ(trace.committedRecords().size(),
+              core.committedInsts());
+}
+
+TEST(PipeTrace, SquashedInstructionsRecorded)
+{
+    // The slow mispredicted-looking branch in the program squashes
+    // wrong-path work under OoO? Here the branch is predicted
+    // not-taken and IS not-taken, so force a squash with a
+    // data-dependent 50/50 branch program instead.
+    ProgramBuilder b("squashy");
+    b.movi(1, 0);
+    b.movi(2, 300);
+    auto loop = b.label();
+    b.muli(3, 1, 0x9E3779B1);
+    b.andi(3, 3, 1);
+    b.movi(4, 0);
+    auto skip = b.futureLabel();
+    b.bne(3, 4, skip);
+    b.addi(5, 5, 1);
+    b.bind(skip);
+    b.addi(1, 1, 1);
+    b.blt(1, 2, loop);
+    b.halt();
+    PipeTrace trace(100000);
+    OooCore core(b.build(), makeProfile(Profile::kOoo));
+    core.setRetireHook(trace.hook());
+    core.run(~std::uint64_t{0}, 1'000'000);
+    ASSERT_TRUE(core.halted());
+    std::size_t squashed = 0;
+    for (const auto &r : trace.records())
+        squashed += r.squashed;
+    EXPECT_GT(squashed, 0u) << "mispredicts must record squashes";
+    EXPECT_EQ(trace.records().size() - squashed,
+              core.committedInsts());
+}
+
+TEST(PipeTrace, NdaGapVisibleUnderPermissive)
+{
+    PipeTrace trace;
+    OooCore core(tracedProgram(), makeProfile(Profile::kPermissive));
+    core.setRetireHook(trace.hook());
+    core.run(~std::uint64_t{0}, 100000);
+    ASSERT_TRUE(core.halted());
+
+    bool saw_gap = false;
+    for (const auto &r : trace.committedRecords()) {
+        if (r.wasUnsafe && r.broadcasted > r.completed + 10)
+            saw_gap = true;
+    }
+    EXPECT_TRUE(saw_gap)
+        << "the unsafe load must show a complete-to-broadcast gap";
+}
+
+TEST(PipeTrace, NoGapOnBaseline)
+{
+    PipeTrace trace;
+    OooCore core(tracedProgram(), makeProfile(Profile::kOoo));
+    core.setRetireHook(trace.hook());
+    core.run(~std::uint64_t{0}, 100000);
+    for (const auto &r : trace.committedRecords()) {
+        EXPECT_FALSE(r.wasUnsafe) << r.disasm;
+        if (r.broadcasted > 0 && r.completed > 0) {
+            EXPECT_LE(r.broadcasted, r.completed + 2)
+                << r.disasm
+                << ": baseline broadcasts at completion";
+        }
+    }
+}
+
+TEST(PipeTrace, RenderProducesRows)
+{
+    PipeTrace trace;
+    OooCore core(tracedProgram(), makeProfile(Profile::kStrict));
+    core.setRetireHook(trace.hook());
+    core.run(~std::uint64_t{0}, 100000);
+    const std::string out = trace.render(0, 10);
+    EXPECT_NE(out.find("cycles"), std::string::npos);
+    EXPECT_NE(out.find('f'), std::string::npos);
+    EXPECT_NE(out.find('r'), std::string::npos);
+    // At least one row flagged unsafe under strict propagation.
+    EXPECT_NE(out.find("  U"), std::string::npos);
+}
+
+TEST(PipeTrace, CapacityBounded)
+{
+    PipeTrace trace(16);
+    ProgramBuilder b("long");
+    b.movi(1, 0);
+    b.movi(2, 500);
+    auto loop = b.label();
+    b.addi(1, 1, 1);
+    b.blt(1, 2, loop);
+    b.halt();
+    OooCore core(b.build(), makeProfile(Profile::kOoo));
+    core.setRetireHook(trace.hook());
+    core.run(~std::uint64_t{0}, 1'000'000);
+    EXPECT_LE(trace.records().size(), 16u);
+}
+
+TEST(PipeTrace, EmptyRender)
+{
+    PipeTrace trace;
+    EXPECT_EQ(trace.render(), "(no trace records)\n");
+}
+
+} // namespace
+} // namespace nda
