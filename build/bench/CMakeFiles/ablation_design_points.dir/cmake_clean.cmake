@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_design_points.dir/ablation_design_points.cpp.o"
+  "CMakeFiles/ablation_design_points.dir/ablation_design_points.cpp.o.d"
+  "ablation_design_points"
+  "ablation_design_points.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_design_points.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

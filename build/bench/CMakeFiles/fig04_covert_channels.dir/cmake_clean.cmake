@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_covert_channels.dir/fig04_covert_channels.cpp.o"
+  "CMakeFiles/fig04_covert_channels.dir/fig04_covert_channels.cpp.o.d"
+  "fig04_covert_channels"
+  "fig04_covert_channels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_covert_channels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

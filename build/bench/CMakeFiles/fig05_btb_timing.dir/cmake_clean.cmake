@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_btb_timing.dir/fig05_btb_timing.cpp.o"
+  "CMakeFiles/fig05_btb_timing.dir/fig05_btb_timing.cpp.o.d"
+  "fig05_btb_timing"
+  "fig05_btb_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_btb_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

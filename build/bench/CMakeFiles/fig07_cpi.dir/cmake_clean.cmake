@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_cpi.dir/fig07_cpi.cpp.o"
+  "CMakeFiles/fig07_cpi.dir/fig07_cpi.cpp.o.d"
+  "fig07_cpi"
+  "fig07_cpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_cpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_nda_defense.dir/fig08_nda_defense.cpp.o"
+  "CMakeFiles/fig08_nda_defense.dir/fig08_nda_defense.cpp.o.d"
+  "fig08_nda_defense"
+  "fig08_nda_defense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_nda_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

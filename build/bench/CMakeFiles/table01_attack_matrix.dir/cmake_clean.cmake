@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table01_attack_matrix.dir/table01_attack_matrix.cpp.o"
+  "CMakeFiles/table01_attack_matrix.dir/table01_attack_matrix.cpp.o.d"
+  "table01_attack_matrix"
+  "table01_attack_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table01_attack_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

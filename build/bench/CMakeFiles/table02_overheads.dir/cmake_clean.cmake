@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table02_overheads.dir/table02_overheads.cpp.o"
+  "CMakeFiles/table02_overheads.dir/table02_overheads.cpp.o.d"
+  "table02_overheads"
+  "table02_overheads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table02_overheads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

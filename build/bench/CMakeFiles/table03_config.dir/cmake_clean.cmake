@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table03_config.dir/table03_config.cpp.o"
+  "CMakeFiles/table03_config.dir/table03_config.cpp.o.d"
+  "table03_config"
+  "table03_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table03_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

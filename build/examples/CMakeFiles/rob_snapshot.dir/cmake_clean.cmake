@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rob_snapshot.dir/rob_snapshot.cpp.o"
+  "CMakeFiles/rob_snapshot.dir/rob_snapshot.cpp.o.d"
+  "rob_snapshot"
+  "rob_snapshot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rob_snapshot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

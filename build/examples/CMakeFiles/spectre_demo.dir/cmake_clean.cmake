@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spectre_demo.dir/spectre_demo.cpp.o"
+  "CMakeFiles/spectre_demo.dir/spectre_demo.cpp.o.d"
+  "spectre_demo"
+  "spectre_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spectre_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

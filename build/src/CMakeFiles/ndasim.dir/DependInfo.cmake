@@ -1,0 +1,77 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attacks/attack_base.cc" "src/CMakeFiles/ndasim.dir/attacks/attack_base.cc.o" "gcc" "src/CMakeFiles/ndasim.dir/attacks/attack_base.cc.o.d"
+  "/root/repo/src/attacks/attack_registry.cc" "src/CMakeFiles/ndasim.dir/attacks/attack_registry.cc.o" "gcc" "src/CMakeFiles/ndasim.dir/attacks/attack_registry.cc.o.d"
+  "/root/repo/src/attacks/covert_channel.cc" "src/CMakeFiles/ndasim.dir/attacks/covert_channel.cc.o" "gcc" "src/CMakeFiles/ndasim.dir/attacks/covert_channel.cc.o.d"
+  "/root/repo/src/attacks/lazyfp.cc" "src/CMakeFiles/ndasim.dir/attacks/lazyfp.cc.o" "gcc" "src/CMakeFiles/ndasim.dir/attacks/lazyfp.cc.o.d"
+  "/root/repo/src/attacks/meltdown.cc" "src/CMakeFiles/ndasim.dir/attacks/meltdown.cc.o" "gcc" "src/CMakeFiles/ndasim.dir/attacks/meltdown.cc.o.d"
+  "/root/repo/src/attacks/ret2spec.cc" "src/CMakeFiles/ndasim.dir/attacks/ret2spec.cc.o" "gcc" "src/CMakeFiles/ndasim.dir/attacks/ret2spec.cc.o.d"
+  "/root/repo/src/attacks/spectre_btb.cc" "src/CMakeFiles/ndasim.dir/attacks/spectre_btb.cc.o" "gcc" "src/CMakeFiles/ndasim.dir/attacks/spectre_btb.cc.o.d"
+  "/root/repo/src/attacks/spectre_gpr.cc" "src/CMakeFiles/ndasim.dir/attacks/spectre_gpr.cc.o" "gcc" "src/CMakeFiles/ndasim.dir/attacks/spectre_gpr.cc.o.d"
+  "/root/repo/src/attacks/spectre_v1.cc" "src/CMakeFiles/ndasim.dir/attacks/spectre_v1.cc.o" "gcc" "src/CMakeFiles/ndasim.dir/attacks/spectre_v1.cc.o.d"
+  "/root/repo/src/attacks/spectre_v11.cc" "src/CMakeFiles/ndasim.dir/attacks/spectre_v11.cc.o" "gcc" "src/CMakeFiles/ndasim.dir/attacks/spectre_v11.cc.o.d"
+  "/root/repo/src/attacks/spectre_v2.cc" "src/CMakeFiles/ndasim.dir/attacks/spectre_v2.cc.o" "gcc" "src/CMakeFiles/ndasim.dir/attacks/spectre_v2.cc.o.d"
+  "/root/repo/src/attacks/ssb.cc" "src/CMakeFiles/ndasim.dir/attacks/ssb.cc.o" "gcc" "src/CMakeFiles/ndasim.dir/attacks/ssb.cc.o.d"
+  "/root/repo/src/branch/btb.cc" "src/CMakeFiles/ndasim.dir/branch/btb.cc.o" "gcc" "src/CMakeFiles/ndasim.dir/branch/btb.cc.o.d"
+  "/root/repo/src/branch/direction_predictor.cc" "src/CMakeFiles/ndasim.dir/branch/direction_predictor.cc.o" "gcc" "src/CMakeFiles/ndasim.dir/branch/direction_predictor.cc.o.d"
+  "/root/repo/src/branch/predictor_unit.cc" "src/CMakeFiles/ndasim.dir/branch/predictor_unit.cc.o" "gcc" "src/CMakeFiles/ndasim.dir/branch/predictor_unit.cc.o.d"
+  "/root/repo/src/branch/ras.cc" "src/CMakeFiles/ndasim.dir/branch/ras.cc.o" "gcc" "src/CMakeFiles/ndasim.dir/branch/ras.cc.o.d"
+  "/root/repo/src/common/histogram.cc" "src/CMakeFiles/ndasim.dir/common/histogram.cc.o" "gcc" "src/CMakeFiles/ndasim.dir/common/histogram.cc.o.d"
+  "/root/repo/src/common/log.cc" "src/CMakeFiles/ndasim.dir/common/log.cc.o" "gcc" "src/CMakeFiles/ndasim.dir/common/log.cc.o.d"
+  "/root/repo/src/common/stats_util.cc" "src/CMakeFiles/ndasim.dir/common/stats_util.cc.o" "gcc" "src/CMakeFiles/ndasim.dir/common/stats_util.cc.o.d"
+  "/root/repo/src/core/core_config.cc" "src/CMakeFiles/ndasim.dir/core/core_config.cc.o" "gcc" "src/CMakeFiles/ndasim.dir/core/core_config.cc.o.d"
+  "/root/repo/src/core/core_factory.cc" "src/CMakeFiles/ndasim.dir/core/core_factory.cc.o" "gcc" "src/CMakeFiles/ndasim.dir/core/core_factory.cc.o.d"
+  "/root/repo/src/core/inorder_core.cc" "src/CMakeFiles/ndasim.dir/core/inorder_core.cc.o" "gcc" "src/CMakeFiles/ndasim.dir/core/inorder_core.cc.o.d"
+  "/root/repo/src/core/issue_queue.cc" "src/CMakeFiles/ndasim.dir/core/issue_queue.cc.o" "gcc" "src/CMakeFiles/ndasim.dir/core/issue_queue.cc.o.d"
+  "/root/repo/src/core/lsq.cc" "src/CMakeFiles/ndasim.dir/core/lsq.cc.o" "gcc" "src/CMakeFiles/ndasim.dir/core/lsq.cc.o.d"
+  "/root/repo/src/core/ooo_core.cc" "src/CMakeFiles/ndasim.dir/core/ooo_core.cc.o" "gcc" "src/CMakeFiles/ndasim.dir/core/ooo_core.cc.o.d"
+  "/root/repo/src/core/perf_counters.cc" "src/CMakeFiles/ndasim.dir/core/perf_counters.cc.o" "gcc" "src/CMakeFiles/ndasim.dir/core/perf_counters.cc.o.d"
+  "/root/repo/src/core/phys_reg_file.cc" "src/CMakeFiles/ndasim.dir/core/phys_reg_file.cc.o" "gcc" "src/CMakeFiles/ndasim.dir/core/phys_reg_file.cc.o.d"
+  "/root/repo/src/debug/pipe_trace.cc" "src/CMakeFiles/ndasim.dir/debug/pipe_trace.cc.o" "gcc" "src/CMakeFiles/ndasim.dir/debug/pipe_trace.cc.o.d"
+  "/root/repo/src/harness/csv.cc" "src/CMakeFiles/ndasim.dir/harness/csv.cc.o" "gcc" "src/CMakeFiles/ndasim.dir/harness/csv.cc.o.d"
+  "/root/repo/src/harness/profiles.cc" "src/CMakeFiles/ndasim.dir/harness/profiles.cc.o" "gcc" "src/CMakeFiles/ndasim.dir/harness/profiles.cc.o.d"
+  "/root/repo/src/harness/runner.cc" "src/CMakeFiles/ndasim.dir/harness/runner.cc.o" "gcc" "src/CMakeFiles/ndasim.dir/harness/runner.cc.o.d"
+  "/root/repo/src/harness/table_printer.cc" "src/CMakeFiles/ndasim.dir/harness/table_printer.cc.o" "gcc" "src/CMakeFiles/ndasim.dir/harness/table_printer.cc.o.d"
+  "/root/repo/src/isa/interpreter.cc" "src/CMakeFiles/ndasim.dir/isa/interpreter.cc.o" "gcc" "src/CMakeFiles/ndasim.dir/isa/interpreter.cc.o.d"
+  "/root/repo/src/isa/microop.cc" "src/CMakeFiles/ndasim.dir/isa/microop.cc.o" "gcc" "src/CMakeFiles/ndasim.dir/isa/microop.cc.o.d"
+  "/root/repo/src/isa/opcode.cc" "src/CMakeFiles/ndasim.dir/isa/opcode.cc.o" "gcc" "src/CMakeFiles/ndasim.dir/isa/opcode.cc.o.d"
+  "/root/repo/src/isa/program.cc" "src/CMakeFiles/ndasim.dir/isa/program.cc.o" "gcc" "src/CMakeFiles/ndasim.dir/isa/program.cc.o.d"
+  "/root/repo/src/isa/random_program.cc" "src/CMakeFiles/ndasim.dir/isa/random_program.cc.o" "gcc" "src/CMakeFiles/ndasim.dir/isa/random_program.cc.o.d"
+  "/root/repo/src/isa/transform.cc" "src/CMakeFiles/ndasim.dir/isa/transform.cc.o" "gcc" "src/CMakeFiles/ndasim.dir/isa/transform.cc.o.d"
+  "/root/repo/src/mem/cache.cc" "src/CMakeFiles/ndasim.dir/mem/cache.cc.o" "gcc" "src/CMakeFiles/ndasim.dir/mem/cache.cc.o.d"
+  "/root/repo/src/mem/hierarchy.cc" "src/CMakeFiles/ndasim.dir/mem/hierarchy.cc.o" "gcc" "src/CMakeFiles/ndasim.dir/mem/hierarchy.cc.o.d"
+  "/root/repo/src/mem/memory_map.cc" "src/CMakeFiles/ndasim.dir/mem/memory_map.cc.o" "gcc" "src/CMakeFiles/ndasim.dir/mem/memory_map.cc.o.d"
+  "/root/repo/src/nda/policy.cc" "src/CMakeFiles/ndasim.dir/nda/policy.cc.o" "gcc" "src/CMakeFiles/ndasim.dir/nda/policy.cc.o.d"
+  "/root/repo/src/workloads/branchy.cc" "src/CMakeFiles/ndasim.dir/workloads/branchy.cc.o" "gcc" "src/CMakeFiles/ndasim.dir/workloads/branchy.cc.o.d"
+  "/root/repo/src/workloads/compress.cc" "src/CMakeFiles/ndasim.dir/workloads/compress.cc.o" "gcc" "src/CMakeFiles/ndasim.dir/workloads/compress.cc.o.d"
+  "/root/repo/src/workloads/compute.cc" "src/CMakeFiles/ndasim.dir/workloads/compute.cc.o" "gcc" "src/CMakeFiles/ndasim.dir/workloads/compute.cc.o.d"
+  "/root/repo/src/workloads/crc.cc" "src/CMakeFiles/ndasim.dir/workloads/crc.cc.o" "gcc" "src/CMakeFiles/ndasim.dir/workloads/crc.cc.o.d"
+  "/root/repo/src/workloads/filter.cc" "src/CMakeFiles/ndasim.dir/workloads/filter.cc.o" "gcc" "src/CMakeFiles/ndasim.dir/workloads/filter.cc.o.d"
+  "/root/repo/src/workloads/gametree.cc" "src/CMakeFiles/ndasim.dir/workloads/gametree.cc.o" "gcc" "src/CMakeFiles/ndasim.dir/workloads/gametree.cc.o.d"
+  "/root/repo/src/workloads/hashjoin.cc" "src/CMakeFiles/ndasim.dir/workloads/hashjoin.cc.o" "gcc" "src/CMakeFiles/ndasim.dir/workloads/hashjoin.cc.o.d"
+  "/root/repo/src/workloads/interp.cc" "src/CMakeFiles/ndasim.dir/workloads/interp.cc.o" "gcc" "src/CMakeFiles/ndasim.dir/workloads/interp.cc.o.d"
+  "/root/repo/src/workloads/matmul.cc" "src/CMakeFiles/ndasim.dir/workloads/matmul.cc.o" "gcc" "src/CMakeFiles/ndasim.dir/workloads/matmul.cc.o.d"
+  "/root/repo/src/workloads/mixed.cc" "src/CMakeFiles/ndasim.dir/workloads/mixed.cc.o" "gcc" "src/CMakeFiles/ndasim.dir/workloads/mixed.cc.o.d"
+  "/root/repo/src/workloads/pointer_chase.cc" "src/CMakeFiles/ndasim.dir/workloads/pointer_chase.cc.o" "gcc" "src/CMakeFiles/ndasim.dir/workloads/pointer_chase.cc.o.d"
+  "/root/repo/src/workloads/radixsort.cc" "src/CMakeFiles/ndasim.dir/workloads/radixsort.cc.o" "gcc" "src/CMakeFiles/ndasim.dir/workloads/radixsort.cc.o.d"
+  "/root/repo/src/workloads/stencil.cc" "src/CMakeFiles/ndasim.dir/workloads/stencil.cc.o" "gcc" "src/CMakeFiles/ndasim.dir/workloads/stencil.cc.o.d"
+  "/root/repo/src/workloads/stream.cc" "src/CMakeFiles/ndasim.dir/workloads/stream.cc.o" "gcc" "src/CMakeFiles/ndasim.dir/workloads/stream.cc.o.d"
+  "/root/repo/src/workloads/strproc.cc" "src/CMakeFiles/ndasim.dir/workloads/strproc.cc.o" "gcc" "src/CMakeFiles/ndasim.dir/workloads/strproc.cc.o.d"
+  "/root/repo/src/workloads/treewalk.cc" "src/CMakeFiles/ndasim.dir/workloads/treewalk.cc.o" "gcc" "src/CMakeFiles/ndasim.dir/workloads/treewalk.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/CMakeFiles/ndasim.dir/workloads/workload.cc.o" "gcc" "src/CMakeFiles/ndasim.dir/workloads/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_attacks.cc" "tests/CMakeFiles/ndasim_tests.dir/test_attacks.cc.o" "gcc" "tests/CMakeFiles/ndasim_tests.dir/test_attacks.cc.o.d"
+  "/root/repo/tests/test_branch.cc" "tests/CMakeFiles/ndasim_tests.dir/test_branch.cc.o" "gcc" "tests/CMakeFiles/ndasim_tests.dir/test_branch.cc.o.d"
+  "/root/repo/tests/test_common.cc" "tests/CMakeFiles/ndasim_tests.dir/test_common.cc.o" "gcc" "tests/CMakeFiles/ndasim_tests.dir/test_common.cc.o.d"
+  "/root/repo/tests/test_core_edge.cc" "tests/CMakeFiles/ndasim_tests.dir/test_core_edge.cc.o" "gcc" "tests/CMakeFiles/ndasim_tests.dir/test_core_edge.cc.o.d"
+  "/root/repo/tests/test_core_structures.cc" "tests/CMakeFiles/ndasim_tests.dir/test_core_structures.cc.o" "gcc" "tests/CMakeFiles/ndasim_tests.dir/test_core_structures.cc.o.d"
+  "/root/repo/tests/test_covert_channel.cc" "tests/CMakeFiles/ndasim_tests.dir/test_covert_channel.cc.o" "gcc" "tests/CMakeFiles/ndasim_tests.dir/test_covert_channel.cc.o.d"
+  "/root/repo/tests/test_differential.cc" "tests/CMakeFiles/ndasim_tests.dir/test_differential.cc.o" "gcc" "tests/CMakeFiles/ndasim_tests.dir/test_differential.cc.o.d"
+  "/root/repo/tests/test_harness.cc" "tests/CMakeFiles/ndasim_tests.dir/test_harness.cc.o" "gcc" "tests/CMakeFiles/ndasim_tests.dir/test_harness.cc.o.d"
+  "/root/repo/tests/test_inorder.cc" "tests/CMakeFiles/ndasim_tests.dir/test_inorder.cc.o" "gcc" "tests/CMakeFiles/ndasim_tests.dir/test_inorder.cc.o.d"
+  "/root/repo/tests/test_interpreter.cc" "tests/CMakeFiles/ndasim_tests.dir/test_interpreter.cc.o" "gcc" "tests/CMakeFiles/ndasim_tests.dir/test_interpreter.cc.o.d"
+  "/root/repo/tests/test_invisispec.cc" "tests/CMakeFiles/ndasim_tests.dir/test_invisispec.cc.o" "gcc" "tests/CMakeFiles/ndasim_tests.dir/test_invisispec.cc.o.d"
+  "/root/repo/tests/test_isa.cc" "tests/CMakeFiles/ndasim_tests.dir/test_isa.cc.o" "gcc" "tests/CMakeFiles/ndasim_tests.dir/test_isa.cc.o.d"
+  "/root/repo/tests/test_memory.cc" "tests/CMakeFiles/ndasim_tests.dir/test_memory.cc.o" "gcc" "tests/CMakeFiles/ndasim_tests.dir/test_memory.cc.o.d"
+  "/root/repo/tests/test_nda.cc" "tests/CMakeFiles/ndasim_tests.dir/test_nda.cc.o" "gcc" "tests/CMakeFiles/ndasim_tests.dir/test_nda.cc.o.d"
+  "/root/repo/tests/test_ooo_core.cc" "tests/CMakeFiles/ndasim_tests.dir/test_ooo_core.cc.o" "gcc" "tests/CMakeFiles/ndasim_tests.dir/test_ooo_core.cc.o.d"
+  "/root/repo/tests/test_pipe_trace.cc" "tests/CMakeFiles/ndasim_tests.dir/test_pipe_trace.cc.o" "gcc" "tests/CMakeFiles/ndasim_tests.dir/test_pipe_trace.cc.o.d"
+  "/root/repo/tests/test_random_program.cc" "tests/CMakeFiles/ndasim_tests.dir/test_random_program.cc.o" "gcc" "tests/CMakeFiles/ndasim_tests.dir/test_random_program.cc.o.d"
+  "/root/repo/tests/test_specoff.cc" "tests/CMakeFiles/ndasim_tests.dir/test_specoff.cc.o" "gcc" "tests/CMakeFiles/ndasim_tests.dir/test_specoff.cc.o.d"
+  "/root/repo/tests/test_transform.cc" "tests/CMakeFiles/ndasim_tests.dir/test_transform.cc.o" "gcc" "tests/CMakeFiles/ndasim_tests.dir/test_transform.cc.o.d"
+  "/root/repo/tests/test_workloads.cc" "tests/CMakeFiles/ndasim_tests.dir/test_workloads.cc.o" "gcc" "tests/CMakeFiles/ndasim_tests.dir/test_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ndasim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
