@@ -31,11 +31,16 @@ double
 suiteGeomean(const SimConfig &cfg, const SampleParams &sp,
              std::initializer_list<const char *> names)
 {
+    std::vector<std::unique_ptr<Workload>> ws;
+    for (const char *n : names)
+        ws.push_back(makeWorkload(n));
+    SampleParams one = sp;
+    one.samples = 1;
+    const std::vector<RunResult> grid =
+        runGrid(ws, {cfg}, one);
     std::vector<double> cpis;
-    for (const char *n : names) {
-        auto w = makeWorkload(n);
-        cpis.push_back(runWindow(*w, cfg, sp.baseSeed, sp).cpi);
-    }
+    for (const RunResult &r : grid)
+        cpis.push_back(r.mean.cpi);
     return geomean(cpis);
 }
 

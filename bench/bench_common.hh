@@ -6,34 +6,119 @@
 #ifndef NDASIM_BENCH_BENCH_COMMON_HH
 #define NDASIM_BENCH_BENCH_COMMON_HH
 
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <initializer_list>
 #include <string>
 
+#include "common/thread_pool.hh"
 #include "harness/runner.hh"
 
 namespace nda {
 
-/** Parse --quick / --samples=N / --insts=N from argv. */
+/** Print the shared usage text plus any binary-specific flags. */
+inline void
+printSampleUsage(const char *prog,
+                 std::initializer_list<const char *> extra_flags)
+{
+    std::fprintf(stderr,
+                 "usage: %s [options]\n"
+                 "  --quick        1 sample, 10k warmup, 30k measured\n"
+                 "  --samples=N    independently-seeded samples per "
+                 "cell\n"
+                 "  --insts=N      measured instructions per window\n"
+                 "  --warmup=N     warm-up instructions per window\n"
+                 "  --seed=N       base RNG seed (sample s uses "
+                 "seed+s)\n"
+                 "  --jobs=N       concurrent simulation windows "
+                 "(default: hardware threads; results are identical "
+                 "for any N)\n",
+                 prog);
+    for (const char *f : extra_flags)
+        std::fprintf(stderr, "  %s\n", f);
+}
+
+/**
+ * Parse the shared sampling flags from argv. Unrecognized arguments
+ * abort with a usage message: a misspelled flag silently falling back
+ * to defaults has burned enough measurement time already.
+ *
+ * Binary-specific options are declared via `extra`: entries ending in
+ * '=' are matched as prefixes (value flags), others exactly; matches
+ * are left for the caller to handle.
+ */
 inline SampleParams
-parseSampleArgs(int argc, char **argv)
+parseSampleArgs(int argc, char **argv,
+                std::initializer_list<const char *> extra = {})
 {
     SampleParams p;
+    p.jobs = ThreadPool::defaultConcurrency();
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
+        const auto accepted = [&arg](const char *flag) {
+            const std::size_t len = std::strlen(flag);
+            return len > 0 && flag[len - 1] == '='
+                       ? arg.rfind(flag, 0) == 0
+                       : arg == flag;
+        };
+        // Numeric flag value, or usage + exit(2) on malformed input.
+        const auto number = [&](std::size_t prefix_len) {
+            const std::string value = arg.substr(prefix_len);
+            std::size_t consumed = 0;
+            unsigned long long n = 0;
+            try {
+                n = std::stoull(value, &consumed);
+            } catch (const std::exception &) {
+            }
+            if (value.empty() || consumed != value.size()) {
+                std::fprintf(stderr,
+                             "%s: invalid value in '%s' (expected a "
+                             "number)\n",
+                             argv[0], arg.c_str());
+                printSampleUsage(argv[0], extra);
+                std::exit(2);
+            }
+            return n;
+        };
         if (arg == "--quick") {
             p.samples = 1;
             p.warmupInsts = 10'000;
             p.measureInsts = 30'000;
         } else if (arg.rfind("--samples=", 0) == 0) {
-            p.samples = static_cast<unsigned>(
-                std::stoul(arg.substr(10)));
+            p.samples = static_cast<unsigned>(number(10));
         } else if (arg.rfind("--insts=", 0) == 0) {
-            p.measureInsts = std::stoull(arg.substr(8));
+            p.measureInsts = number(8);
         } else if (arg.rfind("--warmup=", 0) == 0) {
-            p.warmupInsts = std::stoull(arg.substr(9));
+            p.warmupInsts = number(9);
+        } else if (arg.rfind("--seed=", 0) == 0) {
+            p.baseSeed = number(7);
+        } else if (arg.rfind("--jobs=", 0) == 0) {
+            p.jobs = static_cast<unsigned>(number(7));
+            if (p.jobs == 0)
+                p.jobs = ThreadPool::defaultConcurrency();
+        } else if (arg == "--help" || arg == "-h") {
+            printSampleUsage(argv[0], extra);
+            std::exit(0);
+        } else if (std::none_of(extra.begin(), extra.end(),
+                                accepted)) {
+            std::fprintf(stderr, "%s: unrecognized argument '%s'\n",
+                         argv[0], arg.c_str());
+            printSampleUsage(argv[0], extra);
+            std::exit(2);
         }
     }
     return p;
+}
+
+/** `\r`-style progress meter for grid sweeps (stderr). */
+inline void
+gridProgress(std::size_t done, std::size_t total)
+{
+    std::fprintf(stderr, "\r  %zu/%zu windows", done, total);
+    if (done == total)
+        std::fprintf(stderr, "\n");
 }
 
 } // namespace nda

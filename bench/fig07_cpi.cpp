@@ -21,7 +21,8 @@ using namespace nda;
 int
 main(int argc, char **argv)
 {
-    const SampleParams sp = parseSampleArgs(argc, argv);
+    const SampleParams sp =
+        parseSampleArgs(argc, argv, {"--csv="});
     std::string csv_path;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -30,10 +31,19 @@ main(int argc, char **argv)
     }
     printBanner("Figure 7: normalized CPI, all profiles x all "
                 "workloads (95% CI over " +
-                std::to_string(sp.samples) + " samples)");
+                std::to_string(sp.samples) + " samples, " +
+                std::to_string(sp.jobs) + " jobs)");
 
     const auto workloads = makeAllWorkloads();
     const auto profiles = allProfiles();
+
+    // The whole figure is one grid of independent windows — run them
+    // all concurrently, then format from the reduced cells.
+    std::vector<SimConfig> configs;
+    for (Profile p : profiles)
+        configs.push_back(makeProfile(p));
+    const std::vector<RunResult> grid =
+        runGrid(workloads, configs, sp, gridProgress);
 
     std::vector<std::string> headers{"workload"};
     for (Profile p : profiles)
@@ -51,12 +61,14 @@ main(int argc, char **argv)
         csv->row(hdr);
     }
     std::map<Profile, std::vector<double>> norm;
-    for (const auto &w : workloads) {
+    for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
+        const auto &w = workloads[wi];
         std::vector<std::string> row{w->name()};
         std::vector<std::string> csv_row{w->name()};
         double base_cpi = 0.0;
-        for (Profile p : profiles) {
-            const RunResult r = runSampled(*w, makeProfile(p), sp);
+        for (std::size_t pi = 0; pi < profiles.size(); ++pi) {
+            const Profile p = profiles[pi];
+            const RunResult &r = grid[wi * profiles.size() + pi];
             if (p == Profile::kOoo)
                 base_cpi = r.mean.cpi;
             const double rel = r.mean.cpi / base_cpi;
@@ -71,7 +83,6 @@ main(int argc, char **argv)
         table.addRow(row);
         if (csv)
             csv->row(csv_row);
-        std::fprintf(stderr, "  %s done\n", w->name().c_str());
     }
 
     std::vector<std::string> geo_row{"GEOMEAN"};

@@ -9,14 +9,15 @@
 #include <cstdio>
 
 #include "attacks/attacks.hh"
-#include "harness/profiles.hh"
+#include "bench_common.hh"
 #include "harness/table_printer.hh"
 
 using namespace nda;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const SampleParams sp = parseSampleArgs(argc, argv);
     printBanner("Figure 8: Spectre v1 under NDA permissive propagation "
                 "(cache and BTB channels)");
     std::printf("Paper reference: the Fig 4 cycle differences are "
@@ -26,10 +27,18 @@ main()
     const SimConfig cfg = makeProfile(Profile::kPermissive);
     const std::uint8_t secret = 42;
 
+    // The two end-to-end attack simulations are independent; run
+    // them on the pool (each owns its core and memory).
     SpectreV1Cache cache_attack;
-    const AttackResult cache_r = cache_attack.run(cfg, secret);
     SpectreV1Btb btb_attack;
-    const AttackResult btb_r = btb_attack.run(cfg, secret);
+    AttackResult cache_r, btb_r;
+    ThreadPool pool(std::min(2u, sp.jobs));
+    pool.parallelFor(2, [&](std::size_t i) {
+        if (i == 0)
+            cache_r = cache_attack.run(cfg, secret);
+        else
+            btb_r = btb_attack.run(cfg, secret);
+    });
 
     TablePrinter t({"channel", "t[secret]", "median-ish t", "signal",
                     "leaked"});

@@ -36,13 +36,22 @@ main(int argc, char **argv)
     const auto workloads = makeAllWorkloads();
     const auto profiles = ndaProfiles();
 
+    // Fig 9 uses one window per (workload, profile) cell at the base
+    // seed; the whole grid runs concurrently on sp.jobs lanes.
+    SampleParams one = sp;
+    one.samples = 1;
+    std::vector<SimConfig> configs;
+    for (Profile p : profiles)
+        configs.push_back(makeProfile(p));
+    const std::vector<RunResult> grid =
+        runGrid(workloads, configs, one, gridProgress);
+
     std::vector<ProfileAgg> agg(profiles.size());
-    for (const auto &w : workloads) {
+    for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
         double base_cycles = 0;
         for (std::size_t i = 0; i < profiles.size(); ++i) {
-            const WindowStats s =
-                runWindow(*w, makeProfile(profiles[i]), sp.baseSeed,
-                          sp);
+            const WindowStats &s =
+                grid[wi * profiles.size() + i].mean;
             const auto cyc = static_cast<double>(s.cycles);
             if (profiles[i] == Profile::kOoo)
                 base_cycles = cyc;
@@ -57,7 +66,6 @@ main(int argc, char **argv)
             a.d2i += s.dispatchToIssue;
             ++a.n;
         }
-        std::fprintf(stderr, "  %s done\n", w->name().c_str());
     }
 
     printBanner("Figure 9a: cycle breakdown (normalized to OoO "
@@ -106,20 +114,24 @@ main(int argc, char **argv)
                 "delay (permissive)");
     TablePrinter t9e({"extra delay", "relative CPI"});
     {
-        double base = 0;
+        std::vector<SimConfig> delay_cfgs;
         for (unsigned delay : {0u, 1u, 2u}) {
             SimConfig cfg = makeProfile(Profile::kPermissive);
             cfg.security.extraBroadcastDelay = delay;
+            delay_cfgs.push_back(cfg);
+        }
+        const std::vector<RunResult> dgrid =
+            runGrid(workloads, delay_cfgs, one);
+        double base = 0;
+        for (std::size_t d = 0; d < delay_cfgs.size(); ++d) {
             std::vector<double> rel;
-            for (const auto &w : workloads) {
-                const WindowStats s =
-                    runWindow(*w, cfg, sp.baseSeed, sp);
-                rel.push_back(s.cpi);
-            }
+            for (std::size_t wi = 0; wi < workloads.size(); ++wi)
+                rel.push_back(
+                    dgrid[wi * delay_cfgs.size() + d].mean.cpi);
             const double g = geomean(rel);
-            if (delay == 0)
+            if (d == 0)
                 base = g;
-            t9e.addRow({std::to_string(delay) + " cycle(s)",
+            t9e.addRow({std::to_string(d) + " cycle(s)",
                         TablePrinter::fmt(g / base, 3)});
         }
     }

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Simulator-throughput microbenchmark: reports KIPS (simulated
+ * kilo-instructions per host-second) per machine profile, plus the
+ * aggregate harness throughput with `--jobs` concurrent windows, and
+ * writes BENCH_throughput.json so the performance trajectory of the
+ * core hot path is tracked from PR to PR.
+ *
+ * Per-profile numbers are measured serially (one window at a time) so
+ * they isolate single-core simulation speed; the harness number runs
+ * the same windows through runGrid() on the pool.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+#include "harness/csv.hh"
+#include "harness/table_printer.hh"
+
+using namespace nda;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+struct ProfileKips {
+    Profile profile;
+    std::uint64_t instructions = 0;
+    double seconds = 0.0;
+    double kips() const { return instructions / seconds / 1000.0; }
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    SampleParams sp = parseSampleArgs(argc, argv, {"--json="});
+    std::string json_path = "BENCH_throughput.json";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--json=", 0) == 0)
+            json_path = arg.substr(7);
+    }
+    // One window per (workload, profile): this measures host-side
+    // simulation speed, not simulated statistics, so samples add
+    // nothing but wall-clock.
+    sp.samples = 1;
+
+    printBanner("Simulator throughput (KIPS = simulated kilo-insts "
+                "per host-second)");
+
+    // A branch-heavy, a memory-bound, and an ILP-rich kernel: the mix
+    // exercises every pipeline structure without running the full
+    // 16-kernel suite.
+    const std::vector<std::string> names{"compute", "branchy",
+                                         "ptrchase", "mixed"};
+    std::vector<std::unique_ptr<Workload>> workloads;
+    for (const std::string &n : names)
+        workloads.push_back(makeWorkload(n));
+
+    const auto profiles = allProfiles();
+    std::vector<ProfileKips> results;
+    TablePrinter table({"profile", "sim insts", "host sec", "KIPS"});
+    for (Profile p : profiles) {
+        ProfileKips r{p};
+        const SimConfig cfg = makeProfile(p);
+        const auto t0 = Clock::now();
+        for (const auto &w : workloads) {
+            const WindowStats s = runWindow(*w, cfg, sp.baseSeed, sp);
+            // Warm-up instructions are simulated work too.
+            r.instructions += s.instructions + sp.warmupInsts;
+        }
+        r.seconds = secondsSince(t0);
+        results.push_back(r);
+        table.addRow({profileName(p),
+                      std::to_string(r.instructions),
+                      TablePrinter::fmt(r.seconds, 2),
+                      TablePrinter::fmt(r.kips(), 1)});
+    }
+    table.print();
+
+    // Aggregate harness throughput: the same grid through the pool.
+    std::vector<SimConfig> configs;
+    for (Profile p : profiles)
+        configs.push_back(makeProfile(p));
+    const auto t0 = Clock::now();
+    const std::vector<RunResult> grid = runGrid(workloads, configs, sp);
+    const double grid_seconds = secondsSince(t0);
+    std::uint64_t grid_insts = 0;
+    for (const RunResult &r : grid)
+        grid_insts += r.mean.instructions +
+                      sp.warmupInsts * sp.samples;
+    const double grid_kips = grid_insts / grid_seconds / 1000.0;
+    std::printf("\nHarness aggregate (--jobs=%u): %llu insts in %.2fs "
+                "= %.1f KIPS\n",
+                sp.jobs, static_cast<unsigned long long>(grid_insts),
+                grid_seconds, grid_kips);
+
+    std::FILE *json = std::fopen(json_path.c_str(), "w");
+    if (!json) {
+        std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+        return 1;
+    }
+    std::fprintf(json,
+                 "{\n"
+                 "  \"bench\": \"sim_throughput\",\n"
+                 "  \"measure_insts\": %llu,\n"
+                 "  \"warmup_insts\": %llu,\n"
+                 "  \"jobs\": %u,\n"
+                 "  \"profiles\": [\n",
+                 static_cast<unsigned long long>(sp.measureInsts),
+                 static_cast<unsigned long long>(sp.warmupInsts),
+                 sp.jobs);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const ProfileKips &r = results[i];
+        std::fprintf(json,
+                     "    {\"name\": \"%s\", \"instructions\": %llu, "
+                     "\"seconds\": %.4f, \"kips\": %.1f}%s\n",
+                     profileName(r.profile),
+                     static_cast<unsigned long long>(r.instructions),
+                     r.seconds, r.kips(),
+                     i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(json,
+                 "  ],\n"
+                 "  \"harness\": {\"jobs\": %u, \"instructions\": "
+                 "%llu, \"seconds\": %.4f, \"kips\": %.1f}\n"
+                 "}\n",
+                 sp.jobs, static_cast<unsigned long long>(grid_insts),
+                 grid_seconds, grid_kips);
+    std::fclose(json);
+    std::printf("wrote %s\n", json_path.c_str());
+    return 0;
+}

@@ -6,6 +6,7 @@
  */
 
 #include <cstdio>
+#include <iterator>
 
 #include "bench_common.hh"
 #include "common/stats_util.hh"
@@ -30,7 +31,7 @@ main(int argc, char **argv)
 {
     const SampleParams sp = parseSampleArgs(argc, argv);
     printBanner("Table 2: NDA propagation policies and the attacks "
-                "they prevent");
+                "they prevent (" + std::to_string(sp.jobs) + " jobs)");
 
     // Legend (from the paper): "all" = defeats all covert channels,
     // "no SSB" = all channels but store bypass still leaks, "partial"
@@ -48,31 +49,32 @@ main(int argc, char **argv)
          "d-cache only", 0.327},
     };
 
-    // Measure the overheads.
+    // Measure the overheads: one grid over all workloads x (baseline
+    // OoO + the eight mechanism rows), every window concurrent.
     const auto workloads = makeAllWorkloads();
-    std::vector<double> base;
-    for (const auto &w : workloads) {
-        base.push_back(
-            runSampled(*w, makeProfile(Profile::kOoo), sp).mean.cpi);
-    }
+    std::vector<SimConfig> configs{makeProfile(Profile::kOoo)};
+    for (const RowSpec &row : rows)
+        configs.push_back(makeProfile(row.profile));
+    const std::vector<RunResult> grid =
+        runGrid(workloads, configs, sp, gridProgress);
 
     TablePrinter t({"mechanism", "ctrl-steer (mem)", "ctrl-steer "
                     "(GPRs)", "chosen code", "overhead (paper)",
                     "overhead (measured)"});
-    for (const RowSpec &row : rows) {
+    const std::size_t ncfg = configs.size();
+    for (std::size_t r = 0; r < std::size(rows); ++r) {
+        const RowSpec &row = rows[r];
         std::vector<double> rel;
         for (std::size_t i = 0; i < workloads.size(); ++i) {
-            const double cpi =
-                runSampled(*workloads[i], makeProfile(row.profile), sp)
-                    .mean.cpi;
-            rel.push_back(cpi / base[i]);
+            const double base_cpi = grid[i * ncfg].mean.cpi;
+            const double cpi = grid[i * ncfg + r + 1].mean.cpi;
+            rel.push_back(cpi / base_cpi);
         }
         const double overhead = geomean(rel) - 1.0;
         t.addRow({profileName(row.profile), row.steeringMem,
                   row.steeringGpr, row.chosenCode,
                   TablePrinter::pct(row.paperOverhead),
                   TablePrinter::pct(overhead)});
-        std::fprintf(stderr, "  %s done\n", profileName(row.profile));
     }
     t.print();
 

@@ -8,7 +8,7 @@
 #ifndef NDASIM_CORE_DYN_INST_HH
 #define NDASIM_CORE_DYN_INST_HH
 
-#include <memory>
+#include <cstdint>
 #include <vector>
 
 #include "branch/predictor_unit.hh"
@@ -17,6 +17,8 @@
 #include "mem/hierarchy.hh"
 
 namespace nda {
+
+class DynInstPool;
 
 /** One in-flight instruction (a ROB entry). */
 struct DynInst {
@@ -101,9 +103,26 @@ struct DynInst {
     bool isLoadLike() const { return uop.isLoadLike(); }
     bool isBranch() const { return uop.isBranch(); }
     bool isSpecBranch() const { return uop.isSpeculativeBranch(); }
-};
 
-using DynInstPtr = std::shared_ptr<DynInst>;
+    // --- intrusive pool bookkeeping (owned by DynInstPool) -----------------
+    /** Non-atomic reference count — a core (and everything holding
+     *  its instructions) lives on one thread; parallelism is at the
+     *  simulation-window granularity. */
+    std::uint32_t poolRefs_ = 0;
+    DynInstPool *pool_ = nullptr;   ///< owning pool, for recycling
+    DynInst *poolNext_ = nullptr;   ///< free-list link while recycled
+
+    /** Return to default-constructed state, keeping the heap buffer
+     *  of `bypassedStores` so recycled entries do not re-allocate. */
+    void
+    reset()
+    {
+        auto saved = std::move(bypassedStores);
+        saved.clear();
+        *this = DynInst{};
+        bypassedStores = std::move(saved);
+    }
+};
 
 } // namespace nda
 

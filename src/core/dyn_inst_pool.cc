@@ -1,0 +1,25 @@
+#include "core/dyn_inst_pool.hh"
+
+namespace nda {
+
+void
+DynInstPool::grow()
+{
+    auto slab = std::make_unique<DynInst[]>(kSlabSize);
+    // Chain in reverse so allocation proceeds slab[0], slab[1], ...
+    // (consecutive addresses, friendlier to the cache).
+    for (std::size_t i = kSlabSize; i-- > 0;)
+        recycle(&slab[i]);
+    slabs_.push_back(std::move(slab));
+}
+
+std::size_t
+DynInstPool::freeCount() const
+{
+    std::size_t n = 0;
+    for (const DynInst *p = freeList_; p; p = p->poolNext_)
+        ++n;
+    return n;
+}
+
+} // namespace nda

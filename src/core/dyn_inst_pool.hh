@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Slab allocator + free list for DynInst, with a non-atomic intrusive
+ * handle. The OoO core allocates one DynInst per fetched instruction;
+ * with std::shared_ptr that meant a heap allocation plus atomic
+ * reference-count traffic on every copy between pipeline structures
+ * (ROB, issue queue, LSQ, event queue). A core is single-threaded by
+ * construction — the harness parallelizes across independent
+ * simulation windows, never inside one — so the handle's count can be
+ * a plain integer, and recycling through a per-core free list makes
+ * allocation a pointer pop.
+ *
+ * Lifetime contract: the pool must outlive every handle it issued
+ * (in OooCore the pool member is declared before all containers that
+ * hold handles, so it is destroyed after them).
+ */
+
+#ifndef NDASIM_CORE_DYN_INST_POOL_HH
+#define NDASIM_CORE_DYN_INST_POOL_HH
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "core/dyn_inst.hh"
+
+namespace nda {
+
+class DynInstPool;
+
+/** Non-atomic intrusive refcounted handle to a pooled DynInst. */
+class DynInstPtr
+{
+  public:
+    DynInstPtr() = default;
+    DynInstPtr(std::nullptr_t) {}
+
+    DynInstPtr(const DynInstPtr &o) : inst_(o.inst_)
+    {
+        if (inst_)
+            ++inst_->poolRefs_;
+    }
+
+    DynInstPtr(DynInstPtr &&o) noexcept : inst_(o.inst_)
+    {
+        o.inst_ = nullptr;
+    }
+
+    DynInstPtr &
+    operator=(const DynInstPtr &o)
+    {
+        if (o.inst_)
+            ++o.inst_->poolRefs_;
+        release();
+        inst_ = o.inst_;
+        return *this;
+    }
+
+    DynInstPtr &
+    operator=(DynInstPtr &&o) noexcept
+    {
+        if (this != &o) {
+            release();
+            inst_ = o.inst_;
+            o.inst_ = nullptr;
+        }
+        return *this;
+    }
+
+    ~DynInstPtr() { release(); }
+
+    DynInst *operator->() const { return inst_; }
+    DynInst &operator*() const { return *inst_; }
+    DynInst *get() const { return inst_; }
+    explicit operator bool() const { return inst_ != nullptr; }
+
+    friend bool
+    operator==(const DynInstPtr &a, const DynInstPtr &b)
+    {
+        return a.inst_ == b.inst_;
+    }
+
+    friend bool
+    operator!=(const DynInstPtr &a, const DynInstPtr &b)
+    {
+        return a.inst_ != b.inst_;
+    }
+
+    friend bool
+    operator==(const DynInstPtr &a, std::nullptr_t)
+    {
+        return a.inst_ == nullptr;
+    }
+
+    friend bool
+    operator!=(const DynInstPtr &a, std::nullptr_t)
+    {
+        return a.inst_ != nullptr;
+    }
+
+  private:
+    friend class DynInstPool;
+
+    /** Adopt a freshly allocated instruction (refcount preset to 1). */
+    explicit DynInstPtr(DynInst *inst) : inst_(inst) {}
+
+    inline void release();
+
+    DynInst *inst_ = nullptr;
+};
+
+/** Per-core slab/free-list pool of DynInst. */
+class DynInstPool
+{
+  public:
+    DynInstPool() = default;
+
+    DynInstPool(const DynInstPool &) = delete;
+    DynInstPool &operator=(const DynInstPool &) = delete;
+
+    /** Allocate a default-initialized instruction (refcount 1). */
+    DynInstPtr
+    create()
+    {
+        if (!freeList_)
+            grow();
+        DynInst *inst = freeList_;
+        freeList_ = inst->poolNext_;
+        inst->reset();
+        inst->poolRefs_ = 1;
+        inst->pool_ = this;
+        return DynInstPtr(inst);
+    }
+
+    /** Slots currently on the free list (for tests/introspection). */
+    std::size_t freeCount() const;
+
+    /** Total slots ever allocated across all slabs. */
+    std::size_t capacity() const { return slabs_.size() * kSlabSize; }
+
+  private:
+    friend class DynInstPtr;
+
+    static constexpr std::size_t kSlabSize = 256;
+
+    void grow();
+
+    void
+    recycle(DynInst *inst)
+    {
+        inst->poolNext_ = freeList_;
+        freeList_ = inst;
+    }
+
+    std::vector<std::unique_ptr<DynInst[]>> slabs_;
+    DynInst *freeList_ = nullptr;
+};
+
+inline void
+DynInstPtr::release()
+{
+    if (inst_ && --inst_->poolRefs_ == 0)
+        inst_->pool_->recycle(inst_);
+    inst_ = nullptr;
+}
+
+} // namespace nda
+
+#endif // NDASIM_CORE_DYN_INST_POOL_HH

@@ -36,30 +36,6 @@ IssueQueue::sourcesReady(const DynInst &inst, const PhysRegFile &regs)
 }
 
 void
-IssueQueue::selectReady(const PhysRegFile &regs,
-                        const std::function<bool(const DynInstPtr &)>
-                            &try_issue)
-{
-    std::size_t out = 0;
-    for (std::size_t i = 0; i < entries_.size(); ++i) {
-        DynInstPtr inst = entries_[i];
-        if (inst->squashed) {
-            inst->inIq = false;
-            continue; // drop
-        }
-        bool issued = false;
-        if (sourcesReady(*inst, regs))
-            issued = try_issue(inst);
-        if (issued) {
-            inst->inIq = false;
-        } else {
-            entries_[out++] = std::move(inst);
-        }
-    }
-    entries_.resize(out);
-}
-
-void
 IssueQueue::removeSquashed()
 {
     const auto is_squashed = [](const DynInstPtr &inst) {

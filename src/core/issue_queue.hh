@@ -9,10 +9,9 @@
 #ifndef NDASIM_CORE_ISSUE_QUEUE_HH
 #define NDASIM_CORE_ISSUE_QUEUE_HH
 
-#include <functional>
 #include <vector>
 
-#include "core/dyn_inst.hh"
+#include "core/dyn_inst_pool.hh"
 #include "core/phys_reg_file.hh"
 
 namespace nda {
@@ -36,10 +35,33 @@ class IssueQueue
      * removed) or false to leave the entry parked (e.g., structural
      * hazard or serialization constraint). Squashed entries are
      * dropped as encountered.
+     *
+     * The callback is a template parameter, not a std::function: this
+     * runs once per IQ entry per cycle, the hottest loop in the
+     * simulator, and the issue logic must inline into it.
      */
-    void selectReady(const PhysRegFile &regs,
-                     const std::function<bool(const DynInstPtr &)>
-                         &try_issue);
+    template <typename TryIssue>
+    void
+    selectReady(const PhysRegFile &regs, TryIssue &&try_issue)
+    {
+        std::size_t out = 0;
+        for (std::size_t i = 0; i < entries_.size(); ++i) {
+            DynInstPtr inst = std::move(entries_[i]);
+            if (inst->squashed) {
+                inst->inIq = false;
+                continue; // drop
+            }
+            bool issued = false;
+            if (sourcesReady(*inst, regs))
+                issued = try_issue(inst);
+            if (issued) {
+                inst->inIq = false;
+            } else {
+                entries_[out++] = std::move(inst);
+            }
+        }
+        entries_.resize(out);
+    }
 
     /** Drop squashed entries eagerly (called after a squash). */
     void removeSquashed();

@@ -12,7 +12,7 @@
 #include <deque>
 #include <optional>
 
-#include "core/dyn_inst.hh"
+#include "core/dyn_inst_pool.hh"
 #include "core/phys_reg_file.hh"
 
 namespace nda {

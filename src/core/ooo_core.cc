@@ -853,7 +853,7 @@ OooCore::fetchStage()
             }
         }
 
-        auto inst = std::make_shared<DynInst>();
+        DynInstPtr inst = pool_.create();
         inst->uop = prog_.at(fetchPc_);
         inst->pc = fetchPc_;
         inst->fetchedAt = cycle_;

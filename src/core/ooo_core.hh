@@ -21,7 +21,7 @@
 #include "branch/predictor_unit.hh"
 #include "core/core_base.hh"
 #include "core/core_config.hh"
-#include "core/dyn_inst.hh"
+#include "core/dyn_inst_pool.hh"
 #include "core/issue_queue.hh"
 #include "core/lsq.hh"
 #include "core/phys_reg_file.hh"
@@ -119,6 +119,10 @@ class OooCore : public CoreBase
     // --- configuration / program -----------------------------------------
     const Program prog_;
     SimConfig cfg_;
+
+    /** In-flight instruction allocator. Declared before every
+     *  container that holds DynInstPtr so it is destroyed last. */
+    DynInstPool pool_;
 
     // --- architectural + micro-architectural state ------------------------
     MemoryMap mem_;

@@ -1,7 +1,11 @@
 #include "harness/runner.hh"
 
+#include <algorithm>
+#include <mutex>
+
 #include "common/log.hh"
 #include "common/stats_util.hh"
+#include "common/thread_pool.hh"
 #include "core/core_factory.hh"
 
 namespace nda {
@@ -43,14 +47,11 @@ runWindow(const Workload &workload, const SimConfig &cfg,
 }
 
 RunResult
-runSampled(const Workload &workload, const SimConfig &cfg,
-           const SampleParams &p)
+aggregateWindows(const std::vector<WindowStats> &windows)
 {
     RunResult result;
     WindowStats acc;
-    for (unsigned s = 0; s < p.samples; ++s) {
-        const WindowStats w =
-            runWindow(workload, cfg, p.baseSeed + s, p);
+    for (const WindowStats &w : windows) {
         result.cpiSamples.push_back(w.cpi);
         acc.cpi += w.cpi;
         acc.mlp += w.mlp;
@@ -64,7 +65,7 @@ runSampled(const Workload &workload, const SimConfig &cfg,
         acc.instructions += w.instructions;
         acc.cycles += w.cycles;
     }
-    const double n = static_cast<double>(p.samples);
+    const double n = static_cast<double>(windows.size());
     acc.cpi /= n;
     acc.mlp /= n;
     acc.ilp /= n;
@@ -77,6 +78,71 @@ runSampled(const Workload &workload, const SimConfig &cfg,
     result.mean = acc;
     result.cpiCi95 = confidenceHalfWidth95(result.cpiSamples);
     return result;
+}
+
+RunResult
+runSampled(const Workload &workload, const SimConfig &cfg,
+           const SampleParams &p)
+{
+    std::vector<WindowStats> windows(p.samples);
+    ThreadPool pool(std::min<unsigned>(std::max(1u, p.jobs),
+                                       p.samples));
+    pool.parallelFor(p.samples, [&](std::size_t s) {
+        windows[s] = runWindow(workload, cfg,
+                               p.baseSeed + static_cast<std::uint64_t>(s),
+                               p);
+    });
+    return aggregateWindows(windows);
+}
+
+std::vector<RunResult>
+runGrid(const std::vector<const Workload *> &workloads,
+        const std::vector<SimConfig> &configs, const SampleParams &p,
+        const std::function<void(std::size_t, std::size_t)> &progress)
+{
+    const std::size_t cells = workloads.size() * configs.size();
+    const std::size_t total = cells * p.samples;
+    std::vector<WindowStats> windows(total);
+
+    std::mutex progress_mutex;
+    std::size_t done = 0;
+    ThreadPool pool(std::max(1u, p.jobs));
+    pool.parallelFor(total, [&](std::size_t task) {
+        const std::size_t cell = task / p.samples;
+        const std::size_t sample = task % p.samples;
+        const std::size_t w = cell / configs.size();
+        const std::size_t c = cell % configs.size();
+        windows[task] =
+            runWindow(*workloads[w], configs[c],
+                      p.baseSeed + static_cast<std::uint64_t>(sample),
+                      p);
+        if (progress) {
+            std::lock_guard<std::mutex> lock(progress_mutex);
+            progress(++done, total);
+        }
+    });
+
+    std::vector<RunResult> results;
+    results.reserve(cells);
+    std::vector<WindowStats> cell_windows(p.samples);
+    for (std::size_t cell = 0; cell < cells; ++cell) {
+        for (unsigned s = 0; s < p.samples; ++s)
+            cell_windows[s] = windows[cell * p.samples + s];
+        results.push_back(aggregateWindows(cell_windows));
+    }
+    return results;
+}
+
+std::vector<RunResult>
+runGrid(const std::vector<std::unique_ptr<Workload>> &workloads,
+        const std::vector<SimConfig> &configs, const SampleParams &p,
+        const std::function<void(std::size_t, std::size_t)> &progress)
+{
+    std::vector<const Workload *> ptrs;
+    ptrs.reserve(workloads.size());
+    for (const auto &w : workloads)
+        ptrs.push_back(w.get());
+    return runGrid(ptrs, configs, p, progress);
 }
 
 } // namespace nda

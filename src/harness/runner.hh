@@ -4,12 +4,20 @@
  * (workload, profile) pair, run K independently-seeded samples, each
  * with a warm-up phase followed by a measured window, and report the
  * mean and 95% confidence interval of CPI plus the Fig 9 statistics.
+ *
+ * Every window is an independent simulation — it owns its core,
+ * memory, and RNG, seeded from (baseSeed + sample index) — so the
+ * harness runs windows concurrently on a thread pool when
+ * SampleParams::jobs > 1. Results are written into slots indexed by
+ * task id and reduced in index order afterwards, which makes the
+ * parallel output bit-identical to the serial (jobs = 1) path.
  */
 
 #ifndef NDASIM_HARNESS_RUNNER_HH
 #define NDASIM_HARNESS_RUNNER_HH
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "core/core_config.hh"
@@ -25,6 +33,8 @@ struct SampleParams {
     std::uint64_t measureInsts = 100'000;
     unsigned samples = 3;       ///< independently-seeded runs
     std::uint64_t baseSeed = 1;
+    /** Concurrent simulation windows; 1 = fully serial (no pool). */
+    unsigned jobs = 1;
 };
 
 /** Measured statistics of one sample window. */
@@ -53,9 +63,34 @@ struct RunResult {
 WindowStats runWindow(const Workload &workload, const SimConfig &cfg,
                       std::uint64_t seed, const SampleParams &p);
 
+/** Reduce one cell's per-sample windows (in index order). */
+RunResult aggregateWindows(const std::vector<WindowStats> &windows);
+
 /** Run all samples for one (workload, profile) pair. */
 RunResult runSampled(const Workload &workload, const SimConfig &cfg,
                      const SampleParams &p);
+
+/**
+ * Sweep a full workload x config grid, dispatching every
+ * (cell, sample) window to a pool of `p.jobs` lanes. Cell results are
+ * returned in row-major order: result[w * configs.size() + c].
+ *
+ * `progress`, if set, is invoked after each window completes with
+ * (windows done so far, total windows); calls are serialized but may
+ * come from worker threads.
+ */
+std::vector<RunResult>
+runGrid(const std::vector<const Workload *> &workloads,
+        const std::vector<SimConfig> &configs, const SampleParams &p,
+        const std::function<void(std::size_t, std::size_t)> &progress =
+            nullptr);
+
+/** Convenience overload over owning workload lists. */
+std::vector<RunResult>
+runGrid(const std::vector<std::unique_ptr<Workload>> &workloads,
+        const std::vector<SimConfig> &configs, const SampleParams &p,
+        const std::function<void(std::size_t, std::size_t)> &progress =
+            nullptr);
 
 } // namespace nda
 

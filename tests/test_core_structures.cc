@@ -60,14 +60,69 @@ TEST(RenameMap, RenameReturnsPrevious)
     EXPECT_EQ(map.lookup(5), 5);
 }
 
+DynInstPool &
+testPool()
+{
+    static DynInstPool pool;
+    return pool;
+}
+
 DynInstPtr
 makeInst(InstSeqNum seq, Opcode op = Opcode::kAdd)
 {
-    auto inst = std::make_shared<DynInst>();
+    DynInstPtr inst = testPool().create();
     inst->seq = seq;
     inst->uop.op = op;
     inst->uop.size = 8;
     return inst;
+}
+
+TEST(DynInstPool, RecyclesThroughFreeList)
+{
+    DynInstPool pool;
+    DynInst *first;
+    {
+        DynInstPtr a = pool.create();
+        first = a.get();
+        a->seq = 7;
+        a->bypassedStores.push_back(3);
+        EXPECT_EQ(pool.freeCount(), pool.capacity() - 1);
+    }
+    // Released handle returned the slot; the next create reuses it
+    // with fully reset state.
+    EXPECT_EQ(pool.freeCount(), pool.capacity());
+    DynInstPtr b = pool.create();
+    EXPECT_EQ(b.get(), first);
+    EXPECT_EQ(b->seq, 0u);
+    EXPECT_TRUE(b->bypassedStores.empty());
+}
+
+TEST(DynInstPool, HandleRefcounting)
+{
+    DynInstPool pool;
+    DynInstPtr a = pool.create();
+    const std::size_t free_after_one = pool.freeCount();
+    {
+        DynInstPtr b = a;            // copy
+        DynInstPtr c = std::move(b); // move keeps one ref
+        EXPECT_EQ(c, a);
+        EXPECT_EQ(b, nullptr);
+        EXPECT_EQ(pool.freeCount(), free_after_one);
+    }
+    EXPECT_EQ(pool.freeCount(), free_after_one);
+    a = nullptr;
+    EXPECT_EQ(pool.freeCount(), pool.capacity());
+}
+
+TEST(DynInstPool, GrowsBeyondOneSlab)
+{
+    DynInstPool pool;
+    std::vector<DynInstPtr> held;
+    for (int i = 0; i < 1000; ++i)
+        held.push_back(pool.create());
+    EXPECT_GE(pool.capacity(), 1000u);
+    // All handles distinct.
+    EXPECT_EQ(pool.freeCount(), pool.capacity() - 1000);
 }
 
 TEST(IssueQueue, CapacityEnforced)
