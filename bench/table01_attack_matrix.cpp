@@ -4,19 +4,57 @@
  * covert channel) and extends it with the empirical leak/block
  * outcome of every implemented attack against every machine profile —
  * the matrix Table 2's security columns summarize.
+ *
+ * Every cell carries a dual verdict: the *timing* verdict (did the
+ * covert-channel receiver recover the secret byte?) and the *DIFT
+ * oracle* verdict (did tainted data reach a persistent structure from
+ * the wrong path?). The two are independent detectors of the same
+ * event, so they must agree; `--oracle` turns any disagreement into a
+ * nonzero exit for CI.
+ *
+ * Cells are independent simulations, so the sweep fans out over the
+ * shared ThreadPool (`--jobs=N`); each task constructs its own attack
+ * instance and core, and writes into a pre-sized slot, keeping the
+ * output bit-identical for any job count.
  */
 
+#include <atomic>
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "attacks/attack_registry.hh"
+#include "bench_common.hh"
+#include "common/thread_pool.hh"
 #include "harness/profiles.hh"
 #include "harness/table_printer.hh"
 
 using namespace nda;
 
+namespace {
+
+/** Outcome of one (attack, profile) cell. */
+struct CellResult {
+    bool timingLeak = false;
+    bool oracleLeak = false;
+    bool expectBlocked = false;
+};
+
+} // namespace
+
 int
-main()
+main(int argc, char **argv)
 {
+    bool oracle_strict = false;
+    // --oracle: fail (exit 1) if the timing and DIFT-oracle verdicts
+    // disagree on any cell.
+    const SampleParams params =
+        parseSampleArgs(argc, argv, {"--oracle"});
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--oracle")
+            oracle_strict = true;
+    }
+
     printBanner("Table 1: attack taxonomy");
     {
         TablePrinter t({"attack", "class", "covert channel",
@@ -30,8 +68,6 @@ main()
         t.print();
     }
 
-    printBanner("Empirical leak matrix (secret byte 42; LEAK = "
-                "recovered via timing)");
     const std::vector<Profile> profiles = {
         Profile::kOoo,
         Profile::kPermissive,
@@ -43,28 +79,57 @@ main()
         Profile::kInvisiSpecSpectre,
         Profile::kInvisiSpecFuture,
     };
+    std::vector<std::string> attack_names;
+    for (const auto &a : makeAllAttacks())
+        attack_names.push_back(a->name());
+
+    const std::size_t cols = profiles.size();
+    const std::size_t cells = attack_names.size() * cols;
+    std::vector<CellResult> results(cells);
+
+    // Each cell builds its own attack + core, so cells only share the
+    // pre-sized result slots.
+    std::atomic<std::size_t> done{0};
+    ThreadPool pool(params.jobs);
+    pool.parallelFor(cells, [&](std::size_t i) {
+        const std::size_t row = i / cols;
+        const Profile p = profiles[i % cols];
+        auto attack = makeAttack(attack_names[row]);
+        const SimConfig cfg = makeProfile(p);
+        const AttackResult r = attack->run(cfg, 42);
+        CellResult &cell = results[i];
+        cell.timingLeak = r.leaked();
+        cell.oracleLeak = r.oracle.leaked();
+        cell.expectBlocked = attack->expectedBlocked(cfg.security);
+        gridProgress(++done, cells);
+    });
+
+    printBanner("Empirical leak matrix (secret byte 42; "
+                "timing verdict / DIFT-oracle verdict)");
     std::vector<std::string> headers{"attack"};
     for (Profile p : profiles)
         headers.push_back(profileName(p));
     TablePrinter t(headers);
 
     int mismatches = 0;
-    for (const auto &attack : makeAllAttacks()) {
-        std::vector<std::string> row{attack->name()};
-        for (Profile p : profiles) {
-            const SimConfig cfg = makeProfile(p);
-            const AttackResult r = attack->run(cfg, 42);
-            const bool expect_blocked =
-                attack->expectedBlocked(cfg.security);
-            std::string cell = r.leaked() ? "LEAK" : "safe";
-            if (r.leaked() != !expect_blocked) {
+    int disagreements = 0;
+    for (std::size_t row = 0; row < attack_names.size(); ++row) {
+        std::vector<std::string> cells_text{attack_names[row]};
+        for (std::size_t col = 0; col < cols; ++col) {
+            const CellResult &c = results[row * cols + col];
+            std::string cell = c.timingLeak ? "LEAK" : "safe";
+            cell += c.oracleLeak ? "/flow" : "/clean";
+            if (c.timingLeak != !c.expectBlocked) {
                 cell += " (!!)";
                 ++mismatches;
             }
-            row.push_back(cell);
+            if (c.timingLeak != c.oracleLeak) {
+                cell += " (?!)";
+                ++disagreements;
+            }
+            cells_text.push_back(cell);
         }
-        t.addRow(row);
-        std::fprintf(stderr, "  %s done\n", attack->name().c_str());
+        t.addRow(cells_text);
     }
     t.print();
 
@@ -75,5 +140,11 @@ main()
                 "InvisiSpec blocks only the d-cache channel (the\n"
                 "BTB attack defeats it).\n",
                 mismatches);
-    return mismatches == 0 ? 0 : 1;
+    std::printf("Timing vs DIFT oracle: %d of %zu cells disagree.\n",
+                disagreements, cells);
+    if (mismatches != 0)
+        return 1;
+    if (oracle_strict && disagreements != 0)
+        return 1;
+    return 0;
 }

@@ -63,11 +63,33 @@ main(int argc, char **argv)
     }
     std::printf("\nfastest guess : %d (%.0f cycles)\n", r.fastestGuess,
                 r.timings[r.fastestGuess]);
-    std::printf("leak signal   : %.1f cycles (threshold %.1f)\n",
-                r.signal, r.threshold);
-    std::printf("verdict       : %s\n",
+    std::printf("leak signal   : %.1f cycles (threshold %.1f, "
+                "margin %+.1f)\n",
+                r.signal, r.threshold, r.margin);
+    std::printf("timing verdict: %s\n",
                 r.leaked() ? "SECRET LEAKED" : "blocked");
     std::printf("attack took   : %llu simulated cycles\n",
                 static_cast<unsigned long long>(r.cycles));
+
+    // The DIFT oracle explains *why*: where the secret entered the
+    // pipeline and which persistent structure the wrong path wrote.
+    std::printf("\noracle verdict: %s\n",
+                r.oracle.leaked() ? "SECRET FLOW DETECTED"
+                                  : "no secret flow");
+    if (r.oracle.leaked()) {
+        const LeakEvent &ev = r.oracle.first();
+        std::printf("first leak    : cycle %llu, %s %s at pc %llu "
+                    "(access at pc %llu)\n",
+                    static_cast<unsigned long long>(
+                        r.oracle.firstLeakCycle()),
+                    leakChannelName(ev.channel), ev.detail,
+                    static_cast<unsigned long long>(ev.transmitPc),
+                    static_cast<unsigned long long>(ev.accessPc));
+        std::printf("secret flows  :\n%s",
+                    r.oracle.describe().c_str());
+    }
+    std::printf("agreement     : timing and oracle %s\n",
+                r.leaked() == r.oracle.leaked() ? "AGREE"
+                                                : "DISAGREE (!!)");
     return 0;
 }

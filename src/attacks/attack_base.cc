@@ -5,31 +5,22 @@
 #include "attacks/covert_channel.hh"
 #include "common/log.hh"
 #include "core/core_factory.hh"
+#include "dift/taint_engine.hh"
 
 namespace nda {
 
-AttackResult
-AttackBase::run(const SimConfig &cfg, std::uint8_t secret,
-                Cycle max_cycles) const
+void
+AttackBase::declareSecrets(SecretMap &secrets) const
 {
-    SimConfig attack_cfg = cfg;
-    adjustConfig(attack_cfg);
+    secrets.addMemRange(attack_layout::kSecretAddr, 1, "victim-secret");
+}
 
-    const Program prog = build(secret);
-    auto core = makeCore(prog, attack_cfg);
-    core->run(~std::uint64_t{0}, max_cycles);
-    NDA_ASSERT(core->halted(), "attack '%s' did not halt in %llu cycles",
-               name().c_str(),
-               static_cast<unsigned long long>(max_cycles));
-
-    AttackResult result;
-    result.secret = secret;
-    result.cycles = core->cycle();
-    result.threshold = signalThreshold();
-
+void
+AttackBase::recoverByTiming(const CoreBase &core, AttackResult &result)
+{
     std::array<double, 256> times{};
     for (int g = 0; g < 256; ++g) {
-        times[g] = static_cast<double>(core->mem().read(
+        times[g] = static_cast<double>(core.mem().read(
             attack_layout::kResultsBase + static_cast<Addr>(g) * 8, 8));
     }
     result.timings = times;
@@ -40,7 +31,37 @@ AttackBase::run(const SimConfig &cfg, std::uint8_t secret,
     std::array<double, 256> sorted = times;
     std::nth_element(sorted.begin(), sorted.begin() + 128, sorted.end());
     const double median = sorted[128];
-    result.signal = median - times[secret];
+    result.signal = median - times[result.secret];
+    result.margin = result.signal - result.threshold;
+}
+
+AttackResult
+AttackBase::run(const SimConfig &cfg, std::uint8_t secret,
+                Cycle max_cycles) const
+{
+    SimConfig attack_cfg = cfg;
+    adjustConfig(attack_cfg);
+
+    const Program prog = build(secret);
+
+    // The DIFT oracle watches the same run the timing channel probes.
+    SecretMap secrets;
+    declareSecrets(secrets);
+    TaintEngine dift(secrets);
+
+    auto core = makeCore(prog, attack_cfg);
+    core->attachDift(&dift);
+    core->run(~std::uint64_t{0}, max_cycles);
+    NDA_ASSERT(core->halted(), "attack '%s' did not halt in %llu cycles",
+               name().c_str(),
+               static_cast<unsigned long long>(max_cycles));
+
+    AttackResult result;
+    result.secret = secret;
+    result.cycles = core->cycle();
+    result.threshold = signalThreshold();
+    recoverByTiming(*core, result);
+    result.oracle = dift.report();
     return result;
 }
 

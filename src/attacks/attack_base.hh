@@ -16,9 +16,13 @@
 #include <vector>
 
 #include "core/core_config.hh"
+#include "dift/leak_report.hh"
+#include "dift/secret_map.hh"
 #include "isa/program.hh"
 
 namespace nda {
+
+class CoreBase;
 
 /** Outcome of one attack run. */
 struct AttackResult {
@@ -30,10 +34,14 @@ struct AttackResult {
     double signal = 0.0;
     /** Signal threshold the attack used. */
     double threshold = 0.0;
+    /** How far the signal clears (+) or misses (-) the threshold. */
+    double margin = 0.0;
     /** The planted secret. */
     int secret = -1;
     /** Cycles the whole attack program took. */
     Cycle cycles = 0;
+    /** The DIFT oracle's ground-truth verdict for the same run. */
+    LeakReport oracle;
 
     /**
      * Did the covert channel reveal the secret? True when the secret
@@ -70,6 +78,14 @@ class AttackBase
     virtual double signalThreshold() const { return 30.0; }
 
     /**
+     * Declare this attack's secrets to the DIFT leakage oracle. The
+     * default is the shared in-victim-memory secret byte
+     * (attack_layout::kSecretAddr); attacks with a different secret
+     * home (stale store slot, kernel page, MSR) override this.
+     */
+    virtual void declareSecrets(SecretMap &secrets) const;
+
+    /**
      * Does the paper's Table 2 say this security configuration blocks
      * this attack? Used by the security test suite.
      */
@@ -78,6 +94,15 @@ class AttackBase
     /** Build, run (up to `max_cycles`), and evaluate the attack. */
     AttackResult run(const SimConfig &cfg, std::uint8_t secret,
                      Cycle max_cycles = 40'000'000) const;
+
+    /**
+     * Shared timing-recovery step: read the per-guess timing table
+     * the program wrote (attack_layout::kResultsBase), pick the
+     * fastest guess, and derive signal and margin from the median.
+     * `result.threshold` and `result.secret` must already be set.
+     */
+    static void recoverByTiming(const CoreBase &core,
+                                AttackResult &result);
 };
 
 } // namespace nda

@@ -105,6 +105,7 @@ class SpectreSsb : public AttackBase
     bool isChosenCode() const override { return false; }
     std::string channel() const override { return "d-cache"; }
     Program build(std::uint8_t secret) const override;
+    void declareSecrets(SecretMap &secrets) const override;
     bool expectedBlocked(const SecurityConfig &cfg) const override;
 };
 
@@ -133,6 +134,7 @@ class Meltdown : public AttackBase
     bool isChosenCode() const override { return true; }
     std::string channel() const override { return "d-cache"; }
     Program build(std::uint8_t secret) const override;
+    void declareSecrets(SecretMap &secrets) const override;
     bool expectedBlocked(const SecurityConfig &cfg) const override;
 };
 
@@ -147,6 +149,7 @@ class LazyFp : public AttackBase
     bool isChosenCode() const override { return true; }
     std::string channel() const override { return "d-cache"; }
     Program build(std::uint8_t secret) const override;
+    void declareSecrets(SecretMap &secrets) const override;
     bool expectedBlocked(const SecurityConfig &cfg) const override;
 };
 

@@ -44,6 +44,12 @@ LazyFp::build(std::uint8_t secret) const
     return b.build();
 }
 
+void
+LazyFp::declareSecrets(SecretMap &secrets) const
+{
+    secrets.addMsr(kSecretMsr, "privileged-msr");
+}
+
 bool
 LazyFp::expectedBlocked(const SecurityConfig &cfg) const
 {

@@ -46,6 +46,12 @@ Meltdown::build(std::uint8_t secret) const
     return b.build();
 }
 
+void
+Meltdown::declareSecrets(SecretMap &secrets) const
+{
+    secrets.addMemRange(kKernelSecret, 1, "kernel-page");
+}
+
 bool
 Meltdown::expectedBlocked(const SecurityConfig &cfg) const
 {

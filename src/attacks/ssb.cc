@@ -54,6 +54,14 @@ SpectreSsb::build(std::uint8_t secret) const
     return b.build();
 }
 
+void
+SpectreSsb::declareSecrets(SecretMap &secrets) const
+{
+    // The secret lives in the stale (to-be-scrubbed) store slot, not
+    // the shared victim-array location.
+    secrets.addMemRange(kStaleAddr, 1, "stale-store-slot");
+}
+
 bool
 SpectreSsb::expectedBlocked(const SecurityConfig &cfg) const
 {

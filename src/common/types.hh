@@ -29,6 +29,13 @@ using PhysRegId = std::uint16_t;
 /** Global dynamic-instruction sequence number (monotonic). */
 using InstSeqNum = std::uint64_t;
 
+/**
+ * Taint bitmask for the DIFT leakage oracle: one bit per declared
+ * secret (`SecretMap` assigns bits). Lives here so `DynInst` can carry
+ * a taint word without depending on the dift module.
+ */
+using TaintWord = std::uint64_t;
+
 /** Sentinel for "no physical register". */
 inline constexpr PhysRegId kInvalidPhysReg =
     std::numeric_limits<PhysRegId>::max();

@@ -18,12 +18,20 @@
 namespace nda {
 
 struct Program;
+class TaintEngine;
 
 /** Abstract timing core. */
 class CoreBase
 {
   public:
     virtual ~CoreBase() = default;
+
+    /**
+     * Attach the DIFT leakage oracle for this run (see dift/). Cores
+     * that model no information flow ignore it; the default is a
+     * no-op so attaching is always safe.
+     */
+    virtual void attachDift(TaintEngine *engine) { (void)engine; }
 
     /** Advance one cycle. */
     virtual void tick() = 0;

@@ -76,6 +76,12 @@ struct DynInst {
     Cycle faultDeliverAt = 0;
     bool faultPending = false;
 
+    // --- DIFT leakage oracle (meaningful only with an engine attached) -----
+    /** Taint of the result value (secret bits, see dift/). */
+    TaintWord taint = 0;
+    /** Taint of the effective address / branch target inputs. */
+    TaintWord addrTaint = 0;
+
     // --- NDA safety state (paper's `unsafe` bit, split by cause) -----------
     bool unsafeBranch = false;  ///< older unresolved speculative branch
     bool unsafeBypass = false;  ///< Bypass Restriction (SSB defense)

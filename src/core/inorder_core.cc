@@ -1,6 +1,7 @@
 #include "core/inorder_core.hh"
 
 #include "common/log.hh"
+#include "dift/taint_engine.hh"
 #include "isa/interpreter.hh"
 
 namespace nda {
@@ -96,6 +97,8 @@ InOrderCore::step()
         }
         const AccessResult res = hier_.dataAccess(addr);
         regs_[uop.rd] = mem_.read(addr, uop.size);
+        if (dift_)
+            dift_->archLoad(uop.rd, uop.rs1, addr, uop.size, pc_);
         stallClass_ = CycleClass::kMemoryStall;
         cost += res.latency;
         ++counters_.loads;
@@ -113,6 +116,8 @@ InOrderCore::step()
         }
         const AccessResult res = hier_.dataAccess(addr);
         mem_.write(addr, b, uop.size);
+        if (dift_)
+            dift_->archStore(addr, uop.size, uop.rs2);
         stallClass_ = CycleClass::kMemoryStall;
         cost += res.latency;
         ++counters_.stores;
@@ -131,6 +136,8 @@ InOrderCore::step()
             return cost;
         }
         regs_[uop.rd] = msrs_[idx];
+        if (dift_)
+            dift_->archRdMsr(uop.rd, idx, pc_);
         break;
       }
       case Opcode::kWrMsr: {
@@ -140,15 +147,22 @@ InOrderCore::step()
             return cost;
         }
         msrs_[idx] = a;
+        if (dift_)
+            dift_->archWrMsr(idx, uop.rs1);
         break;
       }
       case Opcode::kRdTsc:
         regs_[uop.rd] = cycle_;
+        if (dift_)
+            dift_->setArchRegTaint(uop.rd, 0);
         break;
       default:
         if (t.isBranch) {
-            if (t.hasDest)
+            if (t.hasDest) {
                 regs_[uop.rd] = pc_ + 1;
+                if (dift_)
+                    dift_->setArchRegTaint(uop.rd, 0);
+            }
             if (t.isCondBranch) {
                 ++counters_.condBranches;
                 pc_ = evalNextPc(uop, pc_, a, b);
@@ -160,6 +174,8 @@ InOrderCore::step()
             return cost;
         }
         regs_[uop.rd] = evalAlu(uop.op, a, b, uop.imm);
+        if (dift_)
+            dift_->archAlu(uop);
         stallClass_ = CycleClass::kBackendStall;
         cost += opLatencyCycles(uop.op) - 1;
         break;

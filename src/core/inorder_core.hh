@@ -44,6 +44,10 @@ class InOrderCore : public CoreBase
     const PerfCounters &counters() const override { return counters_; }
     void resetCounters() override { counters_.reset(); }
 
+    /** DIFT oracle: architectural taint only — nothing speculates
+     *  here, so no leak event can ever be raised. */
+    void attachDift(TaintEngine *engine) override { dift_ = engine; }
+
   private:
     /** Execute one instruction; returns its total cycle cost. */
     Cycle step();
@@ -62,6 +66,7 @@ class InOrderCore : public CoreBase
     CycleClass stallClass_ = CycleClass::kCommit;
     std::uint64_t committed_ = 0;
     Addr lastFetchLine_ = ~Addr{0};
+    TaintEngine *dift_ = nullptr;
 
     PerfCounters counters_;
 };

@@ -60,6 +60,7 @@ Lsq::searchStores(InstSeqNum load_seq, Addr addr, unsigned size,
                 v &= (RegVal{1} << (8 * size)) - 1;
             result.forward = true;
             result.value = v;
+            result.forwardStore = &store;
             return result;
         }
         // Partial overlap: cannot forward; wait for the store to drain.

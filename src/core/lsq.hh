@@ -22,6 +22,8 @@ struct StoreSearchResult {
     /** Full-overlap resolved store found: forward this value. */
     bool forward = false;
     RegVal value = 0;
+    /** The store that forwarded (for the DIFT oracle's data taint). */
+    const DynInst *forwardStore = nullptr;
     /** Partial overlap with a resolved store: load must retry later. */
     bool mustStall = false;
     /** Seq numbers of older stores whose address is still unknown. */

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "dift/taint_engine.hh"
 #include "isa/interpreter.hh"
 
 namespace nda {
@@ -35,6 +36,20 @@ RegVal
 OooCore::archReg(RegId r) const
 {
     return regs_.value(commitMap_[r]);
+}
+
+void
+OooCore::attachDift(TaintEngine *engine)
+{
+    dift_ = engine;
+    if (dift_)
+        dift_->bindPhysRegs(cfg_.core.numPhysRegs);
+}
+
+TaintWord
+OooCore::archRegTaint(RegId r) const
+{
+    return dift_ ? dift_->regTaint(commitMap_[r]) : 0;
 }
 
 void
@@ -164,6 +179,12 @@ OooCore::commitStage()
             hier_.dataAccess(inst->effAddr);
             lsq_.commitStore(*inst);
             ++counters_.stores;
+            // DIFT: the committed store makes its data's taint (or
+            // lack of it) the architectural taint of the location.
+            if (dift_) {
+                dift_->writeMemTaint(inst->effAddr, inst->uop.size,
+                                     dift_->regTaint(inst->src2));
+            }
         } else if (inst->isLoad()) {
             lsq_.commitLoad(*inst);
             ++counters_.loads;
@@ -203,6 +224,8 @@ OooCore::commitStage()
         }
 
         inst->committed = true;
+        if (dift_)
+            dift_->onCommit(inst->seq); // its mutations are archit.
         if (retireHook_)
             retireHook_(*inst, cycle_);
         rob_.pop_front();
@@ -315,6 +338,10 @@ OooCore::completeStage()
             inst->fault == FaultType::kNone) {
             msrs_[static_cast<unsigned>(inst->uop.imm)] =
                 inst->storeData;
+            if (dift_) {
+                dift_->setMsrTaint(
+                    static_cast<unsigned>(inst->uop.imm), inst->taint);
+            }
         }
 
         if (inst->isBranch())
@@ -327,6 +354,11 @@ OooCore::completeStage()
             // Write back the value; readiness (the broadcast) is what
             // NDA defers for unsafe instructions (paper Fig 2).
             regs_.setValue(inst->dest, inst->result);
+            // DIFT: taint travels with the value. Consumers only read
+            // it after the broadcast sets the ready bit, which always
+            // happens after this write.
+            if (dift_)
+                dift_->setRegTaint(inst->dest, inst->taint);
             if (inst->isUnsafe()) {
                 ++counters_.deferredBroadcasts;
             } else {
@@ -408,8 +440,16 @@ OooCore::resolveBranch(const DynInstPtr &inst)
 
     // Speculative BTB update at execution; never reverted on squash.
     // This is the covert channel demonstrated in paper §3.
-    if (t.isIndirect && !t.isReturn)
+    if (t.isIndirect && !t.isReturn) {
         bp_.btbUpdate(inst->pc, inst->actualNextPc);
+        // DIFT: a secret-derived target entered a structure that
+        // survives the squash. A leak iff this branch is wrong-path.
+        if (dift_ && inst->taint) {
+            dift_->recordPending(inst->seq, inst->pc, LeakChannel::kBtb,
+                                 "update", inst->actualNextPc, cycle_,
+                                 inst->taint);
+        }
+    }
 
     // Squash *before* marking this branch resolved: the resolve walk
     // clears unsafe bits and exposes InvisiSpec shadow loads, and must
@@ -464,6 +504,14 @@ OooCore::ndaClearWalk()
             inst->effAddrValid) {
             hier_.dataFill(inst->effAddr);
             inst->exposed = true;
+            // DIFT: the expose fill is a cache mutation; an older
+            // *fault* can still squash this load (IS-Spectre's gap).
+            if (dift_ && inst->addrTaint) {
+                dift_->recordPending(inst->seq, inst->pc,
+                                     LeakChannel::kDCache, "expose-fill",
+                                     inst->effAddr, cycle_,
+                                     inst->addrTaint);
+            }
         }
     }
 }
@@ -482,6 +530,8 @@ OooCore::squashAfter(InstSeqNum keep_seq, Addr redirect_pc)
     while (!rob_.empty() && rob_.back()->seq > keep_seq) {
         DynInstPtr inst = rob_.back();
         inst->squashed = true;
+        if (dift_)
+            dift_->onSquash(*inst); // promote pending leak events
         if (retireHook_)
             retireHook_(*inst, cycle_);
         if (inst->dest != kInvalidPhysReg) {
@@ -588,6 +638,19 @@ OooCore::executeInst(const DynInstPtr &inst, unsigned &mem_issued,
 
     rejected = false;
 
+    // DIFT: the result taint defaults to the merge of the operands
+    // read here; loads and MSR reads refine it below. A store's data
+    // register (src2) is read at commit, not here — its taint is
+    // sampled then.
+    if (dift_) {
+        TaintWord in = 0;
+        if (t.readsRs1)
+            in |= dift_->regTaint(inst->src1);
+        if (t.readsRs2 && !uop.isStore())
+            in |= dift_->regTaint(inst->src2);
+        inst->taint = in;
+    }
+
     if (t.isBranch) {
         if (t.hasDest)
             inst->result = inst->pc + 1; // link value
@@ -612,6 +675,7 @@ OooCore::executeInst(const DynInstPtr &inst, unsigned &mem_issued,
         // Address phase only (split store micro-ops): the data
         // register is read at commit, once its producer broadcast.
         inst->effAddr = a + static_cast<Addr>(uop.imm);
+        inst->addrTaint = inst->taint;
         if (!mem_.accessAllowed(inst->effAddr, uop.size, CpuMode::kUser))
             inst->fault = FaultType::kPrivilegedStore;
         ++mem_issued;
@@ -621,12 +685,28 @@ OooCore::executeInst(const DynInstPtr &inst, unsigned &mem_issued,
       case Opcode::kClflush: {
         const Addr addr = a + static_cast<Addr>(uop.imm);
         hier_.flushLine(addr);
+        // DIFT: an eviction keyed by a secret is as observable as a
+        // fill (Flush+Flush-style transmit).
+        if (dift_ && inst->taint) {
+            inst->addrTaint = inst->taint;
+            dift_->recordPending(inst->seq, inst->pc,
+                                 LeakChannel::kDCache, "evict", addr,
+                                 cycle_, inst->taint);
+        }
         scheduleCompletion(inst, 1);
         return;
       }
       case Opcode::kPrefetch: {
         const Addr addr = a + static_cast<Addr>(uop.imm);
-        hier_.dataAccess(addr);
+        const AccessResult res = hier_.dataAccess(addr);
+        if (dift_ && inst->taint) {
+            inst->addrTaint = inst->taint;
+            dift_->recordPending(inst->seq, inst->pc,
+                                 LeakChannel::kDCache,
+                                 res.level != HitLevel::kL1
+                                     ? "fill" : "lru-touch",
+                                 addr, cycle_, inst->taint);
+        }
         scheduleCompletion(inst, 1);
         return;
       }
@@ -641,6 +721,16 @@ OooCore::executeInst(const DynInstPtr &inst, unsigned &mem_issued,
             inst->result = cfg_.security.meltdownFlaw ? msrs_[idx] : 0;
         } else {
             inst->result = msrs_[idx];
+        }
+        // DIFT: taint follows the value actually forwarded — fixed
+        // silicon forwards 0, so nothing secret propagates.
+        if (dift_) {
+            const TaintWord vt =
+                privileged && !cfg_.security.meltdownFlaw
+                    ? 0 : dift_->msrTaint(idx);
+            inst->taint = vt;
+            if (vt)
+                dift_->noteAccess(vt, inst->pc, cycle_);
         }
         scheduleCompletion(inst, 1);
         return;
@@ -684,6 +774,8 @@ OooCore::executeLoad(const DynInstPtr &inst)
     inst->effAddr = addr;
     inst->effAddrValid = true;
     inst->bypassedStores = search.bypassedStores;
+    if (dift_)
+        inst->addrTaint = dift_->regTaint(inst->src1);
 
     // Permission check (Meltdown substrate).
     const bool allowed =
@@ -697,11 +789,42 @@ OooCore::executeLoad(const DynInstPtr &inst)
         inst->result = search.value;
         inst->hitLevel = HitLevel::kL1;
         latency = hier_.params().l1d.hitLatency;
+        // DIFT: taint rides the forwarded store data; a tainted
+        // *address* also taints the value (the selection of what to
+        // read is itself secret-dependent — the BTB channel's flow).
+        // If the store turns out to be wrong-path, its squash
+        // promotes this into an SQ-forward leak event.
+        if (dift_) {
+            const DynInst &st = *search.forwardStore;
+            const TaintWord vt =
+                dift_->regTaint(st.src2) | inst->addrTaint;
+            inst->taint = vt;
+            if (vt) {
+                dift_->noteAccess(vt, inst->pc, cycle_);
+                dift_->recordPending(st.seq, st.pc,
+                                     LeakChannel::kSqForward, "forward",
+                                     addr, cycle_, vt);
+            }
+        }
     } else {
         RegVal data = mem_.read(addr, uop.size);
         if (!allowed && !cfg_.security.meltdownFlaw)
             data = 0; // fixed hardware: no forwarding of faulting data
         inst->result = data;
+
+        // DIFT: value taint comes from the accessed bytes, plus the
+        // address taint (what was read was chosen by a secret — the
+        // flow the BTB channel transmits). Fixed silicon forwards a
+        // clean zero, which depends on nothing.
+        if (dift_) {
+            TaintWord vt =
+                dift_->memTaint(addr, uop.size) | inst->addrTaint;
+            if (!allowed && !cfg_.security.meltdownFlaw)
+                vt = 0;
+            inst->taint = vt;
+            if (vt)
+                dift_->noteAccess(vt, inst->pc, cycle_);
+        }
 
         // InvisiSpec: speculative loads access the hierarchy
         // invisibly (no fills / LRU updates).
@@ -723,6 +846,15 @@ OooCore::executeLoad(const DynInstPtr &inst)
             inst->peekLevel = res.level;
         } else {
             res = hier_.dataAccess(addr);
+            // DIFT: a secret-indexed access moved cache state (a fill,
+            // or an LRU touch on a hit) — observable if squashed.
+            if (dift_ && inst->addrTaint) {
+                dift_->recordPending(inst->seq, inst->pc,
+                                     LeakChannel::kDCache,
+                                     res.level != HitLevel::kL1
+                                         ? "fill" : "lru-touch",
+                                     addr, cycle_, inst->addrTaint);
+            }
         }
         inst->hitLevel = res.level;
         latency = res.latency;

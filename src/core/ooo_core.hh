@@ -55,11 +55,22 @@ class OooCore : public CoreBase
     const PerfCounters &counters() const override { return counters_; }
     void resetCounters() override { counters_.reset(); }
 
+    /**
+     * Attach the DIFT leakage oracle (dift/taint_engine.hh). Every
+     * hook site is guarded by a null check, so detached simulation
+     * pays nothing.
+     */
+    void attachDift(TaintEngine *engine) override;
+
     // --- introspection for tests & the ROB-snapshot example -------------
     const std::deque<DynInstPtr> &rob() const { return rob_; }
     PredictorUnit &predictor() { return bp_; }
     const SimConfig &config() const { return cfg_; }
     std::size_t fetchQueueSize() const { return fetchQueue_.size(); }
+
+    /** Taint of the committed architectural register `r` (0 if no
+     *  engine is attached). Test/debug introspection. */
+    TaintWord archRegTaint(RegId r) const;
 
     /**
      * Install a callback invoked once per dynamic instruction when it
@@ -165,6 +176,7 @@ class OooCore : public CoreBase
     unsigned completionsThisCycle_ = 0;
     Cycle lastCommitCycle_ = 0;
     std::function<void(const DynInst &, Cycle)> retireHook_;
+    TaintEngine *dift_ = nullptr; ///< leakage oracle, usually absent
 
     PerfCounters counters_;
 };

@@ -1,0 +1,103 @@
+#include "dift/leak_report.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace nda {
+
+const char *
+leakChannelName(LeakChannel c)
+{
+    switch (c) {
+      case LeakChannel::kDCache:
+        return "d-cache";
+      case LeakChannel::kBtb:
+        return "btb";
+      case LeakChannel::kSqForward:
+        return "sq-forward";
+      default:
+        return "?";
+    }
+}
+
+void
+LeakReport::add(LeakEvent ev)
+{
+    events_.push_back(std::move(ev));
+}
+
+Cycle
+LeakReport::firstLeakCycle() const
+{
+    Cycle first = 0;
+    for (const LeakEvent &ev : events_) {
+        if (first == 0 || ev.transmitCycle < first)
+            first = ev.transmitCycle;
+    }
+    return first;
+}
+
+const LeakEvent &
+LeakReport::first() const
+{
+    return *std::min_element(events_.begin(), events_.end(),
+                             [](const LeakEvent &a, const LeakEvent &b) {
+                                 return a.transmitCycle < b.transmitCycle;
+                             });
+}
+
+std::size_t
+LeakReport::countFor(LeakChannel c) const
+{
+    return static_cast<std::size_t>(
+        std::count_if(events_.begin(), events_.end(),
+                      [c](const LeakEvent &ev) { return ev.channel == c; }));
+}
+
+std::string
+LeakReport::summary() const
+{
+    if (events_.empty())
+        return "no secret flow";
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "%zu leak%s via %s (first @cycle %llu)", count(),
+                  count() == 1 ? "" : "s",
+                  leakChannelName(first().channel),
+                  static_cast<unsigned long long>(firstLeakCycle()));
+    return buf;
+}
+
+std::string
+LeakReport::describe(std::size_t max_events) const
+{
+    if (events_.empty())
+        return "  (no secret flow into any persistent structure)\n";
+    std::string out;
+    std::size_t shown = 0;
+    for (const LeakEvent &ev : events_) {
+        if (shown++ >= max_events) {
+            char more[64];
+            std::snprintf(more, sizeof(more), "  ... %zu more\n",
+                          events_.size() - max_events);
+            out += more;
+            break;
+        }
+        char buf[192];
+        std::snprintf(
+            buf, sizeof(buf),
+            "  [%s] access '%s' @pc %llu cycle %llu -> %s %s @pc %llu "
+            "cycle %llu (0x%llx)\n",
+            leakChannelName(ev.channel), ev.label.c_str(),
+            static_cast<unsigned long long>(ev.accessPc),
+            static_cast<unsigned long long>(ev.accessCycle),
+            leakChannelName(ev.channel), ev.detail,
+            static_cast<unsigned long long>(ev.transmitPc),
+            static_cast<unsigned long long>(ev.transmitCycle),
+            static_cast<unsigned long long>(ev.target));
+        out += buf;
+    }
+    return out;
+}
+
+} // namespace nda

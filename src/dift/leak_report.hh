@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The leakage oracle's verdict: the list of wrong-path persistent-
+ * structure mutations that carried secret taint. Each event pairs the
+ * *access* site (where the secret first entered the pipeline) with
+ * the *transmit* site (the squashed instruction that mutated a
+ * structure surviving the squash) — the two phases NDA's propagation
+ * restriction is designed to disconnect.
+ */
+
+#ifndef NDASIM_DIFT_LEAK_REPORT_HH
+#define NDASIM_DIFT_LEAK_REPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace nda {
+
+/** Persistent structure a wrong-path mutation landed in. */
+enum class LeakChannel : std::uint8_t {
+    kDCache = 0, ///< cache line fill / eviction / LRU touch
+    kBtb,        ///< speculative BTB update (never reverted)
+    kSqForward,  ///< tainted SQ data forwarded to a younger load
+    kNumChannels,
+};
+
+const char *leakChannelName(LeakChannel c);
+
+/** One confirmed secret flow into a persistent structure. */
+struct LeakEvent {
+    TaintWord taint = 0;           ///< secret bits involved
+    LeakChannel channel = LeakChannel::kDCache;
+    /** Mutation kind: "fill", "lru-touch", "evict", "expose-fill",
+     *  "update" (BTB), "forward" (SQ). */
+    const char *detail = "";
+    Addr transmitPc = 0;           ///< squashed mutating instruction
+    Cycle transmitCycle = 0;       ///< cycle of the mutation
+    InstSeqNum transmitSeq = 0;
+    Addr accessPc = 0;             ///< where the secret was first read
+    Cycle accessCycle = 0;
+    /** Mutated location: line address (d-cache) or branch target. */
+    Addr target = 0;
+    std::string label;             ///< declared secret's label
+};
+
+/** Per-run collection of leak events. */
+class LeakReport
+{
+  public:
+    void add(LeakEvent ev);
+    void clear() { events_.clear(); }
+
+    /** Did any secret flow into a persistent structure? */
+    bool leaked() const { return !events_.empty(); }
+    std::size_t count() const { return events_.size(); }
+
+    /** Cycle of the earliest leak (0 if none). */
+    Cycle firstLeakCycle() const;
+    /** The earliest event (by transmit cycle); count() must be > 0. */
+    const LeakEvent &first() const;
+
+    std::size_t countFor(LeakChannel c) const;
+    const std::vector<LeakEvent> &events() const { return events_; }
+
+    /** One-line summary, e.g. "3 leaks via d-cache (first @cycle N)". */
+    std::string summary() const;
+    /** Multi-line access-site -> transmit-site listing (for demos). */
+    std::string describe(std::size_t max_events = 8) const;
+
+  private:
+    std::vector<LeakEvent> events_;
+};
+
+} // namespace nda
+
+#endif // NDASIM_DIFT_LEAK_REPORT_HH

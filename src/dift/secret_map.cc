@@ -1,0 +1,49 @@
+#include "dift/secret_map.hh"
+
+#include "common/log.hh"
+
+namespace nda {
+
+namespace {
+const std::string kUnknownLabel = "?";
+} // namespace
+
+unsigned
+SecretMap::addMemRange(Addr base, unsigned size, std::string label)
+{
+    NDA_ASSERT(nextBit_ < 64, "more than 64 declared secrets");
+    NDA_ASSERT(size > 0, "empty secret region");
+    const unsigned bit = nextBit_++;
+    mem_.push_back(MemRegion{base, size, bit, label});
+    labels_.push_back(std::move(label));
+    return bit;
+}
+
+unsigned
+SecretMap::addMsr(unsigned idx, std::string label)
+{
+    NDA_ASSERT(nextBit_ < 64, "more than 64 declared secrets");
+    NDA_ASSERT(idx < kNumMsrRegs, "secret MSR index out of range");
+    const unsigned bit = nextBit_++;
+    msrs_.push_back(MsrSecret{idx, bit, label});
+    labels_.push_back(std::move(label));
+    return bit;
+}
+
+const std::string &
+SecretMap::label(unsigned bit) const
+{
+    return bit < labels_.size() ? labels_[bit] : kUnknownLabel;
+}
+
+const std::string &
+SecretMap::labelFor(TaintWord t) const
+{
+    for (unsigned bit = 0; bit < 64; ++bit) {
+        if (t & (TaintWord{1} << bit))
+            return label(bit);
+    }
+    return kUnknownLabel;
+}
+
+} // namespace nda

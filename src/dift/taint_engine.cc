@@ -1,0 +1,160 @@
+#include "dift/taint_engine.hh"
+
+#include "common/log.hh"
+#include "core/dyn_inst.hh"
+
+namespace nda {
+
+TaintEngine::TaintEngine(const SecretMap &secrets) : secrets_(secrets)
+{
+    for (const SecretMap::MemRegion &r : secrets_.memRegions()) {
+        for (unsigned i = 0; i < r.size; ++i)
+            memTaint_[r.base + i] |= TaintWord{1} << r.bit;
+    }
+    for (const SecretMap::MsrSecret &m : secrets_.msrSecrets())
+        msrTaint_[m.idx] |= TaintWord{1} << m.bit;
+}
+
+void
+TaintEngine::bindPhysRegs(unsigned num_phys_regs)
+{
+    regTaint_.assign(num_phys_regs, 0);
+}
+
+TaintWord
+TaintEngine::memTaint(Addr addr, unsigned size) const
+{
+    if (memTaint_.empty())
+        return 0;
+    TaintWord t = 0;
+    for (unsigned i = 0; i < size; ++i) {
+        auto it = memTaint_.find(addr + i);
+        if (it != memTaint_.end())
+            t |= it->second;
+    }
+    return t;
+}
+
+void
+TaintEngine::writeMemTaint(Addr addr, unsigned size, TaintWord t)
+{
+    if (t == 0 && memTaint_.empty())
+        return;
+    for (unsigned i = 0; i < size; ++i) {
+        if (t)
+            memTaint_[addr + i] = t;
+        else
+            memTaint_.erase(addr + i);
+    }
+}
+
+void
+TaintEngine::noteAccess(TaintWord t, Addr pc, Cycle cycle)
+{
+    while (t) {
+        const unsigned bit =
+            static_cast<unsigned>(__builtin_ctzll(t));
+        t &= t - 1;
+        if (!firstAccess_[bit].valid)
+            firstAccess_[bit] = AccessSite{pc, cycle, true};
+    }
+}
+
+void
+TaintEngine::recordPending(InstSeqNum seq, Addr pc, LeakChannel channel,
+                           const char *detail, Addr target, Cycle cycle,
+                           TaintWord taint)
+{
+    NDA_ASSERT(taint != 0, "pending leak event without taint");
+    pending_[seq].push_back(
+        PendingEvent{channel, detail, pc, target, cycle, taint});
+}
+
+LeakEvent
+TaintEngine::makeEvent(const PendingEvent &p, InstSeqNum seq) const
+{
+    LeakEvent ev;
+    ev.taint = p.taint;
+    ev.channel = p.channel;
+    ev.detail = p.detail;
+    ev.transmitPc = p.pc;
+    ev.transmitCycle = p.cycle;
+    ev.transmitSeq = seq;
+    ev.target = p.target;
+    ev.label = secrets_.labelFor(p.taint);
+    const unsigned bit =
+        static_cast<unsigned>(__builtin_ctzll(p.taint));
+    if (firstAccess_[bit].valid) {
+        ev.accessPc = firstAccess_[bit].pc;
+        ev.accessCycle = firstAccess_[bit].cycle;
+    }
+    return ev;
+}
+
+void
+TaintEngine::onSquash(const DynInst &inst)
+{
+    if (inst.dest != kInvalidPhysReg)
+        regTaint_[inst.dest] = 0;
+    if (pending_.empty())
+        return;
+    auto it = pending_.find(inst.seq);
+    if (it == pending_.end())
+        return;
+    for (const PendingEvent &p : it->second)
+        report_.add(makeEvent(p, inst.seq));
+    pending_.erase(it);
+}
+
+// --------------------------------------------------------------------------
+// Architectural propagation (interpreter / in-order core)
+// --------------------------------------------------------------------------
+
+void
+TaintEngine::archLoad(RegId rd, RegId rs1_base, Addr addr,
+                      unsigned size, Addr pc)
+{
+    // A value read through a tainted address is secret-dependent even
+    // if the bytes themselves are public (the selection leaks).
+    const TaintWord t = memTaint(addr, size) | archTaint_[rs1_base];
+    archTaint_[rd] = t;
+    if (t)
+        noteAccess(t, pc, 0);
+}
+
+void
+TaintEngine::archStore(Addr addr, unsigned size, RegId rs2)
+{
+    writeMemTaint(addr, size, archTaint_[rs2]);
+}
+
+void
+TaintEngine::archRdMsr(RegId rd, unsigned idx, Addr pc)
+{
+    const TaintWord t = msrTaint_[idx];
+    archTaint_[rd] = t;
+    if (t)
+        noteAccess(t, pc, 0);
+}
+
+void
+TaintEngine::archWrMsr(unsigned idx, RegId rs1)
+{
+    msrTaint_[idx] = archTaint_[rs1];
+}
+
+void
+TaintEngine::archAlu(const MicroOp &uop)
+{
+    const OpTraits &t = uop.traits();
+    if (!t.hasDest)
+        return;
+    TaintWord merged = 0;
+    if (t.readsRs1)
+        merged |= archTaint_[uop.rs1];
+    if (t.readsRs2)
+        merged |= archTaint_[uop.rs2];
+    archTaint_[uop.rd] = merged;
+}
+
+} // namespace nda

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Dynamic information-flow tracking (DIFT) engine: the ground-truth
+ * leakage oracle that runs alongside the timing-based attack PoCs.
+ *
+ * Secrets declared in a SecretMap seed byte-granular memory taint and
+ * MSR taint. The engine then propagates taint
+ *
+ *  - architecturally (interpreter, in-order core): through register
+ *    writes, loads/stores and MSR moves — no leak events are possible
+ *    because nothing executes on a wrong path;
+ *  - micro-architecturally (OoO core): through physical registers at
+ *    writeback, store-to-load forwarding, speculative loads (with the
+ *    Meltdown-flaw zeroing applied), and MSR reads.
+ *
+ * A *leak event* is raised when a wrong-path (squashed) instruction
+ * whose relevant input was tainted mutated a structure that survives
+ * the squash: a d-cache fill/eviction/LRU touch with a tainted
+ * address, a BTB update with a tainted target, or tainted store-queue
+ * data forwarded to a younger load. Mutations are recorded as
+ * *pending*, keyed by sequence number; commit drops them (the flow
+ * became architectural), squash promotes them into the LeakReport.
+ *
+ * The engine is attached per run (CoreBase::attachDift); every hook
+ * in the hot path is guarded by a null-pointer check, so normal
+ * simulation pays nothing.
+ */
+
+#ifndef NDASIM_DIFT_TAINT_ENGINE_HH
+#define NDASIM_DIFT_TAINT_ENGINE_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+#include "dift/leak_report.hh"
+#include "dift/secret_map.hh"
+#include "isa/microop.hh"
+
+namespace nda {
+
+struct DynInst;
+
+/** The DIFT propagation + leak-detection engine. */
+class TaintEngine
+{
+  public:
+    /** `secrets` is copied; taint state is seeded from it. */
+    explicit TaintEngine(const SecretMap &secrets);
+
+    /** Any secrets declared? (All taints stay 0 otherwise.) */
+    bool enabled() const { return !secrets_.empty(); }
+    const SecretMap &secrets() const { return secrets_; }
+
+    // --- memory / MSR taint (shared by both propagation levels) ---------
+    TaintWord memTaint(Addr addr, unsigned size) const;
+    void writeMemTaint(Addr addr, unsigned size, TaintWord t);
+    TaintWord msrTaint(unsigned idx) const { return msrTaint_[idx]; }
+    void setMsrTaint(unsigned idx, TaintWord t) { msrTaint_[idx] = t; }
+
+    // --- micro-architectural taint (OoO core) ---------------------------
+    /** Size the physical-register taint table (once, at attach). */
+    void bindPhysRegs(unsigned num_phys_regs);
+
+    TaintWord
+    regTaint(PhysRegId r) const
+    {
+        return r == kInvalidPhysReg ? 0 : regTaint_[r];
+    }
+
+    /** Called at writeback, alongside PhysRegFile::setValue. */
+    void setRegTaint(PhysRegId r, TaintWord t) { regTaint_[r] = t; }
+
+    /** Record where a secret first entered the pipeline (per bit). */
+    void noteAccess(TaintWord t, Addr pc, Cycle cycle);
+
+    /**
+     * Record a tainted persistent-structure mutation by an in-flight
+     * instruction with sequence number `seq` at `pc`. Dropped if the
+     * instruction commits; promoted to a leak if it is squashed.
+     */
+    void recordPending(InstSeqNum seq, Addr pc, LeakChannel channel,
+                       const char *detail, Addr target, Cycle cycle,
+                       TaintWord taint);
+
+    /** The instruction committed: its mutations are architectural. */
+    void
+    onCommit(InstSeqNum seq)
+    {
+        if (!pending_.empty())
+            pending_.erase(seq);
+    }
+
+    /**
+     * The instruction was squashed: promote its pending mutations to
+     * leaks and clear the taint of its (freed) destination register.
+     */
+    void onSquash(const DynInst &inst);
+
+    std::size_t pendingCount() const { return pending_.size(); }
+
+    // --- architectural taint (interpreter / in-order core) --------------
+    TaintWord archRegTaint(RegId r) const { return archTaint_[r]; }
+    void setArchRegTaint(RegId r, TaintWord t) { archTaint_[r] = t; }
+
+    void archLoad(RegId rd, RegId rs1_base, Addr addr, unsigned size,
+                  Addr pc);
+    void archStore(Addr addr, unsigned size, RegId rs2);
+    void archRdMsr(RegId rd, unsigned idx, Addr pc);
+    void archWrMsr(unsigned idx, RegId rs1);
+    /** ALU / mov / branch-link destination write: merge source taint. */
+    void archAlu(const MicroOp &uop);
+
+    // --- results ---------------------------------------------------------
+    const LeakReport &report() const { return report_; }
+    LeakReport &report() { return report_; }
+
+  private:
+    struct AccessSite {
+        Addr pc = 0;
+        Cycle cycle = 0;
+        bool valid = false;
+    };
+
+    struct PendingEvent {
+        LeakChannel channel;
+        const char *detail;
+        Addr pc;
+        Addr target;
+        Cycle cycle;
+        TaintWord taint;
+    };
+
+    LeakEvent makeEvent(const PendingEvent &p, InstSeqNum seq) const;
+
+    SecretMap secrets_;
+    std::vector<TaintWord> regTaint_;           ///< per phys reg
+    TaintWord archTaint_[kNumArchRegs] = {};    ///< per arch reg
+    TaintWord msrTaint_[kNumMsrRegs] = {};
+    std::unordered_map<Addr, TaintWord> memTaint_; ///< per byte, sparse
+    AccessSite firstAccess_[64];                ///< per taint bit
+    std::unordered_map<InstSeqNum, std::vector<PendingEvent>> pending_;
+    LeakReport report_;
+};
+
+} // namespace nda
+
+#endif // NDASIM_DIFT_TAINT_ENGINE_HH

@@ -1,6 +1,7 @@
 #include "isa/interpreter.hh"
 
 #include "common/log.hh"
+#include "dift/taint_engine.hh"
 
 namespace nda {
 
@@ -158,6 +159,8 @@ Interpreter::step()
         if (!mem_.accessAllowed(addr, uop.size, CpuMode::kUser))
             return raise_fault();
         regs_[uop.rd] = mem_.read(addr, uop.size);
+        if (dift_)
+            dift_->archLoad(uop.rd, uop.rs1, addr, uop.size, pc_);
         break;
       }
       case Opcode::kStore: {
@@ -165,6 +168,8 @@ Interpreter::step()
         if (!mem_.accessAllowed(addr, uop.size, CpuMode::kUser))
             return raise_fault();
         mem_.write(addr, b, uop.size);
+        if (dift_)
+            dift_->archStore(addr, uop.size, uop.rs2);
         break;
       }
       case Opcode::kRdMsr: {
@@ -172,6 +177,8 @@ Interpreter::step()
         if (prog_.privilegedMsrMask & (1u << idx))
             return raise_fault();
         regs_[uop.rd] = msrs_[idx];
+        if (dift_)
+            dift_->archRdMsr(uop.rd, idx, pc_);
         break;
       }
       case Opcode::kWrMsr: {
@@ -179,19 +186,28 @@ Interpreter::step()
         if (prog_.privilegedMsrMask & (1u << idx))
             return raise_fault();
         msrs_[idx] = a;
+        if (dift_)
+            dift_->archWrMsr(idx, uop.rs1);
         break;
       }
       case Opcode::kRdTsc:
         regs_[uop.rd] = tscValue();
+        if (dift_)
+            dift_->setArchRegTaint(uop.rd, 0);
         break;
       default:
         if (t.isBranch) {
-            if (t.hasDest)
+            if (t.hasDest) {
                 regs_[uop.rd] = pc_ + 1; // link value for call/callr
+                if (dift_)
+                    dift_->setArchRegTaint(uop.rd, 0);
+            }
             pc_ = evalNextPc(uop, pc_, a, b);
             return StepResult::kOk;
         }
         regs_[uop.rd] = evalAlu(uop.op, a, b, uop.imm);
+        if (dift_)
+            dift_->archAlu(uop);
         break;
     }
 

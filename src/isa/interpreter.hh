@@ -19,6 +19,8 @@
 
 namespace nda {
 
+class TaintEngine;
+
 /**
  * Pure ALU semantics shared by the interpreter and the core exec unit.
  * `a` = rs1 value, `b` = rs2 value, `imm` = immediate.
@@ -76,6 +78,13 @@ class Interpreter
      */
     std::uint64_t tscValue() const { return instCount_; }
 
+    /**
+     * Attach the DIFT oracle (dift/taint_engine.hh): taint then
+     * propagates architecturally with every step. The interpreter is
+     * the reference propagation model the cores must agree with.
+     */
+    void attachDift(TaintEngine *engine) { dift_ = engine; }
+
   private:
     const Program prog_;
     MemoryMap mem_;
@@ -85,6 +94,7 @@ class Interpreter
     bool halted_ = false;
     std::uint64_t instCount_ = 0;
     std::uint64_t faultCount_ = 0;
+    TaintEngine *dift_ = nullptr;
 };
 
 /** Initialize a MemoryMap from a program's data segments. */

@@ -53,6 +53,13 @@ TEST_P(AttackMatrixTest, OutcomeMatchesTable2)
     EXPECT_EQ(result.leaked(), !expect_blocked)
         << attack.name() << " on " << cfg.name << ": signal "
         << result.signal << " (threshold " << result.threshold << ")";
+
+    // The DIFT oracle is an independent detector of the same event:
+    // it must agree with the timing verdict on every cell.
+    EXPECT_EQ(result.oracle.leaked(), result.leaked())
+        << attack.name() << " on " << cfg.name
+        << ": timing and oracle disagree — "
+        << result.oracle.summary();
 }
 
 INSTANTIATE_TEST_SUITE_P(
