@@ -19,6 +19,7 @@ namespace nda {
 
 struct Program;
 class TaintEngine;
+class InvariantChecker;
 
 /** Abstract timing core. */
 class CoreBase
@@ -32,6 +33,28 @@ class CoreBase
      * no-op so attaching is always safe.
      */
     virtual void attachDift(TaintEngine *engine) { (void)engine; }
+
+    /**
+     * Attach the per-cycle micro-architectural invariant checker
+     * (fuzz/invariant_checker.hh). Cores without speculative state
+     * have nothing to check; the default is a no-op.
+     */
+    virtual void attachChecker(InvariantChecker *checker)
+    {
+        (void)checker;
+    }
+
+    /**
+     * Taint of the committed architectural register `r` under the
+     * attached DIFT engine (0 when none is attached). Lets the
+     * differential fuzzer compare final architectural taint across
+     * core models through the common interface.
+     */
+    virtual TaintWord archRegTaint(RegId r) const
+    {
+        (void)r;
+        return 0;
+    }
 
     /** Advance one cycle. */
     virtual void tick() = 0;

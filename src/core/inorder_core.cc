@@ -43,6 +43,12 @@ InOrderCore::run(std::uint64_t max_insts, Cycle max_cycles)
         tick();
 }
 
+TaintWord
+InOrderCore::archRegTaint(RegId r) const
+{
+    return dift_ ? dift_->archRegTaint(r) : 0;
+}
+
 Cycle
 InOrderCore::step()
 {
@@ -73,6 +79,7 @@ InOrderCore::step()
 
     auto raise_fault = [&]() {
         ++counters_.squashes;
+        ++counters_.faults;
         if (prog_.faultHandler == ~Addr{0}) {
             halted_ = true;
         } else {

@@ -48,6 +48,8 @@ class InOrderCore : public CoreBase
      *  here, so no leak event can ever be raised. */
     void attachDift(TaintEngine *engine) override { dift_ = engine; }
 
+    TaintWord archRegTaint(RegId r) const override;
+
   private:
     /** Execute one instruction; returns its total cycle cost. */
     Cycle step();

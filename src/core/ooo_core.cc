@@ -4,6 +4,7 @@
 
 #include "common/log.hh"
 #include "dift/taint_engine.hh"
+#include "fuzz/invariant_checker.hh"
 #include "isa/interpreter.hh"
 
 namespace nda {
@@ -52,6 +53,49 @@ OooCore::archRegTaint(RegId r) const
     return dift_ ? dift_->regTaint(commitMap_[r]) : 0;
 }
 
+bool
+OooCore::corruptForTest(FuzzCorruption kind)
+{
+    switch (kind) {
+      case FuzzCorruption::kFreeListLeak:
+        // Allocate a register nothing will ever reference or free.
+        if (!regs_.hasFree())
+            return false;
+        regs_.alloc();
+        return true;
+      case FuzzCorruption::kDoubleFree:
+        // A committed mapping lands on the free list while still
+        // holding an architectural value.
+        regs_.free(commitMap_[0]);
+        return true;
+      case FuzzCorruption::kEarlyWakeup:
+        // Wake dependents of an in-flight producer NDA still holds
+        // unsafe — exactly the leak the deferred broadcast prevents.
+        for (const DynInstPtr &inst : rob_) {
+            if (inst->dest != kInvalidPhysReg && inst->isUnsafe() &&
+                !inst->broadcasted) {
+                regs_.setReady(inst->dest);
+                return true;
+            }
+        }
+        return false;
+      case FuzzCorruption::kRenameCorrupt:
+        // Point r0's speculative mapping at r1's: younger consumers
+        // of r0 would silently read r1's value.
+        if (rmap_.lookup(0) == rmap_.lookup(1))
+            return false;
+        rmap_.rename(0, rmap_.lookup(1));
+        return true;
+      case FuzzCorruption::kRobReorder:
+        if (rob_.size() < 2)
+            return false;
+        std::swap(rob_[0]->seq, rob_[1]->seq);
+        return true;
+      default:
+        return false;
+    }
+}
+
 void
 OooCore::tick()
 {
@@ -73,6 +117,9 @@ OooCore::tick()
         ++counters_.ilpCycles;
         counters_.ilpAccum += completionsThisCycle_;
     }
+
+    if (checker_)
+        checker_->onCycleEnd(*this);
 }
 
 void
@@ -275,6 +322,7 @@ OooCore::raiseFault(const DynInstPtr &inst)
     // The faulting instruction does not retire; everything from it on
     // (inclusive) is squashed and fetch redirects to the handler.
     ++counters_.squashes;
+    ++counters_.faults;
     const Addr handler = prog_.faultHandler;
     squashAfter(inst->seq - 1,
                 handler == ~Addr{0} ? 0 : handler);

@@ -30,6 +30,10 @@
 
 namespace nda {
 
+class InvariantChecker;
+/** Deliberate state corruptions (defined in fuzz/invariant_checker.hh). */
+enum class FuzzCorruption : std::uint8_t;
+
 /** The out-of-order core model. */
 class OooCore : public CoreBase
 {
@@ -62,6 +66,26 @@ class OooCore : public CoreBase
      */
     void attachDift(TaintEngine *engine) override;
 
+    /**
+     * Attach the per-cycle invariant checker (fuzz/). Like the DIFT
+     * engine, the tick hook is guarded by a null check, so detached
+     * simulation pays nothing.
+     */
+    void attachChecker(InvariantChecker *checker) override
+    {
+        checker_ = checker;
+    }
+
+    /**
+     * Test/fuzz-only: deliberately violate one micro-architectural
+     * invariant so the checker's detection logic can itself be tested
+     * (a checker that cannot fail is untested). Returns false when the
+     * requested corruption is not applicable to the current state
+     * (e.g. no unsafe in-flight producer to wake early); callers
+     * retry on a later cycle.
+     */
+    bool corruptForTest(FuzzCorruption kind);
+
     // --- introspection for tests & the ROB-snapshot example -------------
     const std::deque<DynInstPtr> &rob() const { return rob_; }
     PredictorUnit &predictor() { return bp_; }
@@ -70,7 +94,7 @@ class OooCore : public CoreBase
 
     /** Taint of the committed architectural register `r` (0 if no
      *  engine is attached). Test/debug introspection. */
-    TaintWord archRegTaint(RegId r) const;
+    TaintWord archRegTaint(RegId r) const override;
 
     /**
      * Install a callback invoked once per dynamic instruction when it
@@ -177,8 +201,12 @@ class OooCore : public CoreBase
     Cycle lastCommitCycle_ = 0;
     std::function<void(const DynInst &, Cycle)> retireHook_;
     TaintEngine *dift_ = nullptr; ///< leakage oracle, usually absent
+    InvariantChecker *checker_ = nullptr; ///< fuzz invariant checker
 
     PerfCounters counters_;
+
+    /** The checker reads every private structure it validates. */
+    friend class InvariantChecker;
 };
 
 } // namespace nda

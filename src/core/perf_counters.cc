@@ -15,6 +15,7 @@ PerfCounters::reset()
     indirectMispredicts = 0;
     squashes = 0;
     memOrderViolations = 0;
+    faults = 0;
     loads = 0;
     stores = 0;
     mlpCycles = 0;

@@ -39,6 +39,8 @@ struct PerfCounters {
     std::uint64_t indirectMispredicts = 0;
     std::uint64_t squashes = 0;
     std::uint64_t memOrderViolations = 0;
+    /** Committed (architecturally delivered) faults. */
+    std::uint64_t faults = 0;
 
     // Memory
     std::uint64_t loads = 0;

@@ -31,6 +31,9 @@ class PhysRegFile
     bool hasFree() const { return !freeList_.empty(); }
     std::size_t numFree() const { return freeList_.size(); }
 
+    /** The raw free list (fuzz/invariant_checker accounting). */
+    const std::vector<PhysRegId> &freeList() const { return freeList_; }
+
     RegVal value(PhysRegId r) const { return values_[r]; }
     void setValue(PhysRegId r, RegVal v) { values_[r] = v; }
 

@@ -1,0 +1,51 @@
+#include "fuzz/corpus.hh"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "isa/program_io.hh"
+
+namespace nda {
+
+namespace fs = std::filesystem;
+
+std::vector<std::string>
+listCorpus(const std::string &dir)
+{
+    std::vector<std::string> paths;
+    std::error_code ec;
+    for (const auto &entry : fs::directory_iterator(dir, ec)) {
+        if (entry.is_regular_file() &&
+            entry.path().extension() == ".prog") {
+            paths.push_back(entry.path().string());
+        }
+    }
+    std::sort(paths.begin(), paths.end());
+    return paths;
+}
+
+Program
+loadCorpusEntry(const std::string &path)
+{
+    return loadProgramFile(path);
+}
+
+std::string
+writeCorpusEntry(const std::string &dir, const std::string &stem,
+                 std::uint64_t seed, const Program &prog,
+                 const std::vector<std::string> &header)
+{
+    fs::create_directories(dir);
+    const fs::path path =
+        fs::path(dir) / (stem + "-seed" + std::to_string(seed) + ".prog");
+    std::string joined;
+    for (const std::string &line : header) {
+        if (!joined.empty())
+            joined += '\n';
+        joined += line;
+    }
+    saveProgramFile(path.string(), prog, joined);
+    return path.string();
+}
+
+} // namespace nda

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Corpus of minimized failing programs.
+ *
+ * Every failure the fuzzer minimizes is serialized to a small text
+ * file (see isa/program_io.hh for the format) under a corpus
+ * directory, normally `tests/corpus/`. The files are regression
+ * tests: `test_fuzz_corpus` replays each one across every security
+ * profile on every build, so a divergence that was found once can
+ * never silently come back.
+ */
+
+#ifndef NDASIM_FUZZ_CORPUS_HH
+#define NDASIM_FUZZ_CORPUS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace nda {
+
+/** Paths of all corpus entries (files named *.prog) under `dir`,
+ *  sorted by filename so iteration order is stable across
+ *  filesystems. Returns empty if the directory does not exist. */
+std::vector<std::string> listCorpus(const std::string &dir);
+
+/** Parse one corpus entry. Throws std::runtime_error with the
+ *  offending line on malformed input. */
+Program loadCorpusEntry(const std::string &path);
+
+/**
+ * Serialize `prog` into `dir` (created if missing) as
+ * `<stem>-seed<seed>.prog` with `header` lines rendered as leading
+ * comments. Returns the path written. An existing file with the same
+ * name is overwritten — entries are keyed by (stem, seed), and
+ * re-minimizing the same seed should refresh the repro.
+ */
+std::string writeCorpusEntry(const std::string &dir,
+                             const std::string &stem, std::uint64_t seed,
+                             const Program &prog,
+                             const std::vector<std::string> &header);
+
+} // namespace nda
+
+#endif // NDASIM_FUZZ_CORPUS_HH

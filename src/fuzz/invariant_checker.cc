@@ -1,0 +1,368 @@
+#include "fuzz/invariant_checker.hh"
+
+#include <algorithm>
+
+#include "core/ooo_core.hh"
+
+namespace nda {
+
+const char *
+fuzzCorruptionName(FuzzCorruption kind)
+{
+    switch (kind) {
+      case FuzzCorruption::kNone:
+        return "none";
+      case FuzzCorruption::kFreeListLeak:
+        return "freelist-leak";
+      case FuzzCorruption::kDoubleFree:
+        return "double-free";
+      case FuzzCorruption::kEarlyWakeup:
+        return "early-wakeup";
+      case FuzzCorruption::kRenameCorrupt:
+        return "rename-corrupt";
+      case FuzzCorruption::kRobReorder:
+        return "rob-reorder";
+    }
+    return "?";
+}
+
+FuzzCorruption
+fuzzCorruptionFromName(const std::string &name)
+{
+    static constexpr FuzzCorruption kAll[] = {
+        FuzzCorruption::kFreeListLeak,  FuzzCorruption::kDoubleFree,
+        FuzzCorruption::kEarlyWakeup,   FuzzCorruption::kRenameCorrupt,
+        FuzzCorruption::kRobReorder,
+    };
+    for (FuzzCorruption k : kAll) {
+        if (name == fuzzCorruptionName(k))
+            return k;
+    }
+    return FuzzCorruption::kNone;
+}
+
+const char *
+invariantKindName(InvariantKind kind)
+{
+    switch (kind) {
+      case InvariantKind::kRobOrder:
+        return "rob-order";
+      case InvariantKind::kBranchBookkeeping:
+        return "branch-bookkeeping";
+      case InvariantKind::kFreeList:
+        return "free-list";
+      case InvariantKind::kRenameMap:
+        return "rename-map";
+      case InvariantKind::kLsqOrder:
+        return "lsq-order";
+      case InvariantKind::kWakeupOrder:
+        return "wakeup-order";
+      case InvariantKind::kNdaSafety:
+        return "nda-safety";
+      default:
+        return "?";
+    }
+}
+
+std::string
+InvariantChecker::describe(const InvariantViolation &v)
+{
+    std::string s = invariantKindName(v.kind);
+    s += " @cycle ";
+    s += std::to_string(v.cycle);
+    if (v.seq != kInvalidSeqNum) {
+        s += " seq ";
+        s += std::to_string(v.seq);
+    }
+    s += ": ";
+    s += v.detail;
+    return s;
+}
+
+void
+InvariantChecker::reset()
+{
+    violations_.clear();
+    totalViolations_ = 0;
+    cyclesChecked_ = 0;
+}
+
+void
+InvariantChecker::report(InvariantKind kind, Cycle cycle, InstSeqNum seq,
+                         std::string detail)
+{
+    ++totalViolations_;
+    if (violations_.size() >= kMaxRecorded)
+        return;
+    violations_.push_back({kind, cycle, seq, std::move(detail)});
+}
+
+void
+InvariantChecker::onCycleEnd(const OooCore &core)
+{
+    ++cyclesChecked_;
+    checkRobOrder(core);
+    checkBranchBookkeeping(core);
+    checkFreeList(core);
+    checkRenameMap(core);
+    checkLsq(core);
+    checkWakeupOrder(core);
+    checkNdaSafety(core);
+}
+
+void
+InvariantChecker::checkRobOrder(const OooCore &core)
+{
+    InstSeqNum prev = 0;
+    bool first = true;
+    for (const DynInstPtr &inst : core.rob_) {
+        if (!first && inst->seq <= prev) {
+            report(InvariantKind::kRobOrder, core.cycle_, inst->seq,
+                   "ROB not in age order (prev seq " +
+                       std::to_string(prev) + ")");
+        }
+        if (inst->squashed) {
+            report(InvariantKind::kRobOrder, core.cycle_, inst->seq,
+                   "squashed entry still in the ROB");
+        }
+        if (inst->committed) {
+            report(InvariantKind::kRobOrder, core.cycle_, inst->seq,
+                   "committed entry still in the ROB");
+        }
+        prev = inst->seq;
+        first = false;
+    }
+}
+
+void
+InvariantChecker::checkBranchBookkeeping(const OooCore &core)
+{
+    // Expected list: in-ROB speculative branches not yet executed,
+    // in age order (resolution happens the cycle `executed` is set).
+    std::vector<InstSeqNum> expect;
+    for (const DynInstPtr &inst : core.rob_) {
+        if (inst->isSpecBranch() && !inst->executed)
+            expect.push_back(inst->seq);
+    }
+    const auto &got = core.unresolvedBranches_;
+    if (expect.size() != got.size() ||
+        !std::equal(expect.begin(), expect.end(), got.begin())) {
+        report(InvariantKind::kBranchBookkeeping, core.cycle_,
+               got.empty() ? kInvalidSeqNum : got.front(),
+               "unresolved-branch list (" + std::to_string(got.size()) +
+                   " entries) does not mirror the ROB's " +
+                   std::to_string(expect.size()) +
+                   " unresolved speculative branches");
+    }
+}
+
+void
+InvariantChecker::checkFreeList(const OooCore &core)
+{
+    // Free list, committed mappings, and in-flight destinations must
+    // partition the physical register file: no duplicates (a double
+    // free or aliased rename) and no unreachable register (a leak,
+    // typically dropped during squash recovery).
+    enum : std::uint8_t { kUnowned = 0, kFree, kCommitted, kInFlight };
+    static const char *const owner_name[] = {"unowned", "free list",
+                                             "commit map", "ROB dest"};
+    std::vector<std::uint8_t> owner(core.regs_.size(), kUnowned);
+
+    const auto claim = [&](PhysRegId r, std::uint8_t who,
+                           InstSeqNum seq) {
+        if (r >= owner.size()) {
+            report(InvariantKind::kFreeList, core.cycle_, seq,
+                   "out-of-range phys reg " + std::to_string(r));
+            return;
+        }
+        if (owner[r] != kUnowned) {
+            report(InvariantKind::kFreeList, core.cycle_, seq,
+                   "phys reg " + std::to_string(r) + " claimed by " +
+                       owner_name[owner[r]] + " and " + owner_name[who]);
+            return;
+        }
+        owner[r] = who;
+    };
+
+    for (PhysRegId r : core.regs_.freeList())
+        claim(r, kFree, kInvalidSeqNum);
+    for (unsigned a = 0; a < kNumArchRegs; ++a)
+        claim(core.commitMap_[a], kCommitted, kInvalidSeqNum);
+    for (const DynInstPtr &inst : core.rob_) {
+        if (inst->dest != kInvalidPhysReg)
+            claim(inst->dest, kInFlight, inst->seq);
+    }
+
+    for (unsigned r = 0; r < owner.size(); ++r) {
+        if (owner[r] == kUnowned) {
+            report(InvariantKind::kFreeList, core.cycle_, kInvalidSeqNum,
+                   "phys reg " + std::to_string(r) +
+                       " leaked (not free, committed, or in flight)");
+        }
+    }
+}
+
+void
+InvariantChecker::checkRenameMap(const OooCore &core)
+{
+    // The speculative map must equal the committed map overridden by
+    // the youngest in-flight writer of each architectural register.
+    PhysRegId expect[kNumArchRegs];
+    for (unsigned a = 0; a < kNumArchRegs; ++a)
+        expect[a] = core.commitMap_[a];
+    for (const DynInstPtr &inst : core.rob_) {
+        if (inst->dest != kInvalidPhysReg)
+            expect[inst->uop.rd] = inst->dest;
+    }
+    for (unsigned a = 0; a < kNumArchRegs; ++a) {
+        const PhysRegId got = core.rmap_.lookup(static_cast<RegId>(a));
+        if (got != expect[a]) {
+            report(InvariantKind::kRenameMap, core.cycle_,
+                   kInvalidSeqNum,
+                   "arch r" + std::to_string(a) + " maps to p" +
+                       std::to_string(got) + ", expected p" +
+                       std::to_string(expect[a]));
+        }
+    }
+}
+
+void
+InvariantChecker::checkLsq(const OooCore &core)
+{
+    const auto in_rob = [&](InstSeqNum seq) {
+        const auto it = std::lower_bound(
+            core.rob_.begin(), core.rob_.end(), seq,
+            [](const DynInstPtr &inst, InstSeqNum s) {
+                return inst->seq < s;
+            });
+        return it != core.rob_.end() && (*it)->seq == seq;
+    };
+
+    const auto check_queue = [&](const std::deque<DynInstPtr> &q,
+                                 const char *which, bool want_load) {
+        InstSeqNum prev = 0;
+        bool first = true;
+        for (const DynInstPtr &inst : q) {
+            if (!first && inst->seq <= prev) {
+                report(InvariantKind::kLsqOrder, core.cycle_, inst->seq,
+                       std::string(which) + " queue not in age order");
+            }
+            if (inst->squashed) {
+                report(InvariantKind::kLsqOrder, core.cycle_, inst->seq,
+                       std::string(which) + " queue holds a squashed entry");
+            } else if (!in_rob(inst->seq)) {
+                report(InvariantKind::kLsqOrder, core.cycle_, inst->seq,
+                       std::string(which) + " queue entry not in the ROB");
+            }
+            if (inst->isLoad() != want_load) {
+                report(InvariantKind::kLsqOrder, core.cycle_, inst->seq,
+                       std::string(which) + " queue holds a non-" + which);
+            }
+            prev = inst->seq;
+            first = false;
+        }
+    };
+
+    check_queue(core.lsq_.loads(), "load", true);
+    check_queue(core.lsq_.stores(), "store", false);
+}
+
+void
+InvariantChecker::checkWakeupOrder(const OooCore &core)
+{
+    for (const DynInstPtr &inst : core.rob_) {
+        if (inst->dest == kInvalidPhysReg)
+            continue;
+        const bool ready = core.regs_.ready(inst->dest);
+        if (ready != inst->broadcasted) {
+            report(InvariantKind::kWakeupOrder, core.cycle_, inst->seq,
+                   std::string("dest p") + std::to_string(inst->dest) +
+                       (ready ? " ready without a broadcast"
+                              : " broadcast but not ready"));
+        }
+        if (inst->broadcasted && !inst->executed) {
+            report(InvariantKind::kWakeupOrder, core.cycle_, inst->seq,
+                   "broadcast before execution");
+        }
+    }
+}
+
+void
+InvariantChecker::checkNdaSafety(const OooCore &core)
+{
+    const SecurityConfig &sec = core.cfg_.security;
+
+    // Recompute the paper's safety boundary independently of the
+    // core's own unsafe bits: the eldest unresolved speculative branch.
+    const InstSeqNum boundary = core.unresolvedBranches_.empty()
+                                    ? kInvalidSeqNum
+                                    : core.unresolvedBranches_.front();
+
+    for (const DynInstPtr &inst : core.rob_) {
+        const bool woke =
+            inst->broadcasted ||
+            (inst->dest != kInvalidPhysReg &&
+             core.regs_.ready(inst->dest));
+
+        // An instruction the core itself still holds unsafe must not
+        // have woken consumers, under any configuration.
+        if (inst->isUnsafe() && woke) {
+            report(InvariantKind::kNdaSafety, core.cycle_, inst->seq,
+                   "unsafe instruction woke its consumers");
+        }
+
+        // Propagation policy (paper §5.1/§5.2): every covered op
+        // younger than the boundary must be marked and deferred.
+        if (boundary != kInvalidSeqNum && inst->seq > boundary &&
+            sec.marksUnsafeUnderBranch(inst->uop)) {
+            if (!inst->unsafeBranch) {
+                report(InvariantKind::kNdaSafety, core.cycle_,
+                       inst->seq,
+                       "covered op under unresolved branch " +
+                           std::to_string(boundary) +
+                           " lost its unsafe mark");
+            }
+            if (woke) {
+                report(InvariantKind::kNdaSafety, core.cycle_,
+                       inst->seq,
+                       "op broadcast under unresolved branch " +
+                           std::to_string(boundary));
+            }
+        }
+
+        // Bypass Restriction (paper §5.2): a load that executed past
+        // stores whose addresses are still unknown stays deferred.
+        if (sec.bypassRestriction && inst->isLoad() && inst->executed &&
+            !inst->bypassedStores.empty()) {
+            if (!inst->unsafeBypass) {
+                report(InvariantKind::kNdaSafety, core.cycle_,
+                       inst->seq,
+                       "load with unresolved bypassed stores lost its "
+                       "unsafe mark");
+            }
+            if (woke) {
+                report(InvariantKind::kNdaSafety, core.cycle_,
+                       inst->seq,
+                       "load broadcast with " +
+                           std::to_string(inst->bypassedStores.size()) +
+                           " bypassed stores unresolved");
+            }
+        }
+
+        // Load restriction (paper §5.3): only the ROB head may wake.
+        if (sec.loadRestriction && inst->isLoadLike() &&
+            inst != core.rob_.front()) {
+            if (!inst->unsafeLoad) {
+                report(InvariantKind::kNdaSafety, core.cycle_,
+                       inst->seq,
+                       "non-head load-like op lost its unsafe mark");
+            }
+            if (woke) {
+                report(InvariantKind::kNdaSafety, core.cycle_,
+                       inst->seq, "non-head load-like op woke consumers");
+            }
+        }
+    }
+}
+
+} // namespace nda

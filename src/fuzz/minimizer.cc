@@ -1,0 +1,192 @@
+#include "fuzz/minimizer.hh"
+
+#include <cstddef>
+#include <vector>
+
+namespace nda {
+
+namespace {
+
+bool
+isNop(const MicroOp &uop)
+{
+    return uop.op == Opcode::kNop;
+}
+
+unsigned
+countOps(const Program &prog)
+{
+    unsigned n = 0;
+    for (const MicroOp &uop : prog.code) {
+        if (!isNop(uop))
+            n += 1;
+    }
+    return n;
+}
+
+/** Is this (pc, pc+1) a generator RDTSC neutralizer pair? */
+bool
+isRdtscPair(const Program &prog, std::size_t pc)
+{
+    if (prog.code[pc].op != Opcode::kRdTsc ||
+        pc + 1 >= prog.code.size()) {
+        return false;
+    }
+    const MicroOp &next = prog.code[pc + 1];
+    const RegId rd = prog.code[pc].rd;
+    return next.op == Opcode::kCmpEq && next.rd == rd &&
+           next.rs1 == rd && next.rs2 == rd;
+}
+
+/**
+ * Removable atomic units: mostly single instructions, with RDTSC
+ * neutralizer pairs fused. NOPs (nothing to remove) and HALTs
+ * (removal would let execution run off the program) are excluded.
+ */
+std::vector<std::vector<std::size_t>>
+buildUnits(const Program &prog)
+{
+    std::vector<std::vector<std::size_t>> units;
+    std::size_t pc = 0;
+    while (pc < prog.code.size()) {
+        const MicroOp &uop = prog.code[pc];
+        if (isNop(uop) || uop.op == Opcode::kHalt) {
+            ++pc;
+            continue;
+        }
+        if (isRdtscPair(prog, pc)) {
+            units.push_back({pc, pc + 1});
+            pc += 2;
+            continue;
+        }
+        units.push_back({pc});
+        ++pc;
+    }
+    return units;
+}
+
+/** Does the instruction's imm carry reducible data (not a branch
+ *  target or an MSR index)? */
+bool
+immReducible(const MicroOp &uop)
+{
+    switch (uop.op) {
+      case Opcode::kMovImm:
+      case Opcode::kAddImm:
+      case Opcode::kSubImm:
+      case Opcode::kAndImm:
+      case Opcode::kOrImm:
+      case Opcode::kXorImm:
+      case Opcode::kShlImm:
+      case Opcode::kShrImm:
+      case Opcode::kMulImm:
+      case Opcode::kLoad:
+      case Opcode::kStore:
+      case Opcode::kClflush:
+      case Opcode::kPrefetch:
+        return uop.imm != 0;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+Program
+minimizeProgram(const Program &prog, const FailurePredicate &fails,
+                MinimizeStats *stats, unsigned max_candidates)
+{
+    MinimizeStats local;
+    MinimizeStats &st = stats ? *stats : local;
+    st.opsBefore = countOps(prog);
+
+    Program current = prog;
+    unsigned budget = max_candidates;
+
+    const auto try_candidate = [&](const Program &candidate) {
+        if (budget == 0)
+            return false;
+        --budget;
+        ++st.candidatesTried;
+        return fails(candidate);
+    };
+
+    // --- phase 1: ddmin chunk removal by NOP substitution ---------------
+    // Replacing instructions with NOPs keeps every PC — and therefore
+    // every branch target and the function-pointer table — valid, so
+    // structural bookkeeping reduces to flipping opcodes.
+    bool shrunk = true;
+    while (shrunk && budget > 0) {
+        shrunk = false;
+        const auto units = buildUnits(current);
+        if (units.empty())
+            break;
+        std::vector<bool> removed(units.size(), false);
+
+        std::size_t chunk = units.size() / 2;
+        if (chunk == 0)
+            chunk = 1;
+        while (budget > 0) {
+            bool removed_any = false;
+            for (std::size_t start = 0;
+                 start < units.size() && budget > 0; start += chunk) {
+                bool all_removed = true;
+                for (std::size_t u = start;
+                     u < units.size() && u < start + chunk; ++u) {
+                    all_removed = all_removed && removed[u];
+                }
+                if (all_removed)
+                    continue;
+
+                Program candidate = current;
+                for (std::size_t u = start;
+                     u < units.size() && u < start + chunk; ++u) {
+                    for (std::size_t pc : units[u])
+                        candidate.code[pc] = MicroOp{};
+                }
+                if (try_candidate(candidate)) {
+                    current = std::move(candidate);
+                    for (std::size_t u = start;
+                         u < units.size() && u < start + chunk; ++u) {
+                        removed[u] = true;
+                    }
+                    removed_any = true;
+                    shrunk = true;
+                }
+            }
+            if (chunk == 1) {
+                if (!removed_any)
+                    break;
+            } else {
+                chunk /= 2;
+                if (chunk == 0)
+                    chunk = 1;
+            }
+        }
+    }
+
+    // --- phase 2: immediate reduction ------------------------------------
+    // Loop trip counts, displacements, and literals shrink toward 0
+    // (or 1) so the repro reads with small numbers.
+    for (std::size_t pc = 0; pc < current.code.size() && budget > 0;
+         ++pc) {
+        if (!immReducible(current.code[pc]))
+            continue;
+        for (std::int64_t target : {std::int64_t{0}, std::int64_t{1}}) {
+            if (current.code[pc].imm == target)
+                continue;
+            Program candidate = current;
+            candidate.code[pc].imm = target;
+            if (try_candidate(candidate)) {
+                current = std::move(candidate);
+                ++st.immsReduced;
+                break;
+            }
+        }
+    }
+
+    st.opsAfter = countOps(current);
+    return current;
+}
+
+} // namespace nda

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Delta-debugging minimizer for failing fuzz programs.
+ *
+ * A 1000-instruction random program that diverges between two core
+ * models is nearly impossible to debug; the same divergence in eight
+ * instructions usually reads like a bug report. The minimizer shrinks
+ * a failing program while a caller-supplied predicate ("still fails
+ * the same way") keeps holding:
+ *
+ *  - ddmin-style chunk removal, where "removal" substitutes NOPs so
+ *    absolute PCs — and therefore every branch target — survive;
+ *  - immediate reduction toward 0/1 (loop trip counts, addresses,
+ *    literals) for the instructions that remain.
+ *
+ * RDTSC neutralizer pairs (rdtsc rd; cmpeq rd,rd,rd — emitted by the
+ * generator so timing never reaches architectural state) are treated
+ * as atomic units: dropping only the neutralizer would manufacture a
+ * fake timing divergence and send the search chasing it.
+ */
+
+#ifndef NDASIM_FUZZ_MINIMIZER_HH
+#define NDASIM_FUZZ_MINIMIZER_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "isa/program.hh"
+
+namespace nda {
+
+/** Search effort and outcome accounting. */
+struct MinimizeStats {
+    unsigned candidatesTried = 0;   ///< predicate invocations
+    unsigned opsBefore = 0;         ///< non-NOP instructions, input
+    unsigned opsAfter = 0;          ///< non-NOP instructions, output
+    unsigned immsReduced = 0;
+};
+
+/** True iff `candidate` still reproduces the original failure. */
+using FailurePredicate = std::function<bool(const Program &)>;
+
+/**
+ * Shrink `prog` while `fails` keeps returning true. `fails(prog)`
+ * itself must hold on entry (the caller verified the failure; the
+ * minimizer does not re-check the unmodified input). At most
+ * `max_candidates` predicate calls are spent; the best program found
+ * so far is returned when the budget runs out.
+ */
+Program minimizeProgram(const Program &prog, const FailurePredicate &fails,
+                        MinimizeStats *stats = nullptr,
+                        unsigned max_candidates = 2000);
+
+} // namespace nda
+
+#endif // NDASIM_FUZZ_MINIMIZER_HH

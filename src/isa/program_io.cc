@@ -1,0 +1,337 @@
+#include "isa/program_io.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+
+namespace nda {
+
+namespace {
+
+constexpr std::size_t kBytesPerRow = 32;
+
+const char *
+permName(MemPerm p)
+{
+    return p == MemPerm::kKernel ? "kernel" : "user";
+}
+
+/** mnemonic -> opcode, built once from the opcode table itself so the
+ *  two can never drift apart. */
+const std::unordered_map<std::string, Opcode> &
+mnemonicTable()
+{
+    static const std::unordered_map<std::string, Opcode> table = [] {
+        std::unordered_map<std::string, Opcode> t;
+        for (int i = 0; i < static_cast<int>(Opcode::kNumOpcodes); ++i) {
+            const auto op = static_cast<Opcode>(i);
+            t.emplace(std::string(opName(op)), op);
+        }
+        return t;
+    }();
+    return table;
+}
+
+[[noreturn]] void
+parseError(std::size_t line_no, const std::string &why)
+{
+    throw std::runtime_error("program parse error at line " +
+                             std::to_string(line_no) + ": " + why);
+}
+
+/** Line reader that strips '#' comments and blank lines. */
+class LineSource
+{
+  public:
+    explicit LineSource(const std::string &text) : in_(text) {}
+
+    /** Next meaningful line; false at end of input. */
+    bool
+    next(std::string &out)
+    {
+        std::string raw;
+        while (std::getline(in_, raw)) {
+            ++lineNo_;
+            const auto hash = raw.find('#');
+            if (hash != std::string::npos)
+                raw.erase(hash);
+            std::size_t b = 0, e = raw.size();
+            while (b < e && std::isspace(static_cast<unsigned char>(raw[b])))
+                ++b;
+            while (e > b &&
+                   std::isspace(static_cast<unsigned char>(raw[e - 1])))
+                --e;
+            if (e > b) {
+                out = raw.substr(b, e - b);
+                return true;
+            }
+        }
+        return false;
+    }
+
+    std::size_t lineNo() const { return lineNo_; }
+
+  private:
+    std::istringstream in_;
+    std::size_t lineNo_ = 0;
+};
+
+std::uint64_t
+parseU64(const std::string &tok, std::size_t line_no)
+{
+    std::size_t consumed = 0;
+    std::uint64_t v = 0;
+    try {
+        v = std::stoull(tok, &consumed, 0);
+    } catch (const std::exception &) {
+        consumed = 0;
+    }
+    if (tok.empty() || consumed != tok.size())
+        parseError(line_no, "expected a number, got '" + tok + "'");
+    return v;
+}
+
+std::int64_t
+parseI64(const std::string &tok, std::size_t line_no)
+{
+    std::size_t consumed = 0;
+    std::int64_t v = 0;
+    try {
+        v = std::stoll(tok, &consumed, 0);
+    } catch (const std::exception &) {
+        consumed = 0;
+    }
+    if (tok.empty() || consumed != tok.size())
+        parseError(line_no, "expected an integer, got '" + tok + "'");
+    return v;
+}
+
+int
+hexNibble(char c)
+{
+    if (c >= '0' && c <= '9')
+        return c - '0';
+    if (c >= 'a' && c <= 'f')
+        return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F')
+        return c - 'A' + 10;
+    return -1;
+}
+
+} // namespace
+
+std::string
+serializeProgram(const Program &prog)
+{
+    std::ostringstream out;
+    out << "program " << (prog.name.empty() ? "unnamed" : prog.name)
+        << "\n";
+    out << "entry " << prog.entry << "\n";
+    if (prog.faultHandler != ~Addr{0})
+        out << "faulthandler " << prog.faultHandler << "\n";
+    if (prog.privilegedMsrMask != 0)
+        out << "msrmask "
+            << static_cast<unsigned>(prog.privilegedMsrMask) << "\n";
+    for (int r = 0; r < kNumArchRegs; ++r) {
+        if (prog.initialRegs[r] != 0)
+            out << "initreg " << r << " " << prog.initialRegs[r] << "\n";
+    }
+    for (int i = 0; i < kNumMsrRegs; ++i) {
+        if (prog.initialMsrs[i] != 0)
+            out << "initmsr " << i << " " << prog.initialMsrs[i] << "\n";
+    }
+
+    static const char *hex = "0123456789abcdef";
+    for (const DataSegment &seg : prog.data) {
+        out << "segment " << seg.base << " " << permName(seg.perm) << " "
+            << seg.bytes.size() << "\n";
+        for (std::size_t i = 0; i < seg.bytes.size();
+             i += kBytesPerRow) {
+            const std::size_t n =
+                std::min(kBytesPerRow, seg.bytes.size() - i);
+            std::string row;
+            row.reserve(2 * n);
+            for (std::size_t j = 0; j < n; ++j) {
+                row.push_back(hex[seg.bytes[i + j] >> 4]);
+                row.push_back(hex[seg.bytes[i + j] & 0xF]);
+            }
+            out << row << "\n";
+        }
+    }
+
+    out << "code " << prog.code.size() << "\n";
+    for (const MicroOp &uop : prog.code) {
+        out << opName(uop.op) << " " << static_cast<unsigned>(uop.rd)
+            << " " << static_cast<unsigned>(uop.rs1) << " "
+            << static_cast<unsigned>(uop.rs2) << " " << uop.imm << " "
+            << static_cast<unsigned>(uop.size) << "\n";
+    }
+    return out.str();
+}
+
+Program
+parseProgram(const std::string &text)
+{
+    Program prog;
+    LineSource src(text);
+    std::string line;
+    bool saw_code = false;
+
+    while (src.next(line)) {
+        std::istringstream fields(line);
+        std::string key;
+        fields >> key;
+        const auto rest = [&fields, &src] {
+            std::string tok;
+            if (!(fields >> tok))
+                parseError(src.lineNo(), "missing field");
+            return tok;
+        };
+
+        if (key == "program") {
+            prog.name = rest();
+        } else if (key == "entry") {
+            prog.entry = parseU64(rest(), src.lineNo());
+        } else if (key == "faulthandler") {
+            prog.faultHandler = parseU64(rest(), src.lineNo());
+        } else if (key == "msrmask") {
+            prog.privilegedMsrMask = static_cast<std::uint8_t>(
+                parseU64(rest(), src.lineNo()));
+        } else if (key == "initreg") {
+            const std::uint64_t r = parseU64(rest(), src.lineNo());
+            if (r >= kNumArchRegs)
+                parseError(src.lineNo(), "register index out of range");
+            prog.initialRegs[r] = parseU64(rest(), src.lineNo());
+        } else if (key == "initmsr") {
+            const std::uint64_t i = parseU64(rest(), src.lineNo());
+            if (i >= kNumMsrRegs)
+                parseError(src.lineNo(), "MSR index out of range");
+            prog.initialMsrs[i] = parseU64(rest(), src.lineNo());
+        } else if (key == "segment") {
+            DataSegment seg;
+            seg.base = parseU64(rest(), src.lineNo());
+            const std::string perm = rest();
+            if (perm == "kernel") {
+                seg.perm = MemPerm::kKernel;
+            } else if (perm == "user") {
+                seg.perm = MemPerm::kUser;
+            } else {
+                parseError(src.lineNo(),
+                           "bad segment permission '" + perm + "'");
+            }
+            const std::uint64_t nbytes = parseU64(rest(), src.lineNo());
+            seg.bytes.reserve(nbytes);
+            while (seg.bytes.size() < nbytes) {
+                std::string row;
+                if (!src.next(row))
+                    parseError(src.lineNo(), "segment payload truncated");
+                if (row.size() % 2 != 0)
+                    parseError(src.lineNo(), "odd-length hex row");
+                for (std::size_t i = 0; i < row.size(); i += 2) {
+                    const int hi = hexNibble(row[i]);
+                    const int lo = hexNibble(row[i + 1]);
+                    if (hi < 0 || lo < 0)
+                        parseError(src.lineNo(), "bad hex byte");
+                    seg.bytes.push_back(
+                        static_cast<std::uint8_t>((hi << 4) | lo));
+                }
+                if (seg.bytes.size() > nbytes)
+                    parseError(src.lineNo(), "segment payload overruns "
+                                             "its declared size");
+            }
+            prog.data.push_back(std::move(seg));
+        } else if (key == "code") {
+            if (saw_code)
+                parseError(src.lineNo(), "duplicate code section");
+            saw_code = true;
+            const std::uint64_t count = parseU64(rest(), src.lineNo());
+            prog.code.reserve(count);
+            for (std::uint64_t i = 0; i < count; ++i) {
+                std::string insn;
+                if (!src.next(insn))
+                    parseError(src.lineNo(), "code section truncated");
+                std::istringstream f(insn);
+                std::string mnem, trd, trs1, trs2, timm, tsize, extra;
+                if (!(f >> mnem >> trd >> trs1 >> trs2 >> timm >> tsize) ||
+                    (f >> extra)) {
+                    parseError(src.lineNo(),
+                               "expected '<mnemonic> <rd> <rs1> <rs2> "
+                               "<imm> <size>'");
+                }
+                const auto &table = mnemonicTable();
+                const auto it = table.find(mnem);
+                if (it == table.end())
+                    parseError(src.lineNo(),
+                               "unknown mnemonic '" + mnem + "'");
+                MicroOp uop;
+                uop.op = it->second;
+                const std::uint64_t rd = parseU64(trd, src.lineNo());
+                const std::uint64_t rs1 = parseU64(trs1, src.lineNo());
+                const std::uint64_t rs2 = parseU64(trs2, src.lineNo());
+                if (rd >= kNumArchRegs || rs1 >= kNumArchRegs ||
+                    rs2 >= kNumArchRegs) {
+                    parseError(src.lineNo(), "register out of range");
+                }
+                uop.rd = static_cast<RegId>(rd);
+                uop.rs1 = static_cast<RegId>(rs1);
+                uop.rs2 = static_cast<RegId>(rs2);
+                uop.imm = parseI64(timm, src.lineNo());
+                const std::uint64_t size = parseU64(tsize, src.lineNo());
+                if (size != 1 && size != 2 && size != 4 && size != 8)
+                    parseError(src.lineNo(), "bad access size");
+                uop.size = static_cast<std::uint8_t>(size);
+                prog.code.push_back(uop);
+            }
+        } else {
+            parseError(src.lineNo(), "unknown directive '" + key + "'");
+        }
+    }
+
+    if (!saw_code)
+        throw std::runtime_error(
+            "program parse error: no code section");
+    if (prog.entry >= prog.code.size())
+        throw std::runtime_error(
+            "program parse error: entry PC out of range");
+    return prog;
+}
+
+Program
+loadProgramFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw std::runtime_error("cannot open program file " + path);
+    std::ostringstream text;
+    text << in.rdbuf();
+    try {
+        return parseProgram(text.str());
+    } catch (const std::runtime_error &e) {
+        throw std::runtime_error(path + ": " + e.what());
+    }
+}
+
+void
+saveProgramFile(const std::string &path, const Program &prog,
+                const std::string &header)
+{
+    std::ofstream out(path);
+    if (!out)
+        throw std::runtime_error("cannot write program file " + path);
+    if (!header.empty()) {
+        std::istringstream lines(header);
+        std::string line;
+        while (std::getline(lines, line))
+            out << "# " << line << "\n";
+    }
+    out << serializeProgram(prog);
+    if (!out)
+        throw std::runtime_error("write failed for " + path);
+}
+
+} // namespace nda

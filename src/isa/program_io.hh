@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Text serialization of Programs, so the fuzzer can persist failing
+ * (minimized) inputs as corpus files that replay byte-identically in
+ * a later build. The format is a line-oriented assembly listing:
+ *
+ *   # comment (stripped; the fuzzer records seed/failure here)
+ *   program <name>
+ *   entry <pc>
+ *   faulthandler <pc>          (omitted = halt on fault)
+ *   msrmask <mask>             (privileged-MSR bitmask, omitted = 0)
+ *   initreg <r> <value>        (non-zero initial registers)
+ *   initmsr <i> <value>
+ *   segment <base> <user|kernel> <nbytes>
+ *   <hex byte rows, 32 bytes each>
+ *   code <count>
+ *   <mnemonic> <rd> <rs1> <rs2> <imm> <size>   (one per instruction)
+ *
+ * All numbers are decimal except segment payload bytes (hex).
+ * Parsing is strict: any malformed line throws std::runtime_error
+ * naming the line, so a corrupted corpus file fails loudly instead of
+ * replaying the wrong program.
+ */
+
+#ifndef NDASIM_ISA_PROGRAM_IO_HH
+#define NDASIM_ISA_PROGRAM_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "isa/program.hh"
+
+namespace nda {
+
+/** Render `prog` in the corpus text format. */
+std::string serializeProgram(const Program &prog);
+
+/** Parse a program from corpus text; throws std::runtime_error. */
+Program parseProgram(const std::string &text);
+
+/** Parse the corpus file at `path`; throws std::runtime_error. */
+Program loadProgramFile(const std::string &path);
+
+/**
+ * Write `prog` to `path`, preceded by `header` rendered as '#'
+ * comment lines; throws std::runtime_error on I/O failure.
+ */
+void saveProgramFile(const std::string &path, const Program &prog,
+                     const std::string &header = {});
+
+} // namespace nda
+
+#endif // NDASIM_ISA_PROGRAM_IO_HH

@@ -22,6 +22,17 @@ constexpr RegId kLoopLim = 21;
 constexpr RegId kLink = 28;
 /** Scratch holding indirect-call targets. */
 constexpr RegId kFnPtr = 27;
+/** Link registers of the nested call chain, one per level. Registers
+ *  22-25 are never touched by random ops and never spilled, so a
+ *  chain of depth <= 4 always returns correctly. */
+constexpr RegId kChainLinkBase = 22;
+constexpr unsigned kMaxChainDepth = 4;
+
+RegId
+chainLink(unsigned level)
+{
+    return static_cast<RegId>(kChainLinkBase + level % kMaxChainDepth);
+}
 
 RegId
 dataReg(XRandom &rng)
@@ -81,6 +92,40 @@ emitRandomMem(ProgramBuilder &b, XRandom &rng)
     }
 }
 
+/** Emit one of the enabled "extra" ops (fence / clflush / rdtsc).
+ *  Only called when at least one extra is enabled, so the baseline
+ *  RNG stream is untouched by default. */
+void
+emitRandomExtra(ProgramBuilder &b, XRandom &rng,
+                const RandomProgramParams &params)
+{
+    std::uint8_t extras[3];
+    unsigned n = 0;
+    if (params.useFences)
+        extras[n++] = 0;
+    if (params.useClflush)
+        extras[n++] = 1;
+    if (params.useRdtsc)
+        extras[n++] = 2;
+    switch (extras[rng.below(n)]) {
+      case 0:
+        b.fence();
+        break;
+      case 1:
+        emitAddrCompute(b, rng);
+        b.clflush(kAddrReg, 0);
+        break;
+      default: {
+        // Neutralize the timing-dependent value before it can reach
+        // state compared across models: rd = (rd == rd) = 1.
+        const RegId rd = dataReg(rng);
+        b.rdtsc(rd);
+        b.cmpeq(rd, rd, rd);
+        break;
+      }
+    }
+}
+
 void
 emitRandomBranch(ProgramBuilder &b, XRandom &rng,
                  ProgramBuilder::Label target)
@@ -129,6 +174,33 @@ generateRandomProgram(std::uint64_t seed,
         b.ret(kLink);
     }
 
+    // --- nested direct-call chain (RAS-heavy) ---------------------------
+    // chain[0] calls chain[1] calls ... ; every level returns through
+    // its own link register, so a single invocation pushes and pops
+    // `depth` return-address-stack entries.
+    const unsigned chain_depth =
+        params.callChainDepth > kMaxChainDepth ? kMaxChainDepth
+                                               : params.callChainDepth;
+    auto chain_entry = b.futureLabel();
+    if (chain_depth > 0) {
+        std::vector<ProgramBuilder::Label> level(chain_depth);
+        for (auto &l : level)
+            l = b.futureLabel();
+        for (unsigned d = 0; d < chain_depth; ++d) {
+            if (d == 0)
+                b.bind(chain_entry);
+            b.bind(level[d]);
+            const unsigned n = 1 + static_cast<unsigned>(rng.below(3));
+            for (unsigned i = 0; i < n; ++i)
+                emitRandomAlu(b, rng);
+            if (d + 1 < chain_depth) {
+                b.call(chainLink(d + 1), level[d + 1]);
+                emitRandomAlu(b, rng); // post-return work
+            }
+            b.ret(chainLink(d));
+        }
+    }
+
     // Function-pointer table for indirect calls.
     std::vector<std::uint8_t> table;
     for (Addr pc : fn_pcs) {
@@ -163,7 +235,9 @@ generateRandomProgram(std::uint64_t seed,
             } else if (kind == 8) {
                 emitRandomBranch(b, rng, block_end);
             } else if (!fn_pcs.empty()) {
-                if (params.useIndirectCalls && rng.chance(1, 2)) {
+                if (chain_depth > 0 && rng.chance(1, 3)) {
+                    b.call(chainLink(0), chain_entry);
+                } else if (params.useIndirectCalls && rng.chance(1, 2)) {
                     const auto idx = rng.below(fn_pcs.size());
                     b.movi(kFnPtr,
                            static_cast<std::int64_t>(
@@ -178,6 +252,11 @@ generateRandomProgram(std::uint64_t seed,
                 }
             } else {
                 emitRandomAlu(b, rng);
+            }
+            if ((params.useFences || params.useClflush ||
+                 params.useRdtsc) &&
+                rng.chance(1, 4)) {
+                emitRandomExtra(b, rng, params);
             }
         }
 

@@ -17,7 +17,9 @@
 
 namespace nda {
 
-/** Generation knobs. */
+/** Generation knobs. All extras default off, and a disabled extra
+ *  draws nothing from the RNG, so existing (seed, params) pairs keep
+ *  producing bit-identical instruction streams. */
 struct RandomProgramParams {
     unsigned blocks = 12;        ///< straight-line blocks
     unsigned opsPerBlock = 8;    ///< random ops per block
@@ -25,6 +27,15 @@ struct RandomProgramParams {
     unsigned functions = 3;      ///< callable leaf functions
     bool useMemory = true;
     bool useIndirectCalls = true;
+    bool useFences = false;      ///< sprinkle FENCE barriers
+    bool useClflush = false;     ///< sprinkle CLFLUSH of data addresses
+    /** Sprinkle RDTSC reads. Timing is model-specific, so each RDTSC
+     *  result is immediately neutralized (rd = (rd == rd), i.e. 1)
+     *  before it can reach comparable architectural state. */
+    bool useRdtsc = false;
+    /** Depth of a RAS-heavy nested direct-call chain reachable from
+     *  the main body (0 = none; clamped to 4). */
+    unsigned callChainDepth = 0;
 };
 
 /** Where generated programs spill r0-r17 before halting. */

@@ -30,12 +30,14 @@ struct ArchSnapshot {
             if (spilled[i] != o.spilled[i])
                 return false;
         }
-        return data == o.data;
+        // A model that delivers a different number of faults has
+        // diverged even when the memory image happens to agree.
+        return data == o.data && faults == o.faults;
     }
 };
 
 ArchSnapshot
-snapshotFromMem(const MemoryMap &mem)
+snapshotFromMem(const MemoryMap &mem, std::uint64_t faults = 0)
 {
     ArchSnapshot s;
     for (int r = 0; r < 18; ++r) {
@@ -44,6 +46,7 @@ snapshotFromMem(const MemoryMap &mem)
     }
     s.data.resize(kRandomProgDataBytes);
     mem.readBytes(kRandomProgDataBase, s.data.data(), s.data.size());
+    s.faults = faults;
     return s;
 }
 
@@ -62,7 +65,7 @@ TEST_P(DifferentialTest, CoreMatchesInterpreter)
     Interpreter ref(prog);
     ref.run(5'000'000);
     ASSERT_TRUE(ref.halted()) << "random program must terminate";
-    const ArchSnapshot want = snapshotFromMem(ref.mem());
+    const ArchSnapshot want = snapshotFromMem(ref.mem(), ref.faultCount());
 
     SimConfig cfg = makeProfile(profile);
     auto core = makeCore(prog, cfg);
@@ -72,13 +75,16 @@ TEST_P(DifferentialTest, CoreMatchesInterpreter)
     EXPECT_EQ(core->committedInsts(), ref.instCount())
         << cfg.name << " seed " << seed;
 
-    const ArchSnapshot got = snapshotFromMem(core->mem());
+    const ArchSnapshot got =
+        snapshotFromMem(core->mem(), core->counters().faults);
     for (int r = 0; r < 18; ++r) {
         EXPECT_EQ(got.spilled[r], want.spilled[r])
             << cfg.name << " seed " << seed << " r" << r;
     }
     EXPECT_TRUE(got.data == want.data)
         << cfg.name << " seed " << seed << " data segment differs";
+    EXPECT_EQ(got.faults, want.faults)
+        << cfg.name << " seed " << seed << " fault count differs";
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -113,8 +119,9 @@ TEST(DifferentialExtra, HeavyMemoryPrograms)
         auto core = makeCore(prog, cfg);
         core->run(~std::uint64_t{0}, 20'000'000);
         ASSERT_TRUE(core->halted()) << seed;
-        EXPECT_TRUE(snapshotFromMem(core->mem()) ==
-                    snapshotFromMem(ref.mem()))
+        EXPECT_TRUE(snapshotFromMem(core->mem(),
+                                    core->counters().faults) ==
+                    snapshotFromMem(ref.mem(), ref.faultCount()))
             << seed;
     }
 }
@@ -131,8 +138,9 @@ TEST(DifferentialExtra, NoMemoryPrograms)
         auto core = makeCore(prog, makeProfile(Profile::kStrictBr));
         core->run(~std::uint64_t{0}, 20'000'000);
         ASSERT_TRUE(core->halted()) << seed;
-        EXPECT_TRUE(snapshotFromMem(core->mem()) ==
-                    snapshotFromMem(ref.mem()))
+        EXPECT_TRUE(snapshotFromMem(core->mem(),
+                                    core->counters().faults) ==
+                    snapshotFromMem(ref.mem(), ref.faultCount()))
             << seed;
     }
 }
@@ -149,8 +157,9 @@ TEST(DifferentialExtra, NoIndirectCallPrograms)
         auto core = makeCore(prog, makeProfile(Profile::kOoo));
         core->run(~std::uint64_t{0}, 20'000'000);
         ASSERT_TRUE(core->halted()) << seed;
-        EXPECT_TRUE(snapshotFromMem(core->mem()) ==
-                    snapshotFromMem(ref.mem()))
+        EXPECT_TRUE(snapshotFromMem(core->mem(),
+                                    core->counters().faults) ==
+                    snapshotFromMem(ref.mem(), ref.faultCount()))
             << seed;
     }
 }

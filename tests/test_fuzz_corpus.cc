@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Corpus regression replay: every minimized repro checked in under
+ * tests/corpus/ is re-run through the full differential harness —
+ * interpreter oracle vs every machine profile, DIFT taint compare,
+ * per-cycle invariant checking — on every build. A divergence that
+ * was found (and fixed) once can never silently come back.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fuzz/corpus.hh"
+#include "fuzz/differential_fuzzer.hh"
+
+#ifndef NDASIM_CORPUS_DIR
+#error "NDASIM_CORPUS_DIR must point at tests/corpus"
+#endif
+
+namespace nda {
+namespace {
+
+class CorpusTest : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(CorpusTest, ReplaysCleanOnAllProfiles)
+{
+    const std::string &path = GetParam();
+    Program prog;
+    ASSERT_NO_THROW(prog = loadCorpusEntry(path)) << path;
+
+    FuzzParams p; // defaults: all ten profiles, taint + invariants on
+    const SeedOutcome out = fuzzProgram(prog, 0, p);
+    EXPECT_FALSE(out.skipped) << path << ": oracle did not halt";
+    for (const FuzzFailure &f : out.failures) {
+        ADD_FAILURE() << path << " [" << fuzzFailureKindName(f.kind)
+                      << " on " << profileName(f.profile)
+                      << "]: " << f.detail;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEntries, CorpusTest,
+    ::testing::ValuesIn([] {
+        std::vector<std::string> entries = listCorpus(NDASIM_CORPUS_DIR);
+        // gtest rejects empty ValuesIn; an empty corpus also means the
+        // checked-in repros went missing, which must fail loudly.
+        if (entries.empty())
+            entries.push_back("<corpus missing: " +
+                              std::string(NDASIM_CORPUS_DIR) + ">");
+        return entries;
+    }()),
+    [](const auto &info) {
+        std::string name = info.param;
+        const auto slash = name.find_last_of('/');
+        if (slash != std::string::npos)
+            name = name.substr(slash + 1);
+        for (auto &c : name) {
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        }
+        return name + "_" + std::to_string(info.index);
+    });
+
+} // namespace
+} // namespace nda

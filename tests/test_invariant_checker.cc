@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Invariant-checker tests. Two halves, both necessary: a correct core
+ * must run entirely clean under the checker (no false positives), and
+ * every deliberate pipeline corruption OooCore::corruptForTest can
+ * apply must be caught by the expected invariant family (no false
+ * negatives — a checker that cannot fail is itself untested).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/core_factory.hh"
+#include "fuzz/differential_fuzzer.hh"
+#include "fuzz/invariant_checker.hh"
+#include "harness/profiles.hh"
+#include "isa/random_program.hh"
+
+namespace nda {
+namespace {
+
+constexpr FuzzCorruption kAllCorruptions[] = {
+    FuzzCorruption::kFreeListLeak, FuzzCorruption::kDoubleFree,
+    FuzzCorruption::kEarlyWakeup,  FuzzCorruption::kRenameCorrupt,
+    FuzzCorruption::kRobReorder,
+};
+
+TEST(InvariantChecker, CleanRunStaysClean)
+{
+    for (Profile profile : allProfiles()) {
+        const SimConfig cfg = makeProfile(profile);
+        if (cfg.inOrder)
+            continue;
+        for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+            const Program prog =
+                generateRandomProgram(seed, paramsForSeed(seed));
+            auto core = makeCore(prog, cfg);
+            InvariantChecker checker;
+            core->attachChecker(&checker);
+            core->run(~std::uint64_t{0} >> 1, 20'000'000);
+            ASSERT_TRUE(core->halted())
+                << cfg.name << " seed " << seed;
+            EXPECT_GT(checker.cyclesChecked(), 0u);
+            EXPECT_TRUE(checker.clean())
+                << cfg.name << " seed " << seed << ": "
+                << InvariantChecker::describe(
+                       checker.violations().front());
+        }
+    }
+}
+
+TEST(InvariantChecker, DetachedCoreIgnoresChecker)
+{
+    // attachChecker is a no-op on the in-order model; the checker
+    // must simply never be consulted.
+    const Program prog = generateRandomProgram(1);
+    auto core = makeCore(prog, makeProfile(Profile::kInOrder));
+    InvariantChecker checker;
+    core->attachChecker(&checker);
+    core->run(~std::uint64_t{0} >> 1, 20'000'000);
+    ASSERT_TRUE(core->halted());
+    EXPECT_EQ(checker.cyclesChecked(), 0u);
+}
+
+TEST(InvariantChecker, ResetClearsState)
+{
+    const Program prog = generateRandomProgram(1);
+    InjectionOutcome out = runWithInjection(
+        prog, Profile::kStrict, FuzzCorruption::kRenameCorrupt, 0);
+    ASSERT_TRUE(out.applied);
+    ASSERT_GT(out.violations, 0u);
+
+    InvariantChecker checker;
+    checker.reset();
+    EXPECT_TRUE(checker.clean());
+    EXPECT_EQ(checker.cyclesChecked(), 0u);
+    EXPECT_TRUE(checker.violations().empty());
+}
+
+class InjectionTest
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(InjectionTest, CorruptionCaughtByExpectedInvariant)
+{
+    const auto kind =
+        static_cast<FuzzCorruption>(std::get<0>(GetParam()));
+    const auto profile = static_cast<Profile>(std::get<1>(GetParam()));
+
+    const Program prog = generateRandomProgram(1, paramsForSeed(1));
+    const InjectionOutcome out =
+        runWithInjection(prog, profile, kind, 200);
+    ASSERT_TRUE(out.applied)
+        << fuzzCorruptionName(kind) << " on " << profileName(profile);
+    EXPECT_GT(out.violations, 0u);
+
+    const InvariantKind expected = expectedInvariant(kind);
+    bool caught = false;
+    for (InvariantKind k : out.kinds)
+        caught = caught || k == expected;
+    EXPECT_TRUE(caught)
+        << fuzzCorruptionName(kind) << " on " << profileName(profile)
+        << " not reported as " << invariantKindName(expected)
+        << "; first: " << out.firstViolation;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCorruptions, InjectionTest,
+    ::testing::Combine(
+        ::testing::Range(static_cast<int>(FuzzCorruption::kFreeListLeak),
+                         static_cast<int>(FuzzCorruption::kRobReorder) +
+                             1),
+        ::testing::Values(static_cast<int>(Profile::kStrict),
+                          static_cast<int>(Profile::kFullProtection))),
+    [](const auto &info) {
+        std::string name =
+            std::string(fuzzCorruptionName(static_cast<FuzzCorruption>(
+                std::get<0>(info.param)))) +
+            "_on_" +
+            profileName(static_cast<Profile>(std::get<1>(info.param)));
+        for (auto &c : name) {
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        }
+        return name;
+    });
+
+TEST(InvariantChecker, InjectionNeverAppliesInOrder)
+{
+    const Program prog = generateRandomProgram(1);
+    for (FuzzCorruption kind : kAllCorruptions) {
+        const InjectionOutcome out = runWithInjection(
+            prog, Profile::kInOrder, kind, 0);
+        EXPECT_FALSE(out.applied) << fuzzCorruptionName(kind);
+        EXPECT_EQ(out.violations, 0u);
+    }
+}
+
+TEST(InvariantChecker, NamesRoundTrip)
+{
+    for (FuzzCorruption kind : kAllCorruptions) {
+        EXPECT_EQ(fuzzCorruptionFromName(fuzzCorruptionName(kind)),
+                  kind);
+    }
+    EXPECT_EQ(fuzzCorruptionFromName("no-such-corruption"),
+              FuzzCorruption::kNone);
+}
+
+} // namespace
+} // namespace nda

@@ -80,6 +80,65 @@ TEST(RandomProgram, CoversInstructionClasses)
     EXPECT_GT(seen.size(), 15u);
 }
 
+TEST(RandomProgram, ExtendedOpcodeClasses)
+{
+    RandomProgramParams params;
+    params.useFences = true;
+    params.useClflush = true;
+    params.useRdtsc = true;
+    params.callChainDepth = 4;
+    std::set<Opcode> seen;
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+        const Program p = generateRandomProgram(seed, params);
+        for (const MicroOp &u : p.code)
+            seen.insert(u.op);
+        Interpreter it(p);
+        it.run(5'000'000);
+        EXPECT_TRUE(it.halted()) << "seed " << seed;
+        EXPECT_EQ(it.faultCount(), 0u) << "seed " << seed;
+    }
+    EXPECT_TRUE(seen.count(Opcode::kFence));
+    EXPECT_TRUE(seen.count(Opcode::kClflush));
+    EXPECT_TRUE(seen.count(Opcode::kRdTsc));
+    EXPECT_TRUE(seen.count(Opcode::kCall)) << "direct call chain";
+    EXPECT_TRUE(seen.count(Opcode::kRet));
+}
+
+TEST(RandomProgram, RdtscAlwaysNeutralized)
+{
+    // Timing must never reach comparable architectural state: every
+    // RDTSC is immediately followed by rd = (rd == rd).
+    RandomProgramParams params;
+    params.useRdtsc = true;
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+        const Program p = generateRandomProgram(seed, params);
+        for (std::size_t i = 0; i < p.code.size(); ++i) {
+            if (p.code[i].op != Opcode::kRdTsc)
+                continue;
+            ASSERT_LT(i + 1, p.code.size());
+            const MicroOp &next = p.code[i + 1];
+            EXPECT_EQ(next.op, Opcode::kCmpEq);
+            EXPECT_EQ(next.rd, p.code[i].rd);
+            EXPECT_EQ(next.rs1, p.code[i].rd);
+            EXPECT_EQ(next.rs2, p.code[i].rd);
+        }
+    }
+}
+
+TEST(RandomProgram, ExtrasOffByDefault)
+{
+    // Disabled extras must not appear (and must not perturb existing
+    // seed streams, which their absence here witnesses).
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+        for (const MicroOp &u : generateRandomProgram(seed).code) {
+            EXPECT_NE(u.op, Opcode::kFence);
+            EXPECT_NE(u.op, Opcode::kClflush);
+            EXPECT_NE(u.op, Opcode::kRdTsc);
+            EXPECT_NE(u.op, Opcode::kCall);
+        }
+    }
+}
+
 TEST(RandomProgram, RespectsFeatureToggles)
 {
     RandomProgramParams no_mem;
