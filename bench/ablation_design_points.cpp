@@ -49,8 +49,10 @@ suiteGeomean(const SimConfig &cfg, const SampleParams &sp,
 int
 main(int argc, char **argv)
 {
-    SampleParams sp = parseSampleArgs(argc, argv);
+    BenchObs obs;
+    SampleParams sp = parseSampleArgs(argc, argv, {}, &obs);
     sp.measureInsts = std::min<std::uint64_t>(sp.measureInsts, 50'000);
+    ScopedTimer ablation_timer(obs.timings, "ablations");
 
     printBanner("Ablation A: trap-delivery latency vs Meltdown leak "
                 "window");
@@ -173,5 +175,8 @@ main(int argc, char **argv)
         std::printf("Expected: NDA's relative overhead grows with the "
                     "window the\nrestrictions apply to.\n");
     }
+
+    ablation_timer.stop();
+    emitBenchObs(obs, "ablation_design_points", Profile::kStrict, sp);
     return 0;
 }

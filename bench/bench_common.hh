@@ -10,11 +10,19 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <initializer_list>
+#include <memory>
 #include <string>
 
+#include "common/log.hh"
 #include "common/thread_pool.hh"
+#include "core/core_factory.hh"
+#include "core/ooo_core.hh"
+#include "debug/pipe_trace.hh"
 #include "harness/runner.hh"
+#include "obs/run_manifest.hh"
+#include "obs/trace_export.hh"
 
 namespace nda {
 
@@ -34,11 +42,64 @@ printSampleUsage(const char *prog,
                  "seed+s)\n"
                  "  --jobs=N       concurrent simulation windows "
                  "(default: hardware threads; results are identical "
-                 "for any N)\n",
+                 "for any N)\n"
+                 "  --stats-out=F  write a JSON run manifest (config, "
+                 "phase timings,\n"
+                 "                 full stats dump of one instrumented "
+                 "window)\n"
+                 "  --trace-out=F  write a pipeline trace of that "
+                 "window\n"
+                 "  --trace-format=chrome|konata|text\n"
+                 "                 trace renderer (default: chrome, "
+                 "Perfetto-loadable)\n"
+                 "  --quiet        warnings and results only\n"
+                 "  -v             verbose (debug-level) logging\n",
                  prog);
     for (const char *f : extra_flags)
         std::fprintf(stderr, "  %s\n", f);
 }
+
+/**
+ * Observability knobs shared by every bench binary: where to write
+ * the run manifest and the pipeline trace, which trace renderer to
+ * use, and the wall-clock phase timings the manifest reports.
+ */
+struct BenchObs {
+    std::string statsOut;    ///< --stats-out= (empty: no manifest)
+    std::string traceOut;    ///< --trace-out= (empty: no trace)
+    TraceFormat traceFormat = TraceFormat::kChrome;
+    PhaseTimings timings;
+
+    bool wantStats() const { return !statsOut.empty(); }
+    bool wantTrace() const { return !traceOut.empty(); }
+    bool enabled() const { return wantStats() || wantTrace(); }
+
+    /** Consume one argv token; false if it is not an obs flag. */
+    bool
+    parseArg(const std::string &arg, const char *prog)
+    {
+        if (arg.rfind("--stats-out=", 0) == 0) {
+            statsOut = arg.substr(12);
+        } else if (arg.rfind("--trace-out=", 0) == 0) {
+            traceOut = arg.substr(12);
+        } else if (arg.rfind("--trace-format=", 0) == 0) {
+            if (!parseTraceFormat(arg.substr(15), traceFormat)) {
+                std::fprintf(stderr,
+                             "%s: unknown trace format in '%s' "
+                             "(expected chrome, konata, or text)\n",
+                             prog, arg.c_str());
+                std::exit(2);
+            }
+        } else if (arg == "--quiet" || arg == "-q") {
+            logVerbosity = 0;
+        } else if (arg == "-v" || arg == "--verbose") {
+            logVerbosity = 2;
+        } else {
+            return false;
+        }
+        return true;
+    }
+};
 
 /**
  * Parse the shared sampling flags from argv. Unrecognized arguments
@@ -51,12 +112,17 @@ printSampleUsage(const char *prog,
  */
 inline SampleParams
 parseSampleArgs(int argc, char **argv,
-                std::initializer_list<const char *> extra = {})
+                std::initializer_list<const char *> extra = {},
+                BenchObs *obs = nullptr)
 {
     SampleParams p;
     p.jobs = ThreadPool::defaultConcurrency();
+    // Benches narrate via NDA_INFORM by default; --quiet/-v adjust.
+    logVerbosity = std::max(logVerbosity, 1);
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
+        if (obs && obs->parseArg(arg, argv[0]))
+            continue;
         const auto accepted = [&arg](const char *flag) {
             const std::size_t len = std::strlen(flag);
             return len > 0 && flag[len - 1] == '='
@@ -112,13 +178,114 @@ parseSampleArgs(int argc, char **argv,
     return p;
 }
 
-/** `\r`-style progress meter for grid sweeps (stderr). */
+/** `\r`-style progress meter for grid sweeps (stderr; silenced by
+ *  --quiet). */
 inline void
 gridProgress(std::size_t done, std::size_t total)
 {
+    if (logVerbosity < 1)
+        return;
     std::fprintf(stderr, "\r  %zu/%zu windows", done, total);
     if (done == total)
         std::fprintf(stderr, "\n");
+}
+
+/** Write `content` to `path`; NDA_WARNs instead of aborting, so a
+ *  bad output path never discards the run that produced the data. */
+inline bool
+writeBenchFile(const std::string &path, const std::string &content)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        NDA_WARN("cannot open '%s' for writing", path.c_str());
+        return false;
+    }
+    const std::size_t n =
+        std::fwrite(content.data(), 1, content.size(), f);
+    const int closed = std::fclose(f);
+    if (n != content.size() || closed != 0) {
+        NDA_WARN("short write to '%s'", path.c_str());
+        return false;
+    }
+    NDA_INFORM("wrote %s", path.c_str());
+    return true;
+}
+
+/**
+ * Emit the requested observability artifacts by running one
+ * *representative instrumented window*: a fresh core on `profile`
+ * with every component bound into a StatsRegistry and (if a trace was
+ * requested) the PipeTrace retire hook attached. Bench binaries call
+ * this once, after their main measurement, with the profile that best
+ * characterizes what they measure — under any NDA profile the Chrome
+ * trace shows the complete->broadcast deferral as `nda_defer` slices.
+ *
+ * `extra` (optional) runs before the manifest is rendered so the
+ * bench can add result fields and bind additional stats (e.g. the
+ * fuzzing campaign totals); anything bound there must outlive the
+ * call.
+ */
+inline void
+emitBenchObs(BenchObs &obs, const char *bench, Profile profile,
+             const SampleParams &sp,
+             const std::function<void(RunManifest &, StatsRegistry &)>
+                 &extra = nullptr)
+{
+    if (!obs.enabled())
+        return;
+
+    const std::unique_ptr<Workload> workload = makeWorkload("mixed");
+    const SimConfig cfg = makeProfile(profile);
+    const Program prog = workload->build(sp.baseSeed);
+    const auto core = makeCore(prog, cfg);
+
+    StatsRegistry reg;
+    core->registerStats(reg, "core");
+
+    PipeTrace trace;
+    if (obs.wantTrace()) {
+        // Only the OoO pipeline has a per-instruction retire hook.
+        if (auto *ooo = dynamic_cast<OooCore *>(core.get()))
+            ooo->setRetireHook(trace.hook());
+        else
+            NDA_WARN("profile '%s' has no pipeline trace hook; "
+                     "'%s' will hold an empty trace",
+                     profileName(profile), obs.traceOut.c_str());
+    }
+
+    {
+        ScopedTimer timer(obs.timings, "instrumented-window");
+        core->run(sp.warmupInsts, ~Cycle{0});
+        core->resetCounters();
+        trace.clear();
+        core->run(sp.measureInsts, ~Cycle{0});
+    }
+
+    if (obs.wantTrace()) {
+        const TraceExporter exporter(trace.records());
+        writeBenchFile(obs.traceOut, exporter.render(obs.traceFormat));
+    }
+
+    if (obs.wantStats()) {
+        RunManifest m(bench);
+        m.set("profile", profileName(profile));
+        m.set("workload", workload->name());
+        m.set("seed", sp.baseSeed);
+        m.set("samples", static_cast<std::uint64_t>(sp.samples));
+        m.set("warmup_insts", sp.warmupInsts);
+        m.set("measure_insts", sp.measureInsts);
+        m.set("jobs", static_cast<std::uint64_t>(sp.jobs));
+        if (obs.wantTrace()) {
+            m.set("trace_out", obs.traceOut);
+            m.set("trace_format", traceFormatName(obs.traceFormat));
+        }
+        if (extra)
+            extra(m, reg);
+        m.setTimings(&obs.timings);
+        m.setStats(&reg);
+        if (m.writeFile(obs.statsOut))
+            NDA_INFORM("wrote %s", obs.statsOut.c_str());
+    }
 }
 
 } // namespace nda

@@ -8,7 +8,7 @@
 #include <cstdio>
 
 #include "attacks/attacks.hh"
-#include "harness/profiles.hh"
+#include "bench_common.hh"
 #include "harness/table_printer.hh"
 
 using namespace nda;
@@ -43,8 +43,10 @@ printSeries(const char *channel, const AttackResult &r)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchObs obs;
+    const SampleParams sp = parseSampleArgs(argc, argv, {}, &obs);
     printBanner("Figure 4: Spectre v1 guess timing, cache vs BTB "
                 "covert channel (insecure OoO)");
     std::printf(
@@ -55,12 +57,14 @@ main()
     const SimConfig cfg = makeProfile(Profile::kOoo);
     const std::uint8_t secret = 42;
 
+    ScopedTimer attack_timer(obs.timings, "attacks");
     SpectreV1Cache cache_attack;
     const AttackResult cache_r = cache_attack.run(cfg, secret);
-    printSeries("d-cache", cache_r);
-
     SpectreV1Btb btb_attack;
     const AttackResult btb_r = btb_attack.run(cfg, secret);
+    attack_timer.stop();
+
+    printSeries("d-cache", cache_r);
     printSeries("BTB", btb_r);
 
     std::printf("\nSummary (paper -> measured):\n");
@@ -70,5 +74,11 @@ main()
                 btb_r.signal);
     std::printf("  both channels leak on insecure OoO: %s\n",
                 cache_r.leaked() && btb_r.leaked() ? "yes" : "NO");
+
+    emitBenchObs(obs, "fig04_covert_channels", Profile::kOoo, sp,
+                 [&](RunManifest &m, StatsRegistry &) {
+                     m.set("cache_signal", cache_r.signal);
+                     m.set("btb_signal", btb_r.signal);
+                 });
     return cache_r.leaked() && btb_r.leaked() ? 0 : 1;
 }

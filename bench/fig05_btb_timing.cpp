@@ -9,8 +9,8 @@
 
 #include <cstdio>
 
+#include "bench_common.hh"
 #include "core/ooo_core.hh"
-#include "harness/profiles.hh"
 #include "harness/table_printer.hh"
 #include "isa/program.hh"
 
@@ -69,17 +69,21 @@ buildTimingProbe()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchObs obs;
+    const SampleParams sp = parseSampleArgs(argc, argv, {}, &obs);
     printBanner("Figure 5: BTB misprediction recovery overhead");
     std::printf("Paper reference: ~16 cycles for the BTB miss to "
                 "resolve,\nwrong-path to squash, and fetch to resume "
                 "at the correct target.\n\n");
 
+    ScopedTimer probe_timer(obs.timings, "probe");
     OooCore core(buildTimingProbe(), makeProfile(Profile::kOoo));
     core.run(~std::uint64_t{0}, 1'000'000);
+    probe_timer.stop();
     if (!core.halted()) {
-        std::printf("probe did not finish\n");
+        NDA_WARN("probe did not finish");
         return 1;
     }
 
@@ -105,5 +109,10 @@ main()
     std::printf("\nSummary (paper -> measured):\n");
     std::printf("  BTB mispredict penalty ~16 cycles -> %.0f cycles\n",
                 penalty);
+
+    emitBenchObs(obs, "fig05_btb_timing", Profile::kOoo, sp,
+                 [&](RunManifest &m, StatsRegistry &) {
+                     m.set("mispredict_penalty_cycles", penalty);
+                 });
     return penalty >= 5 ? 0 : 1;
 }

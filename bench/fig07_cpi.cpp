@@ -21,8 +21,9 @@ using namespace nda;
 int
 main(int argc, char **argv)
 {
+    BenchObs obs;
     const SampleParams sp =
-        parseSampleArgs(argc, argv, {"--csv="});
+        parseSampleArgs(argc, argv, {"--csv="}, &obs);
     std::string csv_path;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -42,8 +43,10 @@ main(int argc, char **argv)
     std::vector<SimConfig> configs;
     for (Profile p : profiles)
         configs.push_back(makeProfile(p));
+    ScopedTimer grid_timer(obs.timings, "grid");
     const std::vector<RunResult> grid =
         runGrid(workloads, configs, sp, gridProgress);
+    grid_timer.stop();
 
     std::vector<std::string> headers{"workload"};
     for (Profile p : profiles)
@@ -119,5 +122,12 @@ main(int argc, char **argv)
     std::printf("  Full protection is 2.4x faster than in-order -> "
                 "%.1fx\n",
                 in_order / full);
+
+    emitBenchObs(obs, "fig07_cpi", Profile::kStrict, sp,
+                 [&](RunManifest &m, StatsRegistry &) {
+                     m.set("geomean_strict", geo[Profile::kStrict]);
+                     m.set("geomean_in_order", in_order);
+                     m.set("geomean_full_protection", full);
+                 });
     return 0;
 }

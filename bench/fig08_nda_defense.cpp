@@ -17,7 +17,8 @@ using namespace nda;
 int
 main(int argc, char **argv)
 {
-    const SampleParams sp = parseSampleArgs(argc, argv);
+    BenchObs obs;
+    const SampleParams sp = parseSampleArgs(argc, argv, {}, &obs);
     printBanner("Figure 8: Spectre v1 under NDA permissive propagation "
                 "(cache and BTB channels)");
     std::printf("Paper reference: the Fig 4 cycle differences are "
@@ -32,6 +33,7 @@ main(int argc, char **argv)
     SpectreV1Cache cache_attack;
     SpectreV1Btb btb_attack;
     AttackResult cache_r, btb_r;
+    ScopedTimer attack_timer(obs.timings, "attacks");
     ThreadPool pool(std::min(2u, sp.jobs));
     pool.parallelFor(2, [&](std::size_t i) {
         if (i == 0)
@@ -39,6 +41,7 @@ main(int argc, char **argv)
         else
             btb_r = btb_attack.run(cfg, secret);
     });
+    attack_timer.stop();
 
     TablePrinter t({"channel", "t[secret]", "median-ish t", "signal",
                     "leaked"});
@@ -52,7 +55,17 @@ main(int argc, char **argv)
     row("BTB", btb_r);
     t.print();
 
+    const bool blocked = !cache_r.leaked() && !btb_r.leaked();
     std::printf("\nSummary: NDA permissive blocks both channels: %s\n",
-                !cache_r.leaked() && !btb_r.leaked() ? "yes" : "NO");
-    return !cache_r.leaked() && !btb_r.leaked() ? 0 : 1;
+                blocked ? "yes" : "NO");
+
+    // Strict propagation defers every unsafe tag broadcast, so the
+    // exported Chrome trace shows the nda_defer slices of Fig 2.
+    emitBenchObs(obs, "fig08_nda_defense", Profile::kStrict, sp,
+                 [&](RunManifest &m, StatsRegistry &) {
+                     m.set("cache_signal", cache_r.signal);
+                     m.set("btb_signal", btb_r.signal);
+                     m.set("blocked", blocked);
+                 });
+    return blocked ? 0 : 1;
 }

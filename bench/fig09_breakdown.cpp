@@ -32,7 +32,8 @@ struct ProfileAgg {
 int
 main(int argc, char **argv)
 {
-    const SampleParams sp = parseSampleArgs(argc, argv);
+    BenchObs obs;
+    const SampleParams sp = parseSampleArgs(argc, argv, {}, &obs);
     const auto workloads = makeAllWorkloads();
     const auto profiles = ndaProfiles();
 
@@ -43,8 +44,10 @@ main(int argc, char **argv)
     std::vector<SimConfig> configs;
     for (Profile p : profiles)
         configs.push_back(makeProfile(p));
+    ScopedTimer grid_timer(obs.timings, "grid");
     const std::vector<RunResult> grid =
         runGrid(workloads, configs, one, gridProgress);
+    grid_timer.stop();
 
     std::vector<ProfileAgg> agg(profiles.size());
     for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
@@ -138,5 +141,7 @@ main(int argc, char **argv)
     t9e.print();
     std::printf("Paper: a one-cycle delay changes CPI by less than "
                 "3.6%%.\n");
+
+    emitBenchObs(obs, "fig09_breakdown", Profile::kStrict, sp);
     return 0;
 }

@@ -21,11 +21,11 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.hh"
 #include "common/thread_pool.hh"
 #include "fuzz/corpus.hh"
 #include "fuzz/differential_fuzzer.hh"
 #include "fuzz/minimizer.hh"
-#include "harness/profiles.hh"
 
 namespace {
 
@@ -55,7 +55,14 @@ printUsage(const char *prog)
         "rename-corrupt, rob-reorder\n"
         "  --inject-seed=N   program seed for --inject (default 1)\n"
         "  --inject-cycle=N  first cycle eligible for corruption "
-        "(default 2000)\n",
+        "(default 2000)\n"
+        "  --stats-out=F     write a JSON run manifest (campaign "
+        "totals + one\n"
+        "                    instrumented window)\n"
+        "  --trace-out=F     write a pipeline trace of that window\n"
+        "  --trace-format=chrome|konata|text (default: chrome)\n"
+        "  --quiet           warnings and results only\n"
+        "  -v                verbose (debug-level) logging\n",
         prog);
 }
 
@@ -212,6 +219,8 @@ main(int argc, char **argv)
 {
     FuzzParams params;
     params.jobs = ThreadPool::defaultConcurrency();
+    logVerbosity = std::max(logVerbosity, 1);
+    BenchObs obs;
     bool minimize = false;
     std::string corpus_dir = "tests/corpus";
     bool inject = false;
@@ -221,7 +230,9 @@ main(int argc, char **argv)
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
-        if (arg.rfind("--runs=", 0) == 0) {
+        if (obs.parseArg(arg, argv[0])) {
+            continue;
+        } else if (arg.rfind("--runs=", 0) == 0) {
             params.runs = parseNumber(argv[0], arg, 7);
         } else if (arg.rfind("--seed0=", 0) == 0) {
             params.seed0 = parseNumber(argv[0], arg, 8);
@@ -268,12 +279,16 @@ main(int argc, char **argv)
                              inject_cycle, minimize, corpus_dir);
     }
 
+    ScopedTimer campaign_timer(obs.timings, "campaign");
     const FuzzResult result = runFuzz(
         params, [](std::size_t done, std::size_t total) {
+            if (logVerbosity < 1)
+                return;
             std::fprintf(stderr, "\r  %zu/%zu seeds", done, total);
             if (done == total)
                 std::fprintf(stderr, "\n");
         });
+    campaign_timer.stop();
 
     std::printf("fuzz: %llu executed, %llu skipped, fingerprint "
                 "%016llx\n",
@@ -313,6 +328,16 @@ main(int argc, char **argv)
                         stats.opsBefore, stats.opsAfter, path.c_str());
         }
     }
+
+    SampleParams sp;
+    sp.baseSeed = params.seed0;
+    sp.jobs = params.jobs;
+    emitBenchObs(obs, "fuzz_differential", Profile::kStrict, sp,
+                 [&](RunManifest &m, StatsRegistry &reg) {
+                     m.set("runs", params.runs);
+                     m.set("seed0", params.seed0);
+                     result.registerStats(reg, "fuzz");
+                 });
 
     if (result.failures.empty()) {
         std::printf("OK\n");

@@ -9,6 +9,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hh"
 #include "branch/btb.hh"
 #include "common/xrandom.hh"
 #include "branch/direction_predictor.hh"
@@ -122,4 +123,31 @@ BENCHMARK(BM_RandomProgramGen);
 
 } // namespace
 
-BENCHMARK_MAIN();
+// Hand-rolled BENCHMARK_MAIN(): the shared observability flags are
+// consumed (and compacted out of argv) before google-benchmark sees
+// the remaining arguments, so both flag families coexist.
+int
+main(int argc, char **argv)
+{
+    logVerbosity = std::max(logVerbosity, 1);
+    BenchObs obs;
+    int kept = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (!obs.parseArg(argv[i], argv[0]))
+            argv[kept++] = argv[i];
+    }
+    argc = kept;
+
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    {
+        ScopedTimer bench_timer(obs.timings, "benchmarks");
+        benchmark::RunSpecifiedBenchmarks();
+    }
+    benchmark::Shutdown();
+
+    emitBenchObs(obs, "micro_components", Profile::kStrict,
+                 SampleParams{});
+    return 0;
+}

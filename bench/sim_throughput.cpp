@@ -19,6 +19,7 @@
 #include "bench_common.hh"
 #include "harness/csv.hh"
 #include "harness/table_printer.hh"
+#include "obs/stats_schema.hh"
 
 using namespace nda;
 
@@ -44,12 +45,21 @@ struct ProfileKips {
 int
 main(int argc, char **argv)
 {
-    SampleParams sp = parseSampleArgs(argc, argv, {"--json="});
+    BenchObs obs;
+    SampleParams sp = parseSampleArgs(
+        argc, argv, {"--json=", "--stats-schema"}, &obs);
     std::string json_path = "BENCH_throughput.json";
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg.rfind("--json=", 0) == 0)
             json_path = arg.substr(7);
+        if (arg == "--stats-schema") {
+            // Print the canonical stat-name schema and exit; CI diffs
+            // this against tests/golden/stats_schema.txt.
+            for (const std::string &name : canonicalStatsSchema())
+                std::printf("%s\n", name.c_str());
+            return 0;
+        }
     }
     // One window per (workload, profile): this measures host-side
     // simulation speed, not simulated statistics, so samples add
@@ -71,6 +81,7 @@ main(int argc, char **argv)
     const auto profiles = allProfiles();
     std::vector<ProfileKips> results;
     TablePrinter table({"profile", "sim insts", "host sec", "KIPS"});
+    ScopedTimer serial_timer(obs.timings, "per-profile-serial");
     for (Profile p : profiles) {
         ProfileKips r{p};
         const SimConfig cfg = makeProfile(p);
@@ -87,6 +98,7 @@ main(int argc, char **argv)
                       TablePrinter::fmt(r.seconds, 2),
                       TablePrinter::fmt(r.kips(), 1)});
     }
+    serial_timer.stop();
     table.print();
 
     // Aggregate harness throughput: the same grid through the pool.
@@ -94,7 +106,9 @@ main(int argc, char **argv)
     for (Profile p : profiles)
         configs.push_back(makeProfile(p));
     const auto t0 = Clock::now();
+    ScopedTimer grid_timer(obs.timings, "harness-grid");
     const std::vector<RunResult> grid = runGrid(workloads, configs, sp);
+    grid_timer.stop();
     const double grid_seconds = secondsSince(t0);
     std::uint64_t grid_insts = 0;
     for (const RunResult &r : grid)
@@ -108,7 +122,7 @@ main(int argc, char **argv)
 
     std::FILE *json = std::fopen(json_path.c_str(), "w");
     if (!json) {
-        std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+        NDA_WARN("cannot write %s", json_path.c_str());
         return 1;
     }
     std::fprintf(json,
@@ -140,5 +154,15 @@ main(int argc, char **argv)
                  grid_seconds, grid_kips);
     std::fclose(json);
     std::printf("wrote %s\n", json_path.c_str());
+
+    emitBenchObs(obs, "sim_throughput", Profile::kStrict, sp,
+                 [&](RunManifest &m, StatsRegistry &) {
+                     m.set("harness_kips", grid_kips);
+                     m.set("harness_insts", grid_insts);
+                     for (const ProfileKips &r : results)
+                         m.set(std::string("kips_") +
+                                   profileName(r.profile),
+                               r.kips());
+                 });
     return 0;
 }

@@ -48,8 +48,9 @@ main(int argc, char **argv)
     bool oracle_strict = false;
     // --oracle: fail (exit 1) if the timing and DIFT-oracle verdicts
     // disagree on any cell.
+    BenchObs obs;
     const SampleParams params =
-        parseSampleArgs(argc, argv, {"--oracle"});
+        parseSampleArgs(argc, argv, {"--oracle"}, &obs);
     for (int i = 1; i < argc; ++i) {
         if (std::string(argv[i]) == "--oracle")
             oracle_strict = true;
@@ -90,6 +91,7 @@ main(int argc, char **argv)
     // Each cell builds its own attack + core, so cells only share the
     // pre-sized result slots.
     std::atomic<std::size_t> done{0};
+    ScopedTimer matrix_timer(obs.timings, "attack-matrix");
     ThreadPool pool(params.jobs);
     pool.parallelFor(cells, [&](std::size_t i) {
         const std::size_t row = i / cols;
@@ -103,6 +105,7 @@ main(int argc, char **argv)
         cell.expectBlocked = attack->expectedBlocked(cfg.security);
         gridProgress(++done, cells);
     });
+    matrix_timer.stop();
 
     printBanner("Empirical leak matrix (secret byte 42; "
                 "timing verdict / DIFT-oracle verdict)");
@@ -142,6 +145,14 @@ main(int argc, char **argv)
                 mismatches);
     std::printf("Timing vs DIFT oracle: %d of %zu cells disagree.\n",
                 disagreements, cells);
+
+    emitBenchObs(obs, "table01_attack_matrix", Profile::kStrict,
+                 params, [&](RunManifest &m, StatsRegistry &) {
+                     m.set("mismatches",
+                           static_cast<std::uint64_t>(mismatches));
+                     m.set("oracle_disagreements",
+                           static_cast<std::uint64_t>(disagreements));
+                 });
     if (mismatches != 0)
         return 1;
     if (oracle_strict && disagreements != 0)

@@ -29,7 +29,8 @@ struct RowSpec {
 int
 main(int argc, char **argv)
 {
-    const SampleParams sp = parseSampleArgs(argc, argv);
+    BenchObs obs;
+    const SampleParams sp = parseSampleArgs(argc, argv, {}, &obs);
     printBanner("Table 2: NDA propagation policies and the attacks "
                 "they prevent (" + std::to_string(sp.jobs) + " jobs)");
 
@@ -55,8 +56,10 @@ main(int argc, char **argv)
     std::vector<SimConfig> configs{makeProfile(Profile::kOoo)};
     for (const RowSpec &row : rows)
         configs.push_back(makeProfile(row.profile));
+    ScopedTimer grid_timer(obs.timings, "grid");
     const std::vector<RunResult> grid =
         runGrid(workloads, configs, sp, gridProgress);
+    grid_timer.stop();
 
     TablePrinter t({"mechanism", "ctrl-steer (mem)", "ctrl-steer "
                     "(GPRs)", "chosen code", "overhead (paper)",
@@ -84,5 +87,7 @@ main(int argc, char **argv)
                 "Restriction adds little here because split "
                 "store-address\nmicro-ops resolve quickly in these "
                 "kernels; see EXPERIMENTS.md.\n");
+
+    emitBenchObs(obs, "table02_overheads", Profile::kStrict, sp);
     return 0;
 }

@@ -1,6 +1,7 @@
 #include "branch/btb.hh"
 
 #include "common/log.hh"
+#include "obs/stats_registry.hh"
 
 namespace nda {
 
@@ -57,6 +58,7 @@ void
 Btb::update(Addr pc, Addr target)
 {
     ++useClock_;
+    ++updates_;
     if (Entry *e = find(pc)) {
         e->target = target;
         e->lastUse = useClock_;
@@ -92,6 +94,24 @@ Btb::reset()
     for (auto &e : entries_)
         e.valid = false;
     useClock_ = 0;
+}
+
+void
+Btb::registerStats(StatsRegistry &reg, const std::string &prefix) const
+{
+    const StatsRegistry::Group g = reg.group(prefix);
+    g.counter("hits", &hits_, "lookups that hit");
+    g.counter("misses", &misses_, "lookups that missed");
+    g.counter("updates", &updates_,
+              "installs/refreshes (at execution; never reverted)");
+    g.formula("hit_rate",
+              [this] {
+                  const std::uint64_t total = hits_ + misses_;
+                  return total ? static_cast<double>(hits_) /
+                                     static_cast<double>(total)
+                               : 0.0;
+              },
+              "hits / lookups");
 }
 
 } // namespace nda

@@ -14,11 +14,14 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "common/types.hh"
 
 namespace nda {
+
+class StatsRegistry;
 
 /** BTB parameters. */
 struct BtbParams {
@@ -54,7 +57,11 @@ class Btb
 
     std::uint64_t hits() const { return hits_; }
     std::uint64_t misses() const { return misses_; }
-    void resetStats() { hits_ = 0; misses_ = 0; }
+    void resetStats() { hits_ = 0; misses_ = 0; updates_ = 0; }
+
+    /** Bind hits/misses/updates + hit_rate under `prefix`. */
+    void registerStats(StatsRegistry &reg,
+                       const std::string &prefix) const;
 
   private:
     struct Entry {
@@ -86,6 +93,7 @@ class Btb
     std::uint64_t useClock_ = 0;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
+    std::uint64_t updates_ = 0; ///< installs/refreshes (at execution)
 };
 
 } // namespace nda

@@ -1,5 +1,7 @@
 #include "branch/direction_predictor.hh"
 
+#include "obs/stats_registry.hh"
+
 namespace nda {
 
 DirectionPredictor::DirectionPredictor(const DirectionPredictorParams &p)
@@ -34,6 +36,9 @@ DirectionPredictor::predict(Addr pc)
     const bool b = counterTaken(bimodal_[bimodalIndex(pc)]);
     const bool use_gshare = counterTaken(chooser_[bimodalIndex(pc)]);
     const bool taken = use_gshare ? g : b;
+    ++predicts_;
+    if (use_gshare)
+        ++gshareChosen_;
     pushHistory(taken);
     return taken;
 }
@@ -65,6 +70,16 @@ DirectionPredictor::reset()
     std::fill(bimodal_.begin(), bimodal_.end(), 1);
     std::fill(chooser_.begin(), chooser_.end(), 2);
     history_ = 0;
+}
+
+void
+DirectionPredictor::registerStats(StatsRegistry &reg,
+                                  const std::string &prefix) const
+{
+    const StatsRegistry::Group g = reg.group(prefix);
+    g.counter("predicts", &predicts_, "direction predictions made");
+    g.counter("gshare_chosen", &gshareChosen_,
+              "predictions where the chooser picked gshare");
 }
 
 } // namespace nda

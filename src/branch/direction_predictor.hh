@@ -11,11 +11,14 @@
 #define NDASIM_BRANCH_DIRECTION_PREDICTOR_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/types.hh"
 
 namespace nda {
+
+class StatsRegistry;
 
 /** Parameters for the tournament predictor. */
 struct DirectionPredictorParams {
@@ -49,6 +52,14 @@ class DirectionPredictor
 
     void reset();
 
+    std::uint64_t predicts() const { return predicts_; }
+    std::uint64_t gshareChosen() const { return gshareChosen_; }
+    void resetStats() { predicts_ = 0; gshareChosen_ = 0; }
+
+    /** Bind predicts/gshare_chosen under `prefix`. */
+    void registerStats(StatsRegistry &reg,
+                       const std::string &prefix) const;
+
   private:
     unsigned gshareIndex(Addr pc, std::uint64_t history) const;
     unsigned bimodalIndex(Addr pc) const;
@@ -69,6 +80,8 @@ class DirectionPredictor
     std::vector<std::uint8_t> bimodal_;
     std::vector<std::uint8_t> chooser_; ///< >=2 selects gshare
     std::uint64_t history_ = 0;
+    std::uint64_t predicts_ = 0;     ///< predict() calls
+    std::uint64_t gshareChosen_ = 0; ///< chooser picked gshare
 };
 
 } // namespace nda

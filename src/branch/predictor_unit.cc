@@ -105,4 +105,13 @@ PredictorUnit::reset()
     ras_.reset();
 }
 
+void
+PredictorUnit::registerStats(StatsRegistry &reg,
+                             const std::string &prefix) const
+{
+    direction_.registerStats(reg, prefix + ".direction");
+    btb_.registerStats(reg, prefix + ".btb");
+    ras_.registerStats(reg, prefix + ".ras");
+}
+
 } // namespace nda

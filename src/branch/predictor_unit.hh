@@ -80,6 +80,10 @@ class PredictorUnit
     Btb &btb() { return btb_; }
     Ras &ras() { return ras_; }
 
+    /** Bind direction/btb/ras stats under `prefix`. */
+    void registerStats(StatsRegistry &reg,
+                       const std::string &prefix) const;
+
     void reset();
 
   private:

@@ -1,5 +1,7 @@
 #include "branch/ras.hh"
 
+#include "obs/stats_registry.hh"
+
 namespace nda {
 
 Ras::Ras(unsigned entries)
@@ -27,6 +29,7 @@ Ras::restore(const Checkpoint &ckpt)
 void
 Ras::push(Addr return_pc)
 {
+    ++pushes_;
     topIdx_ = (topIdx_ + 1) % static_cast<unsigned>(stack_.size());
     stack_[topIdx_] = return_pc;
 }
@@ -34,6 +37,7 @@ Ras::push(Addr return_pc)
 Addr
 Ras::pop()
 {
+    ++pops_;
     const Addr target = stack_[topIdx_];
     topIdx_ = (topIdx_ + static_cast<unsigned>(stack_.size()) - 1) %
               static_cast<unsigned>(stack_.size());
@@ -45,6 +49,14 @@ Ras::reset()
 {
     std::fill(stack_.begin(), stack_.end(), 0);
     topIdx_ = 0;
+}
+
+void
+Ras::registerStats(StatsRegistry &reg, const std::string &prefix) const
+{
+    const StatsRegistry::Group g = reg.group(prefix);
+    g.counter("pushes", &pushes_, "speculative call pushes at fetch");
+    g.counter("pops", &pops_, "speculative return pops at fetch");
 }
 
 } // namespace nda

@@ -11,11 +11,14 @@
 #define NDASIM_BRANCH_RAS_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/types.hh"
 
 namespace nda {
+
+class StatsRegistry;
 
 /** Fixed-depth circular return-address stack. */
 class Ras
@@ -48,9 +51,19 @@ class Ras
 
     unsigned capacity() const { return static_cast<unsigned>(stack_.size()); }
 
+    std::uint64_t pushes() const { return pushes_; }
+    std::uint64_t pops() const { return pops_; }
+    void resetStats() { pushes_ = 0; pops_ = 0; }
+
+    /** Bind pushes/pops under `prefix`. */
+    void registerStats(StatsRegistry &reg,
+                       const std::string &prefix) const;
+
   private:
     std::vector<Addr> stack_;
     unsigned topIdx_ = 0;
+    std::uint64_t pushes_ = 0;  ///< speculative call pushes
+    std::uint64_t pops_ = 0;    ///< speculative return pops
 };
 
 } // namespace nda

@@ -1,5 +1,6 @@
 #include "common/histogram.hh"
 
+#include <algorithm>
 #include <cstdio>
 
 namespace nda {
@@ -44,6 +45,22 @@ Histogram::percentile(double q) const
 }
 
 void
+Histogram::merge(const Histogram &other)
+{
+    const std::size_t overflow = buckets_.size() - 1;
+    for (std::size_t v = 0; v < other.buckets_.size(); ++v) {
+        if (!other.buckets_[v])
+            continue;
+        // The other histogram's overflow bucket holds samples of
+        // unknown magnitude; they stay overflow here (its index can
+        // only be >= a smaller histogram's cap after clamping).
+        buckets_[std::min(v, overflow)] += other.buckets_[v];
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+}
+
+void
 Histogram::reset()
 {
     for (auto &b : buckets_)
@@ -55,13 +72,40 @@ Histogram::reset()
 std::string
 Histogram::summary() const
 {
-    char buf[128];
+    char buf[160];
     std::snprintf(buf, sizeof(buf),
-                  "n=%llu mean=%.2f p50=%llu p95=%llu",
+                  "n=%llu mean=%.2f p50=%llu p95=%llu p99=%llu",
                   static_cast<unsigned long long>(count_), mean(),
                   static_cast<unsigned long long>(percentile(0.50)),
-                  static_cast<unsigned long long>(percentile(0.95)));
+                  static_cast<unsigned long long>(percentile(0.95)),
+                  static_cast<unsigned long long>(percentile(0.99)));
     return buf;
+}
+
+std::string
+Histogram::toJson() const
+{
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"count\": %llu, \"mean\": %.6g, \"p50\": %llu, "
+                  "\"p95\": %llu, \"p99\": %llu, \"buckets\": {",
+                  static_cast<unsigned long long>(count_), mean(),
+                  static_cast<unsigned long long>(percentile(0.50)),
+                  static_cast<unsigned long long>(percentile(0.95)),
+                  static_cast<unsigned long long>(percentile(0.99)));
+    std::string out = buf;
+    bool first = true;
+    for (std::size_t v = 0; v < buckets_.size(); ++v) {
+        if (!buckets_[v])
+            continue;
+        std::snprintf(buf, sizeof(buf), "%s\"%zu\": %llu",
+                      first ? "" : ", ", v,
+                      static_cast<unsigned long long>(buckets_[v]));
+        out += buf;
+        first = false;
+    }
+    out += "}}";
+    return out;
 }
 
 } // namespace nda

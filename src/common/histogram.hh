@@ -37,11 +37,26 @@ class Histogram
     /** Bucket counts (last bucket is overflow). */
     const std::vector<std::uint64_t> &buckets() const { return buckets_; }
 
+    /**
+     * Fold another histogram into this one (used when reducing
+     * per-window histograms into a run aggregate). Buckets are merged
+     * by sample value; samples beyond this histogram's cap land in
+     * its overflow bucket.
+     */
+    void merge(const Histogram &other);
+
     /** Reset all counts. */
     void reset();
 
-    /** Render a compact textual summary. */
+    /** Render a compact textual summary (n, mean, p50/p95/p99). */
     std::string summary() const;
+
+    /**
+     * JSON object with count/mean/percentiles plus the sparse nonzero
+     * buckets, e.g. {"count":3,...,"buckets":{"2":1,"7":2}}. Used by
+     * the StatsRegistry dumper (obs/stats_registry.hh).
+     */
+    std::string toJson() const;
 
   private:
     std::vector<std::uint64_t> buckets_;

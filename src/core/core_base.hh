@@ -84,6 +84,20 @@ class CoreBase
 
     /** Start a fresh measurement window (SMARTS warm-up boundary). */
     virtual void resetCounters() = 0;
+
+    /**
+     * Bind every stat this core exposes into `reg` under `prefix`
+     * (obs/stats_registry.hh). Pointer binding only — no effect on
+     * simulation speed. The base binds the perf counters and the
+     * cache hierarchy; micro-architected cores override to add their
+     * predictor/queue/regfile structures.
+     */
+    virtual void
+    registerStats(StatsRegistry &reg, const std::string &prefix)
+    {
+        counters().registerStats(reg, prefix + ".perf");
+        hierarchy().registerStats(reg, prefix + ".mem");
+    }
 };
 
 } // namespace nda

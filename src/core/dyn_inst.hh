@@ -13,6 +13,7 @@
 
 #include "branch/predictor_unit.hh"
 #include "common/types.hh"
+#include "core/perf_counters.hh"
 #include "isa/microop.hh"
 #include "mem/hierarchy.hh"
 
@@ -90,6 +91,10 @@ struct DynInst {
     /** Cycle at which a deferred broadcast becomes eligible (Fig 9e). */
     Cycle bcastEligibleAt = 0;
     bool pendingBcast = false;  ///< queued for a deferred broadcast
+    Cycle unsafeMarkedAt = 0;   ///< first cycle any unsafe bit was set
+    Cycle unsafeClearedAt = 0;  ///< cycle the last unsafe bit cleared
+    /** Why this instruction was flushed (kNone if not squashed). */
+    SquashCause squashCause = SquashCause::kNone;
 
     // --- timing (for Fig 9d and breakdowns) --------------------------------
     Cycle fetchedAt = 0;

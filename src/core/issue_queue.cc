@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "obs/stats_registry.hh"
 
 namespace nda {
 
@@ -16,6 +17,7 @@ void
 IssueQueue::insert(const DynInstPtr &inst)
 {
     NDA_ASSERT(!full(), "issue queue overflow");
+    ++inserts_;
     inst->inIq = true;
     entries_.push_back(inst);
 }
@@ -48,6 +50,17 @@ IssueQueue::removeSquashed()
     entries_.erase(
         std::remove_if(entries_.begin(), entries_.end(), is_squashed),
         entries_.end());
+}
+
+void
+IssueQueue::registerStats(StatsRegistry &reg,
+                          const std::string &prefix) const
+{
+    const StatsRegistry::Group g = reg.group(prefix);
+    g.counter("inserts", &inserts_, "entries allocated at dispatch");
+    g.formula("occupancy_now",
+              [this] { return static_cast<double>(entries_.size()); },
+              "entries resident at dump time");
 }
 
 } // namespace nda

@@ -9,12 +9,15 @@
 #ifndef NDASIM_CORE_ISSUE_QUEUE_HH
 #define NDASIM_CORE_ISSUE_QUEUE_HH
 
+#include <string>
 #include <vector>
 
 #include "core/dyn_inst_pool.hh"
 #include "core/phys_reg_file.hh"
 
 namespace nda {
+
+class StatsRegistry;
 
 /** Simple unified issue queue with age-ordered select. */
 class IssueQueue
@@ -68,11 +71,19 @@ class IssueQueue
 
     void clear() { entries_.clear(); }
 
+    std::uint64_t inserts() const { return inserts_; }
+    void resetStats() { inserts_ = 0; }
+
+    /** Bind inserts + occupancy_now under `prefix`. */
+    void registerStats(StatsRegistry &reg,
+                       const std::string &prefix) const;
+
   private:
     static bool sourcesReady(const DynInst &inst, const PhysRegFile &regs);
 
     unsigned capacity_;
     std::vector<DynInstPtr> entries_;
+    std::uint64_t inserts_ = 0; ///< entries allocated at dispatch
 };
 
 } // namespace nda

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "obs/stats_registry.hh"
 
 namespace nda {
 
@@ -30,6 +31,7 @@ Lsq::searchStores(InstSeqNum load_seq, Addr addr, unsigned size,
                   const PhysRegFile &regs) const
 {
     StoreSearchResult result;
+    ++searches_;
     // Youngest-to-oldest among stores older than the load.
     for (auto it = stores_.rbegin(); it != stores_.rend(); ++it) {
         const DynInst &store = **it;
@@ -51,6 +53,7 @@ Lsq::searchStores(InstSeqNum load_seq, Addr addr, unsigned size,
             if (store.src2 != kInvalidPhysReg &&
                 !regs.ready(store.src2)) {
                 result.mustStall = true;
+                ++stallRetries_;
                 return result;
             }
             const unsigned shift =
@@ -61,10 +64,12 @@ Lsq::searchStores(InstSeqNum load_seq, Addr addr, unsigned size,
             result.forward = true;
             result.value = v;
             result.forwardStore = &store;
+            ++forwards_;
             return result;
         }
         // Partial overlap: cannot forward; wait for the store to drain.
         result.mustStall = true;
+        ++stallRetries_;
         return result;
     }
     return result;
@@ -144,6 +149,25 @@ Lsq::clear()
 {
     loads_.clear();
     stores_.clear();
+}
+
+void
+Lsq::registerStats(StatsRegistry &reg, const std::string &prefix) const
+{
+    const StatsRegistry::Group g = reg.group(prefix);
+    g.counter("searches", &searches_,
+              "store-queue searches by executing loads");
+    g.counter("forwards", &forwards_,
+              "loads satisfied by store-to-load forwarding");
+    g.counter("stall_retries", &stallRetries_,
+              "searches rejected (partial overlap / data not ready)");
+    g.formula("forward_rate",
+              [this] {
+                  return searches_ ? static_cast<double>(forwards_) /
+                                         static_cast<double>(searches_)
+                                   : 0.0;
+              },
+              "forwards / searches");
 }
 
 } // namespace nda

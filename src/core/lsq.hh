@@ -11,11 +11,14 @@
 
 #include <deque>
 #include <optional>
+#include <string>
 
 #include "core/dyn_inst_pool.hh"
 #include "core/phys_reg_file.hh"
 
 namespace nda {
+
+class StatsRegistry;
 
 /** Result of checking a load against the store queue. */
 struct StoreSearchResult {
@@ -97,11 +100,26 @@ class Lsq
         return a2 <= a1 && a1 + s1 <= a2 + s2;
     }
 
+    std::uint64_t searches() const { return searches_; }
+    std::uint64_t forwards() const { return forwards_; }
+    std::uint64_t stallRetries() const { return stallRetries_; }
+    void resetStats() { searches_ = 0; forwards_ = 0; stallRetries_ = 0; }
+
+    /** Bind searches/forwards/stall_retries + forward_rate. */
+    void registerStats(StatsRegistry &reg,
+                       const std::string &prefix) const;
+
   private:
     unsigned lqEntries_;
     unsigned sqEntries_;
     std::deque<DynInstPtr> loads_;   ///< age-ordered
     std::deque<DynInstPtr> stores_;  ///< age-ordered
+
+    // Search statistics; mutable because searchStores is logically
+    // const (no queue state changes) but still worth counting.
+    mutable std::uint64_t searches_ = 0;
+    mutable std::uint64_t forwards_ = 0;
+    mutable std::uint64_t stallRetries_ = 0;
 };
 
 } // namespace nda

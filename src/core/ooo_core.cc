@@ -205,6 +205,7 @@ OooCore::commitStage()
         // is moot at the head.
         inst->unsafeBranch = false;
         inst->unsafeBypass = false;
+        noteUnsafeCleared(*inst);
         if (inst->hasDest() && !inst->broadcasted &&
             !inst->pendingBcast) {
             inst->pendingBcast = true;
@@ -290,7 +291,8 @@ OooCore::commitStage()
             // Serializing: flush everything younger and refetch it
             // under the new speculation mode (paper SS8, Listing 4).
             specDisabled_ = inst->uop.op == Opcode::kSpecOff;
-            squashAfter(inst->seq, inst->pc + 1);
+            squashAfter(inst->seq, inst->pc + 1,
+                        SquashCause::kSerialize);
             break;
         }
     }
@@ -324,8 +326,8 @@ OooCore::raiseFault(const DynInstPtr &inst)
     ++counters_.squashes;
     ++counters_.faults;
     const Addr handler = prog_.faultHandler;
-    squashAfter(inst->seq - 1,
-                handler == ~Addr{0} ? 0 : handler);
+    squashAfter(inst->seq - 1, handler == ~Addr{0} ? 0 : handler,
+                SquashCause::kFault);
     if (handler == ~Addr{0})
         halted_ = true;
 }
@@ -367,13 +369,15 @@ OooCore::completeStage()
             if (DynInstPtr victim = lsq_.checkViolations(*inst)) {
                 ++counters_.memOrderViolations;
                 ++counters_.squashes;
-                squashAfter(victim->seq - 1, victim->pc);
+                squashAfter(victim->seq - 1, victim->pc,
+                            SquashCause::kMemOrderViolation);
             }
             // Bypass Restriction: loads that no longer have any
             // unresolved bypassed store become safe (paper §5.2).
             for (const DynInstPtr &ld : lsq_.retireBypass(inst->seq)) {
                 if (ld->unsafeBypass) {
                     ld->unsafeBypass = false;
+                    noteUnsafeCleared(*ld);
                     maybeQueueBroadcast(ld);
                 }
             }
@@ -462,6 +466,14 @@ OooCore::broadcast(const DynInstPtr &inst)
     regs_.setReady(inst->dest);
     inst->broadcasted = true;
     inst->broadcastedAt = cycle_;
+    // Fig 2 step 3->4: how long NDA held this producer's tag after
+    // completion. Only ever-unsafe producers are interesting — on the
+    // unprotected baseline this records nothing.
+    if (inst->everUnsafe && inst->executed &&
+        cycle_ > inst->completedAt) {
+        counters_.deferredBroadcastDelay.add(cycle_ -
+                                             inst->completedAt);
+    }
 }
 
 void
@@ -505,7 +517,8 @@ OooCore::resolveBranch(const DynInstPtr &inst)
     inst->mispredicted = inst->actualNextPc != inst->predNextPc;
     if (inst->mispredicted) {
         ++counters_.squashes;
-        squashAfter(inst->seq, inst->actualNextPc);
+        squashAfter(inst->seq, inst->actualNextPc,
+                    SquashCause::kBranchMispredict);
         // Recover predictor state to just before this branch, then
         // apply its actual outcome.
         bp_.restore(inst->bpCkpt);
@@ -546,6 +559,7 @@ OooCore::ndaClearWalk()
             break;
         if (inst->unsafeBranch) {
             inst->unsafeBranch = false;
+            noteUnsafeCleared(*inst);
             maybeQueueBroadcast(inst);
         }
         if (expose && inst->shadowLoad && !inst->exposed &&
@@ -565,8 +579,29 @@ OooCore::ndaClearWalk()
 }
 
 void
-OooCore::squashAfter(InstSeqNum keep_seq, Addr redirect_pc)
+OooCore::registerStats(StatsRegistry &reg, const std::string &prefix)
 {
+    CoreBase::registerStats(reg, prefix);
+    bp_.registerStats(reg, prefix + ".bp");
+    iq_.registerStats(reg, prefix + ".iq");
+    lsq_.registerStats(reg, prefix + ".lsq");
+    regs_.registerStats(reg, prefix + ".regfile");
+}
+
+void
+OooCore::noteUnsafeCleared(DynInst &inst)
+{
+    if (!inst.everUnsafe || inst.unsafeClearedAt || inst.isUnsafe())
+        return;
+    inst.unsafeClearedAt = cycle_;
+    counters_.unsafeResidency.add(cycle_ - inst.unsafeMarkedAt);
+}
+
+void
+OooCore::squashAfter(InstSeqNum keep_seq, Addr redirect_pc,
+                     SquashCause cause)
+{
+    ++counters_.squashCause[static_cast<int>(cause)];
     // Restore front-end speculative predictor state youngest-first.
     for (auto it = fetchQueue_.rbegin(); it != fetchQueue_.rend(); ++it) {
         if ((*it)->isBranch())
@@ -578,6 +613,7 @@ OooCore::squashAfter(InstSeqNum keep_seq, Addr redirect_pc)
     while (!rob_.empty() && rob_.back()->seq > keep_seq) {
         DynInstPtr inst = rob_.back();
         inst->squashed = true;
+        inst->squashCause = cause;
         if (dift_)
             dift_->onSquash(*inst); // promote pending leak events
         if (retireHook_)
@@ -917,7 +953,10 @@ OooCore::executeLoad(const DynInstPtr &inst)
     if (cfg_.security.bypassRestriction &&
         !inst->bypassedStores.empty()) {
         inst->unsafeBypass = true;
-        inst->everUnsafe = true;
+        if (!inst->everUnsafe) {
+            inst->everUnsafe = true;
+            inst->unsafeMarkedAt = cycle_;
+        }
     }
 
     scheduleCompletion(inst, latency);
@@ -975,6 +1014,7 @@ OooCore::dispatchStage()
             inst->unsafeLoad = true;
         if (inst->isUnsafe()) {
             inst->everUnsafe = true;
+            inst->unsafeMarkedAt = cycle_;
             ++counters_.unsafeMarked;
         }
 

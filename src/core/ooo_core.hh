@@ -59,6 +59,10 @@ class OooCore : public CoreBase
     const PerfCounters &counters() const override { return counters_; }
     void resetCounters() override { counters_.reset(); }
 
+    /** Perf + hierarchy (base) plus predictor, IQ, LSQ, regfile. */
+    void registerStats(StatsRegistry &reg,
+                       const std::string &prefix) override;
+
     /**
      * Attach the DIFT leakage oracle (dift/taint_engine.hh). Every
      * hook site is guarded by a null check, so detached simulation
@@ -128,9 +132,14 @@ class OooCore : public CoreBase
     /** Queue a newly-safe completed instruction for broadcast. */
     void maybeQueueBroadcast(const DynInstPtr &inst);
 
-    /** Squash all instructions with seq > `keep_seq`; redirect fetch. */
-    void squashAfter(InstSeqNum keep_seq, Addr redirect_pc);
+    /** Squash all instructions with seq > `keep_seq`; redirect fetch.
+     *  `cause` attributes the flush (perf counter + per-inst tag). */
+    void squashAfter(InstSeqNum keep_seq, Addr redirect_pc,
+                     SquashCause cause);
     void raiseFault(const DynInstPtr &inst);
+
+    /** Record unsafe-residency once the last unsafe bit clears. */
+    void noteUnsafeCleared(DynInst &inst);
 
     /** Remove a resolved/squashed branch from the unresolved list. */
     void branchResolved(InstSeqNum seq);

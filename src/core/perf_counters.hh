@@ -10,11 +10,14 @@
 #define NDASIM_CORE_PERF_COUNTERS_HH
 
 #include <cstdint>
+#include <string>
 
 #include "common/histogram.hh"
 #include "common/types.hh"
 
 namespace nda {
+
+class StatsRegistry;
 
 /** Classification of each simulated cycle (Fig 9a). */
 enum class CycleClass : std::uint8_t {
@@ -24,6 +27,18 @@ enum class CycleClass : std::uint8_t {
     kFrontendStall,  ///< ROB empty or squash recovery in progress
     kNumClasses,
 };
+
+/** Why a pipeline flush happened (squash attribution). */
+enum class SquashCause : std::uint8_t {
+    kNone = 0,
+    kBranchMispredict,   ///< resolved branch disagreed with fetch
+    kMemOrderViolation,  ///< load executed past an overlapping store
+    kFault,              ///< trap delivery flushed from the ROB head
+    kSerialize,          ///< specon/specoff refetch (paper SS8)
+    kNumCauses,
+};
+
+const char *squashCauseName(SquashCause c);
 
 /** Aggregated core statistics over a measurement window. */
 struct PerfCounters {
@@ -59,7 +74,16 @@ struct PerfCounters {
     std::uint64_t deferredBroadcasts = 0; ///< broadcasts NDA delayed
     std::uint64_t unsafeMarked = 0;       ///< insts marked unsafe
 
+    /** Squash attribution: flush events by cause (kNone unused). */
+    std::uint64_t squashCause[static_cast<int>(SquashCause::kNumCauses)] =
+        {};
+
     Histogram dispatchToIssue{192};
+    /** Complete-to-broadcast gap of NDA-deferred producers (Fig 2's
+     *  step 3 -> 4 delay, in cycles). */
+    Histogram deferredBroadcastDelay{256};
+    /** Cycles an instruction spent marked unsafe before its clear. */
+    Histogram unsafeResidency{256};
 
     double
     cpi() const
@@ -113,6 +137,13 @@ struct PerfCounters {
 
     /** Zero every counter (start of a measurement window). */
     void reset();
+
+    /**
+     * Bind every counter into the registry under group `g`
+     * (obs/stats_registry.hh). Pointer binding only — the hot path
+     * keeps incrementing plain members.
+     */
+    void registerStats(StatsRegistry &reg, const std::string &prefix) const;
 };
 
 } // namespace nda

@@ -1,6 +1,7 @@
 #include "core/phys_reg_file.hh"
 
 #include "common/log.hh"
+#include "obs/stats_registry.hh"
 
 namespace nda {
 
@@ -14,6 +15,7 @@ PhysRegId
 PhysRegFile::alloc()
 {
     NDA_ASSERT(!freeList_.empty(), "physical register file exhausted");
+    ++allocs_;
     const PhysRegId r = freeList_.back();
     freeList_.pop_back();
     ready_[r] = false;
@@ -24,6 +26,7 @@ void
 PhysRegFile::free(PhysRegId r)
 {
     NDA_ASSERT(r < values_.size(), "freeing bogus phys reg %u", r);
+    ++frees_;
     freeList_.push_back(r);
 }
 
@@ -40,6 +43,18 @@ PhysRegFile::reset(unsigned reserved)
          --r) {
         freeList_.push_back(static_cast<PhysRegId>(r - 1));
     }
+}
+
+void
+PhysRegFile::registerStats(StatsRegistry &reg,
+                           const std::string &prefix) const
+{
+    const StatsRegistry::Group g = reg.group(prefix);
+    g.counter("allocs", &allocs_, "rename allocations");
+    g.counter("frees", &frees_, "registers returned (commit + squash)");
+    g.formula("free_now",
+              [this] { return static_cast<double>(freeList_.size()); },
+              "free-list depth at dump time");
 }
 
 } // namespace nda

@@ -10,11 +10,15 @@
 #ifndef NDASIM_CORE_PHYS_REG_FILE_HH
 #define NDASIM_CORE_PHYS_REG_FILE_HH
 
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/types.hh"
 
 namespace nda {
+
+class StatsRegistry;
 
 /** Physical integer register file + free list. */
 class PhysRegFile
@@ -48,10 +52,19 @@ class PhysRegFile
 
     unsigned size() const { return static_cast<unsigned>(values_.size()); }
 
+    std::uint64_t allocs() const { return allocs_; }
+    void resetStats() { allocs_ = 0; frees_ = 0; }
+
+    /** Bind allocs/frees + free_now under `prefix`. */
+    void registerStats(StatsRegistry &reg,
+                       const std::string &prefix) const;
+
   private:
     std::vector<RegVal> values_;
     std::vector<bool> ready_;
     std::vector<PhysRegId> freeList_;
+    std::uint64_t allocs_ = 0;  ///< rename allocations
+    std::uint64_t frees_ = 0;   ///< returns (commit + squash)
 };
 
 } // namespace nda

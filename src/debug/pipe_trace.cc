@@ -30,6 +30,9 @@ PipeTrace::hook()
         rec.squashed = inst.squashed;
         rec.wasUnsafe = inst.everUnsafe;
         rec.mispredicted = inst.mispredicted;
+        rec.unsafeMarkedAt = inst.unsafeMarkedAt;
+        rec.unsafeClearedAt = inst.unsafeClearedAt;
+        rec.squashCause = inst.squashCause;
         records_.push_back(std::move(rec));
     };
 }
@@ -46,18 +49,17 @@ PipeTrace::committedRecords() const
 }
 
 std::string
-PipeTrace::render(std::size_t first, std::size_t count,
-                  unsigned width) const
+renderWaterfall(const std::vector<InstTraceRecord> &records,
+                std::size_t first, std::size_t count, unsigned width)
 {
-    if (records_.empty() || first >= records_.size())
+    if (records.empty() || first >= records.size() || width < 2)
         return "(no trace records)\n";
-    const std::size_t last =
-        std::min(records_.size(), first + count);
+    const std::size_t last = std::min(records.size(), first + count);
 
     Cycle lo = ~Cycle{0}, hi = 0;
     for (std::size_t i = first; i < last; ++i) {
-        lo = std::min(lo, records_[i].fetched);
-        hi = std::max(hi, records_[i].retired);
+        lo = std::min(lo, records[i].fetched);
+        hi = std::max(hi, records[i].retired);
     }
     if (hi <= lo)
         hi = lo + 1;
@@ -80,7 +82,7 @@ PipeTrace::render(std::size_t first, std::size_t count,
                   static_cast<unsigned long long>(hi));
     out += hdr;
     for (std::size_t i = first; i < last; ++i) {
-        const InstTraceRecord &r = records_[i];
+        const InstTraceRecord &r = records[i];
         std::string lane(width, '.');
         auto put = [&](Cycle c, char ch) {
             if (c == 0 && ch != 'f')
@@ -109,6 +111,13 @@ PipeTrace::render(std::size_t first, std::size_t count,
         out += buf;
     }
     return out;
+}
+
+std::string
+PipeTrace::render(std::size_t first, std::size_t count,
+                  unsigned width) const
+{
+    return renderWaterfall(records_, first, count, width);
 }
 
 } // namespace nda

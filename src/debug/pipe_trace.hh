@@ -35,7 +35,22 @@ struct InstTraceRecord {
     bool squashed = false;
     bool wasUnsafe = false;  ///< was NDA-unsafe at some point
     bool mispredicted = false;
+    Cycle unsafeMarkedAt = 0;   ///< first cycle an unsafe bit was set
+    Cycle unsafeClearedAt = 0;  ///< cycle the last unsafe bit cleared
+    SquashCause squashCause = SquashCause::kNone;
 };
+
+/**
+ * Render a slice of records as a gem5-O3-pipeview-style waterfall.
+ * Each row is one instruction; the time axis is compressed to `width`
+ * columns covering the slice's cycle range. Letters: f=fetch
+ * d=dispatch i=issue c=complete b=broadcast r=retire x=squash;
+ * '=' fills issue..complete. Shared by PipeTrace::render and the
+ * TraceExporter's text backend.
+ */
+std::string renderWaterfall(const std::vector<InstTraceRecord> &records,
+                            std::size_t first, std::size_t count,
+                            unsigned width);
 
 /**
  * Collects instruction timelines via OooCore's retire hook.
@@ -62,12 +77,7 @@ class PipeTrace
     /** Records for committed instructions only. */
     std::vector<InstTraceRecord> committedRecords() const;
 
-    /**
-     * Render a waterfall diagram. Each row is one instruction; the
-     * time axis is compressed to `width` columns covering the traced
-     * cycle range. Letters: f=fetch d=dispatch i=issue c=complete
-     * b=broadcast r=retire x=squash; '=' fills issue..complete.
-     */
+    /** Waterfall over the retained records (see renderWaterfall). */
     std::string render(std::size_t first = 0,
                        std::size_t count = 64,
                        unsigned width = 64) const;

@@ -2,6 +2,7 @@
 
 #include "common/log.hh"
 #include "core/dyn_inst.hh"
+#include "obs/stats_registry.hh"
 
 namespace nda {
 
@@ -155,6 +156,28 @@ TaintEngine::archAlu(const MicroOp &uop)
     if (t.readsRs2)
         merged |= archTaint_[uop.rs2];
     archTaint_[uop.rd] = merged;
+}
+
+void
+TaintEngine::registerStats(StatsRegistry &reg,
+                           const std::string &prefix) const
+{
+    const StatsRegistry::Group g = reg.group(prefix);
+    g.formula("leaks",
+              [this] { return static_cast<double>(report_.count()); },
+              "confirmed wrong-path secret flows");
+    for (int c = 0;
+         c < static_cast<int>(LeakChannel::kNumChannels); ++c) {
+        const auto ch = static_cast<LeakChannel>(c);
+        g.formula(std::string("leaks_") + leakChannelName(ch),
+                  [this, ch] {
+                      return static_cast<double>(report_.countFor(ch));
+                  },
+                  "confirmed leaks via this channel");
+    }
+    g.formula("pending",
+              [this] { return static_cast<double>(pending_.size()); },
+              "in-flight tainted mutations not yet resolved");
 }
 
 } // namespace nda

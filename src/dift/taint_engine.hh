@@ -40,6 +40,7 @@
 namespace nda {
 
 struct DynInst;
+class StatsRegistry;
 
 /** The DIFT propagation + leak-detection engine. */
 class TaintEngine
@@ -114,6 +115,11 @@ class TaintEngine
     // --- results ---------------------------------------------------------
     const LeakReport &report() const { return report_; }
     LeakReport &report() { return report_; }
+
+    /** Bind leak/pending counts (as dump-time formulas) under
+     *  `prefix` — leak totals live in the report, not counters. */
+    void registerStats(StatsRegistry &reg,
+                       const std::string &prefix) const;
 
   private:
     struct AccessSite {

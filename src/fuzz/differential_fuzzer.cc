@@ -10,6 +10,7 @@
 #include "core/ooo_core.hh"
 #include "dift/taint_engine.hh"
 #include "isa/interpreter.hh"
+#include "obs/stats_registry.hh"
 
 namespace nda {
 
@@ -489,6 +490,21 @@ runWithInjection(const Program &prog, Profile profile,
         }
     }
     return out;
+}
+
+void
+FuzzResult::registerStats(StatsRegistry &reg,
+                          const std::string &prefix) const
+{
+    const StatsRegistry::Group g = reg.group(prefix);
+    g.counter("executed", &executed, "seeds judged");
+    g.counter("skipped", &skipped,
+              "seeds whose oracle run did not halt cleanly");
+    g.counter("fingerprint", &fingerprint,
+              "order-stable campaign outcome hash");
+    g.formula("failures",
+              [this] { return static_cast<double>(failures.size()); },
+              "recorded (seed, profile) failures");
 }
 
 } // namespace nda

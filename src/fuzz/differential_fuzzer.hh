@@ -35,6 +35,8 @@
 
 namespace nda {
 
+class StatsRegistry;
+
 /** Fuzzing campaign knobs. */
 struct FuzzParams {
     std::uint64_t runs = 100;   ///< number of seeds to test
@@ -83,6 +85,11 @@ struct FuzzResult {
      *  jobs count, so CI can assert reproducibility cheaply. */
     std::uint64_t fingerprint = 0;
     std::vector<FuzzFailure> failures; ///< in seed order
+
+    /** Bind campaign totals under `prefix` (for the run manifest).
+     *  The result must outlive the registry's last dump. */
+    void registerStats(StatsRegistry &reg,
+                       const std::string &prefix) const;
 };
 
 /**

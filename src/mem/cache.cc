@@ -1,6 +1,7 @@
 #include "mem/cache.hh"
 
 #include "common/log.hh"
+#include "obs/stats_registry.hh"
 
 namespace nda {
 
@@ -66,6 +67,7 @@ Cache::fill(Addr addr)
         line->lastUse = useClock_;
         return;
     }
+    ++fills_;
     const Addr line_addr = lineAddr(addr);
     const unsigned set = setIndex(line_addr);
     Line *base = &lines_[static_cast<std::size_t>(set) * params_.ways];
@@ -95,6 +97,25 @@ Cache::flushAll()
 {
     for (auto &line : lines_)
         line.valid = false;
+}
+
+void
+Cache::registerStats(StatsRegistry &reg,
+                     const std::string &prefix) const
+{
+    const StatsRegistry::Group g = reg.group(prefix);
+    g.counter("hits", &hits_, "lookups that hit");
+    g.counter("misses", &misses_, "lookups that missed");
+    g.counter("fills", &fills_,
+              "line allocations (miss fills + explicit fills)");
+    g.formula("miss_rate",
+              [this] {
+                  const std::uint64_t total = hits_ + misses_;
+                  return total ? static_cast<double>(misses_) /
+                                     static_cast<double>(total)
+                               : 0.0;
+              },
+              "misses / lookups");
 }
 
 } // namespace nda

@@ -19,6 +19,8 @@
 
 namespace nda {
 
+class StatsRegistry;
+
 /** Geometry/latency parameters of one cache level. */
 struct CacheParams {
     std::string name = "cache";
@@ -57,7 +59,12 @@ class Cache
     const CacheParams &params() const { return params_; }
     std::uint64_t hits() const { return hits_; }
     std::uint64_t misses() const { return misses_; }
-    void resetStats() { hits_ = 0; misses_ = 0; }
+    std::uint64_t fills() const { return fills_; }
+    void resetStats() { hits_ = 0; misses_ = 0; fills_ = 0; }
+
+    /** Bind hits/misses/fills + miss_rate under `prefix`. */
+    void registerStats(StatsRegistry &reg,
+                       const std::string &prefix) const;
 
     unsigned numSets() const { return numSets_; }
 
@@ -84,6 +91,7 @@ class Cache
     std::uint64_t useClock_ = 0;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
+    std::uint64_t fills_ = 0;  ///< fills from below (incl. exposes)
 };
 
 } // namespace nda

@@ -60,4 +60,13 @@ MemHierarchy::flushAll()
     l2_.flushAll();
 }
 
+void
+MemHierarchy::registerStats(StatsRegistry &reg,
+                            const std::string &prefix) const
+{
+    l1i_.registerStats(reg, prefix + ".l1i");
+    l1d_.registerStats(reg, prefix + ".l1d");
+    l2_.registerStats(reg, prefix + ".l2");
+}
+
 } // namespace nda

@@ -80,6 +80,10 @@ class MemHierarchy
         l2_.resetStats();
     }
 
+    /** Bind each level's stats under `prefix`.l1i / .l1d / .l2. */
+    void registerStats(StatsRegistry &reg,
+                       const std::string &prefix) const;
+
   private:
     HierarchyParams params_;
     Cache l1i_;

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Minimal streaming JSON writer used by the observability layer
+ * (stats dumps, trace export, run manifests). Emits deterministic,
+ * diffable output: keys in insertion order, fixed float formatting,
+ * two-space indentation. Values are appended to an internal string;
+ * the writer never allocates a DOM.
+ */
+
+#ifndef NDASIM_OBS_JSON_WRITER_HH
+#define NDASIM_OBS_JSON_WRITER_HH
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace nda {
+
+/** Escape `s` for embedding inside a JSON string literal. */
+inline std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+/**
+ * Structured JSON emitter. Usage:
+ *
+ *   JsonWriter w;
+ *   w.beginObject();
+ *   w.key("cycles"); w.value(std::uint64_t{42});
+ *   w.key("stats"); w.beginObject(); ... w.endObject();
+ *   w.endObject();
+ *   std::string json = w.str();
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(bool pretty = true) : pretty_(pretty) {}
+
+    void
+    beginObject()
+    {
+        openValue();
+        out_ += '{';
+        stack_.push_back({true, 0});
+    }
+
+    void
+    endObject()
+    {
+        const bool had = stack_.back().count > 0;
+        stack_.pop_back();
+        if (had)
+            newline();
+        out_ += '}';
+    }
+
+    void
+    beginArray()
+    {
+        openValue();
+        out_ += '[';
+        stack_.push_back({false, 0});
+    }
+
+    void
+    endArray()
+    {
+        const bool had = stack_.back().count > 0;
+        stack_.pop_back();
+        if (had)
+            newline();
+        out_ += ']';
+    }
+
+    void
+    key(const std::string &name)
+    {
+        comma();
+        newline();
+        out_ += '"';
+        out_ += jsonEscape(name);
+        out_ += pretty_ ? "\": " : "\":";
+        pendingKey_ = true;
+    }
+
+    void
+    value(const std::string &s)
+    {
+        openValue();
+        out_ += '"';
+        out_ += jsonEscape(s);
+        out_ += '"';
+    }
+
+    void value(const char *s) { value(std::string(s)); }
+
+    void
+    value(std::uint64_t v)
+    {
+        openValue();
+        out_ += std::to_string(v);
+    }
+
+    void value(int v) { value(static_cast<std::int64_t>(v)); }
+    void value(unsigned v) { value(static_cast<std::uint64_t>(v)); }
+
+    void
+    value(std::int64_t v)
+    {
+        openValue();
+        out_ += std::to_string(v);
+    }
+
+    void
+    value(double v)
+    {
+        openValue();
+        if (!std::isfinite(v)) {
+            out_ += "null"; // JSON has no inf/nan
+            return;
+        }
+        char buf[48];
+        std::snprintf(buf, sizeof(buf), "%.6g", v);
+        out_ += buf;
+    }
+
+    void
+    value(bool v)
+    {
+        openValue();
+        out_ += v ? "true" : "false";
+    }
+
+    /** Append pre-rendered JSON (e.g. a nested stats dump),
+     *  re-indented to the current depth. Only structural newlines can
+     *  occur in rendered JSON (strings escape theirs), so a plain
+     *  after-newline pad is safe. */
+    void
+    raw(const std::string &json)
+    {
+        openValue();
+        if (!pretty_) {
+            out_ += json;
+            return;
+        }
+        const std::string pad(stack_.size() * 2, ' ');
+        for (char c : json) {
+            out_ += c;
+            if (c == '\n')
+                out_ += pad;
+        }
+    }
+
+    const std::string &str() const { return out_; }
+
+  private:
+    struct Frame {
+        bool isObject;
+        std::size_t count;
+    };
+
+    void
+    comma()
+    {
+        if (!stack_.empty() && stack_.back().count++ > 0)
+            out_ += ',';
+    }
+
+    void
+    newline()
+    {
+        if (!pretty_)
+            return;
+        out_ += '\n';
+        out_.append(stack_.size() * 2, ' ');
+    }
+
+    /** Bookkeeping before any value: arrays get comma+newline, object
+     *  values consume the pending key. */
+    void
+    openValue()
+    {
+        if (pendingKey_) {
+            pendingKey_ = false;
+            return;
+        }
+        if (!stack_.empty() && !stack_.back().isObject) {
+            comma();
+            newline();
+        }
+    }
+
+    bool pretty_;
+    bool pendingKey_ = false;
+    std::string out_;
+    std::vector<Frame> stack_;
+};
+
+} // namespace nda
+
+#endif // NDASIM_OBS_JSON_WRITER_HH

@@ -1,0 +1,136 @@
+#include "obs/run_manifest.hh"
+
+#include <cstdio>
+
+#include "common/log.hh"
+#include "obs/json_writer.hh"
+
+#ifndef NDASIM_GIT_DESCRIBE
+#define NDASIM_GIT_DESCRIBE "unknown"
+#endif
+
+namespace nda {
+
+const char *
+RunManifest::gitDescribe()
+{
+    return NDASIM_GIT_DESCRIBE;
+}
+
+RunManifest::Field &
+RunManifest::addField(const std::string &key, FieldKind kind)
+{
+    // Last write wins so callers can refine a default.
+    for (Field &f : fields_) {
+        if (f.key == key) {
+            f = Field{};
+            f.key = key;
+            f.kind = kind;
+            return f;
+        }
+    }
+    Field f;
+    f.key = key;
+    f.kind = kind;
+    fields_.push_back(std::move(f));
+    return fields_.back();
+}
+
+void
+RunManifest::set(const std::string &key, const std::string &value)
+{
+    addField(key, FieldKind::kString).s = value;
+}
+
+void
+RunManifest::set(const std::string &key, const char *value)
+{
+    addField(key, FieldKind::kString).s = value;
+}
+
+void
+RunManifest::set(const std::string &key, std::uint64_t value)
+{
+    addField(key, FieldKind::kUint).u = value;
+}
+
+void
+RunManifest::set(const std::string &key, double value)
+{
+    addField(key, FieldKind::kDouble).d = value;
+}
+
+void
+RunManifest::set(const std::string &key, bool value)
+{
+    addField(key, FieldKind::kBool).b = value;
+}
+
+std::string
+RunManifest::toJson() const
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("tool");
+    w.value("ndasim");
+    w.key("bench");
+    w.value(bench_);
+    w.key("git");
+    w.value(gitDescribe());
+    w.key("manifest_version");
+    w.value(1);
+
+    w.key("fields");
+    w.beginObject();
+    for (const Field &f : fields_) {
+        w.key(f.key);
+        switch (f.kind) {
+          case FieldKind::kString: w.value(f.s); break;
+          case FieldKind::kUint: w.value(f.u); break;
+          case FieldKind::kDouble: w.value(f.d); break;
+          case FieldKind::kBool: w.value(f.b); break;
+        }
+    }
+    w.endObject();
+
+    w.key("timings_sec");
+    w.beginObject();
+    if (timings_) {
+        for (const auto &p : timings_->phases()) {
+            w.key(p.first);
+            w.value(p.second);
+        }
+        w.key("total");
+        w.value(timings_->total());
+    }
+    w.endObject();
+
+    w.key("stats");
+    if (stats_)
+        w.raw(stats_->dumpJson());
+    else
+        w.raw("{}");
+
+    w.endObject();
+    return w.str();
+}
+
+bool
+RunManifest::writeFile(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        NDA_WARN("cannot open '%s' for writing", path.c_str());
+        return false;
+    }
+    const std::string json = toJson() + "\n";
+    const std::size_t n =
+        std::fwrite(json.data(), 1, json.size(), f);
+    const int closed = std::fclose(f);
+    const bool ok = n == json.size() && closed == 0;
+    if (!ok)
+        NDA_WARN("short write to '%s'", path.c_str());
+    return ok;
+}
+
+} // namespace nda

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Per-run manifest: a single JSON document capturing *what produced
+ * these numbers* — bench name, config profile, seed, thread count,
+ * source revision, wall-clock phase timings, free-form result fields,
+ * and the full stats-registry dump. Every bench binary emits one via
+ * `--stats-out=`, so a results directory is self-describing.
+ */
+
+#ifndef NDASIM_OBS_RUN_MANIFEST_HH
+#define NDASIM_OBS_RUN_MANIFEST_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/scoped_timer.hh"
+#include "obs/stats_registry.hh"
+
+namespace nda {
+
+/** Builder for the manifest JSON. Keys render in insertion order. */
+class RunManifest
+{
+  public:
+    explicit RunManifest(std::string bench) : bench_(std::move(bench)) {}
+
+    /** `git describe` of the built source ("unknown" outside git). */
+    static const char *gitDescribe();
+
+    // Free-form result fields, rendered under "fields" in order.
+    void set(const std::string &key, const std::string &value);
+    void set(const std::string &key, const char *value);
+    void set(const std::string &key, std::uint64_t value);
+    void set(const std::string &key, double value);
+    void set(const std::string &key, bool value);
+
+    /** Attach wall-clock phase timings (borrowed; must outlive any
+     *  toJson/writeFile call). */
+    void setTimings(const PhaseTimings *t) { timings_ = t; }
+
+    /** Attach the stats registry whose dump becomes "stats"
+     *  (borrowed, same lifetime rule — dump happens at render). */
+    void setStats(const StatsRegistry *reg) { stats_ = reg; }
+
+    std::string toJson() const;
+
+    /** Write toJson() to `path`; NDA_WARNs and returns false on I/O
+     *  failure instead of aborting the run that produced the data. */
+    bool writeFile(const std::string &path) const;
+
+  private:
+    enum class FieldKind : std::uint8_t { kString, kUint, kDouble, kBool };
+    struct Field {
+        std::string key;
+        FieldKind kind;
+        std::string s;
+        std::uint64_t u = 0;
+        double d = 0.0;
+        bool b = false;
+    };
+
+    Field &addField(const std::string &key, FieldKind kind);
+
+    std::string bench_;
+    std::vector<Field> fields_;
+    const PhaseTimings *timings_ = nullptr;
+    const StatsRegistry *stats_ = nullptr;
+};
+
+} // namespace nda
+
+#endif // NDASIM_OBS_RUN_MANIFEST_HH

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Wall-clock phase timing for run manifests. A bench binary declares
+ * one PhaseTimings and brackets each phase ("warmup", "measure",
+ * "report") with a ScopedTimer; RunManifest serializes the result so
+ * a stats.json consumer can see where the wall-clock went.
+ *
+ * This is host time, not simulated time — never use it inside the
+ * simulation for anything that affects results (determinism).
+ */
+
+#ifndef NDASIM_OBS_SCOPED_TIMER_HH
+#define NDASIM_OBS_SCOPED_TIMER_HH
+
+#include <chrono>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace nda {
+
+/** Ordered list of (phase name, elapsed seconds) pairs. */
+class PhaseTimings
+{
+  public:
+    void
+    record(const std::string &name, double seconds)
+    {
+        // Re-entering a phase (e.g. one timer per grid cell)
+        // accumulates rather than duplicating the row.
+        for (auto &p : phases_) {
+            if (p.first == name) {
+                p.second += seconds;
+                return;
+            }
+        }
+        phases_.emplace_back(name, seconds);
+    }
+
+    const std::vector<std::pair<std::string, double>> &
+    phases() const
+    {
+        return phases_;
+    }
+
+    double
+    total() const
+    {
+        double t = 0.0;
+        for (const auto &p : phases_)
+            t += p.second;
+        return t;
+    }
+
+  private:
+    std::vector<std::pair<std::string, double>> phases_;
+};
+
+/** RAII timer: records elapsed wall-clock into a PhaseTimings slot. */
+class ScopedTimer
+{
+  public:
+    ScopedTimer(PhaseTimings &sink, std::string name)
+        : sink_(sink), name_(std::move(name)),
+          start_(std::chrono::steady_clock::now())
+    {
+    }
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+    ~ScopedTimer() { stop(); }
+
+    /** Record now instead of at scope exit (idempotent). */
+    void
+    stop()
+    {
+        if (stopped_)
+            return;
+        stopped_ = true;
+        const auto end = std::chrono::steady_clock::now();
+        sink_.record(name_,
+                     std::chrono::duration<double>(end - start_).count());
+    }
+
+  private:
+    PhaseTimings &sink_;
+    std::string name_;
+    std::chrono::steady_clock::time_point start_;
+    bool stopped_ = false;
+};
+
+} // namespace nda
+
+#endif // NDASIM_OBS_SCOPED_TIMER_HH

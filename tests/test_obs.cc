@@ -1,0 +1,801 @@
+/**
+ * @file
+ * Tests of the observability layer: the stats registry and its JSON /
+ * stats.txt dumpers, histogram merge/JSON, phase timers, the run
+ * manifest, the waterfall renderer, and the Chrome/Konata trace
+ * exporters (against golden files). All JSON emitted by the layer is
+ * validated with a strict in-test parser — malformed output that a
+ * lenient consumer would shrug off fails here.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "common/histogram.hh"
+#include "core/perf_counters.hh"
+#include "obs/run_manifest.hh"
+#include "obs/scoped_timer.hh"
+#include "obs/stats_registry.hh"
+#include "obs/stats_schema.hh"
+#include "obs/trace_export.hh"
+
+namespace nda {
+namespace {
+
+// ---------------------------------------------------------------------
+// A strict JSON parser: full grammar, no extensions, duplicate object
+// keys rejected, no trailing input. Small enough to audit by eye.
+// ---------------------------------------------------------------------
+
+struct JsonValue {
+    enum Type { kNull, kBool, kNumber, kString, kArray, kObject };
+    Type type = kNull;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<JsonValue> array;
+    std::map<std::string, JsonValue> object;
+
+    const JsonValue &
+    at(const std::string &key) const
+    {
+        static const JsonValue missing;
+        const auto it = object.find(key);
+        return it == object.end() ? missing : it->second;
+    }
+    bool has(const std::string &key) const { return object.count(key); }
+};
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(std::string text) : s_(std::move(text)) {}
+
+    bool
+    parse(JsonValue &out)
+    {
+        ok_ = true;
+        pos_ = 0;
+        out = value();
+        skipWs();
+        return ok_ && pos_ == s_.size();
+    }
+
+    const std::string &error() const { return error_; }
+
+  private:
+    void
+    fail(const std::string &why)
+    {
+        if (ok_) {
+            ok_ = false;
+            error_ = why + " at offset " + std::to_string(pos_);
+        }
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size() &&
+               (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                s_[pos_] == '\n' || s_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool
+    consume(char c)
+    {
+        skipWs();
+        if (pos_ < s_.size() && s_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    JsonValue
+    value()
+    {
+        skipWs();
+        if (pos_ >= s_.size()) {
+            fail("unexpected end of input");
+            return {};
+        }
+        const char c = s_[pos_];
+        if (c == '{')
+            return objectValue();
+        if (c == '[')
+            return arrayValue();
+        if (c == '"')
+            return stringValue();
+        if (c == 't' || c == 'f')
+            return boolValue();
+        if (c == 'n')
+            return nullValue();
+        if (c == '-' || (c >= '0' && c <= '9'))
+            return numberValue();
+        fail("unexpected character");
+        return {};
+    }
+
+    JsonValue
+    objectValue()
+    {
+        JsonValue v;
+        v.type = JsonValue::kObject;
+        consume('{');
+        if (consume('}'))
+            return v;
+        do {
+            skipWs();
+            if (pos_ >= s_.size() || s_[pos_] != '"') {
+                fail("expected object key");
+                return v;
+            }
+            const JsonValue key = stringValue();
+            if (!consume(':')) {
+                fail("expected ':'");
+                return v;
+            }
+            if (v.object.count(key.string)) {
+                fail("duplicate key '" + key.string + "'");
+                return v;
+            }
+            v.object.emplace(key.string, value());
+        } while (ok_ && consume(','));
+        if (!consume('}'))
+            fail("expected '}'");
+        return v;
+    }
+
+    JsonValue
+    arrayValue()
+    {
+        JsonValue v;
+        v.type = JsonValue::kArray;
+        consume('[');
+        if (consume(']'))
+            return v;
+        do {
+            v.array.push_back(value());
+        } while (ok_ && consume(','));
+        if (!consume(']'))
+            fail("expected ']'");
+        return v;
+    }
+
+    JsonValue
+    stringValue()
+    {
+        JsonValue v;
+        v.type = JsonValue::kString;
+        ++pos_; // opening quote
+        while (pos_ < s_.size() && s_[pos_] != '"') {
+            char c = s_[pos_++];
+            if (static_cast<unsigned char>(c) < 0x20) {
+                fail("unescaped control character in string");
+                return v;
+            }
+            if (c != '\\') {
+                v.string += c;
+                continue;
+            }
+            if (pos_ >= s_.size()) {
+                fail("dangling escape");
+                return v;
+            }
+            const char e = s_[pos_++];
+            switch (e) {
+              case '"': v.string += '"'; break;
+              case '\\': v.string += '\\'; break;
+              case '/': v.string += '/'; break;
+              case 'b': v.string += '\b'; break;
+              case 'f': v.string += '\f'; break;
+              case 'n': v.string += '\n'; break;
+              case 'r': v.string += '\r'; break;
+              case 't': v.string += '\t'; break;
+              case 'u': {
+                  unsigned code = 0;
+                  for (int i = 0; i < 4; ++i) {
+                      if (pos_ >= s_.size() ||
+                          !std::isxdigit(
+                              static_cast<unsigned char>(s_[pos_]))) {
+                          fail("bad \\u escape");
+                          return v;
+                      }
+                      code = code * 16 +
+                             (std::isdigit(static_cast<unsigned char>(
+                                  s_[pos_]))
+                                  ? s_[pos_] - '0'
+                                  : (std::tolower(s_[pos_]) - 'a') + 10);
+                      ++pos_;
+                  }
+                  // ASCII-only decode is enough for our emitters.
+                  v.string += static_cast<char>(code & 0x7F);
+                  break;
+              }
+              default: fail("unknown escape"); return v;
+            }
+        }
+        if (pos_ >= s_.size()) {
+            fail("unterminated string");
+            return v;
+        }
+        ++pos_; // closing quote
+        return v;
+    }
+
+    JsonValue
+    numberValue()
+    {
+        JsonValue v;
+        v.type = JsonValue::kNumber;
+        const std::size_t start = pos_;
+        if (pos_ < s_.size() && s_[pos_] == '-')
+            ++pos_;
+        std::size_t int_digits = 0;
+        while (pos_ < s_.size() && std::isdigit(
+                   static_cast<unsigned char>(s_[pos_]))) {
+            ++pos_;
+            ++int_digits;
+        }
+        if (int_digits == 0) {
+            fail("bad number");
+            return v;
+        }
+        // JSON forbids leading zeros like "01".
+        const std::size_t int_start =
+            s_[start] == '-' ? start + 1 : start;
+        if (int_digits > 1 && s_[int_start] == '0') {
+            fail("leading zero");
+            return v;
+        }
+        if (pos_ < s_.size() && s_[pos_] == '.') {
+            ++pos_;
+            std::size_t frac = 0;
+            while (pos_ < s_.size() && std::isdigit(
+                       static_cast<unsigned char>(s_[pos_]))) {
+                ++pos_;
+                ++frac;
+            }
+            if (frac == 0) {
+                fail("bad fraction");
+                return v;
+            }
+        }
+        if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < s_.size() && (s_[pos_] == '+' || s_[pos_] == '-'))
+                ++pos_;
+            std::size_t exp = 0;
+            while (pos_ < s_.size() && std::isdigit(
+                       static_cast<unsigned char>(s_[pos_]))) {
+                ++pos_;
+                ++exp;
+            }
+            if (exp == 0) {
+                fail("bad exponent");
+                return v;
+            }
+        }
+        v.number = std::stod(s_.substr(start, pos_ - start));
+        return v;
+    }
+
+    JsonValue
+    boolValue()
+    {
+        JsonValue v;
+        v.type = JsonValue::kBool;
+        if (s_.compare(pos_, 4, "true") == 0) {
+            v.boolean = true;
+            pos_ += 4;
+        } else if (s_.compare(pos_, 5, "false") == 0) {
+            v.boolean = false;
+            pos_ += 5;
+        } else {
+            fail("bad literal");
+        }
+        return v;
+    }
+
+    JsonValue
+    nullValue()
+    {
+        JsonValue v;
+        if (s_.compare(pos_, 4, "null") == 0)
+            pos_ += 4;
+        else
+            fail("bad literal");
+        return v;
+    }
+
+    const std::string s_;
+    std::size_t pos_ = 0;
+    bool ok_ = true;
+    std::string error_;
+};
+
+JsonValue
+parseOrDie(const std::string &text)
+{
+    JsonParser p(text);
+    JsonValue v;
+    EXPECT_TRUE(p.parse(v))
+        << p.error() << "\ninput was:\n"
+        << text.substr(0, 2000);
+    return v;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << "cannot open " << path;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+std::string
+goldenPath(const char *name)
+{
+    return std::string(NDASIM_GOLDEN_DIR) + "/" + name;
+}
+
+// Three hand-built records covering the interesting shapes: an
+// NDA-deferred unsafe load, a dependent ALU op, and a squashed
+// mispredicted branch. The exporters are pure functions of these, so
+// the golden files below never move when simulator timing changes.
+std::vector<InstTraceRecord>
+syntheticRecords()
+{
+    InstTraceRecord a;
+    a.seq = 1;
+    a.pc = 0x40;
+    a.disasm = "ld r1, [r2+0] (8)";
+    a.fetched = 10;
+    a.dispatched = 12;
+    a.issued = 14;
+    a.completed = 30;
+    a.broadcasted = 38;
+    a.retired = 40;
+    a.wasUnsafe = true;
+    a.unsafeMarkedAt = 12;
+    a.unsafeClearedAt = 38;
+
+    InstTraceRecord b;
+    b.seq = 2;
+    b.pc = 0x44;
+    b.disasm = "addi r3, r1, 1";
+    b.fetched = 11;
+    b.dispatched = 13;
+    b.issued = 39;
+    b.completed = 40;
+    b.broadcasted = 40;
+    b.retired = 41;
+
+    InstTraceRecord c;
+    c.seq = 3;
+    c.pc = 0x48;
+    c.disasm = "bne r3, r4, +2";
+    c.fetched = 11;
+    c.dispatched = 13;
+    c.issued = 15;
+    c.completed = 16;
+    c.broadcasted = 16;
+    c.retired = 42;
+    c.squashed = true;
+    c.mispredicted = true;
+    c.squashCause = SquashCause::kBranchMispredict;
+
+    return {a, b, c};
+}
+
+// ---------------------------------------------------------------------
+// The parser itself must be strict, or the tests above prove nothing.
+// ---------------------------------------------------------------------
+
+TEST(StrictJson, AcceptsValidDocuments)
+{
+    for (const char *doc :
+         {"{}", "[]", "[1, 2.5, -3e2, \"x\", true, null]",
+          R"({"a": {"b": [0.5]}, "c": "\n\t\" A"})"}) {
+        JsonParser p(doc);
+        JsonValue v;
+        EXPECT_TRUE(p.parse(v)) << doc << ": " << p.error();
+    }
+}
+
+TEST(StrictJson, RejectsMalformedDocuments)
+{
+    for (const char *doc :
+         {"{", "{} extra", "[1,]", "{\"a\":1,\"a\":2}", "01",
+          "{\"a\"}", "\"unterminated", "[1 2]", "nul", "1.",
+          "\"bad\\q\""}) {
+        JsonParser p(doc);
+        JsonValue v;
+        EXPECT_FALSE(p.parse(v)) << "accepted: " << doc;
+    }
+}
+
+// ---------------------------------------------------------------------
+// StatsRegistry
+// ---------------------------------------------------------------------
+
+TEST(StatsRegistry, BindsAndDumpsAllThreeKinds)
+{
+    std::uint64_t hits = 7;
+    Histogram lat(16);
+    lat.add(3);
+    lat.add(5);
+
+    StatsRegistry reg;
+    reg.addCounter("core.l1.hits", &hits, "lookups that hit");
+    reg.addFormula(
+        "core.l1.miss_rate", [] { return 0.25; }, "misses/lookups");
+    reg.addHistogram("core.lat", &lat, "load latency");
+
+    // Pointer binding: a later mutation is visible at dump time.
+    hits = 9;
+    const JsonValue v = parseOrDie(reg.dumpJson());
+    EXPECT_EQ(v.at("core").at("l1").at("hits").number, 9.0);
+    EXPECT_EQ(v.at("core").at("l1").at("miss_rate").number, 0.25);
+    EXPECT_EQ(v.at("core").at("lat").at("count").number, 2.0);
+
+    const std::string txt = reg.dumpText();
+    EXPECT_NE(txt.find("core.l1.hits"), std::string::npos);
+    EXPECT_NE(txt.find("core.lat::p99"), std::string::npos);
+    EXPECT_NE(txt.find("# lookups that hit"), std::string::npos);
+}
+
+TEST(StatsRegistry, GroupViewNestsPrefixes)
+{
+    std::uint64_t n = 1;
+    StatsRegistry reg;
+    const StatsRegistry::Group g = reg.group("a").group("b");
+    g.counter("n", &n, "nested");
+    ASSERT_EQ(reg.names().size(), 1u);
+    EXPECT_EQ(reg.names()[0], "a.b.n");
+}
+
+TEST(StatsRegistry, NamesAreSortedUnique)
+{
+    std::uint64_t x = 0;
+    StatsRegistry reg;
+    reg.addCounter("b.two", &x, "");
+    reg.addCounter("a.one", &x, "");
+    const auto names = reg.names();
+    ASSERT_EQ(names.size(), 2u);
+    EXPECT_EQ(names[0], "a.one");
+    EXPECT_EQ(names[1], "b.two");
+}
+
+// ---------------------------------------------------------------------
+// Histogram merge / JSON (stats-registry leaf format)
+// ---------------------------------------------------------------------
+
+TEST(Histogram, MergeFoldsCountsAndOverflow)
+{
+    Histogram a(8), b(8);
+    a.add(1);
+    a.add(2);
+    b.add(2);
+    b.add(100); // overflow of b
+    a.merge(b);
+    EXPECT_EQ(a.count(), 4u);
+    EXPECT_EQ(a.buckets()[2], 2u);
+    EXPECT_EQ(a.buckets().back(), 1u);
+}
+
+TEST(Histogram, MergeRespectsNarrowerCap)
+{
+    Histogram narrow(4), wide(64);
+    wide.add(10); // in range for wide, overflow for narrow
+    narrow.merge(wide);
+    EXPECT_EQ(narrow.count(), 1u);
+    EXPECT_EQ(narrow.buckets().back(), 1u);
+}
+
+TEST(Histogram, ToJsonParsesWithPercentiles)
+{
+    Histogram h(32);
+    for (int i = 0; i < 100; ++i)
+        h.add(static_cast<std::uint64_t>(i % 10));
+    const JsonValue v = parseOrDie(h.toJson());
+    EXPECT_EQ(v.at("count").number, 100.0);
+    EXPECT_TRUE(v.has("mean"));
+    EXPECT_TRUE(v.has("p50"));
+    EXPECT_TRUE(v.has("p95"));
+    EXPECT_TRUE(v.has("p99"));
+    EXPECT_EQ(v.at("buckets").at("0").number, 10.0);
+}
+
+// ---------------------------------------------------------------------
+// ScopedTimer / PhaseTimings
+// ---------------------------------------------------------------------
+
+TEST(ScopedTimer, RecordsAndAccumulatesPhases)
+{
+    PhaseTimings t;
+    {
+        ScopedTimer a(t, "alpha");
+    }
+    {
+        ScopedTimer b(t, "beta");
+        b.stop();
+        b.stop(); // idempotent
+    }
+    {
+        ScopedTimer a2(t, "alpha"); // accumulates into "alpha"
+    }
+    ASSERT_EQ(t.phases().size(), 2u);
+    EXPECT_EQ(t.phases()[0].first, "alpha");
+    EXPECT_EQ(t.phases()[1].first, "beta");
+    EXPECT_GE(t.total(), 0.0);
+}
+
+// ---------------------------------------------------------------------
+// RunManifest
+// ---------------------------------------------------------------------
+
+TEST(RunManifest, JsonParsesWithFieldsTimingsAndStats)
+{
+    std::uint64_t commits = 123;
+    StatsRegistry reg;
+    reg.addCounter("core.commits", &commits, "committed insts");
+
+    PhaseTimings timings;
+    { ScopedTimer t(timings, "grid"); }
+
+    RunManifest m("unit_test");
+    m.set("profile", "Strict");
+    m.set("seed", std::uint64_t{42});
+    m.set("cpi", 1.5);
+    m.set("blocked", true);
+    m.set("profile", "Strict+BR"); // last write wins, no dup key
+    m.setTimings(&timings);
+    m.setStats(&reg);
+
+    const JsonValue v = parseOrDie(m.toJson());
+    EXPECT_EQ(v.at("tool").string, "ndasim");
+    EXPECT_EQ(v.at("bench").string, "unit_test");
+    EXPECT_EQ(v.at("manifest_version").number, 1.0);
+    EXPECT_FALSE(v.at("git").string.empty());
+    EXPECT_EQ(v.at("fields").at("profile").string, "Strict+BR");
+    EXPECT_EQ(v.at("fields").at("seed").number, 42.0);
+    EXPECT_EQ(v.at("fields").at("cpi").number, 1.5);
+    EXPECT_TRUE(v.at("fields").at("blocked").boolean);
+    EXPECT_TRUE(v.at("timings_sec").has("grid"));
+    EXPECT_TRUE(v.at("timings_sec").has("total"));
+    EXPECT_EQ(v.at("stats").at("core").at("commits").number, 123.0);
+}
+
+TEST(RunManifest, WriteFileRoundTrips)
+{
+    RunManifest m("roundtrip");
+    m.set("x", std::uint64_t{1});
+    const std::string path =
+        ::testing::TempDir() + "/ndasim_manifest_test.json";
+    ASSERT_TRUE(m.writeFile(path));
+    // writeFile terminates the document with a newline.
+    EXPECT_EQ(readFile(path), m.toJson() + "\n");
+    std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------
+// Waterfall renderer (shared by PipeTrace::render and kText export)
+// ---------------------------------------------------------------------
+
+TEST(Waterfall, SelectsRequestedRows)
+{
+    const auto recs = syntheticRecords();
+    const std::string all = renderWaterfall(recs, 0, recs.size(), 32);
+    EXPECT_NE(all.find("ld r1"), std::string::npos);
+    EXPECT_NE(all.find("addi r3"), std::string::npos);
+    EXPECT_NE(all.find("bne r3"), std::string::npos);
+
+    const std::string one = renderWaterfall(recs, 1, 1, 32);
+    EXPECT_EQ(one.find("ld r1"), std::string::npos);
+    EXPECT_NE(one.find("addi r3"), std::string::npos);
+    EXPECT_EQ(one.find("bne r3"), std::string::npos);
+}
+
+TEST(Waterfall, CompressesTimeAxisToWidth)
+{
+    auto recs = syntheticRecords();
+    recs[2].retired = 100000; // huge cycle range
+    for (unsigned width : {8u, 24u, 64u}) {
+        const std::string out =
+            renderWaterfall(recs, 0, recs.size(), width);
+        std::istringstream lines(out);
+        std::string line;
+        std::getline(lines, line); // header
+        while (std::getline(lines, line)) {
+            // seq(6) + space + disasm(26) + space + lane(width) +
+            // optional flags.
+            EXPECT_LE(line.size(), 6 + 1 + 26 + 1 + width + 12)
+                << "width " << width << ": " << line;
+            EXPECT_NE(line.find_first_of("fdicbrx="), std::string::npos);
+        }
+    }
+}
+
+TEST(Waterfall, MarksSquashUnsafeAndMispredict)
+{
+    const auto recs = syntheticRecords();
+    std::istringstream lines(
+        renderWaterfall(recs, 0, recs.size(), 48));
+    std::string header, row_a, row_b, row_c;
+    std::getline(lines, header);
+    std::getline(lines, row_a);
+    std::getline(lines, row_b);
+    std::getline(lines, row_c);
+    EXPECT_NE(header.find("x=squash"), std::string::npos);
+    // Unsafe load: retires with 'r', flagged U, no squash marker.
+    EXPECT_NE(row_a.find('r'), std::string::npos);
+    EXPECT_NE(row_a.find("  U"), std::string::npos);
+    EXPECT_EQ(row_a.find('x'), std::string::npos);
+    // Squashed branch: 'x' marker, MISP flag, no retire marker.
+    EXPECT_NE(row_c.find('x'), std::string::npos);
+    EXPECT_NE(row_c.find("MISP"), std::string::npos);
+    EXPECT_EQ(row_b.find('x'), std::string::npos);
+}
+
+TEST(Waterfall, DegenerateInputs)
+{
+    EXPECT_EQ(renderWaterfall({}, 0, 10, 32), "(no trace records)\n");
+    const auto recs = syntheticRecords();
+    EXPECT_EQ(renderWaterfall(recs, recs.size(), 1, 32),
+              "(no trace records)\n");
+    EXPECT_EQ(renderWaterfall(recs, 0, 1, 1), "(no trace records)\n");
+}
+
+// ---------------------------------------------------------------------
+// Chrome trace exporter
+// ---------------------------------------------------------------------
+
+TEST(ChromeExport, MatchesGoldenFile)
+{
+    const TraceExporter exp(syntheticRecords());
+    EXPECT_EQ(exp.exportChrome(),
+              readFile(goldenPath("chrome_trace.json")));
+}
+
+TEST(ChromeExport, StrictJsonWithNdaSemantics)
+{
+    const TraceExporter exp(syntheticRecords());
+    const JsonValue v = parseOrDie(exp.exportChrome());
+    ASSERT_EQ(v.at("traceEvents").type, JsonValue::kArray);
+
+    std::size_t defer = 0, squash = 0, marks = 0;
+    bool process_meta = false;
+    for (const JsonValue &e : v.at("traceEvents").array) {
+        const std::string &name = e.at("name").string;
+        if (name == "process_name")
+            process_meta = true;
+        if (name == "nda_defer") {
+            ++defer;
+            EXPECT_EQ(e.at("ph").string, "X");
+            EXPECT_EQ(e.at("ts").number, 30.0);  // completed
+            EXPECT_EQ(e.at("dur").number, 8.0);  // broadcast gap
+            EXPECT_EQ(e.at("tid").number, 1.0);  // the unsafe load
+        }
+        if (name == "squash") {
+            ++squash;
+            EXPECT_EQ(e.at("ph").string, "i");
+            EXPECT_EQ(e.at("args").at("detail").string,
+                      "branch-mispredict");
+            EXPECT_EQ(e.at("tid").number, 3.0);
+        }
+        if (name == "unsafe-mark" || name == "unsafe-clear")
+            ++marks;
+    }
+    EXPECT_TRUE(process_meta);
+    EXPECT_EQ(defer, 1u) << "only the deferred load gets a defer slice";
+    EXPECT_EQ(squash, 1u);
+    EXPECT_EQ(marks, 2u);
+}
+
+TEST(ChromeExport, EmptyRecordsStillValid)
+{
+    const TraceExporter exp({});
+    const JsonValue v = parseOrDie(exp.exportChrome());
+    // Only the process-name metadata event remains.
+    ASSERT_EQ(v.at("traceEvents").array.size(), 1u);
+    EXPECT_EQ(v.at("traceEvents").array[0].at("name").string,
+              "process_name");
+}
+
+// ---------------------------------------------------------------------
+// Konata exporter
+// ---------------------------------------------------------------------
+
+TEST(KonataExport, MatchesGoldenFile)
+{
+    const TraceExporter exp(syntheticRecords());
+    EXPECT_EQ(exp.exportKonata(),
+              readFile(goldenPath("konata_trace.kanata")));
+}
+
+TEST(KonataExport, HeaderClockAndRetireProtocol)
+{
+    const TraceExporter exp(syntheticRecords());
+    const std::string out = exp.exportKonata();
+    ASSERT_EQ(out.rfind("Kanata\t0004\nC=\t10\n", 0), 0u)
+        << "header + clock origin at the first fetch cycle";
+
+    // Retire commands: ids 0/1 for the two commits, flush type (1)
+    // for the squashed branch with a don't-care id of 0.
+    EXPECT_NE(out.find("R\t0\t0\t0"), std::string::npos);
+    EXPECT_NE(out.find("R\t1\t1\t0"), std::string::npos);
+    EXPECT_NE(out.find("R\t2\t0\t1"), std::string::npos);
+    // The unsafe load carries an extra lane-1 label.
+    EXPECT_NE(out.find("L\t0\t1\tNDA-unsafe"), std::string::npos);
+
+    // Time must advance monotonically: "C" deltas are positive.
+    std::istringstream lines(out);
+    std::string line;
+    while (std::getline(lines, line)) {
+        if (line.rfind("C\t", 0) == 0) {
+            EXPECT_GT(std::stoull(line.substr(2)), 0u);
+        }
+    }
+}
+
+TEST(KonataExport, EmptyRecords)
+{
+    const TraceExporter exp({});
+    EXPECT_EQ(exp.exportKonata(), "Kanata\t0004\n");
+}
+
+TEST(TextExport, MatchesWaterfall)
+{
+    const auto recs = syntheticRecords();
+    const TraceExporter exp(recs);
+    EXPECT_EQ(exp.exportText(96),
+              renderWaterfall(recs, 0, recs.size(), 96));
+    EXPECT_EQ(exp.render(TraceFormat::kText), exp.exportText());
+}
+
+TEST(TraceFormat, NameParseRoundTrip)
+{
+    for (TraceFormat f : {TraceFormat::kChrome, TraceFormat::kKonata,
+                          TraceFormat::kText}) {
+        TraceFormat parsed{};
+        ASSERT_TRUE(parseTraceFormat(traceFormatName(f), parsed));
+        EXPECT_EQ(parsed, f);
+    }
+    TraceFormat dummy{};
+    EXPECT_FALSE(parseTraceFormat("perfetto", dummy));
+    EXPECT_FALSE(parseTraceFormat("", dummy));
+}
+
+// ---------------------------------------------------------------------
+// Canonical stats schema vs the committed golden
+// ---------------------------------------------------------------------
+
+TEST(StatsSchema, MatchesGoldenFile)
+{
+    std::vector<std::string> golden;
+    std::istringstream in(readFile(goldenPath("stats_schema.txt")));
+    std::string line;
+    while (std::getline(in, line)) {
+        if (!line.empty())
+            golden.push_back(line);
+    }
+    const std::vector<std::string> actual = canonicalStatsSchema();
+    EXPECT_EQ(actual, golden)
+        << "registered stat names changed; if intentional, regenerate "
+           "with: sim_throughput --stats-schema > "
+           "tests/golden/stats_schema.txt";
+}
+
+} // namespace
+} // namespace nda
