@@ -37,7 +37,17 @@ printSampleUsage(const char *prog,
                  "  --samples=N    independently-seeded samples per "
                  "cell\n"
                  "  --insts=N      measured instructions per window\n"
-                 "  --warmup=N     warm-up instructions per window\n"
+                 "  --measure=N    alias for --insts=N\n"
+                 "  --warmup=N     detailed warm-up instructions per "
+                 "window\n"
+                 "  --fastforward=N\n"
+                 "                 functional fast-forward (with cache/"
+                 "predictor warming)\n"
+                 "                 before each window (default: 0)\n"
+                 "  --no-reuse     rebuild the fast-forward checkpoint "
+                 "for every window\n"
+                 "                 instead of sharing one per "
+                 "(workload, sample)\n"
                  "  --seed=N       base RNG seed (sample s uses "
                  "seed+s)\n"
                  "  --jobs=N       concurrent simulation windows "
@@ -156,8 +166,14 @@ parseSampleArgs(int argc, char **argv,
             p.samples = static_cast<unsigned>(number(10));
         } else if (arg.rfind("--insts=", 0) == 0) {
             p.measureInsts = number(8);
+        } else if (arg.rfind("--measure=", 0) == 0) {
+            p.measureInsts = number(10);
         } else if (arg.rfind("--warmup=", 0) == 0) {
             p.warmupInsts = number(9);
+        } else if (arg.rfind("--fastforward=", 0) == 0) {
+            p.fastforwardInsts = number(14);
+        } else if (arg == "--no-reuse") {
+            p.reuseCheckpoints = false;
         } else if (arg.rfind("--seed=", 0) == 0) {
             p.baseSeed = number(7);
         } else if (arg.rfind("--jobs=", 0) == 0) {
@@ -175,6 +191,9 @@ parseSampleArgs(int argc, char **argv,
             std::exit(2);
         }
     }
+    // Reject degenerate parameter sets (e.g. --insts=0) up front,
+    // before any measurement time is spent.
+    p.validate();
     return p;
 }
 
@@ -272,9 +291,11 @@ emitBenchObs(BenchObs &obs, const char *bench, Profile profile,
         m.set("workload", workload->name());
         m.set("seed", sp.baseSeed);
         m.set("samples", static_cast<std::uint64_t>(sp.samples));
+        m.set("fastforward_insts", sp.fastforwardInsts);
         m.set("warmup_insts", sp.warmupInsts);
         m.set("measure_insts", sp.measureInsts);
         m.set("jobs", static_cast<std::uint64_t>(sp.jobs));
+        m.set("reuse_checkpoints", sp.reuseCheckpoints);
         if (obs.wantTrace()) {
             m.set("trace_out", obs.traceOut);
             m.set("trace_format", traceFormatName(obs.traceFormat));

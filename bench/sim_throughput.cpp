@@ -120,6 +120,52 @@ main(int argc, char **argv)
                 sp.jobs, static_cast<unsigned long long>(grid_insts),
                 grid_seconds, grid_kips);
 
+    // Checkpoint-reuse A/B: the same multi-profile sweep with a
+    // dominant fast-forward, legacy (rebuild per window) vs shared
+    // checkpoints. Fixed at --jobs=2 so the comparison measures work
+    // eliminated, not how much idle hardware can hide the extra
+    // fast-forwards.
+    SampleParams ab = sp;
+    ab.fastforwardInsts = 500'000;
+    ab.warmupInsts = 2'000;
+    ab.measureInsts = 5'000;
+    ab.samples = 2;
+    ab.jobs = 2;
+    std::vector<std::unique_ptr<Workload>> ab_workloads;
+    ab_workloads.push_back(makeWorkload("compute"));
+    ab_workloads.push_back(makeWorkload("branchy"));
+
+    SampleParams ab_legacy = ab;
+    ab_legacy.reuseCheckpoints = false;
+    GridStats legacy_stats;
+    const auto legacy_t0 = Clock::now();
+    {
+        ScopedTimer t(obs.timings, "reuse-ab-legacy");
+        runGrid(ab_workloads, configs, ab_legacy, nullptr,
+                &legacy_stats);
+    }
+    const double legacy_seconds = secondsSince(legacy_t0);
+
+    GridStats reuse_stats;
+    const auto reuse_t0 = Clock::now();
+    {
+        ScopedTimer t(obs.timings, "reuse-ab-reuse");
+        runGrid(ab_workloads, configs, ab, nullptr, &reuse_stats);
+    }
+    const double reuse_seconds = secondsSince(reuse_t0);
+    const double reuse_speedup = legacy_seconds / reuse_seconds;
+    std::printf("\nGrid checkpoint reuse (%zu workloads x %zu "
+                "profiles x %u samples, %lluk ff insts, jobs=2):\n"
+                "  legacy  %llu fast-forwards, %.2fs\n"
+                "  reuse   %llu fast-forwards, %.2fs  (%.2fx)\n",
+                ab_workloads.size(), configs.size(), ab.samples,
+                static_cast<unsigned long long>(
+                    ab.fastforwardInsts / 1000),
+                static_cast<unsigned long long>(legacy_stats.ffRuns),
+                legacy_seconds,
+                static_cast<unsigned long long>(reuse_stats.ffRuns),
+                reuse_seconds, reuse_speedup);
+
     std::FILE *json = std::fopen(json_path.c_str(), "w");
     if (!json) {
         NDA_WARN("cannot write %s", json_path.c_str());
@@ -148,17 +194,33 @@ main(int argc, char **argv)
     std::fprintf(json,
                  "  ],\n"
                  "  \"harness\": {\"jobs\": %u, \"instructions\": "
-                 "%llu, \"seconds\": %.4f, \"kips\": %.1f}\n"
-                 "}\n",
+                 "%llu, \"seconds\": %.4f, \"kips\": %.1f},\n",
                  sp.jobs, static_cast<unsigned long long>(grid_insts),
                  grid_seconds, grid_kips);
+    std::fprintf(json,
+                 "  \"grid_checkpoint_reuse\": {\"workloads\": %zu, "
+                 "\"profiles\": %zu, \"samples\": %u, "
+                 "\"fastforward_insts\": %llu, \"jobs\": 2,\n"
+                 "    \"legacy_ff_runs\": %llu, \"legacy_seconds\": "
+                 "%.4f,\n"
+                 "    \"reuse_ff_runs\": %llu, \"reuse_seconds\": "
+                 "%.4f, \"speedup\": %.2f}\n"
+                 "}\n",
+                 ab_workloads.size(), configs.size(), ab.samples,
+                 static_cast<unsigned long long>(ab.fastforwardInsts),
+                 static_cast<unsigned long long>(legacy_stats.ffRuns),
+                 legacy_seconds,
+                 static_cast<unsigned long long>(reuse_stats.ffRuns),
+                 reuse_seconds, reuse_speedup);
     std::fclose(json);
     std::printf("wrote %s\n", json_path.c_str());
 
     emitBenchObs(obs, "sim_throughput", Profile::kStrict, sp,
-                 [&](RunManifest &m, StatsRegistry &) {
+                 [&](RunManifest &m, StatsRegistry &reg) {
                      m.set("harness_kips", grid_kips);
                      m.set("harness_insts", grid_insts);
+                     m.set("reuse_speedup", reuse_speedup);
+                     reuse_stats.registerStats(reg, "harness");
                      for (const ProfileKips &r : results)
                          m.set(std::string("kips_") +
                                    profileName(r.profile),

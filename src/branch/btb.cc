@@ -14,6 +14,25 @@ Btb::Btb(const BtbParams &p)
     entries_.resize(params_.entries);
 }
 
+Btb::Snapshot
+Btb::save() const
+{
+    return Snapshot{entries_, useClock_, hits_, misses_, updates_};
+}
+
+void
+Btb::restore(const Snapshot &snap)
+{
+    NDA_ASSERT(snap.entries.size() == entries_.size(),
+               "btb snapshot geometry mismatch (%zu vs %zu entries)",
+               snap.entries.size(), entries_.size());
+    entries_ = snap.entries;
+    useClock_ = snap.useClock;
+    hits_ = snap.hits;
+    misses_ = snap.misses;
+    updates_ = snap.updates;
+}
+
 Btb::Entry *
 Btb::find(Addr pc)
 {

@@ -41,6 +41,29 @@ class Btb
   public:
     explicit Btb(const BtbParams &p = {});
 
+    struct Entry {
+        Addr tag = 0;
+        Addr target = 0;
+        bool valid = false;
+        std::uint64_t lastUse = 0;
+
+        bool operator==(const Entry &) const = default;
+    };
+
+    /** Complete table state for warming checkpoints. */
+    struct Snapshot {
+        std::vector<Entry> entries;
+        std::uint64_t useClock = 0;
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t updates = 0;
+
+        bool operator==(const Snapshot &) const = default;
+    };
+
+    Snapshot save() const;
+    void restore(const Snapshot &snap);
+
     /** Predicted target for the branch at pc, if present. */
     std::optional<Addr> lookup(Addr pc);
 
@@ -64,13 +87,6 @@ class Btb
                        const std::string &prefix) const;
 
   private:
-    struct Entry {
-        Addr tag = 0;
-        Addr target = 0;
-        bool valid = false;
-        std::uint64_t lastUse = 0;
-    };
-
     unsigned setIndex(Addr pc) const
     {
         return static_cast<unsigned>(pc % numSets_);

@@ -1,5 +1,6 @@
 #include "branch/direction_predictor.hh"
 
+#include "common/log.hh"
 #include "obs/stats_registry.hh"
 
 namespace nda {
@@ -15,6 +16,28 @@ DirectionPredictor::DirectionPredictor(const DirectionPredictorParams &p)
     gshare_.assign(entries, 1);   // weakly not-taken (gem5-style init)
     bimodal_.assign(entries, 1);
     chooser_.assign(entries, 2);  // weakly prefer gshare
+}
+
+DirectionPredictor::Snapshot
+DirectionPredictor::save() const
+{
+    return Snapshot{gshare_,  bimodal_,  chooser_,
+                    history_, predicts_, gshareChosen_};
+}
+
+void
+DirectionPredictor::restore(const Snapshot &snap)
+{
+    NDA_ASSERT(snap.gshare.size() == gshare_.size(),
+               "direction-predictor snapshot geometry mismatch "
+               "(%zu vs %zu entries)",
+               snap.gshare.size(), gshare_.size());
+    gshare_ = snap.gshare;
+    bimodal_ = snap.bimodal;
+    chooser_ = snap.chooser;
+    history_ = snap.history;
+    predicts_ = snap.predicts;
+    gshareChosen_ = snap.gshareChosen;
 }
 
 unsigned

@@ -32,6 +32,21 @@ class DirectionPredictor
   public:
     explicit DirectionPredictor(const DirectionPredictorParams &p = {});
 
+    /** Complete table + history state for warming checkpoints. */
+    struct Snapshot {
+        std::vector<std::uint8_t> gshare;
+        std::vector<std::uint8_t> bimodal;
+        std::vector<std::uint8_t> chooser;
+        std::uint64_t history = 0;
+        std::uint64_t predicts = 0;
+        std::uint64_t gshareChosen = 0;
+
+        bool operator==(const Snapshot &) const = default;
+    };
+
+    Snapshot save() const;
+    void restore(const Snapshot &snap);
+
     /** Predict the branch at `pc` and speculatively shift history. */
     bool predict(Addr pc);
 

@@ -46,6 +46,31 @@ class PredictorUnit
   public:
     explicit PredictorUnit(const PredictorParams &p = {});
 
+    /** Complete predictor state (direction tables + BTB + RAS) for
+     *  warming checkpoints (core/snapshot.hh). */
+    struct Snapshot {
+        DirectionPredictor::Snapshot direction;
+        Btb::Snapshot btb;
+        Ras::Snapshot ras;
+
+        bool operator==(const Snapshot &) const = default;
+    };
+
+    Snapshot
+    save() const
+    {
+        return Snapshot{direction_.save(), btb_.save(), ras_.save()};
+    }
+
+    /** Restore all three structures; geometry must match (asserted). */
+    void
+    restore(const Snapshot &snap)
+    {
+        direction_.restore(snap.direction);
+        btb_.restore(snap.btb);
+        ras_.restore(snap.ras);
+    }
+
     /**
      * Predict the branch `uop` at `pc` and apply speculative state
      * updates (history shift, RAS push/pop).

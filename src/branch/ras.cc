@@ -1,5 +1,6 @@
 #include "branch/ras.hh"
 
+#include "common/log.hh"
 #include "obs/stats_registry.hh"
 
 namespace nda {
@@ -7,6 +8,24 @@ namespace nda {
 Ras::Ras(unsigned entries)
     : stack_(entries, 0)
 {
+}
+
+Ras::Snapshot
+Ras::save() const
+{
+    return Snapshot{stack_, topIdx_, pushes_, pops_};
+}
+
+void
+Ras::restore(const Snapshot &snap)
+{
+    NDA_ASSERT(snap.stack.size() == stack_.size(),
+               "ras snapshot geometry mismatch (%zu vs %zu entries)",
+               snap.stack.size(), stack_.size());
+    stack_ = snap.stack;
+    topIdx_ = snap.topIdx;
+    pushes_ = snap.pushes;
+    pops_ = snap.pops;
 }
 
 Ras::Checkpoint

@@ -32,6 +32,20 @@ class Ras
 
     explicit Ras(unsigned entries = 16);
 
+    /** Complete stack state for warming checkpoints (unlike
+     *  Checkpoint, which only undoes a single push/pop). */
+    struct Snapshot {
+        std::vector<Addr> stack;
+        unsigned topIdx = 0;
+        std::uint64_t pushes = 0;
+        std::uint64_t pops = 0;
+
+        bool operator==(const Snapshot &) const = default;
+    };
+
+    Snapshot save() const;
+    void restore(const Snapshot &snap);
+
     /** Capture state before a speculative push/pop. */
     Checkpoint checkpoint() const;
 

@@ -1,0 +1,44 @@
+#include "core/arch_state.hh"
+
+#include "dift/taint_engine.hh"
+#include "isa/interpreter.hh"
+#include "isa/program.hh"
+
+namespace nda {
+
+void
+ArchState::reset(const Program &prog)
+{
+    *this = ArchState{};
+    loadDataSegments(prog, mem);
+    for (int i = 0; i < kNumArchRegs; ++i)
+        regs[i] = prog.initialRegs[i];
+    for (int i = 0; i < kNumMsrRegs; ++i)
+        msrs[i] = prog.initialMsrs[i];
+    pc = prog.entry;
+}
+
+void
+ArchState::captureTaint(const TaintEngine &dift)
+{
+    hasTaint = true;
+    for (int r = 0; r < kNumArchRegs; ++r)
+        regTaint[r] = dift.archRegTaint(static_cast<RegId>(r));
+    for (int i = 0; i < kNumMsrRegs; ++i)
+        msrTaint[i] = dift.msrTaint(static_cast<unsigned>(i));
+    memTaint = dift.memTaintMap();
+}
+
+void
+ArchState::applyTaint(TaintEngine &dift) const
+{
+    if (!hasTaint)
+        return;
+    for (int r = 0; r < kNumArchRegs; ++r)
+        dift.setArchRegTaint(static_cast<RegId>(r), regTaint[r]);
+    for (int i = 0; i < kNumMsrRegs; ++i)
+        dift.setMsrTaint(static_cast<unsigned>(i), msrTaint[i]);
+    dift.setMemTaintMap(memTaint);
+}
+
+} // namespace nda

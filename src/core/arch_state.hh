@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The architectural state every execution engine agrees on: register
+ * file, MSRs, PC, memory image, retirement counts, and (when a DIFT
+ * engine is attached) the architectural taint that travels with them.
+ *
+ * The interpreter *runs on* an ArchState directly; the timing cores
+ * (`InOrderCore`, `OooCore`) save into / restore from one at window
+ * boundaries (CoreBase::saveCheckpoint / restoreCheckpoint). Because
+ * NDA only changes timing, an ArchState captured from any engine at a
+ * commit boundary is a valid starting point for any other — this is
+ * what makes SMARTS-style checkpoint reuse (snapshot.hh) sound.
+ */
+
+#ifndef NDASIM_CORE_ARCH_STATE_HH
+#define NDASIM_CORE_ARCH_STATE_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/types.hh"
+#include "mem/memory_map.hh"
+
+namespace nda {
+
+struct Program;
+class TaintEngine;
+
+/** Complete architectural machine state at a commit boundary. */
+struct ArchState {
+    RegVal regs[kNumArchRegs] = {};
+    RegVal msrs[kNumMsrRegs] = {};
+    Addr pc = 0;
+    bool halted = false;
+    /** Instructions retired since the program's entry point. */
+    std::uint64_t instCount = 0;
+    std::uint64_t faultCount = 0;
+    /**
+     * Last i-cache line the (warming) front end fetched from, so a
+     * restored interpreter resumes its line-crossing detection — and
+     * hence its functional-warming i-cache accesses — bit-exactly.
+     */
+    Addr lastFetchLine = ~Addr{0};
+    MemoryMap mem;
+
+    // --- DIFT architectural taint (valid iff hasTaint) ------------------
+    bool hasTaint = false;
+    TaintWord regTaint[kNumArchRegs] = {};
+    TaintWord msrTaint[kNumMsrRegs] = {};
+    std::unordered_map<Addr, TaintWord> memTaint; ///< per byte, sparse
+
+    /** Reinitialize from a program image (entry PC, initial regs/MSRs,
+     *  data segments); clears taint. */
+    void reset(const Program &prog);
+
+    /** Copy the engine's architectural taint in; sets hasTaint. */
+    void captureTaint(const TaintEngine &dift);
+
+    /** Write the captured architectural taint back into an engine
+     *  (no-op unless hasTaint). */
+    void applyTaint(TaintEngine &dift) const;
+
+    bool operator==(const ArchState &) const = default;
+};
+
+} // namespace nda
+
+#endif // NDASIM_CORE_ARCH_STATE_HH

@@ -18,6 +18,7 @@
 namespace nda {
 
 struct Program;
+struct SimSnapshot;
 class TaintEngine;
 class InvariantChecker;
 
@@ -84,6 +85,25 @@ class CoreBase
 
     /** Start a fresh measurement window (SMARTS warm-up boundary). */
     virtual void resetCounters() = 0;
+
+    /**
+     * Capture this core's architectural state — and whatever warming
+     * state it keeps (cache tags, predictor tables) — into `out`
+     * (core/snapshot.hh). Used by the sampling harness and by
+     * differential tests.
+     */
+    virtual void saveCheckpoint(SimSnapshot &out) const = 0;
+
+    /**
+     * Seed a *freshly constructed* core from a warming checkpoint:
+     * architectural registers, memory image, PC, and — where the
+     * snapshot carries them and the geometry matches (asserted) —
+     * cache tags and predictor tables. Timing state (cycle count,
+     * in-flight instructions) is NOT part of a checkpoint; the core
+     * resumes from an empty pipeline, which is exactly the SMARTS
+     * detailed warm-up's job to refill.
+     */
+    virtual void restoreCheckpoint(const SimSnapshot &snap) = 0;
 
     /**
      * Bind every stat this core exposes into `reg` under `prefix`

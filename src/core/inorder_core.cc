@@ -1,6 +1,7 @@
 #include "core/inorder_core.hh"
 
 #include "common/log.hh"
+#include "core/snapshot.hh"
 #include "dift/taint_engine.hh"
 #include "isa/interpreter.hh"
 
@@ -47,6 +48,52 @@ TaintWord
 InOrderCore::archRegTaint(RegId r) const
 {
     return dift_ ? dift_->archRegTaint(r) : 0;
+}
+
+void
+InOrderCore::saveCheckpoint(SimSnapshot &out) const
+{
+    out = SimSnapshot{};
+    ArchState &arch = out.arch;
+    for (int i = 0; i < kNumArchRegs; ++i)
+        arch.regs[i] = regs_[i];
+    for (int i = 0; i < kNumMsrRegs; ++i)
+        arch.msrs[i] = msrs_[i];
+    arch.pc = pc_;
+    arch.halted = halted_;
+    arch.instCount = committed_;
+    arch.faultCount = counters_.faults;
+    arch.lastFetchLine = lastFetchLine_;
+    arch.mem = mem_;
+    if (dift_)
+        arch.captureTaint(*dift_);
+
+    out.hasMem = true;
+    out.mem = hier_.save();
+    out.memParams = cfg_.memory;
+    // No predictor: this core never speculates.
+}
+
+void
+InOrderCore::restoreCheckpoint(const SimSnapshot &snap)
+{
+    NDA_ASSERT(cycle_ == 0,
+               "checkpoints restore into freshly constructed cores");
+    const ArchState &arch = snap.arch;
+    for (int i = 0; i < kNumArchRegs; ++i)
+        regs_[i] = arch.regs[i];
+    for (int i = 0; i < kNumMsrRegs; ++i)
+        msrs_[i] = arch.msrs[i];
+    pc_ = arch.pc;
+    halted_ = arch.halted;
+    committed_ = arch.instCount;
+    counters_.faults = arch.faultCount;
+    lastFetchLine_ = arch.lastFetchLine;
+    mem_ = arch.mem;
+    if (dift_)
+        arch.applyTaint(*dift_);
+    if (snap.hasMem)
+        hier_.restore(snap.mem);
 }
 
 Cycle

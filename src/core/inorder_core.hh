@@ -50,6 +50,9 @@ class InOrderCore : public CoreBase
 
     TaintWord archRegTaint(RegId r) const override;
 
+    void saveCheckpoint(SimSnapshot &out) const override;
+    void restoreCheckpoint(const SimSnapshot &snap) override;
+
   private:
     /** Execute one instruction; returns its total cycle cost. */
     Cycle step();

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "core/snapshot.hh"
 #include "dift/taint_engine.hh"
 #include "fuzz/invariant_checker.hh"
 #include "isa/interpreter.hh"
@@ -51,6 +52,71 @@ TaintWord
 OooCore::archRegTaint(RegId r) const
 {
     return dift_ ? dift_->regTaint(commitMap_[r]) : 0;
+}
+
+void
+OooCore::saveCheckpoint(SimSnapshot &out) const
+{
+    out = SimSnapshot{};
+    ArchState &arch = out.arch;
+    for (unsigned r = 0; r < kNumArchRegs; ++r)
+        arch.regs[r] = regs_.value(commitMap_[r]);
+    for (int i = 0; i < kNumMsrRegs; ++i)
+        arch.msrs[i] = msrs_[i];
+    // The architectural PC is the oldest instruction that has not yet
+    // committed; with an idle pipeline it is simply the fetch PC.
+    arch.pc = !rob_.empty()         ? rob_.front()->pc
+              : !fetchQueue_.empty() ? fetchQueue_.front()->pc
+                                     : fetchPc_;
+    arch.halted = halted_;
+    arch.instCount = committed_;
+    arch.faultCount = counters_.faults;
+    arch.lastFetchLine = lastFetchLine_;
+    arch.mem = mem_;
+    if (dift_) {
+        arch.hasTaint = true;
+        for (unsigned r = 0; r < kNumArchRegs; ++r)
+            arch.regTaint[r] = dift_->regTaint(commitMap_[r]);
+        for (unsigned i = 0; i < kNumMsrRegs; ++i)
+            arch.msrTaint[i] = dift_->msrTaint(i);
+        arch.memTaint = dift_->memTaintMap();
+    }
+
+    out.hasMem = true;
+    out.mem = hier_.save();
+    out.memParams = cfg_.memory;
+    out.hasPredictor = true;
+    out.predictor = bp_.save();
+    out.bpParams = cfg_.core.predictor;
+}
+
+void
+OooCore::restoreCheckpoint(const SimSnapshot &snap)
+{
+    NDA_ASSERT(cycle_ == 0 && committed_ == 0 && rob_.empty(),
+               "checkpoints restore into freshly constructed cores");
+    const ArchState &arch = snap.arch;
+    for (unsigned r = 0; r < kNumArchRegs; ++r)
+        regs_.setValue(commitMap_[r], arch.regs[r]);
+    for (int i = 0; i < kNumMsrRegs; ++i)
+        msrs_[i] = arch.msrs[i];
+    fetchPc_ = arch.pc;
+    halted_ = arch.halted;
+    committed_ = arch.instCount;
+    counters_.faults = arch.faultCount;
+    lastFetchLine_ = arch.lastFetchLine;
+    mem_ = arch.mem;
+    if (dift_ && arch.hasTaint) {
+        for (unsigned r = 0; r < kNumArchRegs; ++r)
+            dift_->setRegTaint(commitMap_[r], arch.regTaint[r]);
+        for (unsigned i = 0; i < kNumMsrRegs; ++i)
+            dift_->setMsrTaint(i, arch.msrTaint[i]);
+        dift_->setMemTaintMap(arch.memTaint);
+    }
+    if (snap.hasMem)
+        hier_.restore(snap.mem);
+    if (snap.hasPredictor)
+        bp_.restore(snap.predictor);
 }
 
 bool

@@ -101,6 +101,18 @@ class OooCore : public CoreBase
     TaintWord archRegTaint(RegId r) const override;
 
     /**
+     * Checkpoint the *committed* machine: architectural values come
+     * from the commit rename map, the PC is the oldest un-committed
+     * instruction's (in-flight work is deliberately excluded — it
+     * re-executes after a restore). Cache tags and predictor tables
+     * are captured as-is, wrong-path pollution included.
+     */
+    void saveCheckpoint(SimSnapshot &out) const override;
+
+    /** Restore into a freshly constructed core only (asserted). */
+    void restoreCheckpoint(const SimSnapshot &snap) override;
+
+    /**
      * Install a callback invoked once per dynamic instruction when it
      * leaves the machine (at commit, or when squashed), with the
      * current cycle. Used by debug::PipeTrace.

@@ -1,0 +1,76 @@
+#include "core/snapshot.hh"
+
+#include "common/log.hh"
+#include "core/core_config.hh"
+#include "isa/interpreter.hh"
+
+namespace nda {
+
+namespace {
+
+bool
+sameGeometry(const CacheParams &a, const CacheParams &b)
+{
+    return a.sizeBytes == b.sizeBytes && a.ways == b.ways &&
+           a.lineBytes == b.lineBytes;
+}
+
+bool
+sameGeometry(const PredictorParams &a, const PredictorParams &b)
+{
+    return a.direction.tableBits == b.direction.tableBits &&
+           a.direction.historyBits == b.direction.historyBits &&
+           a.btb.entries == b.btb.entries && a.btb.ways == b.btb.ways &&
+           a.btb.tagBits == b.btb.tagBits &&
+           a.rasEntries == b.rasEntries;
+}
+
+} // namespace
+
+bool
+SimSnapshot::structurallyCompatible(const SimConfig &cfg) const
+{
+    if (hasMem && !(sameGeometry(memParams.l1i, cfg.memory.l1i) &&
+                    sameGeometry(memParams.l1d, cfg.memory.l1d) &&
+                    sameGeometry(memParams.l2, cfg.memory.l2))) {
+        return false;
+    }
+    if (hasPredictor &&
+        !sameGeometry(bpParams, cfg.core.predictor)) {
+        return false;
+    }
+    return true;
+}
+
+SimSnapshot
+buildWarmCheckpoint(const Program &prog,
+                    const HierarchyParams &mem_params,
+                    const PredictorParams &bp_params,
+                    std::uint64_t ff_insts, TaintEngine *dift)
+{
+    Interpreter interp(prog);
+    MemHierarchy hier(mem_params);
+    PredictorUnit bp(bp_params);
+    interp.attachWarming(&hier, &bp);
+    if (dift)
+        interp.attachDift(dift);
+
+    const std::uint64_t executed = interp.run(ff_insts);
+    NDA_ASSERT(!interp.halted(),
+               "program halted after %llu of %llu fast-forward "
+               "instructions — window placement runs off the end",
+               static_cast<unsigned long long>(executed),
+               static_cast<unsigned long long>(ff_insts));
+
+    SimSnapshot snap;
+    snap.arch = interp.save();
+    snap.hasMem = true;
+    snap.mem = hier.save();
+    snap.memParams = mem_params;
+    snap.hasPredictor = true;
+    snap.predictor = bp.save();
+    snap.bpParams = bp_params;
+    return snap;
+}
+
+} // namespace nda

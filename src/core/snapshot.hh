@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Whole-machine warming checkpoint: the architectural state plus the
+ * structural (squash-surviving) micro-architectural state every core
+ * model can be seeded with — cache tags/LRU and predictor tables.
+ *
+ * Built once per (workload, sample) by fast-forwarding the functional
+ * interpreter with warming attached (SMARTS, paper §6.1), then
+ * restored into each profile's core (CoreBase::restoreCheckpoint)
+ * instead of re-warming per profile. A snapshot records the geometry
+ * it was built with; restoring requires structural compatibility
+ * (structurallyCompatible), and the harness falls back to building a
+ * per-window checkpoint when a config's geometry differs — so sweeps
+ * that vary cache or predictor geometry still work, just without
+ * sharing.
+ */
+
+#ifndef NDASIM_CORE_SNAPSHOT_HH
+#define NDASIM_CORE_SNAPSHOT_HH
+
+#include "branch/predictor_unit.hh"
+#include "core/arch_state.hh"
+#include "mem/hierarchy.hh"
+
+namespace nda {
+
+struct Program;
+struct SimConfig;
+
+/** Architectural + structural-warming state of one machine. */
+struct SimSnapshot {
+    ArchState arch;
+
+    bool hasMem = false;
+    MemHierarchy::Snapshot mem;
+    HierarchyParams memParams;       ///< geometry the tags assume
+
+    bool hasPredictor = false;
+    PredictorUnit::Snapshot predictor;
+    PredictorParams bpParams;        ///< geometry the tables assume
+
+    /**
+     * True iff every structural snapshot carried here can be restored
+     * into a machine built from `cfg`: cache geometry (size, ways,
+     * line) and predictor geometry (table/history bits, BTB shape,
+     * RAS depth) must match. Latencies are irrelevant — they never
+     * influence which tags/counters warming produces.
+     */
+    bool structurallyCompatible(const SimConfig &cfg) const;
+};
+
+class TaintEngine;
+
+/**
+ * Fast-forward `ff_insts` instructions of `prog` on the interpreter
+ * with functional warming into structures of the given geometry, and
+ * return the resulting checkpoint. Deterministic: same program,
+ * geometry, and instruction count always yield the same snapshot.
+ *
+ * `dift`, if non-null, is attached for the fast-forward so the
+ * checkpoint carries architectural taint.
+ */
+SimSnapshot buildWarmCheckpoint(const Program &prog,
+                                const HierarchyParams &mem_params,
+                                const PredictorParams &bp_params,
+                                std::uint64_t ff_insts,
+                                TaintEngine *dift = nullptr);
+
+} // namespace nda
+
+#endif // NDASIM_CORE_SNAPSHOT_HH

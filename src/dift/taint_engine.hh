@@ -56,6 +56,18 @@ class TaintEngine
     // --- memory / MSR taint (shared by both propagation levels) ---------
     TaintWord memTaint(Addr addr, unsigned size) const;
     void writeMemTaint(Addr addr, unsigned size, TaintWord t);
+
+    /** Whole-map access for architectural snapshots (core/arch_state). */
+    const std::unordered_map<Addr, TaintWord> &
+    memTaintMap() const
+    {
+        return memTaint_;
+    }
+    void
+    setMemTaintMap(std::unordered_map<Addr, TaintWord> m)
+    {
+        memTaint_ = std::move(m);
+    }
     TaintWord msrTaint(unsigned idx) const { return msrTaint_[idx]; }
     void setMsrTaint(unsigned idx, TaintWord t) { msrTaint_[idx] = t; }
 

@@ -79,7 +79,7 @@ fuzzSecrets(const Program &prog)
 }
 
 /** Comparable architectural end state of one model. */
-struct ArchState {
+struct ModelEndState {
     RegVal regs[kNumArchRegs] = {};
     RegVal msrs[kNumMsrRegs] = {};
     std::uint64_t insts = 0;
@@ -91,7 +91,7 @@ struct ArchState {
 
 void
 collectMemory(const Program &prog, const MemoryMap &mem,
-              const TaintEngine *taint, ArchState &out)
+              const TaintEngine *taint, ModelEndState &out)
 {
     std::size_t total = 0;
     for (const DataSegment &seg : prog.data)
@@ -126,7 +126,7 @@ memIndexToAddr(const Program &prog, std::size_t index)
 }
 
 void
-hashState(Fnv &fnv, const ArchState &s)
+hashState(Fnv &fnv, const ModelEndState &s)
 {
     for (RegVal r : s.regs)
         fnv.u64(r);
@@ -229,7 +229,7 @@ fuzzProgram(const Program &prog, std::uint64_t seed,
         return out;
     }
 
-    ArchState want;
+    ModelEndState want;
     for (int r = 0; r < kNumArchRegs; ++r)
         want.regs[r] = ref.reg(static_cast<RegId>(r));
     for (int i = 0; i < kNumMsrRegs; ++i)
@@ -273,7 +273,7 @@ fuzzProgram(const Program &prog, std::uint64_t seed,
             continue;
         }
 
-        ArchState got;
+        ModelEndState got;
         for (int r = 0; r < kNumArchRegs; ++r)
             got.regs[r] = core->archReg(static_cast<RegId>(r));
         for (int i = 0; i < kNumMsrRegs; ++i)

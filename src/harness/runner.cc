@@ -7,21 +7,89 @@
 #include "common/stats_util.hh"
 #include "common/thread_pool.hh"
 #include "core/core_factory.hh"
+#include "core/snapshot.hh"
+#include "obs/stats_registry.hh"
 
 namespace nda {
 
+void
+SampleParams::validate() const
+{
+    if (samples == 0)
+        NDA_FATAL("SampleParams::samples is 0 — at least one sample "
+                  "window is required to measure anything");
+    if (measureInsts == 0)
+        NDA_FATAL("SampleParams::measureInsts is 0 — an empty measured "
+                  "window would report CPI over zero instructions");
+}
+
+void
+GridStats::accumulate(const WindowWork &w)
+{
+    ffInsts += w.ffInsts;
+    ffRuns += w.ffRuns;
+    checkpointRestores += w.restores;
+    detailedWarmupInsts += w.warmupInsts;
+    measuredInsts += w.measuredInsts;
+    ++windows;
+}
+
+void
+GridStats::registerStats(StatsRegistry &reg,
+                         const std::string &prefix) const
+{
+    const StatsRegistry::Group g = reg.group(prefix);
+    g.counter("ff_insts", &ffInsts,
+              "functional fast-forward instructions executed");
+    g.counter("ff_runs", &ffRuns,
+              "fast-forwards executed (W*S with reuse, up to W*S*P "
+              "without)");
+    g.counter("checkpoint_restores", &checkpointRestores,
+              "warming checkpoints restored into cores");
+    g.counter("detailed_warmup_insts", &detailedWarmupInsts,
+              "detailed-model warm-up instructions executed");
+    g.counter("measured_insts", &measuredInsts,
+              "detailed-model measured instructions executed");
+    g.counter("windows", &windows, "measured sample windows run");
+}
+
 WindowStats
 runWindow(const Workload &workload, const SimConfig &cfg,
-          std::uint64_t seed, const SampleParams &p)
+          std::uint64_t seed, const SampleParams &p,
+          const SimSnapshot *ckpt, WindowWork *work)
 {
     const Program prog = workload.build(seed);
     auto core = makeCore(prog, cfg);
+    WindowWork local;
 
-    // Warm caches, predictors, and pipeline state.
+    if (p.fastforwardInsts > 0) {
+        if (ckpt != nullptr && ckpt->structurallyCompatible(cfg)) {
+            core->restoreCheckpoint(*ckpt);
+        } else {
+            // No shared checkpoint (legacy path) or its warming state
+            // does not fit this config's geometry: fast-forward for
+            // this window alone. Same deterministic procedure either
+            // way, so results never depend on which path ran.
+            const SimSnapshot own = buildWarmCheckpoint(
+                prog, cfg.memory, cfg.core.predictor,
+                p.fastforwardInsts);
+            core->restoreCheckpoint(own);
+            local.ffInsts += p.fastforwardInsts;
+            ++local.ffRuns;
+        }
+        ++local.restores;
+        NDA_ASSERT(!core->halted(),
+                   "workload '%s' halted during fast-forward — too "
+                   "short", workload.name().c_str());
+    }
+
+    // Warm pipeline state (and, without a fast-forward, caches and
+    // predictors too) under the detailed model.
     core->run(p.warmupInsts, ~Cycle{0});
     NDA_ASSERT(!core->halted(),
                "workload '%s' halted during warm-up — too short",
                workload.name().c_str());
+    local.warmupInsts += p.warmupInsts;
 
     // Measured window.
     core->resetCounters();
@@ -31,6 +99,10 @@ runWindow(const Workload &workload, const SimConfig &cfg,
                workload.name().c_str());
 
     const PerfCounters &c = core->counters();
+    local.measuredInsts += c.committedInsts;
+    if (work)
+        *work = local;
+
     WindowStats w;
     w.cpi = c.cpi();
     w.mlp = c.mlp();
@@ -84,44 +156,78 @@ RunResult
 runSampled(const Workload &workload, const SimConfig &cfg,
            const SampleParams &p)
 {
-    std::vector<WindowStats> windows(p.samples);
-    ThreadPool pool(std::min<unsigned>(std::max(1u, p.jobs),
-                                       p.samples));
-    pool.parallelFor(p.samples, [&](std::size_t s) {
-        windows[s] = runWindow(workload, cfg,
-                               p.baseSeed + static_cast<std::uint64_t>(s),
-                               p);
-    });
-    return aggregateWindows(windows);
+    SampleParams q = p;
+    q.jobs = std::min<unsigned>(std::max(1u, p.jobs), p.samples);
+    const std::vector<const Workload *> ws{&workload};
+    const std::vector<SimConfig> cs{cfg};
+    return runGrid(ws, cs, q).front();
 }
 
 std::vector<RunResult>
 runGrid(const std::vector<const Workload *> &workloads,
         const std::vector<SimConfig> &configs, const SampleParams &p,
-        const std::function<void(std::size_t, std::size_t)> &progress)
+        const std::function<void(std::size_t, std::size_t)> &progress,
+        GridStats *stats)
 {
+    p.validate();
     const std::size_t cells = workloads.size() * configs.size();
     const std::size_t total = cells * p.samples;
     std::vector<WindowStats> windows(total);
+    std::vector<WindowWork> work(total);
+    PhaseTimings timings;
 
+    // Phase 1: one warming checkpoint per (workload, sample), built
+    // with the first config's geometry and shared across profiles.
+    // The functional prefix of a sample does not depend on the
+    // profile, so this turns W*S*P fast-forwards into W*S.
+    std::vector<SimSnapshot> checkpoints;
+    const bool share = p.reuseCheckpoints && p.fastforwardInsts > 0 &&
+                       !configs.empty() && !workloads.empty();
+    if (share) {
+        ScopedTimer t(timings, "fast_forward");
+        const std::size_t n_ckpts = workloads.size() * p.samples;
+        checkpoints.resize(n_ckpts);
+        ThreadPool ff_pool(std::max(1u, p.jobs));
+        ff_pool.parallelFor(n_ckpts, [&](std::size_t task) {
+            const std::size_t w = task / p.samples;
+            const std::size_t sample = task % p.samples;
+            const Program prog = workloads[w]->build(
+                p.baseSeed + static_cast<std::uint64_t>(sample));
+            checkpoints[task] = buildWarmCheckpoint(
+                prog, configs[0].memory, configs[0].core.predictor,
+                p.fastforwardInsts);
+        });
+        if (stats) {
+            stats->ffRuns += n_ckpts;
+            stats->ffInsts += n_ckpts * p.fastforwardInsts;
+        }
+    }
+
+    // Phase 2: every (cell, sample) detailed window, in parallel.
     std::mutex progress_mutex;
     std::size_t done = 0;
-    ThreadPool pool(std::max(1u, p.jobs));
-    pool.parallelFor(total, [&](std::size_t task) {
-        const std::size_t cell = task / p.samples;
-        const std::size_t sample = task % p.samples;
-        const std::size_t w = cell / configs.size();
-        const std::size_t c = cell % configs.size();
-        windows[task] =
-            runWindow(*workloads[w], configs[c],
-                      p.baseSeed + static_cast<std::uint64_t>(sample),
-                      p);
-        if (progress) {
-            std::lock_guard<std::mutex> lock(progress_mutex);
-            progress(++done, total);
-        }
-    });
+    {
+        ScopedTimer t(timings, "detailed");
+        ThreadPool pool(std::max(1u, p.jobs));
+        pool.parallelFor(total, [&](std::size_t task) {
+            const std::size_t cell = task / p.samples;
+            const std::size_t sample = task % p.samples;
+            const std::size_t w = cell / configs.size();
+            const std::size_t c = cell % configs.size();
+            const SimSnapshot *ckpt =
+                share ? &checkpoints[w * p.samples + sample] : nullptr;
+            windows[task] = runWindow(
+                *workloads[w], configs[c],
+                p.baseSeed + static_cast<std::uint64_t>(sample), p,
+                ckpt, &work[task]);
+            if (progress) {
+                std::lock_guard<std::mutex> lock(progress_mutex);
+                progress(++done, total);
+            }
+        });
+    }
 
+    // Phase 3: reduce in index order (scheduling-independent).
     std::vector<RunResult> results;
     results.reserve(cells);
     std::vector<WindowStats> cell_windows(p.samples);
@@ -130,19 +236,26 @@ runGrid(const std::vector<const Workload *> &workloads,
             cell_windows[s] = windows[cell * p.samples + s];
         results.push_back(aggregateWindows(cell_windows));
     }
+    if (stats) {
+        for (const WindowWork &w : work)
+            stats->accumulate(w);
+        for (const auto &phase : timings.phases())
+            stats->timings.record(phase.first, phase.second);
+    }
     return results;
 }
 
 std::vector<RunResult>
 runGrid(const std::vector<std::unique_ptr<Workload>> &workloads,
         const std::vector<SimConfig> &configs, const SampleParams &p,
-        const std::function<void(std::size_t, std::size_t)> &progress)
+        const std::function<void(std::size_t, std::size_t)> &progress,
+        GridStats *stats)
 {
     std::vector<const Workload *> ptrs;
     ptrs.reserve(workloads.size());
     for (const auto &w : workloads)
         ptrs.push_back(w.get());
-    return runGrid(ptrs, configs, p, progress);
+    return runGrid(ptrs, configs, p, progress, stats);
 }
 
 } // namespace nda

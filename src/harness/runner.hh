@@ -2,15 +2,29 @@
  * @file
  * SMARTS-style sampled-measurement harness (paper §6.1): for each
  * (workload, profile) pair, run K independently-seeded samples, each
- * with a warm-up phase followed by a measured window, and report the
- * mean and 95% confidence interval of CPI plus the Fig 9 statistics.
+ * placed by a functional fast-forward, warmed by a short detailed
+ * window, then measured, and report the mean and 95% confidence
+ * interval of CPI plus the Fig 9 statistics.
  *
- * Every window is an independent simulation — it owns its core,
- * memory, and RNG, seeded from (baseSeed + sample index) — so the
- * harness runs windows concurrently on a thread pool when
+ * Every measured window is an independent simulation — it owns its
+ * core, memory, and RNG, seeded from (baseSeed + sample index) — so
+ * the harness runs windows concurrently on a thread pool when
  * SampleParams::jobs > 1. Results are written into slots indexed by
  * task id and reduced in index order afterwards, which makes the
  * parallel output bit-identical to the serial (jobs = 1) path.
+ *
+ * Fast-forwarding is where a profile sweep burns almost all of its
+ * functional work, and the functional prefix of a sample does not
+ * depend on the profile being measured. With checkpoint reuse
+ * (SampleParams::reuseCheckpoints, the default) the grid therefore
+ * fast-forwards each (workload, sample) ONCE, snapshots the machine
+ * (core/snapshot.hh), and restores that snapshot into every profile's
+ * core — turning W×S×P functional prefixes into W×S. Profiles whose
+ * cache/predictor geometry differs from the snapshot's fall back to a
+ * per-window fast-forward, which is also exactly what
+ * reuseCheckpoints = false does for every window; both paths build
+ * checkpoints with the same deterministic procedure, so reuse on/off
+ * is bit-identical by construction.
  */
 
 #ifndef NDASIM_HARNESS_RUNNER_HH
@@ -23,18 +37,39 @@
 #include "core/core_config.hh"
 #include "core/perf_counters.hh"
 #include "harness/profiles.hh"
+#include "obs/scoped_timer.hh"
 #include "workloads/workload.hh"
 
 namespace nda {
 
+class StatsRegistry;
+struct SimSnapshot;
+
 /** Per-sample measurement knobs. */
 struct SampleParams {
+    /**
+     * Functional fast-forward (interpreter + functional warming)
+     * before the detailed windows. 0 = no fast-forward: windows
+     * start at the program entry, as the pre-snapshot harness did.
+     */
+    std::uint64_t fastforwardInsts = 0;
+    /** Detailed (timing-model) warm-up after the fast-forward. */
     std::uint64_t warmupInsts = 20'000;
     std::uint64_t measureInsts = 100'000;
     unsigned samples = 3;       ///< independently-seeded runs
     std::uint64_t baseSeed = 1;
     /** Concurrent simulation windows; 1 = fully serial (no pool). */
     unsigned jobs = 1;
+    /**
+     * Share one fast-forward checkpoint per (workload, sample) across
+     * all profiles of a grid. Off = rebuild per window (the legacy
+     * path; bit-identical results, more functional work).
+     */
+    bool reuseCheckpoints = true;
+
+    /** NDA_FATAL on parameters that cannot produce a measurement
+     *  (zero samples or an empty measured window). */
+    void validate() const;
 };
 
 /** Measured statistics of one sample window. */
@@ -52,6 +87,39 @@ struct WindowStats {
     std::uint64_t cycles = 0;
 };
 
+/** How much work one window cost the harness (not the simulated
+ *  machine) — fed into GridStats. */
+struct WindowWork {
+    std::uint64_t ffInsts = 0;    ///< functional insts this window ran
+    std::uint64_t ffRuns = 0;     ///< fast-forwards this window ran
+    std::uint64_t restores = 0;   ///< checkpoint restores
+    std::uint64_t warmupInsts = 0;   ///< detailed warm-up insts
+    std::uint64_t measuredInsts = 0; ///< detailed measured insts
+};
+
+/**
+ * Aggregate harness-side work of one grid sweep, bindable into a
+ * StatsRegistry under "harness". The interesting signal is ff_runs /
+ * ff_insts: with checkpoint reuse a W-workload, S-sample, P-profile
+ * grid performs W×S fast-forwards instead of W×S×P.
+ */
+struct GridStats {
+    std::uint64_t ffInsts = 0;
+    std::uint64_t ffRuns = 0;
+    std::uint64_t checkpointRestores = 0;
+    std::uint64_t detailedWarmupInsts = 0;
+    std::uint64_t measuredInsts = 0;
+    std::uint64_t windows = 0;
+    /** Host seconds per phase: "fast_forward", "detailed". */
+    PhaseTimings timings;
+
+    void accumulate(const WindowWork &w);
+
+    /** Bind all counters under `prefix` (canonically "harness"). */
+    void registerStats(StatsRegistry &reg,
+                       const std::string &prefix) const;
+};
+
 /** Aggregated result over all samples of one (workload, profile). */
 struct RunResult {
     WindowStats mean;
@@ -59,9 +127,15 @@ struct RunResult {
     std::vector<double> cpiSamples;
 };
 
-/** Run one sample window and return its statistics. */
+/**
+ * Run one sample window: fast-forward (or restore `ckpt` when given
+ * and structurally compatible with `cfg`), detailed warm-up, measured
+ * window. `work`, if set, receives this window's harness-side cost.
+ */
 WindowStats runWindow(const Workload &workload, const SimConfig &cfg,
-                      std::uint64_t seed, const SampleParams &p);
+                      std::uint64_t seed, const SampleParams &p,
+                      const SimSnapshot *ckpt = nullptr,
+                      WindowWork *work = nullptr);
 
 /** Reduce one cell's per-sample windows (in index order). */
 RunResult aggregateWindows(const std::vector<WindowStats> &windows);
@@ -71,26 +145,33 @@ RunResult runSampled(const Workload &workload, const SimConfig &cfg,
                      const SampleParams &p);
 
 /**
- * Sweep a full workload x config grid, dispatching every
- * (cell, sample) window to a pool of `p.jobs` lanes. Cell results are
- * returned in row-major order: result[w * configs.size() + c].
+ * Sweep a full workload x config grid in three phases: build one
+ * checkpoint per (workload, sample) — shared across profiles when
+ * p.reuseCheckpoints — then dispatch every (cell, sample) window to a
+ * pool of `p.jobs` lanes. Cell results are returned in row-major
+ * order: result[w * configs.size() + c].
  *
- * `progress`, if set, is invoked after each window completes with
- * (windows done so far, total windows); calls are serialized but may
- * come from worker threads.
+ * `progress`, if set, is invoked after each *measured* window
+ * completes with (windows done so far, total windows); fast-forwards
+ * are not windows. Calls are serialized but may come from worker
+ * threads.
+ *
+ * `stats`, if set, accumulates the sweep's harness-side work.
  */
 std::vector<RunResult>
 runGrid(const std::vector<const Workload *> &workloads,
         const std::vector<SimConfig> &configs, const SampleParams &p,
         const std::function<void(std::size_t, std::size_t)> &progress =
-            nullptr);
+            nullptr,
+        GridStats *stats = nullptr);
 
 /** Convenience overload over owning workload lists. */
 std::vector<RunResult>
 runGrid(const std::vector<std::unique_ptr<Workload>> &workloads,
         const std::vector<SimConfig> &configs, const SampleParams &p,
         const std::function<void(std::size_t, std::size_t)> &progress =
-            nullptr);
+            nullptr,
+        GridStats *stats = nullptr);
 
 } // namespace nda
 

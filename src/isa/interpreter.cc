@@ -1,7 +1,9 @@
 #include "isa/interpreter.hh"
 
+#include "branch/predictor_unit.hh"
 #include "common/log.hh"
 #include "dift/taint_engine.hh"
+#include "mem/hierarchy.hh"
 
 namespace nda {
 
@@ -108,38 +110,62 @@ loadDataSegments(const Program &prog, MemoryMap &mem)
 }
 
 Interpreter::Interpreter(Program prog)
-    : prog_(std::move(prog)), pc_(prog_.entry)
+    : prog_(std::move(prog))
 {
-    loadDataSegments(prog_, mem_);
-    for (int i = 0; i < kNumArchRegs; ++i)
-        regs_[i] = prog_.initialRegs[i];
-    for (int i = 0; i < kNumMsrRegs; ++i)
-        msrs_[i] = prog_.initialMsrs[i];
+    st_.reset(prog_);
+}
+
+ArchState
+Interpreter::save() const
+{
+    ArchState snap = st_;
+    if (dift_)
+        snap.captureTaint(*dift_);
+    return snap;
+}
+
+void
+Interpreter::restore(const ArchState &snap)
+{
+    st_ = snap;
+    if (dift_)
+        snap.applyTaint(*dift_);
 }
 
 StepResult
 Interpreter::step()
 {
-    if (halted_)
+    if (st_.halted)
         return StepResult::kHalted;
-    if (!prog_.validPc(pc_)) {
-        halted_ = true;
+    if (!prog_.validPc(st_.pc)) {
+        st_.halted = true;
         return StepResult::kOutOfRange;
     }
 
-    const MicroOp &uop = prog_.at(pc_);
+    // Functional i-cache warming: the timing front ends access the
+    // i-cache once per fetched line, so warm on line crossings only.
+    if (warmHier_) {
+        const Addr fetch_addr = pcToFetchAddr(st_.pc);
+        const Addr line = fetch_addr / kLineSize;
+        if (line != st_.lastFetchLine) {
+            warmHier_->instAccess(fetch_addr);
+            st_.lastFetchLine = line;
+        }
+    }
+
+    const MicroOp &uop = prog_.at(st_.pc);
     const OpTraits &t = uop.traits();
-    const RegVal a = t.readsRs1 ? regs_[uop.rs1] : 0;
-    const RegVal b = t.readsRs2 ? regs_[uop.rs2] : 0;
-    ++instCount_;
+    const RegVal a = t.readsRs1 ? st_.regs[uop.rs1] : 0;
+    const RegVal b = t.readsRs2 ? st_.regs[uop.rs2] : 0;
+    ++st_.instCount;
 
     auto raise_fault = [&]() -> StepResult {
-        ++faultCount_;
+        ++st_.faultCount;
         if (prog_.faultHandler == ~Addr{0}) {
-            halted_ = true;
+            st_.halted = true;
             return StepResult::kFaulted;
         }
-        pc_ = prog_.faultHandler;
+        st_.pc = prog_.faultHandler;
         return StepResult::kFaulted;
     };
 
@@ -148,26 +174,36 @@ Interpreter::step()
       case Opcode::kFence:
       case Opcode::kSpecOff:
       case Opcode::kSpecOn:
+        break;
       case Opcode::kClflush:
+        if (warmHier_)
+            warmHier_->flushLine(a + static_cast<Addr>(uop.imm));
+        break;
       case Opcode::kPrefetch:
+        if (warmHier_)
+            warmHier_->dataAccess(a + static_cast<Addr>(uop.imm));
         break;
       case Opcode::kHalt:
-        halted_ = true;
+        st_.halted = true;
         return StepResult::kHalted;
       case Opcode::kLoad: {
         const Addr addr = a + static_cast<Addr>(uop.imm);
-        if (!mem_.accessAllowed(addr, uop.size, CpuMode::kUser))
+        if (!st_.mem.accessAllowed(addr, uop.size, CpuMode::kUser))
             return raise_fault();
-        regs_[uop.rd] = mem_.read(addr, uop.size);
+        if (warmHier_)
+            warmHier_->dataAccess(addr);
+        st_.regs[uop.rd] = st_.mem.read(addr, uop.size);
         if (dift_)
-            dift_->archLoad(uop.rd, uop.rs1, addr, uop.size, pc_);
+            dift_->archLoad(uop.rd, uop.rs1, addr, uop.size, st_.pc);
         break;
       }
       case Opcode::kStore: {
         const Addr addr = a + static_cast<Addr>(uop.imm);
-        if (!mem_.accessAllowed(addr, uop.size, CpuMode::kUser))
+        if (!st_.mem.accessAllowed(addr, uop.size, CpuMode::kUser))
             return raise_fault();
-        mem_.write(addr, b, uop.size);
+        if (warmHier_)
+            warmHier_->dataAccess(addr);
+        st_.mem.write(addr, b, uop.size);
         if (dift_)
             dift_->archStore(addr, uop.size, uop.rs2);
         break;
@@ -176,52 +212,72 @@ Interpreter::step()
         const unsigned idx = static_cast<unsigned>(uop.imm);
         if (prog_.privilegedMsrMask & (1u << idx))
             return raise_fault();
-        regs_[uop.rd] = msrs_[idx];
+        st_.regs[uop.rd] = st_.msrs[idx];
         if (dift_)
-            dift_->archRdMsr(uop.rd, idx, pc_);
+            dift_->archRdMsr(uop.rd, idx, st_.pc);
         break;
       }
       case Opcode::kWrMsr: {
         const unsigned idx = static_cast<unsigned>(uop.imm);
         if (prog_.privilegedMsrMask & (1u << idx))
             return raise_fault();
-        msrs_[idx] = a;
+        st_.msrs[idx] = a;
         if (dift_)
             dift_->archWrMsr(idx, uop.rs1);
         break;
       }
       case Opcode::kRdTsc:
-        regs_[uop.rd] = tscValue();
+        st_.regs[uop.rd] = tscValue();
         if (dift_)
             dift_->setArchRegTaint(uop.rd, 0);
         break;
       default:
         if (t.isBranch) {
+            // Functional predictor warming, following the timing
+            // cores' correct-path update rules: predict (touches BTB
+            // LRU / speculative history / RAS), recover + re-steer on
+            // a mispredict, install the indirect target at execution,
+            // train direction tables at commit.
+            const Addr actual = evalNextPc(uop, st_.pc, a, b);
+            if (warmBp_) {
+                const bool taken =
+                    t.isCondBranch ? evalCondBranch(uop.op, a, b) : true;
+                const BranchPrediction pred =
+                    warmBp_->predict(uop, st_.pc);
+                if (t.isIndirect && !t.isReturn)
+                    warmBp_->btbUpdate(st_.pc, actual);
+                if (pred.nextPc != actual) {
+                    warmBp_->restore(pred.ckpt);
+                    warmBp_->applyResolved(uop, st_.pc, taken, actual);
+                }
+                warmBp_->commitUpdate(uop, st_.pc, taken,
+                                      pred.ckpt.history);
+            }
             if (t.hasDest) {
-                regs_[uop.rd] = pc_ + 1; // link value for call/callr
+                st_.regs[uop.rd] = st_.pc + 1; // link value (call/callr)
                 if (dift_)
                     dift_->setArchRegTaint(uop.rd, 0);
             }
-            pc_ = evalNextPc(uop, pc_, a, b);
+            st_.pc = actual;
             return StepResult::kOk;
         }
-        regs_[uop.rd] = evalAlu(uop.op, a, b, uop.imm);
+        st_.regs[uop.rd] = evalAlu(uop.op, a, b, uop.imm);
         if (dift_)
             dift_->archAlu(uop);
         break;
     }
 
-    pc_ = pc_ + 1;
+    st_.pc = st_.pc + 1;
     return StepResult::kOk;
 }
 
 std::uint64_t
 Interpreter::run(std::uint64_t max_insts)
 {
-    const std::uint64_t start = instCount_;
-    while (!halted_ && instCount_ - start < max_insts)
+    const std::uint64_t start = st_.instCount;
+    while (!st_.halted && st_.instCount - start < max_insts)
         step();
-    return instCount_ - start;
+    return st_.instCount - start;
 }
 
 } // namespace nda

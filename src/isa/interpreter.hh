@@ -6,6 +6,14 @@
  * as the oracle for differential testing: every core model (in-order,
  * OoO, any NDA/InvisiSpec configuration) must produce the same final
  * architectural state, since NDA only changes *timing*.
+ *
+ * It runs directly on a shared ArchState (core/arch_state.hh), so its
+ * complete state can be saved and restored bit-exactly, and it
+ * optionally performs *functional warming* (SMARTS, paper §6.1):
+ * per retired instruction it touches an attached cache hierarchy and
+ * trains an attached predictor unit following the same update rules
+ * as the timing cores' correct path, so a fast-forwarded checkpoint
+ * starts a detailed window with warm micro-architectural state.
  */
 
 #ifndef NDASIM_ISA_INTERPRETER_HH
@@ -14,12 +22,15 @@
 #include <cstdint>
 
 #include "common/types.hh"
+#include "core/arch_state.hh"
 #include "isa/program.hh"
 #include "mem/memory_map.hh"
 
 namespace nda {
 
 class TaintEngine;
+class MemHierarchy;
+class PredictorUnit;
 
 /**
  * Pure ALU semantics shared by the interpreter and the core exec unit.
@@ -61,22 +72,22 @@ class Interpreter
      */
     std::uint64_t run(std::uint64_t max_insts);
 
-    bool halted() const { return halted_; }
-    Addr pc() const { return pc_; }
-    RegVal reg(RegId r) const { return regs_[r]; }
-    void setReg(RegId r, RegVal v) { regs_[r] = v; }
-    RegVal msr(unsigned i) const { return msrs_[i]; }
-    std::uint64_t instCount() const { return instCount_; }
-    std::uint64_t faultCount() const { return faultCount_; }
+    bool halted() const { return st_.halted; }
+    Addr pc() const { return st_.pc; }
+    RegVal reg(RegId r) const { return st_.regs[r]; }
+    void setReg(RegId r, RegVal v) { st_.regs[r] = v; }
+    RegVal msr(unsigned i) const { return st_.msrs[i]; }
+    std::uint64_t instCount() const { return st_.instCount; }
+    std::uint64_t faultCount() const { return st_.faultCount; }
 
-    MemoryMap &mem() { return mem_; }
-    const MemoryMap &mem() const { return mem_; }
+    MemoryMap &mem() { return st_.mem; }
+    const MemoryMap &mem() const { return st_.mem; }
 
     /**
      * Pseudo-cycle counter returned by RDTSC in the interpreter: the
      * instruction count (architectural time has no cycles).
      */
-    std::uint64_t tscValue() const { return instCount_; }
+    std::uint64_t tscValue() const { return st_.instCount; }
 
     /**
      * Attach the DIFT oracle (dift/taint_engine.hh): taint then
@@ -85,16 +96,42 @@ class Interpreter
      */
     void attachDift(TaintEngine *engine) { dift_ = engine; }
 
+    /**
+     * Attach functional-warming targets (either may be null): every
+     * retired instruction then touches the hierarchy (i-fetch on line
+     * crossing, d-access per load/store/prefetch, flush per clflush)
+     * and trains the predictor with its actual outcome, matching the
+     * timing models' correct-path update rules. Warming only models
+     * non-faulting accesses — wrong-path and faulting pollution is
+     * what the detailed warm-up window after a restore is for.
+     */
+    void
+    attachWarming(MemHierarchy *hier, PredictorUnit *bp)
+    {
+        warmHier_ = hier;
+        warmBp_ = bp;
+    }
+
+    /** Direct access to the complete architectural state. */
+    const ArchState &state() const { return st_; }
+
+    /**
+     * Save the complete state; if a DIFT engine is attached its
+     * architectural taint is captured too, so a restored run resumes
+     * taint propagation bit-exactly.
+     */
+    ArchState save() const;
+
+    /** Restore a previously saved state (applies captured taint to an
+     *  attached DIFT engine). */
+    void restore(const ArchState &snap);
+
   private:
     const Program prog_;
-    MemoryMap mem_;
-    RegVal regs_[kNumArchRegs] = {};
-    RegVal msrs_[kNumMsrRegs] = {};
-    Addr pc_ = 0;
-    bool halted_ = false;
-    std::uint64_t instCount_ = 0;
-    std::uint64_t faultCount_ = 0;
+    ArchState st_;
     TaintEngine *dift_ = nullptr;
+    MemHierarchy *warmHier_ = nullptr;  ///< functional cache warming
+    PredictorUnit *warmBp_ = nullptr;   ///< functional predictor warming
 };
 
 /** Initialize a MemoryMap from a program's data segments. */

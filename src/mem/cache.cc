@@ -19,6 +19,26 @@ Cache::Cache(const CacheParams &params)
     lines_.resize(num_lines);
 }
 
+Cache::Snapshot
+Cache::save() const
+{
+    return Snapshot{lines_, useClock_, hits_, misses_, fills_};
+}
+
+void
+Cache::restore(const Snapshot &snap)
+{
+    NDA_ASSERT(snap.lines.size() == lines_.size(),
+               "cache snapshot geometry mismatch in %s (%zu vs %zu "
+               "lines)",
+               params_.name.c_str(), snap.lines.size(), lines_.size());
+    lines_ = snap.lines;
+    useClock_ = snap.useClock;
+    hits_ = snap.hits;
+    misses_ = snap.misses;
+    fills_ = snap.fills;
+}
+
 Cache::Line *
 Cache::findLine(Addr addr)
 {

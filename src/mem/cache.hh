@@ -37,6 +37,33 @@ class Cache
   public:
     explicit Cache(const CacheParams &params);
 
+    struct Line {
+        Addr tag = 0;
+        bool valid = false;
+        std::uint64_t lastUse = 0; ///< LRU timestamp
+
+        bool operator==(const Line &) const = default;
+    };
+
+    /**
+     * Complete warming state: tags, LRU clock, and the access
+     * counters (so a restored cache's stats dump matches the one it
+     * was saved from bit-for-bit). Restore requires identical
+     * geometry — tag/set decomposition depends on it.
+     */
+    struct Snapshot {
+        std::vector<Line> lines;
+        std::uint64_t useClock = 0;
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t fills = 0;
+
+        bool operator==(const Snapshot &) const = default;
+    };
+
+    Snapshot save() const;
+    void restore(const Snapshot &snap);
+
     /**
      * Look up `addr`; on hit, update LRU. On miss, allocate the line
      * (evicting LRU).
@@ -69,12 +96,6 @@ class Cache
     unsigned numSets() const { return numSets_; }
 
   private:
-    struct Line {
-        Addr tag = 0;
-        bool valid = false;
-        std::uint64_t lastUse = 0; ///< LRU timestamp
-    };
-
     Addr lineAddr(Addr addr) const { return addr / params_.lineBytes; }
     unsigned setIndex(Addr line) const
     {

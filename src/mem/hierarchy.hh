@@ -44,6 +44,30 @@ class MemHierarchy
   public:
     explicit MemHierarchy(const HierarchyParams &params = {});
 
+    /** Warming state of all three tag arrays (core/snapshot.hh). */
+    struct Snapshot {
+        Cache::Snapshot l1i;
+        Cache::Snapshot l1d;
+        Cache::Snapshot l2;
+
+        bool operator==(const Snapshot &) const = default;
+    };
+
+    Snapshot
+    save() const
+    {
+        return Snapshot{l1i_.save(), l1d_.save(), l2_.save()};
+    }
+
+    /** Restore all levels; geometry must match (asserted per level). */
+    void
+    restore(const Snapshot &snap)
+    {
+        l1i_.restore(snap.l1i);
+        l1d_.restore(snap.l1d);
+        l2_.restore(snap.l2);
+    }
+
     /** Data access (load or store, write-allocate); mutates state. */
     AccessResult dataAccess(Addr addr);
 

@@ -55,10 +55,22 @@ class MemoryMap
     /** Number of resident pages (for tests). */
     std::size_t pageCount() const { return pages_.size(); }
 
+    /**
+     * Exact equality of resident pages (contents + permissions).
+     * Used by the snapshot layer: two maps produced by the same write
+     * sequence have the same resident-page set, so page-for-page
+     * comparison is the bit-identity contract, not a semantic one (a
+     * map holding an explicit all-zero user page differs from one
+     * where the page was never touched).
+     */
+    bool operator==(const MemoryMap &) const = default;
+
   private:
     struct Page {
         std::array<std::uint8_t, kPageBytes> bytes{};
         MemPerm perm = MemPerm::kUser;
+
+        bool operator==(const Page &) const = default;
     };
 
     static Addr pageBase(Addr addr) { return addr & ~(kPageBytes - 1); }

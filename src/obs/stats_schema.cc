@@ -5,6 +5,7 @@
 #include "dift/taint_engine.hh"
 #include "fuzz/differential_fuzzer.hh"
 #include "harness/profiles.hh"
+#include "harness/runner.hh"
 #include "obs/stats_registry.hh"
 #include "workloads/workload.hh"
 
@@ -28,6 +29,9 @@ canonicalStatsSchema()
 
     FuzzResult fuzz;
     fuzz.registerStats(reg, "fuzz");
+
+    GridStats grid;
+    grid.registerStats(reg, "harness");
 
     return reg.names();
 }
