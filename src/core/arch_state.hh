@@ -26,12 +26,17 @@ namespace nda {
 struct Program;
 class TaintEngine;
 
-/** Complete architectural machine state at a commit boundary. */
+/**
+ * Complete architectural machine state at a commit boundary.
+ *
+ * Field order is hot-loop-aware: the scalars the interpreter's
+ * threaded run loop reads/writes every exit (pc, counters, fetch-line
+ * tracker) sit directly after the register file so they share its
+ * cache lines, ahead of the cold MSR file and the map-backed fields.
+ */
 struct ArchState {
     RegVal regs[kNumArchRegs] = {};
-    RegVal msrs[kNumMsrRegs] = {};
     Addr pc = 0;
-    bool halted = false;
     /** Instructions retired since the program's entry point. */
     std::uint64_t instCount = 0;
     std::uint64_t faultCount = 0;
@@ -41,6 +46,8 @@ struct ArchState {
      * hence its functional-warming i-cache accesses — bit-exactly.
      */
     Addr lastFetchLine = ~Addr{0};
+    bool halted = false;
+    RegVal msrs[kNumMsrRegs] = {};
     MemoryMap mem;
 
     // --- DIFT architectural taint (valid iff hasTaint) ------------------

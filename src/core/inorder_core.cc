@@ -184,8 +184,12 @@ InOrderCore::step()
         hier_.dataAccess(a + static_cast<Addr>(uop.imm));
         break;
       case Opcode::kRdMsr: {
+        // Out-of-range indices fault like privileged ones (the
+        // short-circuit keeps the shift defined and msrs_[] in
+        // bounds), matching the interpreter oracle.
         const unsigned idx = static_cast<unsigned>(uop.imm);
-        if (prog_.privilegedMsrMask & (1u << idx)) {
+        if (idx >= static_cast<unsigned>(kNumMsrRegs) ||
+            (prog_.privilegedMsrMask & (1u << idx))) {
             raise_fault();
             return cost;
         }
@@ -196,7 +200,8 @@ InOrderCore::step()
       }
       case Opcode::kWrMsr: {
         const unsigned idx = static_cast<unsigned>(uop.imm);
-        if (prog_.privilegedMsrMask & (1u << idx)) {
+        if (idx >= static_cast<unsigned>(kNumMsrRegs) ||
+            (prog_.privilegedMsrMask & (1u << idx))) {
             raise_fault();
             return cost;
         }

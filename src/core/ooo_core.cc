@@ -861,14 +861,23 @@ OooCore::executeInst(const DynInstPtr &inst, unsigned &mem_issued,
         return;
       }
       case Opcode::kRdMsr: {
+        // Out-of-range indices fault like privileged ones; the
+        // short-circuit keeps the mask shift defined and msrs_[] in
+        // bounds (matching the interpreter oracle).
         const unsigned idx = static_cast<unsigned>(uop.imm);
+        const bool out_of_range =
+            idx >= static_cast<unsigned>(kNumMsrRegs);
         const bool privileged =
-            prog_.privilegedMsrMask & (1u << idx);
+            out_of_range || (prog_.privilegedMsrMask & (1u << idx));
         if (privileged) {
             inst->fault = FaultType::kPrivilegedMsr;
             // The Meltdown-class implementation flaw: the value still
-            // propagates speculatively (paper §4.3 / LazyFP).
-            inst->result = cfg_.security.meltdownFlaw ? msrs_[idx] : 0;
+            // propagates speculatively (paper §4.3 / LazyFP). An
+            // out-of-range index has no architectural MSR behind it,
+            // so even flawed silicon forwards 0.
+            inst->result =
+                cfg_.security.meltdownFlaw && !out_of_range
+                    ? msrs_[idx] : 0;
         } else {
             inst->result = msrs_[idx];
         }
@@ -876,7 +885,8 @@ OooCore::executeInst(const DynInstPtr &inst, unsigned &mem_issued,
         // silicon forwards 0, so nothing secret propagates.
         if (dift_) {
             const TaintWord vt =
-                privileged && !cfg_.security.meltdownFlaw
+                out_of_range ||
+                        (privileged && !cfg_.security.meltdownFlaw)
                     ? 0 : dift_->msrTaint(idx);
             inst->taint = vt;
             if (vt)
@@ -887,7 +897,8 @@ OooCore::executeInst(const DynInstPtr &inst, unsigned &mem_issued,
       }
       case Opcode::kWrMsr: {
         const unsigned idx = static_cast<unsigned>(uop.imm);
-        if (prog_.privilegedMsrMask & (1u << idx))
+        if (idx >= static_cast<unsigned>(kNumMsrRegs) ||
+            (prog_.privilegedMsrMask & (1u << idx)))
             inst->fault = FaultType::kPrivilegedMsr;
         inst->storeData = a; // applied at completion
         scheduleCompletion(inst, 1);

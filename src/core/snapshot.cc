@@ -28,6 +28,27 @@ sameGeometry(const PredictorParams &a, const PredictorParams &b)
 } // namespace
 
 bool
+SimSnapshot::operator==(const SimSnapshot &other) const
+{
+    if (!(arch == other.arch))
+        return false;
+    if (hasMem != other.hasMem || hasPredictor != other.hasPredictor)
+        return false;
+    if (hasMem &&
+        !(mem == other.mem &&
+          sameGeometry(memParams.l1i, other.memParams.l1i) &&
+          sameGeometry(memParams.l1d, other.memParams.l1d) &&
+          sameGeometry(memParams.l2, other.memParams.l2))) {
+        return false;
+    }
+    if (hasPredictor && !(predictor == other.predictor &&
+                          sameGeometry(bpParams, other.bpParams))) {
+        return false;
+    }
+    return true;
+}
+
+bool
 SimSnapshot::structurallyCompatible(const SimConfig &cfg) const
 {
     if (hasMem && !(sameGeometry(memParams.l1i, cfg.memory.l1i) &&
@@ -46,7 +67,8 @@ SimSnapshot
 buildWarmCheckpoint(const Program &prog,
                     const HierarchyParams &mem_params,
                     const PredictorParams &bp_params,
-                    std::uint64_t ff_insts, TaintEngine *dift)
+                    std::uint64_t ff_insts, TaintEngine *dift,
+                    WarmingWork *warm_work)
 {
     Interpreter interp(prog);
     MemHierarchy hier(mem_params);
@@ -56,6 +78,8 @@ buildWarmCheckpoint(const Program &prog,
         interp.attachDift(dift);
 
     const std::uint64_t executed = interp.run(ff_insts);
+    if (warm_work)
+        *warm_work += interp.warmingWork();
     NDA_ASSERT(!interp.halted(),
                "program halted after %llu of %llu fast-forward "
                "instructions — window placement runs off the end",

@@ -47,9 +47,18 @@ struct SimSnapshot {
      * influence which tags/counters warming produces.
      */
     bool structurallyCompatible(const SimConfig &cfg) const;
+
+    /**
+     * Bit-identity across the whole machine image: architectural
+     * state, warming images (tags/LRU/counters, predictor tables),
+     * and the geometry they assume. This is the referee the lockstep
+     * test uses to hold the threaded interpreter to step().
+     */
+    bool operator==(const SimSnapshot &other) const;
 };
 
 class TaintEngine;
+struct WarmingWork;
 
 /**
  * Fast-forward `ff_insts` instructions of `prog` on the interpreter
@@ -58,13 +67,16 @@ class TaintEngine;
  * geometry, and instruction count always yield the same snapshot.
  *
  * `dift`, if non-null, is attached for the fast-forward so the
- * checkpoint carries architectural taint.
+ * checkpoint carries architectural taint. `warm_work`, if non-null,
+ * receives the functional-warming work the fast-forward performed
+ * (added to, not overwritten — callers aggregate across builds).
  */
 SimSnapshot buildWarmCheckpoint(const Program &prog,
                                 const HierarchyParams &mem_params,
                                 const PredictorParams &bp_params,
                                 std::uint64_t ff_insts,
-                                TaintEngine *dift = nullptr);
+                                TaintEngine *dift = nullptr,
+                                WarmingWork *warm_work = nullptr);
 
 } // namespace nda
 

@@ -8,6 +8,7 @@
 #include "common/thread_pool.hh"
 #include "core/core_factory.hh"
 #include "core/snapshot.hh"
+#include "isa/interpreter.hh"
 #include "obs/stats_registry.hh"
 
 namespace nda {
@@ -31,7 +32,27 @@ GridStats::accumulate(const WindowWork &w)
     checkpointRestores += w.restores;
     detailedWarmupInsts += w.warmupInsts;
     measuredInsts += w.measuredInsts;
+    warmITouches += w.warmITouches;
+    warmDTouches += w.warmDTouches;
+    warmBpTrains += w.warmBpTrains;
     ++windows;
+}
+
+double
+GridStats::ffSeconds() const
+{
+    for (const auto &phase : timings.phases()) {
+        if (phase.first == "fast_forward")
+            return phase.second;
+    }
+    return 0.0;
+}
+
+double
+GridStats::ffMips() const
+{
+    const double secs = ffSeconds();
+    return secs > 0.0 ? static_cast<double>(ffInsts) / secs / 1e6 : 0.0;
 }
 
 void
@@ -51,6 +72,18 @@ GridStats::registerStats(StatsRegistry &reg,
     g.counter("measured_insts", &measuredInsts,
               "detailed-model measured instructions executed");
     g.counter("windows", &windows, "measured sample windows run");
+    g.counter("warm_i_touches", &warmITouches,
+              "functional-warming i-cache accesses (fetch-line "
+              "crossings) during fast-forward");
+    g.counter("warm_d_touches", &warmDTouches,
+              "functional-warming d-cache accesses (loads, stores, "
+              "prefetches) during fast-forward");
+    g.counter("warm_bp_trains", &warmBpTrains,
+              "functional-warming branch trainings during "
+              "fast-forward");
+    g.formula("ff_mips", [this] { return ffMips(); },
+              "fast-forward throughput, functional MIPS (ff_insts / "
+              "fast_forward phase wall-clock)");
 }
 
 WindowStats
@@ -70,12 +103,16 @@ runWindow(const Workload &workload, const SimConfig &cfg,
             // does not fit this config's geometry: fast-forward for
             // this window alone. Same deterministic procedure either
             // way, so results never depend on which path ran.
+            WarmingWork warm;
             const SimSnapshot own = buildWarmCheckpoint(
                 prog, cfg.memory, cfg.core.predictor,
-                p.fastforwardInsts);
+                p.fastforwardInsts, nullptr, &warm);
             core->restoreCheckpoint(own);
             local.ffInsts += p.fastforwardInsts;
             ++local.ffRuns;
+            local.warmITouches += warm.iTouches;
+            local.warmDTouches += warm.dTouches;
+            local.warmBpTrains += warm.bpTrains;
         }
         ++local.restores;
         NDA_ASSERT(!core->halted(),
@@ -187,6 +224,7 @@ runGrid(const std::vector<const Workload *> &workloads,
         ScopedTimer t(timings, "fast_forward");
         const std::size_t n_ckpts = workloads.size() * p.samples;
         checkpoints.resize(n_ckpts);
+        std::vector<WarmingWork> warm(n_ckpts);
         ThreadPool ff_pool(std::max(1u, p.jobs));
         ff_pool.parallelFor(n_ckpts, [&](std::size_t task) {
             const std::size_t w = task / p.samples;
@@ -195,11 +233,16 @@ runGrid(const std::vector<const Workload *> &workloads,
                 p.baseSeed + static_cast<std::uint64_t>(sample));
             checkpoints[task] = buildWarmCheckpoint(
                 prog, configs[0].memory, configs[0].core.predictor,
-                p.fastforwardInsts);
+                p.fastforwardInsts, nullptr, &warm[task]);
         });
         if (stats) {
             stats->ffRuns += n_ckpts;
             stats->ffInsts += n_ckpts * p.fastforwardInsts;
+            for (const WarmingWork &ww : warm) {
+                stats->warmITouches += ww.iTouches;
+                stats->warmDTouches += ww.dTouches;
+                stats->warmBpTrains += ww.bpTrains;
+            }
         }
     }
 

@@ -95,6 +95,11 @@ struct WindowWork {
     std::uint64_t restores = 0;   ///< checkpoint restores
     std::uint64_t warmupInsts = 0;   ///< detailed warm-up insts
     std::uint64_t measuredInsts = 0; ///< detailed measured insts
+    // Functional-warming work of this window's own fast-forward (zero
+    // when a shared checkpoint was restored instead).
+    std::uint64_t warmITouches = 0;  ///< i-cache warming accesses
+    std::uint64_t warmDTouches = 0;  ///< d-cache warming accesses
+    std::uint64_t warmBpTrains = 0;  ///< predictor warming trainings
 };
 
 /**
@@ -110,10 +115,21 @@ struct GridStats {
     std::uint64_t detailedWarmupInsts = 0;
     std::uint64_t measuredInsts = 0;
     std::uint64_t windows = 0;
+    // Functional-warming cost drivers of the fast-forward phase
+    // (Interpreter::WarmingWork aggregated across all builds).
+    std::uint64_t warmITouches = 0;
+    std::uint64_t warmDTouches = 0;
+    std::uint64_t warmBpTrains = 0;
     /** Host seconds per phase: "fast_forward", "detailed". */
     PhaseTimings timings;
 
     void accumulate(const WindowWork &w);
+
+    /** Wall-clock seconds spent in the fast-forward phase. */
+    double ffSeconds() const;
+
+    /** Fast-forward throughput in MIPS (0 before any fast-forward). */
+    double ffMips() const;
 
     /** Bind all counters under `prefix` (canonically "harness"). */
     void registerStats(StatsRegistry &reg,

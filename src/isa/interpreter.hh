@@ -23,6 +23,7 @@
 
 #include "common/types.hh"
 #include "core/arch_state.hh"
+#include "isa/predecode.hh"
 #include "isa/program.hh"
 #include "mem/memory_map.hh"
 
@@ -31,6 +32,29 @@ namespace nda {
 class TaintEngine;
 class MemHierarchy;
 class PredictorUnit;
+
+/**
+ * Functional-warming work performed by an interpreter over its
+ * lifetime: the cost drivers of a fast-forward phase. Not part of
+ * ArchState (it is not architectural); both the fast loop and the
+ * step() oracle count identically, which the lockstep test checks.
+ */
+struct WarmingWork {
+    std::uint64_t iTouches = 0;  ///< i-cache accesses (line crossings)
+    std::uint64_t dTouches = 0;  ///< d-cache accesses (ld/st/prefetch)
+    std::uint64_t bpTrains = 0;  ///< branches trained into the predictor
+
+    WarmingWork &
+    operator+=(const WarmingWork &o)
+    {
+        iTouches += o.iTouches;
+        dTouches += o.dTouches;
+        bpTrains += o.bpTrains;
+        return *this;
+    }
+
+    bool operator==(const WarmingWork &) const = default;
+};
 
 /**
  * Pure ALU semantics shared by the interpreter and the core exec unit.
@@ -62,12 +86,20 @@ class Interpreter
     /** The interpreter keeps its own copy of `prog`. */
     explicit Interpreter(Program prog);
 
-    /** Execute one instruction. */
+    /**
+     * Execute one instruction through the switch-dispatched slow
+     * path. This is the semantic oracle: `run()` must be bit-identical
+     * to a step() loop, and the lockstep test enforces it.
+     */
     StepResult step();
 
     /**
      * Run until halt/fault-without-handler or until `max_insts`
-     * instructions have committed.
+     * instructions have committed. Dispatches to a predecoded
+     * threaded-code loop specialized at compile time on the three
+     * attachment axes (cache warming, predictor warming, DIFT), so
+     * the common fast-forward configurations execute with no per-step
+     * attachment tests or pc re-validation.
      * @return number of instructions executed.
      */
     std::uint64_t run(std::uint64_t max_insts);
@@ -115,6 +147,9 @@ class Interpreter
     /** Direct access to the complete architectural state. */
     const ArchState &state() const { return st_; }
 
+    /** Functional-warming work performed so far (lifetime totals). */
+    const WarmingWork &warmingWork() const { return warmWork_; }
+
     /**
      * Save the complete state; if a DIFT engine is attached its
      * architectural taint is captured too, so a restored run resumes
@@ -127,8 +162,19 @@ class Interpreter
     void restore(const ArchState &snap);
 
   private:
+    /**
+     * The threaded-code hot loop, stamped out once per attachment
+     * configuration (interpreter.cc). Only defined when
+     * NDASIM_THREADED_DISPATCH; run() falls back to a step() loop
+     * otherwise.
+     */
+    template <bool WarmHier, bool WarmBp, bool HasDift>
+    std::uint64_t runImpl(std::uint64_t max_insts);
+
     const Program prog_;
+    const PredecodedProgram pre_;       ///< decode-once op stream
     ArchState st_;
+    WarmingWork warmWork_;
     TaintEngine *dift_ = nullptr;
     MemHierarchy *warmHier_ = nullptr;  ///< functional cache warming
     PredictorUnit *warmBp_ = nullptr;   ///< functional predictor warming

@@ -1,0 +1,53 @@
+#include "isa/predecode.hh"
+
+#include "isa/program.hh"
+
+namespace nda {
+
+// The run loop's dispatch table is written in opcode order; this trips
+// whenever the ISA grows so the table gets re-audited.
+static_assert(static_cast<int>(Opcode::kNumOpcodes) == 45,
+              "ISA changed: update the threaded-dispatch table in "
+              "interpreter.cc and this assert");
+
+PredecodedProgram::PredecodedProgram(const Program &prog)
+{
+    const std::size_t n = prog.code.size();
+    size_ = n;
+    ops_.resize(n + 1);
+
+    for (std::size_t pc = 0; pc < n; ++pc) {
+        const MicroOp &uop = prog.code[pc];
+        PredecodedOp &op = ops_[pc];
+        op.handler = static_cast<std::uint8_t>(uop.op);
+        op.rd = uop.rd;
+        op.rs1 = uop.rs1;
+        op.rs2 = uop.rs2;
+        op.size = uop.size;
+        op.uimm = static_cast<RegVal>(uop.imm);
+        op.fetchAddr = pcToFetchAddr(static_cast<Addr>(pc));
+        op.fetchLine = op.fetchAddr / kLineSize;
+
+        const OpTraits &t = uop.traits();
+        if (t.isBranch && !t.isIndirect) {
+            // Same cast as evalNextPc: a negative imm becomes a huge
+            // Addr, which clamps to the sentinel like any other
+            // out-of-program target.
+            const Addr target = static_cast<Addr>(uop.imm);
+            op.targetIdx = static_cast<std::uint32_t>(
+                target < n ? target : n);
+        }
+    }
+
+    ops_[n].handler = kOutOfRangeHandler;
+
+    faultPc_ = prog.faultHandler;
+    hasFaultHandler_ = prog.faultHandler != ~Addr{0};
+    // A handler pc outside the program keeps the legacy lazy-halt
+    // semantics: redirect lands on the sentinel, which halts on the
+    // *next* dispatched step, pc preserved.
+    faultIdx_ = static_cast<std::uint32_t>(
+        hasFaultHandler_ && faultPc_ < n ? faultPc_ : n);
+}
+
+} // namespace nda

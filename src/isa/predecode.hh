@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Predecoded program representation for the threaded-code interpreter.
+ *
+ * The legacy `Interpreter::step()` pays, per instruction: an
+ * out-of-line `opTraits()` call, a `validPc` bounds check, an
+ * immediate sign-cast, and (when warming) a divide to recover the
+ * fetch line. Fast-forwarding a grid spends hundreds of millions of
+ * steps in that loop, so `PredecodedProgram` flattens all of it once
+ * at construction into a dense `PredecodedOp` stream the hot loop can
+ * execute with one indirect branch per instruction:
+ *
+ *  - `handler` is the dispatch index into the run loop's computed-goto
+ *    table (the opcode value; the one-past-the-end sentinel entry uses
+ *    `kOutOfRangeHandler` so "pc left the program" is just another
+ *    handler instead of a per-step bounds check);
+ *  - `uimm` is the immediate pre-cast to the RegVal/Addr bit pattern
+ *    every consumer actually wants (`static_cast<RegVal>(imm)`);
+ *  - `fetchAddr`/`fetchLine` make i-cache warming one compare instead
+ *    of an address computation plus divide;
+ *  - `targetIdx` is the dispatch index of a direct branch's target,
+ *    pre-clamped to the sentinel for out-of-program targets so taken
+ *    branches never re-validate the pc.
+ *
+ * Decoding is pure: it never changes semantics, only representation.
+ * `Interpreter::step()` remains the switch-dispatched oracle and the
+ * lockstep test (tests/test_predecode.cc) holds the two bit-identical.
+ */
+
+#ifndef NDASIM_ISA_PREDECODE_HH
+#define NDASIM_ISA_PREDECODE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/opcode.hh"
+
+// Threaded dispatch needs GNU "labels as values"; elsewhere the
+// interpreter falls back to the (slower, semantically identical)
+// step() loop.
+#if defined(__GNUC__) || defined(__clang__)
+#define NDASIM_THREADED_DISPATCH 1
+#else
+#define NDASIM_THREADED_DISPATCH 0
+#endif
+
+namespace nda {
+
+struct Program;
+
+/**
+ * One predecoded instruction. Kept dense (40 bytes) so the fast loop
+ * streams it from L1; everything a handler needs is in the op itself —
+ * no `OpTraits` lookup, no immediate cast, no divide.
+ */
+struct PredecodedOp {
+    /** Immediate as the RegVal/Addr bit pattern (pre-cast). */
+    RegVal uimm = 0;
+    /** Byte address of this instruction's fetch (pcToFetchAddr). */
+    Addr fetchAddr = 0;
+    /** fetchAddr / kLineSize, so i-warming is one compare. */
+    Addr fetchLine = 0;
+    /** Dispatch index of a direct branch's target, clamped to the
+     *  sentinel when the target is outside the program. */
+    std::uint32_t targetIdx = 0;
+    /** Dispatch index: the opcode value, or kOutOfRangeHandler. */
+    std::uint8_t handler = 0;
+    RegId rd = 0;
+    RegId rs1 = 0;
+    RegId rs2 = 0;
+    /** Memory access size in bytes (1/2/4/8). */
+    std::uint8_t size = 8;
+};
+
+/** A Program decoded once into a PredecodedOp stream + sentinel. */
+class PredecodedProgram
+{
+  public:
+    /** Dispatch index of the one-past-the-end sentinel handler. */
+    static constexpr std::uint8_t kOutOfRangeHandler =
+        static_cast<std::uint8_t>(Opcode::kNumOpcodes);
+
+    explicit PredecodedProgram(const Program &prog);
+
+    /** The op stream; index `size()` is the out-of-range sentinel. */
+    const PredecodedOp *ops() const { return ops_.data(); }
+
+    /** Number of real instructions (excluding the sentinel). */
+    std::size_t size() const { return size_; }
+
+    bool hasFaultHandler() const { return hasFaultHandler_; }
+    /** Architectural fault-handler pc (raw, may be out of range). */
+    Addr faultPc() const { return faultPc_; }
+    /** Dispatch index of the fault handler (clamped to sentinel). */
+    std::uint32_t faultIdx() const { return faultIdx_; }
+
+  private:
+    std::vector<PredecodedOp> ops_;
+    std::size_t size_ = 0;
+    Addr faultPc_ = ~Addr{0};
+    std::uint32_t faultIdx_ = 0;
+    bool hasFaultHandler_ = false;
+};
+
+} // namespace nda
+
+#endif // NDASIM_ISA_PREDECODE_HH

@@ -94,4 +94,20 @@ MemoryMap::clear()
     pages_.clear();
 }
 
+MemoryMap::PageView
+MemoryMap::viewPage(Addr addr)
+{
+    auto it = pages_.find(pageBase(addr));
+    if (it == pages_.end())
+        return {};
+    return {it->second.bytes.data(),
+            it->second.perm == MemPerm::kKernel};
+}
+
+std::uint8_t *
+MemoryMap::pageDataForWrite(Addr addr)
+{
+    return pageFor(addr).bytes.data();
+}
+
 } // namespace nda

@@ -52,6 +52,29 @@ class MemoryMap
     /** Drop all contents and permissions. */
     void clear();
 
+    // --- Interpreter fast path -----------------------------------------
+    // The threaded run loop caches one of these per run as a last-page
+    // translation entry, folding the permission check into `kernel`.
+    // Pointers stay valid across insertions (unordered_map is
+    // node-based); they are invalidated only by clear().
+
+    /** Raw view of the page containing `page_base` (if resident). */
+    struct PageView {
+        std::uint8_t *bytes = nullptr; ///< null: page not resident
+        bool kernel = false;           ///< page faults in user mode
+    };
+
+    /**
+     * Look up the page containing `addr` without allocating — loads
+     * from absent pages must read 0, not materialize a page (the
+     * resident-page set is part of the equality contract above).
+     */
+    PageView viewPage(Addr addr);
+
+    /** Byte storage of the page containing `addr`, allocating it on
+     *  demand (store fast path; permissions checked by the caller). */
+    std::uint8_t *pageDataForWrite(Addr addr);
+
     /** Number of resident pages (for tests). */
     std::size_t pageCount() const { return pages_.size(); }
 
