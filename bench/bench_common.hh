@@ -15,6 +15,7 @@
 #include <memory>
 #include <string>
 
+#include "ckpt/checkpoint_store.hh"
 #include "common/log.hh"
 #include "common/thread_pool.hh"
 #include "core/core_factory.hh"
@@ -48,6 +49,10 @@ printSampleUsage(const char *prog,
                  "for every window\n"
                  "                 instead of sharing one per "
                  "(workload, sample)\n"
+                 "  --chain        chained sampling: --fastforward "
+                 "becomes a stride and\n"
+                 "                 sample s measures offset (s+1) x "
+                 "stride of ONE run\n"
                  "  --seed=N       base RNG seed (sample s uses "
                  "seed+s)\n"
                  "  --jobs=N       concurrent simulation windows "
@@ -112,6 +117,75 @@ struct BenchObs {
 };
 
 /**
+ * Checkpoint-corpus knobs shared by the grid-driving bench binaries
+ * (fig07_cpi, table02_overheads, sim_throughput, grid_server): where
+ * the on-disk corpus lives, its LRU size cap, and an off switch that
+ * wins over --ckpt-dir so scripts can layer flags.
+ */
+struct BenchCkpt {
+    std::string dir;             ///< --ckpt-dir= (empty: no corpus)
+    std::uint64_t maxBytes = 0;  ///< --ckpt-max-bytes= (0: unbounded)
+    bool disabled = false;       ///< --no-ckpt
+
+    bool wantCorpus() const { return !dir.empty() && !disabled; }
+
+    /** Open the corpus, or nullptr when none was requested. The
+     *  returned store must outlive every runGrid call using it. */
+    std::unique_ptr<CheckpointStore>
+    open() const
+    {
+        if (!wantCorpus())
+            return nullptr;
+        return std::make_unique<CheckpointStore>(dir, maxBytes);
+    }
+
+    /** Usage lines for printSampleUsage's `extra_flags`. */
+    static constexpr const char *kUsageDir =
+        "--ckpt-dir=DIR persistent checkpoint corpus (shared across "
+        "runs)";
+    static constexpr const char *kUsageMaxBytes =
+        "--ckpt-max-bytes=N\n"
+        "                 LRU size cap for the corpus (0 = unbounded)";
+    static constexpr const char *kUsageNoCkpt =
+        "--no-ckpt      ignore --ckpt-dir and run without a corpus";
+
+    /** Consume one argv token; false if it is not a corpus flag. */
+    bool
+    parseArg(const std::string &arg, const char *prog)
+    {
+        if (arg.rfind("--ckpt-dir=", 0) == 0) {
+            dir = arg.substr(11);
+            if (dir.empty()) {
+                std::fprintf(stderr, "%s: --ckpt-dir= needs a path\n",
+                             prog);
+                std::exit(2);
+            }
+        } else if (arg.rfind("--ckpt-max-bytes=", 0) == 0) {
+            const std::string value = arg.substr(17);
+            std::size_t consumed = 0;
+            unsigned long long n = 0;
+            try {
+                n = std::stoull(value, &consumed);
+            } catch (const std::exception &) {
+            }
+            if (value.empty() || consumed != value.size()) {
+                std::fprintf(stderr,
+                             "%s: invalid value in '%s' (expected a "
+                             "number of bytes)\n",
+                             prog, arg.c_str());
+                std::exit(2);
+            }
+            maxBytes = n;
+        } else if (arg == "--no-ckpt") {
+            disabled = true;
+        } else {
+            return false;
+        }
+        return true;
+    }
+};
+
+/**
  * Parse the shared sampling flags from argv. Unrecognized arguments
  * abort with a usage message: a misspelled flag silently falling back
  * to defaults has burned enough measurement time already.
@@ -123,7 +197,7 @@ struct BenchObs {
 inline SampleParams
 parseSampleArgs(int argc, char **argv,
                 std::initializer_list<const char *> extra = {},
-                BenchObs *obs = nullptr)
+                BenchObs *obs = nullptr, BenchCkpt *ckpt = nullptr)
 {
     SampleParams p;
     p.jobs = ThreadPool::defaultConcurrency();
@@ -132,6 +206,8 @@ parseSampleArgs(int argc, char **argv,
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (obs && obs->parseArg(arg, argv[0]))
+            continue;
+        if (ckpt && ckpt->parseArg(arg, argv[0]))
             continue;
         const auto accepted = [&arg](const char *flag) {
             const std::size_t len = std::strlen(flag);
@@ -174,6 +250,8 @@ parseSampleArgs(int argc, char **argv,
             p.fastforwardInsts = number(14);
         } else if (arg == "--no-reuse") {
             p.reuseCheckpoints = false;
+        } else if (arg == "--chain") {
+            p.chainSamples = true;
         } else if (arg.rfind("--seed=", 0) == 0) {
             p.baseSeed = number(7);
         } else if (arg.rfind("--jobs=", 0) == 0) {

@@ -22,8 +22,12 @@ int
 main(int argc, char **argv)
 {
     BenchObs obs;
-    const SampleParams sp =
-        parseSampleArgs(argc, argv, {"--csv="}, &obs);
+    BenchCkpt ckpt;
+    const SampleParams sp = parseSampleArgs(
+        argc, argv,
+        {"--csv=", BenchCkpt::kUsageDir, BenchCkpt::kUsageMaxBytes,
+         BenchCkpt::kUsageNoCkpt},
+        &obs, &ckpt);
     std::string csv_path;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -43,11 +47,24 @@ main(int argc, char **argv)
     std::vector<SimConfig> configs;
     for (Profile p : profiles)
         configs.push_back(makeProfile(p));
+    const std::unique_ptr<CheckpointStore> corpus = ckpt.open();
     GridStats grid_stats;
     ScopedTimer grid_timer(obs.timings, "grid");
-    const std::vector<RunResult> grid =
-        runGrid(workloads, configs, sp, gridProgress, &grid_stats);
+    const std::vector<RunResult> grid = runGrid(
+        workloads, configs, sp, gridProgress, &grid_stats,
+        corpus.get());
     grid_timer.stop();
+    if (corpus) {
+        NDA_INFORM("checkpoint corpus '%s': %llu hits, %llu misses, "
+                   "%llu entries on disk",
+                   corpus->dir().c_str(),
+                   static_cast<unsigned long long>(
+                       corpus->stats().hits),
+                   static_cast<unsigned long long>(
+                       corpus->stats().misses),
+                   static_cast<unsigned long long>(
+                       corpus->entryCount()));
+    }
 
     std::vector<std::string> headers{"workload"};
     for (Profile p : profiles)

@@ -19,6 +19,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -102,11 +103,13 @@ int
 main(int argc, char **argv)
 {
     BenchObs obs;
+    BenchCkpt ckpt;
     SampleParams sp = parseSampleArgs(
         argc, argv,
         {"--json=", "--stats-schema", "--engine=",
-         "--min-interp-mips="},
-        &obs);
+         "--min-interp-mips=", BenchCkpt::kUsageDir,
+         BenchCkpt::kUsageMaxBytes, BenchCkpt::kUsageNoCkpt},
+        &obs, &ckpt);
     std::string json_path = "BENCH_throughput.json";
     std::string engine = "all";
     double min_interp_mips = 0.0;
@@ -200,6 +203,16 @@ main(int argc, char **argv)
     SampleParams ab = sp;
     std::size_t ab_workload_count = 0;
     std::vector<SimConfig> configs;
+    // Warm-corpus A/B (chained sampling, persistent CheckpointStore).
+    SampleParams corpus_ab = sp;
+    double nocorpus_seconds = 0.0;
+    double cold_seconds = 0.0;
+    double warm_seconds = 0.0;
+    double warm_speedup = 0.0;
+    bool corpus_identical = false;
+    GridStats nocorpus_stats;
+    GridStats cold_stats;
+    GridStats warm_stats;
 
     if (run_cores) {
         const auto profiles = allProfiles();
@@ -289,6 +302,91 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(reuse_stats.ffRuns),
                     reuse_seconds, reuse_speedup,
                     reuse_stats.ffMips());
+
+        // Warm-corpus A/B: the same chained sweep three times —
+        // without a corpus, against a cold corpus (builds + publishes),
+        // and against the now-warm corpus (pure loads). The chained
+        // stride dominates wall-clock, so the warm run's speedup is
+        // the checkpoint subsystem's whole value proposition in one
+        // number; the three result sets must be bit-identical.
+        corpus_ab = ab;
+        corpus_ab.chainSamples = true;
+        corpus_ab.fastforwardInsts = quick ? 8'000'000 : 24'000'000;
+        corpus_ab.warmupInsts = 500;
+        corpus_ab.measureInsts = 1'000;
+        corpus_ab.samples = 2;
+        std::vector<std::unique_ptr<Workload>> ab_workloads2;
+        ab_workloads2.push_back(makeWorkload("compute"));
+        ab_workloads2.push_back(makeWorkload("branchy"));
+
+        const std::string corpus_dir =
+            ckpt.wantCorpus() ? ckpt.dir : "nda_ckpt_ab_corpus";
+        std::error_code ec;
+        std::filesystem::remove_all(corpus_dir, ec); // guarantee cold
+
+        const auto nocorpus_t0 = Clock::now();
+        std::vector<RunResult> nocorpus_grid;
+        {
+            ScopedTimer t(obs.timings, "corpus-ab-nocorpus");
+            nocorpus_grid = runGrid(ab_workloads2, configs, corpus_ab,
+                                    nullptr, &nocorpus_stats);
+        }
+        nocorpus_seconds = secondsSince(nocorpus_t0);
+
+        std::vector<RunResult> cold_grid;
+        std::vector<RunResult> warm_grid;
+        {
+            CheckpointStore corpus(corpus_dir, ckpt.maxBytes);
+            const auto cold_t0 = Clock::now();
+            {
+                ScopedTimer t(obs.timings, "corpus-ab-cold");
+                cold_grid = runGrid(ab_workloads2, configs, corpus_ab,
+                                    nullptr, &cold_stats, &corpus);
+            }
+            cold_seconds = secondsSince(cold_t0);
+            const auto warm_t0 = Clock::now();
+            {
+                ScopedTimer t(obs.timings, "corpus-ab-warm");
+                warm_grid = runGrid(ab_workloads2, configs, corpus_ab,
+                                    nullptr, &warm_stats, &corpus);
+            }
+            warm_seconds = secondsSince(warm_t0);
+        }
+        warm_speedup = warm_seconds > 0.0
+                           ? nocorpus_seconds / warm_seconds
+                           : 0.0;
+        corpus_identical =
+            nocorpus_grid.size() == cold_grid.size() &&
+            cold_grid.size() == warm_grid.size();
+        for (std::size_t i = 0; corpus_identical &&
+                                i < nocorpus_grid.size(); ++i) {
+            corpus_identical =
+                nocorpus_grid[i].cpiSamples == cold_grid[i].cpiSamples &&
+                cold_grid[i].cpiSamples == warm_grid[i].cpiSamples;
+        }
+        if (!ckpt.wantCorpus())
+            std::filesystem::remove_all(corpus_dir, ec);
+        std::printf("\nCheckpoint corpus (chained, %zu workloads x %zu "
+                    "profiles x %u samples, %lluk stride, jobs=%u):\n"
+                    "  no corpus  %.2fs (%llu fast-forwards)\n"
+                    "  cold       %.2fs (%llu misses published)\n"
+                    "  warm       %.2fs (%llu hits, %.2fx vs no "
+                    "corpus)  results %s\n",
+                    ab_workloads2.size(), configs.size(),
+                    corpus_ab.samples,
+                    static_cast<unsigned long long>(
+                        corpus_ab.fastforwardInsts / 1000),
+                    corpus_ab.jobs, nocorpus_seconds,
+                    static_cast<unsigned long long>(
+                        nocorpus_stats.ffRuns),
+                    cold_seconds,
+                    static_cast<unsigned long long>(
+                        cold_stats.ckptMisses),
+                    warm_seconds,
+                    static_cast<unsigned long long>(
+                        warm_stats.ckptHits),
+                    warm_speedup,
+                    corpus_identical ? "bit-identical" : "DIVERGED");
     }
 
     std::FILE *json = std::fopen(json_path.c_str(), "w");
@@ -359,13 +457,33 @@ main(int argc, char **argv)
             "    \"legacy_ff_runs\": %llu, \"legacy_seconds\": "
             "%.4f,\n"
             "    \"reuse_ff_runs\": %llu, \"reuse_seconds\": "
-            "%.4f, \"speedup\": %.2f, \"ff_mips\": %.1f}\n",
+            "%.4f, \"speedup\": %.2f, \"ff_mips\": %.1f},\n",
             ab_workload_count, configs.size(), ab.samples,
             static_cast<unsigned long long>(ab.fastforwardInsts),
             static_cast<unsigned long long>(legacy_stats.ffRuns),
             legacy_seconds,
             static_cast<unsigned long long>(reuse_stats.ffRuns),
             reuse_seconds, reuse_speedup, reuse_stats.ffMips());
+        std::fprintf(
+            json,
+            "  \"checkpoint_corpus\": {\"chained\": true, "
+            "\"samples\": %u, \"stride_insts\": %llu, \"jobs\": %u,\n"
+            "    \"nocorpus_seconds\": %.4f, \"cold_seconds\": %.4f, "
+            "\"warm_seconds\": %.4f,\n"
+            "    \"warm_speedup\": %.2f, \"cold_misses\": %llu, "
+            "\"warm_hits\": %llu, \"ckpt_bytes\": %llu,\n"
+            "    \"chain_len\": %llu, \"bit_identical\": %s}\n",
+            corpus_ab.samples,
+            static_cast<unsigned long long>(
+                corpus_ab.fastforwardInsts),
+            corpus_ab.jobs, nocorpus_seconds, cold_seconds,
+            warm_seconds, warm_speedup,
+            static_cast<unsigned long long>(cold_stats.ckptMisses),
+            static_cast<unsigned long long>(warm_stats.ckptHits),
+            static_cast<unsigned long long>(cold_stats.ckptBytes +
+                                            warm_stats.ckptBytes),
+            static_cast<unsigned long long>(warm_stats.ckptChainLen),
+            corpus_identical ? "true" : "false");
     }
     std::fprintf(json, "}\n");
     std::fclose(json);
@@ -386,7 +504,12 @@ main(int argc, char **argv)
                          m.set("harness_kips", grid_kips);
                          m.set("harness_insts", grid_insts);
                          m.set("reuse_speedup", reuse_speedup);
-                         reuse_stats.registerStats(reg, "harness");
+                         m.set("corpus_warm_speedup", warm_speedup);
+                         m.set("corpus_bit_identical",
+                               corpus_identical);
+                         // Warm-run stats so the manifest's
+                         // harness.ckpt_* counters show corpus hits.
+                         warm_stats.registerStats(reg, "harness");
                          for (const ProfileKips &r : results)
                              m.set(std::string("kips_") +
                                        profileName(r.profile),

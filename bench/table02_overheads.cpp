@@ -30,7 +30,12 @@ int
 main(int argc, char **argv)
 {
     BenchObs obs;
-    const SampleParams sp = parseSampleArgs(argc, argv, {}, &obs);
+    BenchCkpt ckpt;
+    const SampleParams sp = parseSampleArgs(
+        argc, argv,
+        {BenchCkpt::kUsageDir, BenchCkpt::kUsageMaxBytes,
+         BenchCkpt::kUsageNoCkpt},
+        &obs, &ckpt);
     printBanner("Table 2: NDA propagation policies and the attacks "
                 "they prevent (" + std::to_string(sp.jobs) + " jobs)");
 
@@ -56,9 +61,12 @@ main(int argc, char **argv)
     std::vector<SimConfig> configs{makeProfile(Profile::kOoo)};
     for (const RowSpec &row : rows)
         configs.push_back(makeProfile(row.profile));
+    const std::unique_ptr<CheckpointStore> corpus = ckpt.open();
+    GridStats grid_stats;
     ScopedTimer grid_timer(obs.timings, "grid");
-    const std::vector<RunResult> grid =
-        runGrid(workloads, configs, sp, gridProgress);
+    const std::vector<RunResult> grid = runGrid(
+        workloads, configs, sp, gridProgress, &grid_stats,
+        corpus.get());
     grid_timer.stop();
 
     TablePrinter t({"mechanism", "ctrl-steer (mem)", "ctrl-steer "
@@ -88,6 +96,9 @@ main(int argc, char **argv)
                 "store-address\nmicro-ops resolve quickly in these "
                 "kernels; see EXPERIMENTS.md.\n");
 
-    emitBenchObs(obs, "table02_overheads", Profile::kStrict, sp);
+    emitBenchObs(obs, "table02_overheads", Profile::kStrict, sp,
+                 [&](RunManifest &, StatsRegistry &reg) {
+                     grid_stats.registerStats(reg, "harness");
+                 });
     return 0;
 }

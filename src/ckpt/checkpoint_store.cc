@@ -1,0 +1,323 @@
+#include "ckpt/checkpoint_store.hh"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+
+#include "ckpt/serializer.hh"
+#include "common/log.hh"
+
+namespace fs = std::filesystem;
+
+namespace nda {
+
+namespace {
+
+constexpr const char *kIndexFile = "corpus.index";
+
+std::uint64_t
+fnv1a(std::uint64_t h, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xFF;
+        h *= 0x100000001B3ULL;
+    }
+    return h;
+}
+
+/** Workload names may contain spaces/'+' — keep filenames portable. */
+std::string
+sanitize(const std::string &name)
+{
+    std::string out;
+    out.reserve(name.size());
+    for (const char ch : name) {
+        const bool ok = (ch >= 'a' && ch <= 'z') ||
+                        (ch >= 'A' && ch <= 'Z') ||
+                        (ch >= '0' && ch <= '9') || ch == '-' ||
+                        ch == '_';
+        out.push_back(ok ? ch : '_');
+    }
+    return out.empty() ? std::string("w") : out;
+}
+
+} // namespace
+
+std::uint64_t
+geometryFingerprint(const HierarchyParams &mem,
+                    const PredictorParams &bp)
+{
+    std::uint64_t h = 0xCBF29CE484222325ULL;
+    for (const CacheParams *c : {&mem.l1i, &mem.l1d, &mem.l2}) {
+        h = fnv1a(h, c->sizeBytes);
+        h = fnv1a(h, c->ways);
+        h = fnv1a(h, c->lineBytes);
+    }
+    h = fnv1a(h, bp.direction.tableBits);
+    h = fnv1a(h, bp.direction.historyBits);
+    h = fnv1a(h, bp.btb.entries);
+    h = fnv1a(h, bp.btb.ways);
+    h = fnv1a(h, bp.btb.tagBits);
+    h = fnv1a(h, bp.rasEntries);
+    return h;
+}
+
+std::string
+CkptKey::fileName() const
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf),
+                  "-s%" PRIu64 "-f%" PRIu64 "-g%016" PRIx64 ".ckpt",
+                  seed, ffInsts, geomFp);
+    return sanitize(workload) + buf;
+}
+
+CheckpointStore::CheckpointStore(std::string dir,
+                                 std::uint64_t max_bytes)
+    : dir_(std::move(dir)), maxBytes_(max_bytes)
+{
+    std::error_code ec;
+    fs::create_directories(dir_, ec);
+    if (ec)
+        NDA_WARN("ckpt: cannot create corpus dir '%s': %s",
+                 dir_.c_str(), ec.message().c_str());
+    std::lock_guard<std::mutex> lock(mu_);
+    loadIndexLocked();
+}
+
+std::string
+CheckpointStore::entryPath(const std::string &file) const
+{
+    return dir_ + "/" + file;
+}
+
+std::string
+CheckpointStore::indexPath() const
+{
+    return entryPath(kIndexFile);
+}
+
+void
+CheckpointStore::loadIndexLocked()
+{
+    index_.clear();
+    useClock_ = 0;
+
+    if (std::FILE *f = std::fopen(indexPath().c_str(), "r")) {
+        char file[512];
+        unsigned long long last_use = 0, bytes = 0;
+        while (std::fscanf(f, "%llu %llu %511s", &last_use, &bytes,
+                           file) == 3) {
+            index_[file] = Entry{bytes, last_use};
+            useClock_ = std::max(useClock_,
+                                 static_cast<std::uint64_t>(last_use));
+        }
+        std::fclose(f);
+    }
+
+    // Reconcile with the directory: adopt entries published by other
+    // processes (as least-recently-used), drop entries whose file is
+    // gone. The index is a cache of the directory, not the truth.
+    std::error_code ec;
+    for (auto it = index_.begin(); it != index_.end();) {
+        if (!fs::exists(entryPath(it->first), ec))
+            it = index_.erase(it);
+        else
+            ++it;
+    }
+    for (const auto &de : fs::directory_iterator(dir_, ec)) {
+        const std::string file = de.path().filename().string();
+        if (file.size() < 5 ||
+            file.compare(file.size() - 5, 5, ".ckpt") != 0)
+            continue;
+        if (index_.count(file))
+            continue;
+        std::error_code size_ec;
+        const std::uint64_t bytes = fs::file_size(de.path(), size_ec);
+        if (!size_ec)
+            index_[file] = Entry{bytes, 0};
+    }
+}
+
+void
+CheckpointStore::writeIndexLocked() const
+{
+    const std::string tmp =
+        indexPath() + ".tmp." +
+        std::to_string(static_cast<unsigned long long>(
+            reinterpret_cast<std::uintptr_t>(this)));
+    std::FILE *f = std::fopen(tmp.c_str(), "w");
+    if (!f) {
+        NDA_WARN("ckpt: cannot write index '%s'", indexPath().c_str());
+        return;
+    }
+    for (const auto &[file, entry] : index_) {
+        std::fprintf(f, "%llu %llu %s\n",
+                     static_cast<unsigned long long>(entry.lastUse),
+                     static_cast<unsigned long long>(entry.bytes),
+                     file.c_str());
+    }
+    std::fclose(f);
+    std::error_code ec;
+    fs::rename(tmp, indexPath(), ec);
+    if (ec) {
+        NDA_WARN("ckpt: cannot publish index: %s", ec.message().c_str());
+        fs::remove(tmp, ec);
+    }
+}
+
+void
+CheckpointStore::touchLocked(const std::string &file)
+{
+    auto it = index_.find(file);
+    if (it != index_.end())
+        it->second.lastUse = ++useClock_;
+}
+
+void
+CheckpointStore::quarantineLocked(const std::string &file)
+{
+    std::error_code ec;
+    fs::rename(entryPath(file), entryPath(file + ".bad"), ec);
+    if (ec)
+        fs::remove(entryPath(file), ec);
+    index_.erase(file);
+    ++stats_.quarantined;
+    NDA_WARN("ckpt: quarantined corrupt corpus entry '%s'",
+             file.c_str());
+}
+
+void
+CheckpointStore::evictLocked()
+{
+    if (maxBytes_ == 0)
+        return;
+    auto total = [this] {
+        std::uint64_t t = 0;
+        for (const auto &[file, entry] : index_)
+            t += entry.bytes;
+        return t;
+    };
+    while (index_.size() > 1 && total() > maxBytes_) {
+        auto lru = index_.begin();
+        for (auto it = index_.begin(); it != index_.end(); ++it) {
+            if (it->second.lastUse < lru->second.lastUse)
+                lru = it;
+        }
+        std::error_code ec;
+        fs::remove(entryPath(lru->first), ec);
+        index_.erase(lru);
+        ++stats_.evictions;
+    }
+}
+
+bool
+CheckpointStore::load(const CkptKey &key, SimSnapshot &out,
+                      std::uint64_t *bytes)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (bytes)
+        *bytes = 0;
+    const std::string file = key.fileName();
+    const std::string path = entryPath(file);
+
+    std::error_code ec;
+    if (!fs::exists(path, ec)) {
+        ++stats_.misses;
+        return false;
+    }
+
+    CkptReader reader;
+    if (!reader.readFile(path, out)) {
+        NDA_WARN("ckpt: '%s': %s", path.c_str(),
+                 reader.error().c_str());
+        quarantineLocked(file);
+        writeIndexLocked();
+        ++stats_.misses;
+        return false;
+    }
+
+    const std::uint64_t size = fs::file_size(path, ec);
+    if (!index_.count(file))
+        index_[file] = Entry{ec ? 0 : size, 0};
+    touchLocked(file);
+    writeIndexLocked();
+    ++stats_.hits;
+    stats_.bytesRead += ec ? 0 : size;
+    if (bytes)
+        *bytes = ec ? 0 : size;
+    return true;
+}
+
+std::uint64_t
+CheckpointStore::store(const CkptKey &key, const SimSnapshot &snap)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::string file = key.fileName();
+    const std::string path = entryPath(file);
+
+    CkptWriter writer;
+    writer.put(snap);
+
+    // Atomic publication: a reader (this process or another sharing
+    // the corpus) sees the old entry, no entry, or the complete new
+    // one — never a torn write.
+    const std::string tmp =
+        path + ".tmp." +
+        std::to_string(static_cast<unsigned long long>(
+            reinterpret_cast<std::uintptr_t>(this)));
+    if (!writer.writeFile(tmp))
+        return 0;
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    if (ec) {
+        NDA_WARN("ckpt: cannot publish '%s': %s", path.c_str(),
+                 ec.message().c_str());
+        fs::remove(tmp, ec);
+        return 0;
+    }
+
+    const std::uint64_t size = writer.bytes().size();
+    index_[file] = Entry{size, 0};
+    touchLocked(file);
+    evictLocked();
+    writeIndexLocked();
+    stats_.bytesWritten += size;
+    return size;
+}
+
+bool
+CheckpointStore::contains(const CkptKey &key) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::error_code ec;
+    return fs::exists(entryPath(key.fileName()), ec);
+}
+
+std::size_t
+CheckpointStore::entryCount() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return index_.size();
+}
+
+std::uint64_t
+CheckpointStore::totalBytes() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::uint64_t t = 0;
+    for (const auto &[file, entry] : index_)
+        t += entry.bytes;
+    return t;
+}
+
+CkptStoreStats
+CheckpointStore::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+}
+
+} // namespace nda

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Persistent, content-addressed corpus of warming checkpoints.
+ *
+ * A checkpoint's identity is the deterministic recipe that produced
+ * it: (workload name, program-generator seed, fast-forward instruction
+ * count, structural-geometry fingerprint). `buildWarmCheckpoint` is a
+ * pure function of exactly those inputs, so the key IS the content
+ * address — two processes that derive the same key always hold the
+ * same bytes, which is what makes a corpus shared across grid
+ * requests, CI runs, and machines sound.
+ *
+ * Durability rules:
+ *  - publication is atomic (write to a temp file, then rename), so a
+ *    concurrent reader sees either the whole entry or none of it;
+ *  - corrupt entries (truncation, bit flips — anything `CkptReader`
+ *    rejects) are quarantined to `<name>.bad` and reported as a miss,
+ *    never an error: the caller rebuilds and republishes;
+ *  - total size is LRU-capped: inserting past `maxBytes` evicts the
+ *    least-recently-used entries first (the index records use order).
+ *
+ * Thread-safe: all operations serialize on an internal mutex. The
+ * fast-forward builders on the grid's thread pool share one store.
+ */
+
+#ifndef NDASIM_CKPT_CHECKPOINT_STORE_HH
+#define NDASIM_CKPT_CHECKPOINT_STORE_HH
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "core/snapshot.hh"
+
+namespace nda {
+
+/**
+ * Identity of one checkpoint: the inputs of the deterministic build
+ * recipe. `geomFp` covers only *structural* geometry (cache sizes/
+ * ways/line, predictor table shapes) — latencies never influence
+ * warming state, so profiles differing only in timing share entries.
+ */
+struct CkptKey {
+    std::string workload;     ///< workload registry name
+    std::uint64_t seed = 0;   ///< program-generator seed
+    std::uint64_t ffInsts = 0; ///< fast-forward instruction count
+    std::uint64_t geomFp = 0; ///< geometryFingerprint() of the build
+
+    /** Corpus filename this key addresses (sanitized, collision-free
+     *  for distinct keys up to fingerprint collisions). */
+    std::string fileName() const;
+};
+
+/** FNV-1a over the structural geometry fields (see CkptKey::geomFp). */
+std::uint64_t geometryFingerprint(const HierarchyParams &mem,
+                                  const PredictorParams &bp);
+
+/** Running totals of one store's activity (monotonic; the harness
+ *  diffs across a grid to report per-run numbers). */
+struct CkptStoreStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t bytesRead = 0;     ///< serialized bytes loaded on hits
+    std::uint64_t bytesWritten = 0;  ///< serialized bytes published
+    std::uint64_t evictions = 0;     ///< entries removed by the LRU cap
+    std::uint64_t quarantined = 0;   ///< corrupt entries set aside
+};
+
+/** On-disk checkpoint corpus rooted at one directory. */
+class CheckpointStore
+{
+  public:
+    /**
+     * Open (creating if needed) the corpus at `dir`. `maxBytes` caps
+     * the total serialized size (0 = uncapped); the cap is enforced
+     * at publication time by LRU eviction.
+     */
+    explicit CheckpointStore(std::string dir,
+                             std::uint64_t maxBytes = 0);
+
+    /**
+     * Look up `key`. True (and `out` filled) only for a present,
+     * CRC-clean entry; a corrupt file is quarantined and reported as
+     * a miss. `bytes`, if set, receives the entry's serialized size
+     * (0 on miss).
+     */
+    bool load(const CkptKey &key, SimSnapshot &out,
+              std::uint64_t *bytes = nullptr);
+
+    /**
+     * Serialize and atomically publish `snap` under `key`, then
+     * enforce the LRU cap. Returns the serialized size, or 0 if the
+     * entry could not be written (I/O failure — the grid continues
+     * without the corpus entry).
+     */
+    std::uint64_t store(const CkptKey &key, const SimSnapshot &snap);
+
+    /** True iff a (possibly corrupt) entry file exists for `key`. */
+    bool contains(const CkptKey &key) const;
+
+    const std::string &dir() const { return dir_; }
+    std::uint64_t maxBytes() const { return maxBytes_; }
+    std::string indexPath() const;
+
+    /** Entries currently in the index. */
+    std::size_t entryCount() const;
+
+    /** Total serialized bytes currently in the index. */
+    std::uint64_t totalBytes() const;
+
+    CkptStoreStats stats() const;
+
+  private:
+    struct Entry {
+        std::uint64_t bytes = 0;
+        std::uint64_t lastUse = 0;
+    };
+
+    std::string entryPath(const std::string &file) const;
+    void loadIndexLocked();
+    void writeIndexLocked() const;
+    void touchLocked(const std::string &file);
+    void evictLocked();
+    void quarantineLocked(const std::string &file);
+
+    std::string dir_;
+    std::uint64_t maxBytes_;
+    mutable std::mutex mu_;
+    std::map<std::string, Entry> index_;  ///< file -> size/use order
+    std::uint64_t useClock_ = 0;
+    CkptStoreStats stats_;
+};
+
+} // namespace nda
+
+#endif // NDASIM_CKPT_CHECKPOINT_STORE_HH

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Versioned binary (de)serialization of `SimSnapshot` — the on-disk
+ * form of a SMARTS warming checkpoint (core/snapshot.hh).
+ *
+ * Format: a fixed header (magic, schema version, section count)
+ * followed by self-describing sections, each framed as
+ *
+ *   u32 section id | u64 payload length | u32 CRC32(payload) | payload
+ *
+ * All integers are explicit little-endian regardless of host order.
+ * The ARCH section is always present; MEM/TAINT/HIER/PREDICTOR appear
+ * only when the snapshot carries that state, so the reader
+ * reconstructs the `hasMem`/`hasPredictor`/`hasTaint` flags from the
+ * section list. Map-backed state (resident memory pages, sparse
+ * memory taint) is emitted in sorted address order, so the same
+ * snapshot always serializes to the same bytes — files are
+ * byte-comparable, and the corpus can treat the key as content
+ * address.
+ *
+ * The round-trip contract is exact: for any snapshot `s`,
+ * `read(write(s)) == s` under `SimSnapshot::operator==`. The reader
+ * never crashes on malformed input — bad magic, unknown version,
+ * truncation, or a CRC mismatch anywhere turn into `false` plus a
+ * diagnostic, which is what lets the corpus quarantine-and-rebuild
+ * instead of taking the whole grid down.
+ */
+
+#ifndef NDASIM_CKPT_SERIALIZER_HH
+#define NDASIM_CKPT_SERIALIZER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/snapshot.hh"
+
+namespace nda {
+
+/** CRC32 (IEEE 802.3, reflected) of a byte span. */
+std::uint32_t crc32(const std::uint8_t *data, std::size_t len);
+
+/** Serializes SimSnapshots into the framed binary form. */
+class CkptWriter
+{
+  public:
+    /** Serialize `snap`, replacing any previously written bytes. */
+    void put(const SimSnapshot &snap);
+
+    const std::vector<std::uint8_t> &bytes() const { return buf_; }
+
+    /**
+     * Write the serialized bytes to `path` (not atomic — the corpus
+     * layer publishes via rename). False + NDA_WARN on I/O failure.
+     */
+    bool writeFile(const std::string &path) const;
+
+  private:
+    std::vector<std::uint8_t> buf_;
+};
+
+/** Parses the framed binary form back into a SimSnapshot. */
+class CkptReader
+{
+  public:
+    /**
+     * Parse `len` bytes into `out`. On any malformed input —
+     * truncation, bad magic/version, CRC mismatch, trailing garbage,
+     * or an implausible embedded length — returns false with
+     * `error()` describing the first defect; `out` is unspecified.
+     */
+    bool parse(const std::uint8_t *data, std::size_t len,
+               SimSnapshot &out);
+
+    /** Read and parse a whole file; false on I/O or parse failure. */
+    bool readFile(const std::string &path, SimSnapshot &out);
+
+    /** Diagnostic for the last failed parse/read. */
+    const std::string &error() const { return error_; }
+
+  private:
+    std::string error_;
+};
+
+} // namespace nda
+
+#endif // NDASIM_CKPT_SERIALIZER_HH

@@ -97,4 +97,53 @@ buildWarmCheckpoint(const Program &prog,
     return snap;
 }
 
+SimSnapshot
+extendWarmCheckpoint(const Program &prog, const SimSnapshot &base,
+                     std::uint64_t target_insts, TaintEngine *dift,
+                     WarmingWork *warm_work)
+{
+    NDA_ASSERT(base.hasMem && base.hasPredictor,
+               "extendWarmCheckpoint needs a warming checkpoint "
+               "(hasMem && hasPredictor) to resume from");
+    NDA_ASSERT(target_insts >= base.arch.instCount,
+               "extension target %llu is before the base checkpoint's "
+               "%llu retired instructions",
+               static_cast<unsigned long long>(target_insts),
+               static_cast<unsigned long long>(base.arch.instCount));
+
+    // Reassemble the fast-forward machine exactly as buildWarmCheckpoint
+    // left it: same geometry, same warming state, same architectural
+    // state (attachments first, so restore() re-applies captured
+    // taint to the DIFT engine).
+    Interpreter interp(prog);
+    MemHierarchy hier(base.memParams);
+    PredictorUnit bp(base.bpParams);
+    interp.attachWarming(&hier, &bp);
+    if (dift)
+        interp.attachDift(dift);
+    interp.restore(base.arch);
+    hier.restore(base.mem);
+    bp.restore(base.predictor);
+
+    const std::uint64_t executed = interp.runTo(target_insts);
+    if (warm_work)
+        *warm_work += interp.warmingWork();
+    NDA_ASSERT(!interp.halted(),
+               "program halted after %llu of the %llu-instruction "
+               "extension — window placement runs off the end",
+               static_cast<unsigned long long>(executed),
+               static_cast<unsigned long long>(target_insts -
+                                               base.arch.instCount));
+
+    SimSnapshot snap;
+    snap.arch = interp.save();
+    snap.hasMem = true;
+    snap.mem = hier.save();
+    snap.memParams = base.memParams;
+    snap.hasPredictor = true;
+    snap.predictor = bp.save();
+    snap.bpParams = base.bpParams;
+    return snap;
+}
+
 } // namespace nda

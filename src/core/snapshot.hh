@@ -78,6 +78,32 @@ SimSnapshot buildWarmCheckpoint(const Program &prog,
                                 TaintEngine *dift = nullptr,
                                 WarmingWork *warm_work = nullptr);
 
+/**
+ * Extend-from-snapshot mode of the same recipe: resume the predecoded
+ * interpreter (with functional warming, and `dift` if non-null) from
+ * `base` and run until `target_insts` total instructions have
+ * retired, then snapshot again.
+ *
+ * The chaining invariant — enforced by tests/test_ckpt.cc — is that
+ * extension composes exactly: for any split k,
+ *
+ *   extend(build(prog, k), n) == build(prog, n)        (n > k)
+ *
+ * bit-for-bit under SimSnapshot::operator==. This is what turns
+ * `--fastforward` into a *stride*: a W-workload grid pays one
+ * fast-forward chain per workload, with checkpoint k+1 built from
+ * checkpoint k instead of from the program entry.
+ *
+ * `base` must carry warming state (hasMem && hasPredictor) and
+ * `target_insts` must be >= the snapshot's instruction count; both
+ * are fatal misuses, not recoverable conditions.
+ */
+SimSnapshot extendWarmCheckpoint(const Program &prog,
+                                 const SimSnapshot &base,
+                                 std::uint64_t target_insts,
+                                 TaintEngine *dift = nullptr,
+                                 WarmingWork *warm_work = nullptr);
+
 } // namespace nda
 
 #endif // NDASIM_CORE_SNAPSHOT_HH

@@ -79,6 +79,18 @@ profileName(Profile p)
     }
 }
 
+bool
+profileByName(const std::string &name, Profile &out)
+{
+    for (Profile p : allProfiles()) {
+        if (name == profileName(p)) {
+            out = p;
+            return true;
+        }
+    }
+    return false;
+}
+
 std::vector<Profile>
 allProfiles()
 {

@@ -8,6 +8,7 @@
 #ifndef NDASIM_HARNESS_PROFILES_HH
 #define NDASIM_HARNESS_PROFILES_HH
 
+#include <string>
 #include <vector>
 
 #include "core/core_config.hh"
@@ -34,6 +35,13 @@ SimConfig makeProfile(Profile p);
 
 /** Display name matching the paper's Fig 7 legend. */
 const char *profileName(Profile p);
+
+/**
+ * Inverse of profileName: look a profile up by its Fig 7 legend name
+ * ("OoO", "Strict+BR", ...). Returns false and leaves `out` untouched
+ * when the name matches no profile.
+ */
+bool profileByName(const std::string &name, Profile &out);
 
 /** All profiles in Fig 7 order. */
 std::vector<Profile> allProfiles();

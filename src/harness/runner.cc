@@ -6,6 +6,7 @@
 #include "common/log.hh"
 #include "common/stats_util.hh"
 #include "common/thread_pool.hh"
+#include "ckpt/checkpoint_store.hh"
 #include "core/core_factory.hh"
 #include "core/snapshot.hh"
 #include "isa/interpreter.hh"
@@ -22,6 +23,10 @@ SampleParams::validate() const
     if (measureInsts == 0)
         NDA_FATAL("SampleParams::measureInsts is 0 — an empty measured "
                   "window would report CPI over zero instructions");
+    if (chainSamples && fastforwardInsts == 0)
+        NDA_FATAL("SampleParams::chainSamples needs fastforwardInsts "
+                  "> 0 — chained sampling places windows at multiples "
+                  "of the fast-forward stride");
 }
 
 void
@@ -81,6 +86,18 @@ GridStats::registerStats(StatsRegistry &reg,
     g.counter("warm_bp_trains", &warmBpTrains,
               "functional-warming branch trainings during "
               "fast-forward");
+    g.counter("ckpt_hits", &ckptHits,
+              "checkpoints loaded from the persistent corpus instead "
+              "of fast-forwarded");
+    g.counter("ckpt_misses", &ckptMisses,
+              "corpus lookups that had to build (and publish) the "
+              "checkpoint");
+    g.counter("ckpt_bytes", &ckptBytes,
+              "serialized checkpoint bytes read from plus published "
+              "to the corpus");
+    g.counter("ckpt_chain_len", &ckptChainLen,
+              "longest fast-forward chain (checkpoints per workload) "
+              "built or resumed; 0 unless chained sampling");
     g.formula("ff_mips", [this] { return ffMips(); },
               "fast-forward throughput, functional MIPS (ff_insts / "
               "fast_forward phase wall-clock)");
@@ -200,11 +217,42 @@ runSampled(const Workload &workload, const SimConfig &cfg,
     return runGrid(ws, cs, q).front();
 }
 
+namespace {
+
+/**
+ * Corpus probe used by the shared-checkpoint phase: a hit must be
+ * CRC-clean (CheckpointStore::load enforces that) AND structurally
+ * compatible with the grid's geometry — the key fingerprint should
+ * guarantee compatibility, but a fingerprint collision or a tampered
+ * entry must degrade to a rebuild, never into restoring tags of the
+ * wrong shape. `bytes` accumulates corpus traffic either way.
+ */
+bool
+corpusLoad(CheckpointStore *corpus, const CkptKey &key,
+           const SimConfig &cfg, SimSnapshot &out, std::uint64_t *bytes)
+{
+    if (!corpus)
+        return false;
+    std::uint64_t entry_bytes = 0;
+    if (!corpus->load(key, out, &entry_bytes))
+        return false;
+    if (!out.structurallyCompatible(cfg)) {
+        NDA_WARN("ckpt: corpus entry '%s' is structurally "
+                 "incompatible with the requested geometry — "
+                 "rebuilding", key.fileName().c_str());
+        return false;
+    }
+    *bytes += entry_bytes;
+    return true;
+}
+
+} // namespace
+
 std::vector<RunResult>
 runGrid(const std::vector<const Workload *> &workloads,
         const std::vector<SimConfig> &configs, const SampleParams &p,
         const std::function<void(std::size_t, std::size_t)> &progress,
-        GridStats *stats)
+        GridStats *stats, CheckpointStore *corpus)
 {
     p.validate();
     const std::size_t cells = workloads.size() * configs.size();
@@ -213,10 +261,28 @@ runGrid(const std::vector<const Workload *> &workloads,
     std::vector<WindowWork> work(total);
     PhaseTimings timings;
 
+    // The effective fast-forward and program seed of one (workload,
+    // sample): chained sampling measures offsets s x stride of ONE
+    // run (seed = baseSeed); classic sampling measures offset
+    // `fastforwardInsts` of S independently-seeded runs.
+    const auto window_ff = [&p](std::size_t sample) {
+        return p.chainSamples
+                   ? p.fastforwardInsts * (sample + 1)
+                   : p.fastforwardInsts;
+    };
+    const auto window_seed = [&p](std::size_t sample) {
+        return p.chainSamples
+                   ? p.baseSeed
+                   : p.baseSeed + static_cast<std::uint64_t>(sample);
+    };
+
     // Phase 1: one warming checkpoint per (workload, sample), built
     // with the first config's geometry and shared across profiles.
     // The functional prefix of a sample does not depend on the
-    // profile, so this turns W*S*P fast-forwards into W*S.
+    // profile, so this turns W*S*P fast-forwards into W*S — and with
+    // chained sampling into W fast-forward *chains*. A corpus, when
+    // given, replaces builds with loads wherever it already holds the
+    // (workload, seed, ff, geometry) entry.
     std::vector<SimSnapshot> checkpoints;
     const bool share = p.reuseCheckpoints && p.fastforwardInsts > 0 &&
                        !configs.empty() && !workloads.empty();
@@ -224,25 +290,90 @@ runGrid(const std::vector<const Workload *> &workloads,
         ScopedTimer t(timings, "fast_forward");
         const std::size_t n_ckpts = workloads.size() * p.samples;
         checkpoints.resize(n_ckpts);
+        // Per-task accounting slots: reduced in index order below, so
+        // the numbers are identical for any pool schedule.
         std::vector<WarmingWork> warm(n_ckpts);
-        ThreadPool ff_pool(std::max(1u, p.jobs));
-        ff_pool.parallelFor(n_ckpts, [&](std::size_t task) {
-            const std::size_t w = task / p.samples;
-            const std::size_t sample = task % p.samples;
-            const Program prog = workloads[w]->build(
-                p.baseSeed + static_cast<std::uint64_t>(sample));
-            checkpoints[task] = buildWarmCheckpoint(
-                prog, configs[0].memory, configs[0].core.predictor,
-                p.fastforwardInsts, nullptr, &warm[task]);
-        });
+        std::vector<std::uint64_t> ff_insts(n_ckpts, 0);
+        std::vector<std::uint8_t> built(n_ckpts, 0);
+        std::vector<std::uint64_t> corpus_bytes(n_ckpts, 0);
+        const std::uint64_t geom_fp = geometryFingerprint(
+            configs[0].memory, configs[0].core.predictor);
+
+        if (p.chainSamples) {
+            // One serial chain per workload; workloads in parallel.
+            ThreadPool ff_pool(std::max(1u, p.jobs));
+            ff_pool.parallelFor(workloads.size(), [&](std::size_t w) {
+                const Program prog = workloads[w]->build(p.baseSeed);
+                const SimSnapshot *prev = nullptr;
+                for (unsigned s = 0; s < p.samples; ++s) {
+                    const std::size_t task = w * p.samples + s;
+                    const std::uint64_t target = window_ff(s);
+                    const CkptKey key{workloads[w]->name(), p.baseSeed,
+                                      target, geom_fp};
+                    if (!corpusLoad(corpus, key, configs[0],
+                                    checkpoints[task],
+                                    &corpus_bytes[task])) {
+                        checkpoints[task] =
+                            prev ? extendWarmCheckpoint(
+                                       prog, *prev, target, nullptr,
+                                       &warm[task])
+                                 : buildWarmCheckpoint(
+                                       prog, configs[0].memory,
+                                       configs[0].core.predictor,
+                                       target, nullptr, &warm[task]);
+                        ff_insts[task] =
+                            target -
+                            (prev ? prev->arch.instCount : 0);
+                        built[task] = 1;
+                        if (corpus)
+                            corpus_bytes[task] += corpus->store(
+                                key, checkpoints[task]);
+                    }
+                    prev = &checkpoints[task];
+                }
+            });
+        } else {
+            ThreadPool ff_pool(std::max(1u, p.jobs));
+            ff_pool.parallelFor(n_ckpts, [&](std::size_t task) {
+                const std::size_t w = task / p.samples;
+                const std::size_t sample = task % p.samples;
+                const Program prog =
+                    workloads[w]->build(window_seed(sample));
+                const CkptKey key{workloads[w]->name(),
+                                  window_seed(sample),
+                                  p.fastforwardInsts, geom_fp};
+                if (!corpusLoad(corpus, key, configs[0],
+                                checkpoints[task],
+                                &corpus_bytes[task])) {
+                    checkpoints[task] = buildWarmCheckpoint(
+                        prog, configs[0].memory,
+                        configs[0].core.predictor, p.fastforwardInsts,
+                        nullptr, &warm[task]);
+                    ff_insts[task] = p.fastforwardInsts;
+                    built[task] = 1;
+                    if (corpus)
+                        corpus_bytes[task] +=
+                            corpus->store(key, checkpoints[task]);
+                }
+            });
+        }
         if (stats) {
-            stats->ffRuns += n_ckpts;
-            stats->ffInsts += n_ckpts * p.fastforwardInsts;
-            for (const WarmingWork &ww : warm) {
-                stats->warmITouches += ww.iTouches;
-                stats->warmDTouches += ww.dTouches;
-                stats->warmBpTrains += ww.bpTrains;
+            for (std::size_t task = 0; task < n_ckpts; ++task) {
+                stats->ffRuns += built[task];
+                stats->ffInsts += ff_insts[task];
+                stats->warmITouches += warm[task].iTouches;
+                stats->warmDTouches += warm[task].dTouches;
+                stats->warmBpTrains += warm[task].bpTrains;
+                if (corpus) {
+                    stats->ckptHits += built[task] ? 0 : 1;
+                    stats->ckptMisses += built[task] ? 1 : 0;
+                    stats->ckptBytes += corpus_bytes[task];
+                }
             }
+            if (p.chainSamples)
+                stats->ckptChainLen =
+                    std::max<std::uint64_t>(stats->ckptChainLen,
+                                            p.samples);
         }
     }
 
@@ -259,10 +390,15 @@ runGrid(const std::vector<const Workload *> &workloads,
             const std::size_t c = cell % configs.size();
             const SimSnapshot *ckpt =
                 share ? &checkpoints[w * p.samples + sample] : nullptr;
-            windows[task] = runWindow(
-                *workloads[w], configs[c],
-                p.baseSeed + static_cast<std::uint64_t>(sample), p,
-                ckpt, &work[task]);
+            // The fallback path inside runWindow (no shared
+            // checkpoint, or incompatible geometry) must place this
+            // window at its own offset, so hand it the per-sample
+            // fast-forward.
+            SampleParams q = p;
+            q.fastforwardInsts = window_ff(sample);
+            windows[task] = runWindow(*workloads[w], configs[c],
+                                      window_seed(sample), q, ckpt,
+                                      &work[task]);
             if (progress) {
                 std::lock_guard<std::mutex> lock(progress_mutex);
                 progress(++done, total);
@@ -292,13 +428,13 @@ std::vector<RunResult>
 runGrid(const std::vector<std::unique_ptr<Workload>> &workloads,
         const std::vector<SimConfig> &configs, const SampleParams &p,
         const std::function<void(std::size_t, std::size_t)> &progress,
-        GridStats *stats)
+        GridStats *stats, CheckpointStore *corpus)
 {
     std::vector<const Workload *> ptrs;
     ptrs.reserve(workloads.size());
     for (const auto &w : workloads)
         ptrs.push_back(w.get());
-    return runGrid(ptrs, configs, p, progress, stats);
+    return runGrid(ptrs, configs, p, progress, stats, corpus);
 }
 
 } // namespace nda

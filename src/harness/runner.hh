@@ -25,6 +25,16 @@
  * reuseCheckpoints = false does for every window; both paths build
  * checkpoints with the same deterministic procedure, so reuse on/off
  * is bit-identical by construction.
+ *
+ * Two orthogonal extensions cut the fast-forward bill further.
+ * SampleParams::chainSamples places the S samples at offsets s x
+ * stride into ONE long run and builds checkpoint s+1 by extending
+ * checkpoint s — W chains instead of W x S independent prefixes. And
+ * a CheckpointStore (ckpt/checkpoint_store.hh) passed to runGrid
+ * persists every built checkpoint on disk keyed by its deterministic
+ * recipe, so later grids — other requests of a grid server, the next
+ * CI run — skip the fast-forward phase entirely once the corpus is
+ * warm. Both preserve bit-identity of the measured results.
  */
 
 #ifndef NDASIM_HARNESS_RUNNER_HH
@@ -42,6 +52,7 @@
 
 namespace nda {
 
+class CheckpointStore;
 class StatsRegistry;
 struct SimSnapshot;
 
@@ -66,9 +77,21 @@ struct SampleParams {
      * path; bit-identical results, more functional work).
      */
     bool reuseCheckpoints = true;
+    /**
+     * SMARTS-proper chained sampling: instead of S independently-
+     * seeded programs each fast-forwarded `fastforwardInsts`, run ONE
+     * program (seed = baseSeed) and place sample s at offset
+     * fastforwardInsts x (s+1) — `fastforwardInsts` becomes a
+     * *stride*. Checkpoint s+1 is then built by extending checkpoint
+     * s (extendWarmCheckpoint), so a W-workload grid pays one
+     * fast-forward chain per workload instead of one per (workload,
+     * sample). Requires fastforwardInsts > 0.
+     */
+    bool chainSamples = false;
 
     /** NDA_FATAL on parameters that cannot produce a measurement
-     *  (zero samples or an empty measured window). */
+     *  (zero samples, an empty measured window, or chained sampling
+     *  without a stride). */
     void validate() const;
 };
 
@@ -120,6 +143,14 @@ struct GridStats {
     std::uint64_t warmITouches = 0;
     std::uint64_t warmDTouches = 0;
     std::uint64_t warmBpTrains = 0;
+    // Checkpoint-corpus traffic of the fast-forward phase (all zero
+    // when no CheckpointStore was passed to runGrid).
+    std::uint64_t ckptHits = 0;      ///< checkpoints loaded from the corpus
+    std::uint64_t ckptMisses = 0;    ///< lookups that had to build
+    std::uint64_t ckptBytes = 0;     ///< serialized bytes read + published
+    /** Longest fast-forward chain (checkpoints per workload) this
+     *  grid built or resumed; 0 unless chainSamples. */
+    std::uint64_t ckptChainLen = 0;
     /** Host seconds per phase: "fast_forward", "detailed". */
     PhaseTimings timings;
 
@@ -173,13 +204,26 @@ RunResult runSampled(const Workload &workload, const SimConfig &cfg,
  * threads.
  *
  * `stats`, if set, accumulates the sweep's harness-side work.
+ *
+ * `corpus`, if set, backs the shared-checkpoint phase with the
+ * persistent store (ckpt/checkpoint_store.hh): each needed checkpoint
+ * is looked up by (workload, seed, ff count, geometry fingerprint)
+ * first — a CRC-clean, structurally-compatible hit skips that
+ * fast-forward entirely; misses build (in chained mode, by extending
+ * the previous checkpoint of the chain) and publish the result for
+ * every later run sharing the directory. Results are bit-identical
+ * with or without a corpus, warm or cold: deserialization is exact
+ * (`SimSnapshot::operator==`), so a loaded checkpoint is
+ * indistinguishable from a rebuilt one. The corpus only participates
+ * when reuseCheckpoints is on (the legacy per-window path never
+ * touches it).
  */
 std::vector<RunResult>
 runGrid(const std::vector<const Workload *> &workloads,
         const std::vector<SimConfig> &configs, const SampleParams &p,
         const std::function<void(std::size_t, std::size_t)> &progress =
             nullptr,
-        GridStats *stats = nullptr);
+        GridStats *stats = nullptr, CheckpointStore *corpus = nullptr);
 
 /** Convenience overload over owning workload lists. */
 std::vector<RunResult>
@@ -187,7 +231,7 @@ runGrid(const std::vector<std::unique_ptr<Workload>> &workloads,
         const std::vector<SimConfig> &configs, const SampleParams &p,
         const std::function<void(std::size_t, std::size_t)> &progress =
             nullptr,
-        GridStats *stats = nullptr);
+        GridStats *stats = nullptr, CheckpointStore *corpus = nullptr);
 
 } // namespace nda
 

@@ -859,4 +859,12 @@ Interpreter::run(std::uint64_t max_insts)
 #endif
 }
 
+std::uint64_t
+Interpreter::runTo(std::uint64_t target_inst_count)
+{
+    if (st_.instCount >= target_inst_count)
+        return 0;
+    return run(target_inst_count - st_.instCount);
+}
+
 } // namespace nda

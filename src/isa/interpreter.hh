@@ -104,6 +104,16 @@ class Interpreter
      */
     std::uint64_t run(std::uint64_t max_insts);
 
+    /**
+     * Run until the lifetime retirement count reaches
+     * `target_inst_count` (a no-op if already there). This is the
+     * chained fast-forward primitive: a restored interpreter extends
+     * its run to an absolute offset, so checkpoint k+1 is built from
+     * checkpoint k by executing exactly one stride more.
+     * @return number of instructions executed by this call.
+     */
+    std::uint64_t runTo(std::uint64_t target_inst_count);
+
     bool halted() const { return st_.halted; }
     Addr pc() const { return st_.pc; }
     RegVal reg(RegId r) const { return st_.regs[r]; }

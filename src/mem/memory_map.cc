@@ -1,6 +1,19 @@
 #include "mem/memory_map.hh"
 
+#include <algorithm>
+
 namespace nda {
+
+std::vector<Addr>
+MemoryMap::residentPages() const
+{
+    std::vector<Addr> bases;
+    bases.reserve(pages_.size());
+    for (const auto &entry : pages_)
+        bases.push_back(entry.first);
+    std::sort(bases.begin(), bases.end());
+    return bases;
+}
 
 MemoryMap::Page &
 MemoryMap::pageFor(Addr addr)

@@ -79,6 +79,14 @@ class MemoryMap
     std::size_t pageCount() const { return pages_.size(); }
 
     /**
+     * Base addresses of all resident pages, sorted ascending. The
+     * serializer (ckpt/serializer.hh) walks this to emit a canonical
+     * byte stream — unordered_map iteration order must never leak
+     * into a checkpoint file.
+     */
+    std::vector<Addr> residentPages() const;
+
+    /**
      * Exact equality of resident pages (contents + permissions).
      * Used by the snapshot layer: two maps produced by the same write
      * sequence have the same resident-page set, so page-for-page
