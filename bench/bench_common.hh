@@ -186,6 +186,33 @@ struct BenchCkpt {
 };
 
 /**
+ * Strict numeric parse for a binary-specific value flag, with the
+ * same contract as the shared flags: malformed or empty values print
+ * the usage text and exit 2 instead of throwing.
+ */
+inline unsigned long long
+parseFlagNumber(const char *prog, const std::string &arg,
+                std::size_t prefix_len,
+                std::initializer_list<const char *> extra = {})
+{
+    const std::string value = arg.substr(prefix_len);
+    std::size_t consumed = 0;
+    unsigned long long n = 0;
+    try {
+        n = std::stoull(value, &consumed);
+    } catch (const std::exception &) {
+    }
+    if (value.empty() || consumed != value.size()) {
+        std::fprintf(stderr,
+                     "%s: invalid value in '%s' (expected a number)\n",
+                     prog, arg.c_str());
+        printSampleUsage(prog, extra);
+        std::exit(2);
+    }
+    return n;
+}
+
+/**
  * Parse the shared sampling flags from argv. Unrecognized arguments
  * abort with a usage message: a misspelled flag silently falling back
  * to defaults has burned enough measurement time already.

@@ -25,14 +25,18 @@ main(int argc, char **argv)
     BenchCkpt ckpt;
     const SampleParams sp = parseSampleArgs(
         argc, argv,
-        {"--csv=", BenchCkpt::kUsageDir, BenchCkpt::kUsageMaxBytes,
-         BenchCkpt::kUsageNoCkpt},
+        {"--csv=", "--mshr=", BenchCkpt::kUsageDir,
+         BenchCkpt::kUsageMaxBytes, BenchCkpt::kUsageNoCkpt},
         &obs, &ckpt);
     std::string csv_path;
+    unsigned mshr_entries = 0;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg.rfind("--csv=", 0) == 0)
             csv_path = arg.substr(6);
+        else if (arg.rfind("--mshr=", 0) == 0)
+            mshr_entries = static_cast<unsigned>(
+                parseFlagNumber(argv[0], arg, 7));
     }
     printBanner("Figure 7: normalized CPI, all profiles x all "
                 "workloads (95% CI over " +
@@ -45,8 +49,11 @@ main(int argc, char **argv)
     // The whole figure is one grid of independent windows — run them
     // all concurrently, then format from the reduced cells.
     std::vector<SimConfig> configs;
-    for (Profile p : profiles)
-        configs.push_back(makeProfile(p));
+    for (Profile p : profiles) {
+        SimConfig cfg = makeProfile(p);
+        cfg.memory.mshrEntries = mshr_entries;
+        configs.push_back(cfg);
+    }
     const std::unique_ptr<CheckpointStore> corpus = ckpt.open();
     GridStats grid_stats;
     ScopedTimer grid_timer(obs.timings, "grid");
@@ -143,6 +150,8 @@ main(int argc, char **argv)
 
     emitBenchObs(obs, "fig07_cpi", Profile::kStrict, sp,
                  [&](RunManifest &m, StatsRegistry &reg) {
+                     m.set("mshr_entries",
+                           static_cast<std::uint64_t>(mshr_entries));
                      m.set("geomean_strict", geo[Profile::kStrict]);
                      m.set("geomean_in_order", in_order);
                      m.set("geomean_full_protection", full);

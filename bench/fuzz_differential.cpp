@@ -45,6 +45,10 @@ printUsage(const char *prog)
         "default: all ten)\n"
         "  --no-dift         skip DIFT taint comparison\n"
         "  --no-invariants   detach the per-cycle invariant checker\n"
+        "  --mshr=N          MSHR entries per L1 file on every profile "
+        "(default 0\n"
+        "                    = legacy eager fills; 1 = blocking; >= 2 "
+        "= MLP)\n"
         "  --minimize        shrink failing programs and write corpus "
         "entries\n"
         "  --corpus-dir=DIR  corpus output directory (default "
@@ -52,7 +56,10 @@ printUsage(const char *prog)
         "  --inject=KIND     checker self-test; KIND is one of "
         "freelist-leak,\n"
         "                    double-free, early-wakeup, "
-        "rename-corrupt, rob-reorder\n"
+        "rename-corrupt, rob-reorder,\n"
+        "                    mshr-dup-primary, mshr-ghost-target, "
+        "mshr-overflow,\n"
+        "                    mshr-stuck-fill\n"
         "  --inject-seed=N   program seed for --inject (default 1)\n"
         "  --inject-cycle=N  first cycle eligible for corruption "
         "(default 2000)\n"
@@ -244,6 +251,9 @@ main(int argc, char **argv)
         } else if (arg.rfind("--profile=", 0) == 0) {
             params.profiles.push_back(
                 parseProfile(argv[0], arg.substr(10)));
+        } else if (arg.rfind("--mshr=", 0) == 0) {
+            params.mshrEntries =
+                static_cast<unsigned>(parseNumber(argv[0], arg, 7));
         } else if (arg == "--no-dift") {
             params.compareTaint = false;
         } else if (arg == "--no-invariants") {
@@ -336,6 +346,9 @@ main(int argc, char **argv)
                  [&](RunManifest &m, StatsRegistry &reg) {
                      m.set("runs", params.runs);
                      m.set("seed0", params.seed0);
+                     m.set("mshr_entries",
+                           static_cast<std::uint64_t>(
+                               params.mshrEntries));
                      result.registerStats(reg, "fuzz");
                  });
 

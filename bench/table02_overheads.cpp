@@ -33,9 +33,16 @@ main(int argc, char **argv)
     BenchCkpt ckpt;
     const SampleParams sp = parseSampleArgs(
         argc, argv,
-        {BenchCkpt::kUsageDir, BenchCkpt::kUsageMaxBytes,
+        {"--mshr=", BenchCkpt::kUsageDir, BenchCkpt::kUsageMaxBytes,
          BenchCkpt::kUsageNoCkpt},
         &obs, &ckpt);
+    unsigned mshr_entries = 0;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--mshr=", 0) == 0)
+            mshr_entries = static_cast<unsigned>(
+                parseFlagNumber(argv[0], arg, 7));
+    }
     printBanner("Table 2: NDA propagation policies and the attacks "
                 "they prevent (" + std::to_string(sp.jobs) + " jobs)");
 
@@ -61,6 +68,8 @@ main(int argc, char **argv)
     std::vector<SimConfig> configs{makeProfile(Profile::kOoo)};
     for (const RowSpec &row : rows)
         configs.push_back(makeProfile(row.profile));
+    for (SimConfig &cfg : configs)
+        cfg.memory.mshrEntries = mshr_entries;
     const std::unique_ptr<CheckpointStore> corpus = ckpt.open();
     GridStats grid_stats;
     ScopedTimer grid_timer(obs.timings, "grid");
@@ -97,7 +106,9 @@ main(int argc, char **argv)
                 "kernels; see EXPERIMENTS.md.\n");
 
     emitBenchObs(obs, "table02_overheads", Profile::kStrict, sp,
-                 [&](RunManifest &, StatsRegistry &reg) {
+                 [&](RunManifest &m, StatsRegistry &reg) {
+                     m.set("mshr_entries",
+                           static_cast<std::uint64_t>(mshr_entries));
                      grid_stats.registerStats(reg, "harness");
                  });
     return 0;

@@ -25,6 +25,15 @@ InOrderCore::tick()
         return;
     ++cycle_;
     ++counters_.cycles;
+    // MSHR mode: fills land while the core is stalled on them, so
+    // mshrEntries = 1 reproduces the legacy blocking numbers. The +1
+    // matches the legacy charging convention: a miss charged `lat` at
+    // cycle c overlaps its commit cycle (cost += lat - 1), so the
+    // next access to that line happens at c + lat - 1 and must see
+    // the fill scheduled for c + lat — drain everything due by the
+    // END of this cycle.
+    if (hier_.mshrEnabled())
+        hier_.advance(cycle_ + 1);
     if (cycle_ < busyUntil_) {
         ++counters_.cycleClass[static_cast<int>(stallClass_)];
         return;
@@ -96,6 +105,22 @@ InOrderCore::restoreCheckpoint(const SimSnapshot &snap)
         hier_.restore(snap.mem);
 }
 
+AccessResult
+InOrderCore::dataTiming(Addr addr, MshrTargetKind kind)
+{
+    if (!hier_.mshrEnabled())
+        return hier_.dataAccess(addr);
+    // Blocking semantics through the non-blocking plumbing: the stall
+    // covers the fill latency, so at most this one data miss (plus the
+    // step's own fetch miss) is ever in flight and rejection cannot
+    // happen. seq carries the commit index; nothing here squashes.
+    const MemRequestResult req = hier_.dataRequest(
+        addr, cycle_, static_cast<InstSeqNum>(committed_), kind);
+    NDA_ASSERT(!req.rejected(),
+               "blocking core overflowed the D-side MSHR file");
+    return AccessResult{req.latency, req.level};
+}
+
 Cycle
 InOrderCore::step()
 {
@@ -114,8 +139,17 @@ InOrderCore::step()
     const Addr fetch_addr = pcToFetchAddr(pc_);
     const Addr line = fetch_addr / kLineSize;
     if (!cfg_.inOrderParams.lineBuffer || line != lastFetchLine_) {
-        const AccessResult res = hier_.instAccess(fetch_addr);
-        cost += res.latency - 1;
+        unsigned fetch_lat;
+        if (hier_.mshrEnabled()) {
+            const MemRequestResult res =
+                hier_.instRequest(fetch_addr, cycle_);
+            NDA_ASSERT(!res.rejected(),
+                       "blocking core overflowed the I-side MSHR file");
+            fetch_lat = res.latency;
+        } else {
+            fetch_lat = hier_.instAccess(fetch_addr).latency;
+        }
+        cost += fetch_lat - 1;
         lastFetchLine_ = line;
     }
 
@@ -149,7 +183,7 @@ InOrderCore::step()
             raise_fault();
             return cost;
         }
-        const AccessResult res = hier_.dataAccess(addr);
+        const AccessResult res = dataTiming(addr, MshrTargetKind::kLoad);
         regs_[uop.rd] = mem_.read(addr, uop.size);
         if (dift_)
             dift_->archLoad(uop.rd, uop.rs1, addr, uop.size, pc_);
@@ -168,7 +202,7 @@ InOrderCore::step()
             raise_fault();
             return cost;
         }
-        const AccessResult res = hier_.dataAccess(addr);
+        const AccessResult res = dataTiming(addr, MshrTargetKind::kStore);
         mem_.write(addr, b, uop.size);
         if (dift_)
             dift_->archStore(addr, uop.size, uop.rs2);

@@ -57,6 +57,11 @@ class InOrderCore : public CoreBase
     /** Execute one instruction; returns its total cycle cost. */
     Cycle step();
 
+    /** Data-side timing for one access: legacy eager path, or the
+     *  MSHR request path when enabled (identical latencies — the
+     *  blocking core never overlaps misses). */
+    AccessResult dataTiming(Addr addr, MshrTargetKind kind);
+
     const Program prog_;
     SimConfig cfg_;
     MemoryMap mem_;

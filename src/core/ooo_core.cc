@@ -157,6 +157,27 @@ OooCore::corruptForTest(FuzzCorruption kind)
             return false;
         std::swap(rob_[0]->seq, rob_[1]->seq);
         return true;
+      case FuzzCorruption::kMshrDupPrimary:
+        // Two primary entries racing for one line: both would fill,
+        // double-counting and corrupting LRU order.
+        return hier_.mshrEnabled() &&
+               hier_.mshrDataForTest().testDuplicatePrimary();
+      case FuzzCorruption::kMshrGhostTarget:
+        // A fill about to wake a load the LSQ has never heard of.
+        return hier_.mshrEnabled() &&
+               hier_.mshrDataForTest().testAddGhostTarget(nextSeq_ +
+                                                          1000);
+      case FuzzCorruption::kMshrOverflow:
+        // More in-flight misses than registers exist to track them.
+        return hier_.mshrEnabled() &&
+               hier_.mshrDataForTest().testOverflow(
+                   cycle_ + hier_.params().l2.hitLatency +
+                   hier_.params().dramLatency);
+      case FuzzCorruption::kMshrStuckFill:
+        // A fill the memory system lost: scheduled beyond any legal
+        // miss latency, so its waiting loads would sleep forever.
+        return hier_.mshrEnabled() &&
+               hier_.mshrDataForTest().testStuckFill();
       default:
         return false;
     }
@@ -168,6 +189,12 @@ OooCore::tick()
     ++cycle_;
     ++counters_.cycles;
     completionsThisCycle_ = 0;
+
+    // Non-blocking mode: land every fill due this cycle before any
+    // stage looks at the tags (the completing load's line must be
+    // present when it wakes).
+    if (hier_.mshrEnabled())
+        hier_.advance(cycle_);
 
     commitStage();
     completeStage();
@@ -288,9 +315,19 @@ OooCore::commitStage()
             break;
         }
         if (inst->isStore()) {
+            if (hier_.mshrEnabled()) {
+                // The drain needs a write-allocate slot; a full MSHR
+                // file stalls commit this cycle (retry next).
+                const MemRequestResult res = hier_.dataRequest(
+                    inst->effAddr, cycle_, inst->seq,
+                    MshrTargetKind::kStore);
+                if (res.rejected())
+                    break;
+            }
             inst->storeData = regs_.value(inst->src2);
             mem_.write(inst->effAddr, inst->storeData, inst->uop.size);
-            hier_.dataAccess(inst->effAddr);
+            if (!hier_.mshrEnabled())
+                hier_.dataAccess(inst->effAddr);
             lsq_.commitStore(*inst);
             ++counters_.stores;
             // DIFT: the committed store makes its data's taint (or
@@ -715,6 +752,12 @@ OooCore::squashAfter(InstSeqNum keep_seq, Addr redirect_pc,
     }
     lsq_.squashYoungerThan(keep_seq);
     iq_.removeSquashed();
+    // NDA deferral/squash and in-flight fills: the squashed loads'
+    // MSHR targets are cancelled (nobody wakes), but the fills
+    // themselves are orphaned, not cancelled — wrong-path lines still
+    // land, which is precisely the squash-surviving channel the
+    // policies are measured against.
+    hier_.squashLoadTargets(keep_seq);
 
     // Redirect fetch.
     fetchPc_ = redirect_pc;
@@ -848,7 +891,20 @@ OooCore::executeInst(const DynInstPtr &inst, unsigned &mem_issued,
       }
       case Opcode::kPrefetch: {
         const Addr addr = a + static_cast<Addr>(uop.imm);
-        const AccessResult res = hier_.dataAccess(addr);
+        AccessResult res;
+        if (hier_.mshrEnabled()) {
+            const MemRequestResult req = hier_.dataRequest(
+                addr, cycle_, inst->seq, MshrTargetKind::kPrefetch);
+            if (req.rejected()) {
+                // Real prefetchers drop requests under MSHR pressure;
+                // the hint completes with no cache-state change.
+                scheduleCompletion(inst, 1);
+                return;
+            }
+            res = {req.latency, req.level};
+        } else {
+            res = hier_.dataAccess(addr);
+        }
         if (dift_ && inst->taint) {
             inst->addrTaint = inst->taint;
             dift_->recordPending(inst->seq, inst->pc,
@@ -1006,7 +1062,22 @@ OooCore::executeLoad(const DynInstPtr &inst)
             inst->shadowLoad = true;
             inst->peekLevel = res.level;
         } else {
-            res = hier_.dataAccess(addr);
+            if (hier_.mshrEnabled()) {
+                const MemRequestResult req = hier_.dataRequest(
+                    addr, cycle_, inst->seq, MshrTargetKind::kLoad);
+                if (req.rejected()) {
+                    // MSHR full: the load stays in the issue queue
+                    // and retries next cycle, exactly like a
+                    // partial-overlap store stall. Nothing was
+                    // mutated, so the retry recomputes from scratch.
+                    inst->effAddrValid = false;
+                    inst->bypassedStores.clear();
+                    return false;
+                }
+                res = {req.latency, req.level};
+            } else {
+                res = hier_.dataAccess(addr);
+            }
             // DIFT: a secret-indexed access moved cache state (a fill,
             // or an LRU touch on a hit) — observable if squashed.
             if (dift_ && inst->addrTaint) {
@@ -1142,11 +1213,27 @@ OooCore::fetchStage()
         const Addr fetch_addr = pcToFetchAddr(fetchPc_);
         const Addr line = fetch_addr / kLineSize;
         if (line != lastFetchLine_) {
-            const AccessResult res = hier_.instAccess(fetch_addr);
-            lastFetchLine_ = line;
-            if (res.level != HitLevel::kL1) {
-                icacheStallUntil_ = cycle_ + res.latency;
-                break;
+            if (hier_.mshrEnabled()) {
+                const MemRequestResult req =
+                    hier_.instRequest(fetch_addr, cycle_);
+                if (req.rejected()) {
+                    // I-side MSHR full (only reachable after a squash
+                    // raced an in-flight line): retry next cycle.
+                    icacheStallUntil_ = cycle_ + 1;
+                    break;
+                }
+                lastFetchLine_ = line;
+                if (req.status != MemReqStatus::kHit) {
+                    icacheStallUntil_ = cycle_ + req.latency;
+                    break;
+                }
+            } else {
+                const AccessResult res = hier_.instAccess(fetch_addr);
+                lastFetchLine_ = line;
+                if (res.level != HitLevel::kL1) {
+                    icacheStallUntil_ = cycle_ + res.latency;
+                    break;
+                }
             }
         }
 

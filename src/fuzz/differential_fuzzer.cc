@@ -256,7 +256,8 @@ fuzzProgram(const Program &prog, std::uint64_t seed,
 
     // --- every core model under test --------------------------------------
     for (Profile profile : profiles) {
-        const SimConfig cfg = makeProfile(profile);
+        SimConfig cfg = makeProfile(profile);
+        cfg.memory.mshrEntries = p.mshrEntries;
         auto core = makeCore(prog, cfg);
         TaintEngine coreTaint(secrets);
         if (p.compareTaint)
@@ -423,6 +424,14 @@ expectedInvariant(FuzzCorruption kind)
         return InvariantKind::kRenameMap;
       case FuzzCorruption::kRobReorder:
         return InvariantKind::kRobOrder;
+      case FuzzCorruption::kMshrDupPrimary:
+        return InvariantKind::kMshrPrimary;
+      case FuzzCorruption::kMshrGhostTarget:
+        return InvariantKind::kMshrTargets;
+      case FuzzCorruption::kMshrOverflow:
+        return InvariantKind::kMshrOccupancy;
+      case FuzzCorruption::kMshrStuckFill:
+        return InvariantKind::kMshrFill;
       default:
         return InvariantKind::kNumInvariantKinds;
     }
@@ -434,9 +443,22 @@ runWithInjection(const Program &prog, Profile profile,
                  Cycle max_cycles)
 {
     InjectionOutcome out;
-    const SimConfig cfg = makeProfile(profile);
+    SimConfig cfg = makeProfile(profile);
     if (cfg.inOrder)
         return out; // nothing to corrupt in the in-order model
+
+    // The MSHR corruptions need pending entries to mangle; profiles
+    // default to the legacy eager model, where the hooks never apply.
+    switch (kind) {
+      case FuzzCorruption::kMshrDupPrimary:
+      case FuzzCorruption::kMshrGhostTarget:
+      case FuzzCorruption::kMshrOverflow:
+      case FuzzCorruption::kMshrStuckFill:
+        cfg.memory.mshrEntries = 4;
+        break;
+      default:
+        break;
+    }
 
     auto core = std::make_unique<OooCore>(prog, cfg);
     InvariantChecker checker;

@@ -48,6 +48,10 @@ struct FuzzParams {
     std::vector<Profile> profiles;
     /** Per-core cycle budget before a run counts as hung. */
     Cycle maxCycles = 20'000'000;
+    /** MSHR entries per L1 file on every profile (0 = legacy eager
+     *  fills). Timing-only, so the architectural oracle is unchanged —
+     *  this axis stresses the non-blocking plumbing. */
+    unsigned mshrEntries = 0;
 };
 
 /** What went wrong for one (seed, profile) pair. */

@@ -22,6 +22,14 @@ fuzzCorruptionName(FuzzCorruption kind)
         return "rename-corrupt";
       case FuzzCorruption::kRobReorder:
         return "rob-reorder";
+      case FuzzCorruption::kMshrDupPrimary:
+        return "mshr-dup-primary";
+      case FuzzCorruption::kMshrGhostTarget:
+        return "mshr-ghost-target";
+      case FuzzCorruption::kMshrOverflow:
+        return "mshr-overflow";
+      case FuzzCorruption::kMshrStuckFill:
+        return "mshr-stuck-fill";
     }
     return "?";
 }
@@ -32,7 +40,9 @@ fuzzCorruptionFromName(const std::string &name)
     static constexpr FuzzCorruption kAll[] = {
         FuzzCorruption::kFreeListLeak,  FuzzCorruption::kDoubleFree,
         FuzzCorruption::kEarlyWakeup,   FuzzCorruption::kRenameCorrupt,
-        FuzzCorruption::kRobReorder,
+        FuzzCorruption::kRobReorder,    FuzzCorruption::kMshrDupPrimary,
+        FuzzCorruption::kMshrGhostTarget,
+        FuzzCorruption::kMshrOverflow,  FuzzCorruption::kMshrStuckFill,
     };
     for (FuzzCorruption k : kAll) {
         if (name == fuzzCorruptionName(k))
@@ -59,6 +69,14 @@ invariantKindName(InvariantKind kind)
         return "wakeup-order";
       case InvariantKind::kNdaSafety:
         return "nda-safety";
+      case InvariantKind::kMshrPrimary:
+        return "mshr-primary";
+      case InvariantKind::kMshrTargets:
+        return "mshr-targets";
+      case InvariantKind::kMshrOccupancy:
+        return "mshr-occupancy";
+      case InvariantKind::kMshrFill:
+        return "mshr-fill";
       default:
         return "?";
     }
@@ -108,6 +126,7 @@ InvariantChecker::onCycleEnd(const OooCore &core)
     checkLsq(core);
     checkWakeupOrder(core);
     checkNdaSafety(core);
+    checkMshr(core);
 }
 
 void
@@ -363,6 +382,81 @@ InvariantChecker::checkNdaSafety(const OooCore &core)
             }
         }
     }
+}
+
+void
+InvariantChecker::checkMshr(const OooCore &core)
+{
+    const MemHierarchy &hier = core.hier_;
+    if (!hier.mshrEnabled())
+        return;
+
+    // advance() runs at the top of the tick, so by cycle end every
+    // surviving fill must be strictly in the future — and no farther
+    // out than a full L2-miss round trip scheduled this very cycle.
+    // A later fillAt is a fill the memory system lost: its waiters
+    // would sleep forever, which no stall counter ever surfaces.
+    const HierarchyParams &p = hier.params();
+    const Cycle fill_bound =
+        core.cycle_ + p.l2.hitLatency + p.dramLatency;
+
+    const auto live_load = [&](InstSeqNum seq) {
+        for (const DynInstPtr &ld : core.lsq_.loads()) {
+            if (ld->seq == seq)
+                return !ld->squashed;
+        }
+        return false;
+    };
+
+    const auto check_file = [&](const Mshr &file) {
+        if (file.occupancy() > file.capacity()) {
+            report(InvariantKind::kMshrOccupancy, core.cycle_,
+                   kInvalidSeqNum,
+                   file.name() + " holds " +
+                       std::to_string(file.occupancy()) +
+                       " entries, capacity " +
+                       std::to_string(file.capacity()));
+        }
+        std::vector<Addr> seen;
+        for (const MshrEntry &e : file.entries()) {
+            if (std::find(seen.begin(), seen.end(), e.lineAddr) !=
+                seen.end()) {
+                report(InvariantKind::kMshrPrimary, core.cycle_,
+                       kInvalidSeqNum,
+                       file.name() + " has two primary entries for line " +
+                           std::to_string(e.lineAddr));
+            }
+            seen.push_back(e.lineAddr);
+            if (e.fillAt > fill_bound) {
+                report(InvariantKind::kMshrFill, core.cycle_,
+                       kInvalidSeqNum,
+                       file.name() + " line " +
+                           std::to_string(e.lineAddr) + " fills at " +
+                           std::to_string(e.fillAt) +
+                           ", past the legal bound " +
+                           std::to_string(fill_bound));
+            }
+            for (const MshrTarget &t : e.targets) {
+                // Stores are committed, prefetches fire-and-forget,
+                // fetch targets belong to the front end — only load
+                // targets must map to a live (un-squashed) LSQ load.
+                if (t.kind != MshrTargetKind::kLoad)
+                    continue;
+                if (!live_load(t.seq)) {
+                    report(InvariantKind::kMshrTargets, core.cycle_,
+                           t.seq,
+                           file.name() + " line " +
+                               std::to_string(e.lineAddr) +
+                               " carries a load target with no live "
+                               "LSQ load behind it");
+                }
+            }
+        }
+    };
+
+    check_file(hier.mshrInst());
+    check_file(hier.mshrData());
+    check_file(hier.mshrL2());
 }
 
 } // namespace nda

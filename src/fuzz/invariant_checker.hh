@@ -25,7 +25,12 @@
  *  - the NDA safety property (paper §5): under the active policy no
  *    value produced in the shadow of an unresolved speculative branch
  *    (or an unresolved-address store bypass, or a non-head load under
- *    the load restriction) may have been broadcast to consumers.
+ *    the load restriction) may have been broadcast to consumers;
+ *  - MSHR files (when non-blocking mode is on): one primary entry per
+ *    line, occupancy within capacity, every data-side load target
+ *    backed by a live LSQ load, and every fill due within the maximal
+ *    legal miss latency (L2 + DRAM) — a later fill is one the memory
+ *    system lost, whose waiters would sleep forever.
  */
 
 #ifndef NDASIM_FUZZ_INVARIANT_CHECKER_HH
@@ -53,6 +58,10 @@ enum class FuzzCorruption : std::uint8_t {
     kEarlyWakeup,    ///< set ready on an unsafe, un-broadcast producer
     kRenameCorrupt,  ///< alias two rename-map entries
     kRobReorder,     ///< swap the age order of two ROB entries
+    kMshrDupPrimary, ///< two primary MSHR entries for one line
+    kMshrGhostTarget, ///< MSHR load target with no LSQ load behind it
+    kMshrOverflow,   ///< MSHR occupancy pushed past capacity
+    kMshrStuckFill,  ///< fill scheduled past any legal miss latency
 };
 
 /** Name of a corruption kind (CLI flag spelling). */
@@ -69,6 +78,10 @@ enum class InvariantKind : std::uint8_t {
     kLsqOrder,            ///< LSQ age order and ROB membership
     kWakeupOrder,         ///< ready bit iff broadcast, broadcast iff executed
     kNdaSafety,           ///< no unsafe value reached consumers
+    kMshrPrimary,         ///< at most one primary entry per line
+    kMshrTargets,         ///< load targets backed by live LSQ loads
+    kMshrOccupancy,       ///< occupancy within the file's capacity
+    kMshrFill,            ///< fills due within the legal latency bound
     kNumInvariantKinds,
 };
 
@@ -120,6 +133,7 @@ class InvariantChecker
     void checkLsq(const OooCore &core);
     void checkWakeupOrder(const OooCore &core);
     void checkNdaSafety(const OooCore &core);
+    void checkMshr(const OooCore &core);
 
     std::vector<InvariantViolation> violations_;
     std::uint64_t totalViolations_ = 0;

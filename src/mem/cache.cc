@@ -74,6 +74,19 @@ Cache::access(Addr addr)
 }
 
 bool
+Cache::accessNoFill(Addr addr)
+{
+    ++useClock_;
+    if (Line *line = findLine(addr)) {
+        line->lastUse = useClock_;
+        ++hits_;
+        return true;
+    }
+    ++misses_;
+    return false;
+}
+
+bool
 Cache::probe(Addr addr) const
 {
     return findLineConst(addr) != nullptr;

@@ -71,6 +71,14 @@ class Cache
      */
     bool access(Addr addr);
 
+    /**
+     * Look up `addr` counting hit/miss and updating LRU on hit, but
+     * do NOT allocate on miss — the fill arrives later through
+     * `fill()` when the MSHR entry drains (non-blocking mode).
+     * @return true on hit.
+     */
+    bool accessNoFill(Addr addr);
+
     /** Look up without changing any state. */
     bool probe(Addr addr) const;
 

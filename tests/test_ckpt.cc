@@ -119,6 +119,41 @@ TEST(CkptSerializer, RoundTripsInOrderAndOooCoreCheckpoints)
     }
 }
 
+TEST(CkptSerializer, RoundTripsMidMissMshrSave)
+{
+    // A checkpoint taken while MSHR fills are in flight drains them
+    // into the captured image; the byte format is unchanged (the MSHR
+    // knob is timing-only), so the serializer must round-trip it like
+    // any other snapshot.
+    const auto w = makeWorkload("stream");
+    const Program prog = w->build(3);
+    SimConfig cfg = makeProfile(Profile::kOoo);
+    cfg.memory.mshrEntries = 4;
+
+    auto core = makeCore(prog, cfg);
+    bool pending = false;
+    while (core->cycle() < 100'000 && !core->halted()) {
+        core->tick();
+        if (!core->hierarchy().mshrDrained()) {
+            pending = true;
+            break;
+        }
+    }
+    ASSERT_TRUE(pending) << "stream never left a miss in flight";
+    SimSnapshot snap;
+    core->saveCheckpoint(snap);
+
+    CkptWriter writer;
+    writer.put(snap);
+    CkptReader reader;
+    SimSnapshot back;
+    ASSERT_TRUE(reader.parse(writer.bytes().data(),
+                             writer.bytes().size(), back))
+        << reader.error();
+    EXPECT_TRUE(back == snap);
+    EXPECT_TRUE(back.mem == snap.mem);
+}
+
 TEST(CkptSerializer, RoundTripsArchOnlySnapshot)
 {
     const auto w = makeWorkload("crc");

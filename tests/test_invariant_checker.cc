@@ -19,9 +19,11 @@ namespace nda {
 namespace {
 
 constexpr FuzzCorruption kAllCorruptions[] = {
-    FuzzCorruption::kFreeListLeak, FuzzCorruption::kDoubleFree,
-    FuzzCorruption::kEarlyWakeup,  FuzzCorruption::kRenameCorrupt,
-    FuzzCorruption::kRobReorder,
+    FuzzCorruption::kFreeListLeak,   FuzzCorruption::kDoubleFree,
+    FuzzCorruption::kEarlyWakeup,    FuzzCorruption::kRenameCorrupt,
+    FuzzCorruption::kRobReorder,     FuzzCorruption::kMshrDupPrimary,
+    FuzzCorruption::kMshrGhostTarget, FuzzCorruption::kMshrOverflow,
+    FuzzCorruption::kMshrStuckFill,
 };
 
 TEST(InvariantChecker, CleanRunStaysClean)
@@ -40,6 +42,31 @@ TEST(InvariantChecker, CleanRunStaysClean)
             ASSERT_TRUE(core->halted())
                 << cfg.name << " seed " << seed;
             EXPECT_GT(checker.cyclesChecked(), 0u);
+            EXPECT_TRUE(checker.clean())
+                << cfg.name << " seed " << seed << ": "
+                << InvariantChecker::describe(
+                       checker.violations().front());
+        }
+    }
+}
+
+TEST(InvariantChecker, CleanRunStaysCleanWithMshrs)
+{
+    // Exercise the MSHR invariants on live non-blocking state (the
+    // all-profile sweep above runs the legacy eager model).
+    for (Profile profile :
+         {Profile::kOoo, Profile::kStrict, Profile::kFullProtection}) {
+        SimConfig cfg = makeProfile(profile);
+        cfg.memory.mshrEntries = 4;
+        for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+            const Program prog =
+                generateRandomProgram(seed, paramsForSeed(seed));
+            auto core = makeCore(prog, cfg);
+            InvariantChecker checker;
+            core->attachChecker(&checker);
+            core->run(~std::uint64_t{0} >> 1, 20'000'000);
+            ASSERT_TRUE(core->halted())
+                << cfg.name << " seed " << seed;
             EXPECT_TRUE(checker.clean())
                 << cfg.name << " seed " << seed << ": "
                 << InvariantChecker::describe(
@@ -107,9 +134,9 @@ TEST_P(InjectionTest, CorruptionCaughtByExpectedInvariant)
 INSTANTIATE_TEST_SUITE_P(
     AllCorruptions, InjectionTest,
     ::testing::Combine(
-        ::testing::Range(static_cast<int>(FuzzCorruption::kFreeListLeak),
-                         static_cast<int>(FuzzCorruption::kRobReorder) +
-                             1),
+        ::testing::Range(
+            static_cast<int>(FuzzCorruption::kFreeListLeak),
+            static_cast<int>(FuzzCorruption::kMshrStuckFill) + 1),
         ::testing::Values(static_cast<int>(Profile::kStrict),
                           static_cast<int>(Profile::kFullProtection))),
     [](const auto &info) {

@@ -288,6 +288,92 @@ TEST(CheckpointReuse, GridIsJobsInvariantWithFastForward)
 }
 
 // --------------------------------------------------------------------------
+// Non-blocking (MSHR) hierarchy: mid-miss saves
+// --------------------------------------------------------------------------
+
+/** Tick until at least one MSHR fill is in flight; false if the core
+ *  halts or the budget runs out first. */
+bool
+tickToPendingMiss(CoreBase &core, Cycle limit)
+{
+    while (core.cycle() < limit && !core.halted()) {
+        core.tick();
+        if (!core.hierarchy().mshrDrained())
+            return true;
+    }
+    return false;
+}
+
+TEST(MshrSnapshot, OooMidMissSaveRoundTripsBitExact)
+{
+    // A checkpoint taken with fills in flight drains them into the
+    // captured image (the state the machine converges to), so
+    // save -> restore -> save must be a fixed point and the snapshot
+    // must carry no MSHR residue a legacy consumer could trip over.
+    const auto w = makeWorkload("stream");
+    const Program prog = w->build(3);
+    SimConfig cfg = makeProfile(Profile::kOoo);
+    cfg.memory.mshrEntries = 4;
+
+    auto core = makeCore(prog, cfg);
+    ASSERT_TRUE(tickToPendingMiss(*core, 100'000))
+        << "stream never left a miss in flight";
+    SimSnapshot mid;
+    core->saveCheckpoint(mid);
+
+    auto fresh = makeCore(prog, cfg);
+    fresh->restoreCheckpoint(mid);
+    SimSnapshot again;
+    fresh->saveCheckpoint(again);
+    EXPECT_TRUE(again == mid)
+        << "mid-miss save -> restore -> save is not a fixed point";
+}
+
+TEST(MshrSnapshot, InOrderMidStallSaveRoundTripsBitExact)
+{
+    const auto w = makeWorkload("stream");
+    const Program prog = w->build(3);
+    SimConfig cfg = makeProfile(Profile::kInOrder);
+    cfg.memory.mshrEntries = 1;
+
+    auto core = makeCore(prog, cfg);
+    ASSERT_TRUE(tickToPendingMiss(*core, 100'000))
+        << "the blocking core never stalled on a miss";
+    SimSnapshot mid;
+    core->saveCheckpoint(mid);
+
+    auto fresh = makeCore(prog, cfg);
+    fresh->restoreCheckpoint(mid);
+    SimSnapshot again;
+    fresh->saveCheckpoint(again);
+    EXPECT_TRUE(again == mid);
+}
+
+TEST(MshrCheckpointReuse, GridWithMshrEqualsLegacy)
+{
+    // The PR-7 reuse machinery must be oblivious to the MSHR knob:
+    // reuse and rebuild-per-window grids stay bit-identical with
+    // non-blocking caches on.
+    std::vector<std::unique_ptr<Workload>> ws;
+    ws.push_back(makeWorkload("crc"));
+    ws.push_back(makeWorkload("stream"));
+    std::vector<SimConfig> configs{makeProfile(Profile::kOoo),
+                                   makeProfile(Profile::kStrict)};
+    for (SimConfig &cfg : configs)
+        cfg.memory.mshrEntries = 4;
+
+    const SampleParams reuse = gridParams();
+    SampleParams legacy = gridParams();
+    legacy.reuseCheckpoints = false;
+
+    const auto a = runGrid(ws, configs, reuse);
+    const auto b = runGrid(ws, configs, legacy);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        expectIdentical(a[i], b[i]);
+}
+
+// --------------------------------------------------------------------------
 // SampleParams validation
 // --------------------------------------------------------------------------
 
