@@ -22,6 +22,7 @@
 #include "core/ooo_core.hh"
 #include "debug/pipe_trace.hh"
 #include "harness/runner.hh"
+#include "obs/cpi_stack.hh"
 #include "obs/run_manifest.hh"
 #include "obs/trace_export.hh"
 
@@ -58,6 +59,10 @@ printSampleUsage(const char *prog,
                  "  --jobs=N       concurrent simulation windows "
                  "(default: hardware threads; results are identical "
                  "for any N)\n"
+                 "  --cpi-stack    attach the causal CPI-stack "
+                 "profiler to every measured\n"
+                 "                 window (per-cause slot attribution "
+                 "+ per-PC hotspots)\n"
                  "  --stats-out=F  write a JSON run manifest (config, "
                  "phase timings,\n"
                  "                 full stats dump of one instrumented "
@@ -279,6 +284,8 @@ parseSampleArgs(int argc, char **argv,
             p.reuseCheckpoints = false;
         } else if (arg == "--chain") {
             p.chainSamples = true;
+        } else if (arg == "--cpi-stack") {
+            p.cpiStack = true;
         } else if (arg.rfind("--seed=", 0) == 0) {
             p.baseSeed = number(7);
         } else if (arg.rfind("--jobs=", 0) == 0) {
@@ -366,6 +373,13 @@ emitBenchObs(BenchObs &obs, const char *bench, Profile profile,
     StatsRegistry reg;
     core->registerStats(reg, "core");
 
+    // The instrumented window always carries the CPI-stack profiler:
+    // its slot decomposition belongs in every manifest (and keeps the
+    // manifest's stats dump congruent with the registry schema).
+    CpiStackProfiler cpi(cfg.inOrder ? 1u : cfg.core.commitWidth);
+    core->attachCpiStack(&cpi);
+    cpi.registerStats(reg, "core.cpi_stack");
+
     PipeTrace trace;
     if (obs.wantTrace()) {
         // Only the OoO pipeline has a per-instruction retire hook.
@@ -381,6 +395,7 @@ emitBenchObs(BenchObs &obs, const char *bench, Profile profile,
         ScopedTimer timer(obs.timings, "instrumented-window");
         core->run(sp.warmupInsts, ~Cycle{0});
         core->resetCounters();
+        cpi.reset();
         trace.clear();
         core->run(sp.measureInsts, ~Cycle{0});
     }
@@ -401,6 +416,21 @@ emitBenchObs(BenchObs &obs, const char *bench, Profile profile,
         m.set("measure_insts", sp.measureInsts);
         m.set("jobs", static_cast<std::uint64_t>(sp.jobs));
         m.set("reuse_checkpoints", sp.reuseCheckpoints);
+        // Latency-distribution summaries of the instrumented window
+        // (Fig 9d's dispatch-to-issue plus the two NDA residency
+        // histograms) — the full distributions live under "stats".
+        const PerfCounters &pcs = core->counters();
+        const auto pct = [&m](const char *base, const Histogram &h) {
+            const std::string k(base);
+            m.set(k + "_p50", h.percentile(0.50));
+            m.set(k + "_p95", h.percentile(0.95));
+            m.set(k + "_p99", h.percentile(0.99));
+        };
+        pct("dispatch_to_issue", pcs.dispatchToIssue);
+        pct("deferred_delay", pcs.deferredBroadcastDelay);
+        pct("unsafe_residency", pcs.unsafeResidency);
+        // Where the window's lost slots went, by PC.
+        m.setRaw("cpi_hotspots", cpi.hotspots().topJson(kHotspotTopN));
         if (obs.wantTrace()) {
             m.set("trace_out", obs.traceOut);
             m.set("trace_format", traceFormatName(obs.traceFormat));

@@ -5,8 +5,16 @@
  * baseline, with 95% confidence intervals from SMARTS-style sampled
  * measurement (paper §6.1). Ends with the geomean row and the
  * headline gap-closure claims of the abstract.
+ *
+ * With --cpi-stack the same grid also carries the causal CPI-stack
+ * profiler: every cell's slot decomposition is identity-checked
+ * (sum of cause buckets == width x cycles, exactly), an attribution
+ * table explains each profile's aggregate CPI term by term, and the
+ * per-cell stacks export as a tidy CSV (--stack-csv=) plus a
+ * flamegraph-ready collapsed-stack file (--stack-out=).
  */
 
+#include <array>
 #include <cstdio>
 #include <map>
 #include <memory>
@@ -15,6 +23,7 @@
 #include "harness/csv.hh"
 #include "common/stats_util.hh"
 #include "harness/table_printer.hh"
+#include "obs/json_writer.hh"
 
 using namespace nda;
 
@@ -23,20 +32,33 @@ main(int argc, char **argv)
 {
     BenchObs obs;
     BenchCkpt ckpt;
-    const SampleParams sp = parseSampleArgs(
+    SampleParams sp = parseSampleArgs(
         argc, argv,
-        {"--csv=", "--mshr=", BenchCkpt::kUsageDir,
-         BenchCkpt::kUsageMaxBytes, BenchCkpt::kUsageNoCkpt},
+        {"--csv=", "--mshr=", "--stack-csv=", "--stack-out=",
+         BenchCkpt::kUsageDir, BenchCkpt::kUsageMaxBytes,
+         BenchCkpt::kUsageNoCkpt},
         &obs, &ckpt);
     std::string csv_path;
+    std::string stack_csv_path;
+    std::string stack_out_path;
     unsigned mshr_entries = 0;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg.rfind("--csv=", 0) == 0)
             csv_path = arg.substr(6);
+        else if (arg.rfind("--stack-csv=", 0) == 0)
+            stack_csv_path = arg.substr(12);
+        else if (arg.rfind("--stack-out=", 0) == 0)
+            stack_out_path = arg.substr(12);
         else if (arg.rfind("--mshr=", 0) == 0)
             mshr_entries = static_cast<unsigned>(
                 parseFlagNumber(argv[0], arg, 7));
+    }
+    // The stack exports are meaningless without the profiler; asking
+    // for one opts the grid in rather than silently emitting zeros.
+    if ((!stack_csv_path.empty() || !stack_out_path.empty()) &&
+        !sp.cpiStack) {
+        sp.cpiStack = true;
     }
     printBanner("Figure 7: normalized CPI, all profiles x all "
                 "workloads (95% CI over " +
@@ -148,6 +170,178 @@ main(int argc, char **argv)
                 "%.1fx\n",
                 in_order / full);
 
+    // ---- CPI-stack attribution (--cpi-stack) -------------------------
+    std::string stacks_json;
+    if (sp.cpiStack) {
+        // Every cell must close the slot identity exactly — the
+        // aggregated mean keeps slotStack and cycles as sums over
+        // samples, so any residue is an attribution bug, not rounding.
+        for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
+            for (std::size_t pi = 0; pi < profiles.size(); ++pi) {
+                const RunResult &r = grid[wi * profiles.size() + pi];
+                std::uint64_t accounted = 0;
+                for (const std::uint64_t s : r.mean.slotStack)
+                    accounted += s;
+                const std::uint64_t total =
+                    static_cast<std::uint64_t>(r.mean.slotWidth) *
+                    r.mean.cycles;
+                NDA_ASSERT(accounted == total,
+                           "CPI-stack identity broken on %s x %s: "
+                           "%llu accounted != %llu slots",
+                           workloads[wi]->name().c_str(),
+                           profileName(profiles[pi]),
+                           static_cast<unsigned long long>(accounted),
+                           static_cast<unsigned long long>(total));
+            }
+        }
+
+        // Pooled attribution per profile: contribution of cause c is
+        // slots_c / (width x insts), so each column sums exactly to
+        // that profile's pooled CPI — the figure's bars, explained.
+        std::vector<std::array<double, kNumStallCauses>> contrib(
+            profiles.size());
+        std::vector<double> pooled_cpi(profiles.size(), 0.0);
+        for (std::size_t pi = 0; pi < profiles.size(); ++pi) {
+            std::array<std::uint64_t, kNumStallCauses> slots{};
+            std::uint64_t insts = 0;
+            std::uint64_t cycles = 0;
+            unsigned width = 0;
+            for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
+                const RunResult &r = grid[wi * profiles.size() + pi];
+                for (int c = 0; c < kNumStallCauses; ++c)
+                    slots[c] += r.mean.slotStack[c];
+                insts += r.mean.instructions;
+                cycles += r.mean.cycles;
+                width = r.mean.slotWidth;
+            }
+            const double den = static_cast<double>(width) *
+                               static_cast<double>(insts);
+            for (int c = 0; c < kNumStallCauses; ++c)
+                contrib[pi][c] =
+                    den ? static_cast<double>(slots[c]) / den : 0.0;
+            pooled_cpi[pi] =
+                insts ? static_cast<double>(cycles) /
+                            static_cast<double>(insts)
+                      : 0.0;
+        }
+        std::printf("\nCPI attribution (cycles/inst, workloads "
+                    "pooled; columns sum to pooled CPI):\n");
+        std::vector<std::string> shdr{"cause"};
+        for (Profile p : profiles)
+            shdr.push_back(profileName(p));
+        TablePrinter stack_table(shdr);
+        for (int c = 0; c < kNumStallCauses; ++c) {
+            bool any = false;
+            for (std::size_t pi = 0; pi < profiles.size(); ++pi)
+                any = any || contrib[pi][c] > 0.0;
+            if (!any)
+                continue;
+            std::vector<std::string> row{
+                stallCauseName(static_cast<StallCause>(c))};
+            for (std::size_t pi = 0; pi < profiles.size(); ++pi)
+                row.push_back(TablePrinter::fmt(contrib[pi][c], 3));
+            stack_table.addRow(row);
+        }
+        std::vector<std::string> cpi_row{"CPI (sum)"};
+        for (std::size_t pi = 0; pi < profiles.size(); ++pi)
+            cpi_row.push_back(TablePrinter::fmt(pooled_cpi[pi], 3));
+        stack_table.addRow(cpi_row);
+        stack_table.print();
+
+        // Tidy per-(cell, cause) export for external pivoting; every
+        // cause is emitted (zeros included) so a consumer can re-check
+        // the slot identity from the file alone.
+        if (!stack_csv_path.empty()) {
+            CsvWriter scsv(stack_csv_path);
+            scsv.row({"workload", "profile", "width", "cycles",
+                      "insts", "cause", "slots", "slot_frac",
+                      "cpi_contrib"});
+            for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
+                for (std::size_t pi = 0; pi < profiles.size(); ++pi) {
+                    const RunResult &r =
+                        grid[wi * profiles.size() + pi];
+                    const double total =
+                        static_cast<double>(r.mean.slotWidth) *
+                        static_cast<double>(r.mean.cycles);
+                    const double den =
+                        static_cast<double>(r.mean.slotWidth) *
+                        static_cast<double>(r.mean.instructions);
+                    for (int c = 0; c < kNumStallCauses; ++c) {
+                        const double s = static_cast<double>(
+                            r.mean.slotStack[c]);
+                        scsv.row(
+                            {workloads[wi]->name(),
+                             profileName(profiles[pi]),
+                             std::to_string(r.mean.slotWidth),
+                             std::to_string(r.mean.cycles),
+                             std::to_string(r.mean.instructions),
+                             stallCauseName(
+                                 static_cast<StallCause>(c)),
+                             std::to_string(r.mean.slotStack[c]),
+                             CsvWriter::num(total ? s / total : 0.0,
+                                            6),
+                             CsvWriter::num(den ? s / den : 0.0,
+                                            6)});
+                    }
+                }
+            }
+            NDA_INFORM("wrote %s", stack_csv_path.c_str());
+        }
+
+        // Collapsed-stack hotspots: one frame stack per
+        // (workload, profile, pc, cause) — flamegraph.pl/speedscope
+        // input.
+        if (!stack_out_path.empty()) {
+            std::string folded;
+            for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
+                for (std::size_t pi = 0; pi < profiles.size(); ++pi) {
+                    const RunResult &r =
+                        grid[wi * profiles.size() + pi];
+                    HotspotProfiler hp;
+                    for (const HotspotEntry &e : r.mean.hotspots)
+                        hp.mergeEntry(e);
+                    folded += hp.renderCollapsed(
+                        workloads[wi]->name() + ";" +
+                        profileName(profiles[pi]));
+                }
+            }
+            writeBenchFile(stack_out_path, folded);
+        }
+
+        // Per-cell stacks for the run manifest (compact JSON).
+        JsonWriter jw(false);
+        jw.beginArray();
+        for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
+            for (std::size_t pi = 0; pi < profiles.size(); ++pi) {
+                const RunResult &r = grid[wi * profiles.size() + pi];
+                jw.beginObject();
+                jw.key("workload");
+                jw.value(workloads[wi]->name());
+                jw.key("profile");
+                jw.value(profileName(profiles[pi]));
+                jw.key("width");
+                jw.value(r.mean.slotWidth);
+                jw.key("cycles");
+                jw.value(r.mean.cycles);
+                jw.key("insts");
+                jw.value(r.mean.instructions);
+                jw.key("slots");
+                jw.beginObject();
+                for (int c = 0; c < kNumStallCauses; ++c) {
+                    if (!r.mean.slotStack[c])
+                        continue;
+                    jw.key(stallCauseStatName(
+                        static_cast<StallCause>(c)));
+                    jw.value(r.mean.slotStack[c]);
+                }
+                jw.endObject();
+                jw.endObject();
+            }
+        }
+        jw.endArray();
+        stacks_json = jw.str();
+    }
+
     emitBenchObs(obs, "fig07_cpi", Profile::kStrict, sp,
                  [&](RunManifest &m, StatsRegistry &reg) {
                      m.set("mshr_entries",
@@ -155,6 +349,8 @@ main(int argc, char **argv)
                      m.set("geomean_strict", geo[Profile::kStrict]);
                      m.set("geomean_in_order", in_order);
                      m.set("geomean_full_protection", full);
+                     if (!stacks_json.empty())
+                         m.setRaw("grid_cpi_stacks", stacks_json);
                      grid_stats.registerStats(reg, "harness");
                  });
     return 0;

@@ -3,13 +3,20 @@
  * Regenerates paper Table 2: the NDA propagation policies (rows 1-6)
  * plus the InvisiSpec comparison rows, with the threat classes each
  * defeats and the measured geomean overhead versus insecure OoO.
+ *
+ * With --cpi-stack each mechanism's CPI delta over the baseline is
+ * decomposed by root cause (pooled over workloads), printed as a
+ * table and exported with --csv= — the overhead column, explained
+ * term by term with zero residue.
  */
 
+#include <array>
 #include <cstdio>
 #include <iterator>
 
 #include "bench_common.hh"
 #include "common/stats_util.hh"
+#include "harness/csv.hh"
 #include "harness/table_printer.hh"
 
 using namespace nda;
@@ -33,13 +40,16 @@ main(int argc, char **argv)
     BenchCkpt ckpt;
     const SampleParams sp = parseSampleArgs(
         argc, argv,
-        {"--mshr=", BenchCkpt::kUsageDir, BenchCkpt::kUsageMaxBytes,
-         BenchCkpt::kUsageNoCkpt},
+        {"--csv=", "--mshr=", BenchCkpt::kUsageDir,
+         BenchCkpt::kUsageMaxBytes, BenchCkpt::kUsageNoCkpt},
         &obs, &ckpt);
+    std::string csv_path;
     unsigned mshr_entries = 0;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
-        if (arg.rfind("--mshr=", 0) == 0)
+        if (arg.rfind("--csv=", 0) == 0)
+            csv_path = arg.substr(6);
+        else if (arg.rfind("--mshr=", 0) == 0)
             mshr_entries = static_cast<unsigned>(
                 parseFlagNumber(argv[0], arg, 7));
     }
@@ -82,6 +92,7 @@ main(int argc, char **argv)
                     "(GPRs)", "chosen code", "overhead (paper)",
                     "overhead (measured)"});
     const std::size_t ncfg = configs.size();
+    std::vector<double> overheads;
     for (std::size_t r = 0; r < std::size(rows); ++r) {
         const RowSpec &row = rows[r];
         std::vector<double> rel;
@@ -91,12 +102,102 @@ main(int argc, char **argv)
             rel.push_back(cpi / base_cpi);
         }
         const double overhead = geomean(rel) - 1.0;
+        overheads.push_back(overhead);
         t.addRow({profileName(row.profile), row.steeringMem,
                   row.steeringGpr, row.chosenCode,
                   TablePrinter::pct(row.paperOverhead),
                   TablePrinter::pct(overhead)});
     }
     t.print();
+
+    // ---- CPI-delta attribution (--cpi-stack) -------------------------
+    // Pooled per-config decomposition: contribution of cause c is
+    // slots_c / (width x insts), so the per-cause deltas of each
+    // mechanism vs the baseline sum *exactly* to its pooled CPI delta.
+    std::vector<std::array<double, kNumStallCauses>> contrib(ncfg);
+    std::vector<double> pooled_cpi(ncfg, 0.0);
+    if (sp.cpiStack) {
+        for (std::size_t ci = 0; ci < ncfg; ++ci) {
+            std::array<std::uint64_t, kNumStallCauses> slots{};
+            std::uint64_t insts = 0;
+            std::uint64_t cycles = 0;
+            unsigned width = 0;
+            for (std::size_t i = 0; i < workloads.size(); ++i) {
+                const RunResult &r = grid[i * ncfg + ci];
+                for (int c = 0; c < kNumStallCauses; ++c)
+                    slots[c] += r.mean.slotStack[c];
+                insts += r.mean.instructions;
+                cycles += r.mean.cycles;
+                width = r.mean.slotWidth;
+            }
+            const double den = static_cast<double>(width) *
+                               static_cast<double>(insts);
+            for (int c = 0; c < kNumStallCauses; ++c)
+                contrib[ci][c] =
+                    den ? static_cast<double>(slots[c]) / den : 0.0;
+            pooled_cpi[ci] =
+                insts ? static_cast<double>(cycles) /
+                            static_cast<double>(insts)
+                      : 0.0;
+        }
+        std::printf("\nCPI-delta attribution vs OoO (cycles/inst, "
+                    "workloads pooled;\ncolumns sum to the pooled CPI "
+                    "delta):\n");
+        std::vector<std::string> dhdr{"cause"};
+        for (const RowSpec &row : rows)
+            dhdr.push_back(profileName(row.profile));
+        TablePrinter dt(dhdr);
+        for (int c = 0; c < kNumStallCauses; ++c) {
+            bool any = false;
+            for (std::size_t r = 0; r < std::size(rows); ++r)
+                any = any || contrib[r + 1][c] != contrib[0][c];
+            if (!any)
+                continue;
+            std::vector<std::string> drow{
+                stallCauseName(static_cast<StallCause>(c))};
+            for (std::size_t r = 0; r < std::size(rows); ++r)
+                drow.push_back(TablePrinter::fmt(
+                    contrib[r + 1][c] - contrib[0][c], 3));
+            dt.addRow(drow);
+        }
+        std::vector<std::string> dsum{"dCPI (sum)"};
+        for (std::size_t r = 0; r < std::size(rows); ++r)
+            dsum.push_back(TablePrinter::fmt(
+                pooled_cpi[r + 1] - pooled_cpi[0], 3));
+        dt.addRow(dsum);
+        dt.print();
+    }
+
+    if (!csv_path.empty()) {
+        CsvWriter csv(csv_path);
+        std::vector<std::string> hdr{"mechanism", "overhead_paper",
+                                     "overhead_measured"};
+        if (sp.cpiStack) {
+            hdr.push_back("pooled_cpi");
+            hdr.push_back("delta_cpi");
+            for (int c = 0; c < kNumStallCauses; ++c)
+                hdr.push_back(std::string("delta_") +
+                              stallCauseStatName(
+                                  static_cast<StallCause>(c)));
+        }
+        csv.row(hdr);
+        for (std::size_t r = 0; r < std::size(rows); ++r) {
+            std::vector<std::string> line{
+                profileName(rows[r].profile),
+                CsvWriter::num(rows[r].paperOverhead, 4),
+                CsvWriter::num(overheads[r], 4)};
+            if (sp.cpiStack) {
+                line.push_back(CsvWriter::num(pooled_cpi[r + 1], 6));
+                line.push_back(CsvWriter::num(
+                    pooled_cpi[r + 1] - pooled_cpi[0], 6));
+                for (int c = 0; c < kNumStallCauses; ++c)
+                    line.push_back(CsvWriter::num(
+                        contrib[r + 1][c] - contrib[0][c], 6));
+            }
+            csv.row(line);
+        }
+        NDA_INFORM("wrote %s", csv_path.c_str());
+    }
 
     std::printf("\nNotes: overheads are geomean CPI increases vs "
                 "insecure OoO over\nthe 16-kernel suite (SPEC 2017 "

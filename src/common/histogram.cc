@@ -74,25 +74,29 @@ Histogram::summary() const
 {
     char buf[160];
     std::snprintf(buf, sizeof(buf),
-                  "n=%llu mean=%.2f p50=%llu p95=%llu p99=%llu",
+                  "n=%llu mean=%.2f p50=%llu p95=%llu p99=%llu "
+                  "ovf=%llu",
                   static_cast<unsigned long long>(count_), mean(),
                   static_cast<unsigned long long>(percentile(0.50)),
                   static_cast<unsigned long long>(percentile(0.95)),
-                  static_cast<unsigned long long>(percentile(0.99)));
+                  static_cast<unsigned long long>(percentile(0.99)),
+                  static_cast<unsigned long long>(overflow()));
     return buf;
 }
 
 std::string
 Histogram::toJson() const
 {
-    char buf[192];
+    char buf[256];
     std::snprintf(buf, sizeof(buf),
                   "{\"count\": %llu, \"mean\": %.6g, \"p50\": %llu, "
-                  "\"p95\": %llu, \"p99\": %llu, \"buckets\": {",
+                  "\"p95\": %llu, \"p99\": %llu, \"overflow\": %llu, "
+                  "\"buckets\": {",
                   static_cast<unsigned long long>(count_), mean(),
                   static_cast<unsigned long long>(percentile(0.50)),
                   static_cast<unsigned long long>(percentile(0.95)),
-                  static_cast<unsigned long long>(percentile(0.99)));
+                  static_cast<unsigned long long>(percentile(0.99)),
+                  static_cast<unsigned long long>(overflow()));
     std::string out = buf;
     bool first = true;
     for (std::size_t v = 0; v < buckets_.size(); ++v) {

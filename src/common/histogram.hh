@@ -34,6 +34,13 @@ class Histogram
     /** Smallest value v such that at least `q` of samples are <= v. */
     std::uint64_t percentile(double q) const;
 
+    /**
+     * Samples that landed beyond the cap. A nonzero count means the
+     * tail percentiles are clamped to the overflow index — size the
+     * histogram up (or treat p99 as a lower bound) when this grows.
+     */
+    std::uint64_t overflow() const { return buckets_.back(); }
+
     /** Bucket counts (last bucket is overflow). */
     const std::vector<std::uint64_t> &buckets() const { return buckets_; }
 

@@ -21,6 +21,7 @@ struct Program;
 struct SimSnapshot;
 class TaintEngine;
 class InvariantChecker;
+class CpiStackProfiler;
 
 /** Abstract timing core. */
 class CoreBase
@@ -44,6 +45,14 @@ class CoreBase
     {
         (void)checker;
     }
+
+    /**
+     * Attach the causal CPI-stack profiler (obs/cpi_stack.hh): the
+     * core feeds it one attribution per commit slot per cycle. Every
+     * hook is null-guarded, so detached simulation pays nothing; the
+     * default is a no-op for cores that do not attribute.
+     */
+    virtual void attachCpiStack(CpiStackProfiler *p) { (void)p; }
 
     /**
      * Taint of the committed architectural register `r` under the

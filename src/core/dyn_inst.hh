@@ -58,6 +58,8 @@ struct DynInst {
     bool effAddrValid = false;
     RegVal storeData = 0;
     bool forwarded = false;       ///< load got data from the SQ
+    /** Last issue attempt bounced off a full MSHR file (CPI stack). */
+    bool mshrRejected = false;
     HitLevel hitLevel = HitLevel::kL1;
     bool countedMiss = false;     ///< contributes to the MLP counter
     /** Unresolved-address stores this load executed past (SSB). */

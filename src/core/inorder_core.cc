@@ -4,8 +4,25 @@
 #include "core/snapshot.hh"
 #include "dift/taint_engine.hh"
 #include "isa/interpreter.hh"
+#include "obs/cpi_stack.hh"
 
 namespace nda {
+
+namespace {
+
+/** The blocking core's 3-class stall maps directly onto the slot
+ *  vocabulary: it has no speculation, queues, or MSHR pressure. */
+StallCause
+stallSlotCause(CycleClass cls)
+{
+    switch (cls) {
+      case CycleClass::kMemoryStall: return StallCause::kMemLatency;
+      case CycleClass::kBackendStall: return StallCause::kExecLatency;
+      default: return StallCause::kFrontend;
+    }
+}
+
+} // namespace
 
 InOrderCore::InOrderCore(Program prog, const SimConfig &cfg)
     : prog_(std::move(prog)), cfg_(cfg), hier_(cfg.memory)
@@ -36,11 +53,27 @@ InOrderCore::tick()
         hier_.advance(cycle_ + 1);
     if (cycle_ < busyUntil_) {
         ++counters_.cycleClass[static_cast<int>(stallClass_)];
+        if (cpiStack_) {
+            cpiStack_->onCycle();
+            cpiStack_->addSlots(stallSlotCause(stallClass_), 1,
+                                stallPc_);
+        }
         return;
     }
+    const Addr inst_pc = pc_;
+    const std::uint64_t before = committed_;
     const Cycle cost = step();
     busyUntil_ = cycle_ + cost;
+    stallPc_ = inst_pc; // subsequent stall cycles pay for this inst
     ++counters_.cycleClass[static_cast<int>(CycleClass::kCommit)];
+    if (cpiStack_) {
+        cpiStack_->onCycle();
+        // The halting edge (invalid PC) retires nothing — its one
+        // slot is a window artifact, not a stall.
+        cpiStack_->addSlots(committed_ > before ? StallCause::kCommit
+                                                : StallCause::kIdle,
+                            1, inst_pc);
+    }
 }
 
 void

@@ -48,6 +48,13 @@ class InOrderCore : public CoreBase
      *  here, so no leak event can ever be raised. */
     void attachDift(TaintEngine *engine) override { dift_ = engine; }
 
+    /** CPI stack: width 1, so each cycle is one slot — a commit, or a
+     *  stall charged to the instruction paying its latency. */
+    void attachCpiStack(CpiStackProfiler *p) override
+    {
+        cpiStack_ = p;
+    }
+
     TaintWord archRegTaint(RegId r) const override;
 
     void saveCheckpoint(SimSnapshot &out) const override;
@@ -77,6 +84,8 @@ class InOrderCore : public CoreBase
     std::uint64_t committed_ = 0;
     Addr lastFetchLine_ = ~Addr{0};
     TaintEngine *dift_ = nullptr;
+    CpiStackProfiler *cpiStack_ = nullptr; ///< usually absent
+    Addr stallPc_ = 0; ///< pc whose latency busyUntil_ is paying
 
     PerfCounters counters_;
 };

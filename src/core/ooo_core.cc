@@ -7,6 +7,7 @@
 #include "dift/taint_engine.hh"
 #include "fuzz/invariant_checker.hh"
 #include "isa/interpreter.hh"
+#include "obs/cpi_stack.hh"
 
 namespace nda {
 
@@ -242,14 +243,17 @@ void
 OooCore::commitStage()
 {
     unsigned ncommit = 0;
+    commitBreak_ = CommitBreak::kNone;
     // Stop exactly at the run() instruction target so measurement
     // windows have precise boundaries.
     while (ncommit < cfg_.core.commitWidth && !rob_.empty() &&
            !halted_ && committed_ < commitTarget_) {
         DynInstPtr inst = rob_.front();
 
-        if (!inst->executed)
+        if (!inst->executed) {
+            commitBreak_ = CommitBreak::kNotExecuted;
             break; // stall; classified below
+        }
 
         if (inst->fault != FaultType::kNone) {
             // Trap delivery is not instantaneous: the fault fires
@@ -263,8 +267,10 @@ OooCore::commitStage()
                 inst->faultDeliverAt =
                     cycle_ + cfg_.core.faultLatency;
             }
-            if (cycle_ < inst->faultDeliverAt)
+            if (cycle_ < inst->faultDeliverAt) {
+                commitBreak_ = CommitBreak::kFaultWait;
                 break;
+            }
             raiseFault(inst);
             break;
         }
@@ -286,8 +292,10 @@ OooCore::commitStage()
                     ? cycle_
                     : cycle_ + hier_.params().l1d.hitLatency;
         }
-        if (inst->validating && cycle_ < inst->validateDoneAt)
+        if (inst->validating && cycle_ < inst->validateDoneAt) {
+            commitBreak_ = CommitBreak::kValidate;
             break; // retirement stalled on validation
+        }
 
         // NDA load restriction: a load wakes its dependents iff it is
         // about to retire (paper §5.3). The wake-up signal from the
@@ -312,6 +320,7 @@ OooCore::commitStage()
         // before it can drain (split store-data micro-op).
         if (inst->isStore() && inst->src2 != kInvalidPhysReg &&
             !regs_.ready(inst->src2)) {
+            commitBreak_ = CommitBreak::kStoreData;
             break;
         }
         if (inst->isStore()) {
@@ -321,8 +330,10 @@ OooCore::commitStage()
                 const MemRequestResult res = hier_.dataRequest(
                     inst->effAddr, cycle_, inst->seq,
                     MshrTargetKind::kStore);
-                if (res.rejected())
+                if (res.rejected()) {
+                    commitBreak_ = CommitBreak::kStoreMshrFull;
                     break;
+                }
             }
             inst->storeData = regs_.value(inst->src2);
             mem_.write(inst->effAddr, inst->storeData, inst->uop.size);
@@ -384,6 +395,8 @@ OooCore::commitStage()
         ++committed_;
         ++counters_.committedInsts;
         lastCommitCycle_ = cycle_;
+        if (cpiStack_)
+            cpiStack_->addSlots(StallCause::kCommit, 1, inst->pc);
 
         if (inst->uop.op == Opcode::kHalt) {
             halted_ = true;
@@ -395,11 +408,13 @@ OooCore::commitStage()
             // under the new speculation mode (paper SS8, Listing 4).
             specDisabled_ = inst->uop.op == Opcode::kSpecOff;
             squashAfter(inst->seq, inst->pc + 1,
-                        SquashCause::kSerialize);
+                        SquashCause::kSerialize, inst->pc);
             break;
         }
     }
     classifyCycle(ncommit);
+    if (cpiStack_)
+        profileCycle(ncommit);
 }
 
 void
@@ -421,6 +436,214 @@ OooCore::classifyCycle(unsigned committed_now)
     ++counters_.cycleClass[static_cast<int>(cls)];
 }
 
+// --------------------------------------------------------------------------
+// CPI-stack slot attribution (only reached with a profiler attached)
+// --------------------------------------------------------------------------
+
+namespace {
+
+/** Chains deeper than this are charged to the last producer reached;
+ *  real dependence chains through a 192-entry ROB rarely get close. */
+constexpr int kMaxChaseDepth = 16;
+
+/** NDA deferral bucket by the *producer's* class — the paper's policy
+ *  axis (load restriction defers loads, branch restriction defers the
+ *  ALU/control work under an unresolved branch). */
+StallCause
+ndaDeferCause(const DynInst &producer)
+{
+    if (producer.isLoadLike())
+        return StallCause::kNdaDeferLoad;
+    if (producer.isBranch())
+        return StallCause::kNdaDeferControl;
+    return StallCause::kNdaDeferAlu;
+}
+
+} // namespace
+
+void
+OooCore::profileCycle(unsigned ncommit)
+{
+    cpiStack_->onCycle();
+    const unsigned width = cfg_.core.commitWidth;
+    const std::uint64_t lost = width - ncommit;
+    if (!lost)
+        return;
+    if (halted_ || committed_ >= commitTarget_) {
+        // Window edge: the machine is done, the slots measure nothing.
+        cpiStack_->addSlots(StallCause::kIdle, lost,
+                            rob_.empty() ? fetchPc_ : rob_.front()->pc);
+        return;
+    }
+    // In-order commit: every occupied slot behind the blocked head
+    // shares the head's root cause. Slots beyond ROB occupancy never
+    // had an instruction to retire — their cause is upstream (squash
+    // refetch, frontend starvation, or a dispatch capacity limit).
+    const std::uint64_t occupied =
+        std::min<std::uint64_t>(lost, rob_.size());
+    if (occupied) {
+        const SlotAttr a = headCause();
+        cpiStack_->addSlots(a.cause, occupied, a.pc);
+    }
+    if (lost > occupied) {
+        const SlotAttr a = emptyCause();
+        cpiStack_->addSlots(a.cause, lost - occupied, a.pc);
+    }
+}
+
+OooCore::SlotAttr
+OooCore::headCause()
+{
+    const DynInstPtr &head = rob_.front();
+    switch (commitBreak_) {
+      case CommitBreak::kFaultWait:
+        // Trap-delivery latency is part of the fault's squash cost.
+        return {StallCause::kSquashFault, head->pc};
+      case CommitBreak::kValidate:
+        // IS-Future validation is an L1 round trip at retirement.
+        return {StallCause::kMemLatency, head->pc};
+      case CommitBreak::kStoreMshrFull:
+        return {StallCause::kMshrFull, head->pc};
+      case CommitBreak::kStoreData:
+        // Split store micro-ops: the data register is read at commit,
+        // so the break is a dependence wait on src2's producer.
+        buildProducerMap();
+        return chaseBlockedReg(head->src2, head->pc, 0);
+      case CommitBreak::kNotExecuted:
+      case CommitBreak::kNone:
+        break;
+    }
+    buildProducerMap();
+    return chaseInst(head.get(), 0);
+}
+
+OooCore::SlotAttr
+OooCore::emptyCause() const
+{
+    if (refetchPending_) {
+        // Between a squash and the refetched stream reaching dispatch,
+        // the missing instructions are the flush's fault — charged to
+        // the squashing instruction, not to the innocent frontend.
+        StallCause c;
+        switch (lastSquashCause_) {
+          case SquashCause::kBranchMispredict:
+            c = StallCause::kSquashBranch;
+            break;
+          case SquashCause::kMemOrderViolation:
+            c = StallCause::kSquashMemOrder;
+            break;
+          case SquashCause::kFault:
+            c = StallCause::kSquashFault;
+            break;
+          case SquashCause::kSerialize:
+            c = StallCause::kSquashSerialize;
+            break;
+          default:
+            c = StallCause::kFrontend;
+            break;
+        }
+        return {c, lastSquashPc_};
+    }
+    // dispatchBlock_ still holds *last* cycle's outcome (this hook
+    // runs in commit, before this cycle's dispatch) — exactly the
+    // dispatch decision that produced today's ROB tail.
+    const Addr pc =
+        fetchQueue_.empty() ? fetchPc_ : fetchQueue_.front()->pc;
+    switch (dispatchBlock_) {
+      case DispatchBlock::kIqFull:
+        return {StallCause::kIqFull, pc};
+      case DispatchBlock::kLqFull:
+      case DispatchBlock::kSqFull:
+        return {StallCause::kLsqFull, pc};
+      case DispatchBlock::kRobFull:
+      case DispatchBlock::kRegsFull:
+        return {StallCause::kRobFull, pc};
+      case DispatchBlock::kNone:
+      case DispatchBlock::kFetchEmpty:
+      case DispatchBlock::kFrontendDelay:
+        break;
+    }
+    return {StallCause::kFrontend, pc};
+}
+
+void
+OooCore::buildProducerMap()
+{
+    producerOf_.assign(cfg_.core.numPhysRegs, nullptr);
+    for (const DynInstPtr &inst : rob_) {
+        if (inst->dest != kInvalidPhysReg && !inst->broadcasted)
+            producerOf_[inst->dest] = inst.get();
+    }
+    // Committed NDA-deferred producers in the retire-wake window are
+    // no longer in the ROB but still gate their consumers — without
+    // them the load restriction's defining stall would show up as an
+    // anonymous issue wait.
+    for (const DynInstPtr &inst : pendingBcast_) {
+        if (!inst->squashed && inst->dest != kInvalidPhysReg &&
+            !inst->broadcasted) {
+            producerOf_[inst->dest] = inst.get();
+        }
+    }
+}
+
+OooCore::SlotAttr
+OooCore::chaseBlockedReg(PhysRegId r, Addr consumer_pc, int depth)
+{
+    const DynInst *p =
+        r != kInvalidPhysReg && r < producerOf_.size() &&
+                !regs_.ready(r)
+            ? producerOf_[r]
+            : nullptr;
+    if (!p) {
+        // Ready after all (or the producer left without a broadcast
+        // record): the consumer is waiting on selection, not data.
+        return {StallCause::kIssueWait, consumer_pc};
+    }
+    if (p->executed && !p->broadcasted) {
+        // The value exists; only the tag broadcast is withheld. NDA's
+        // deferral if the producer was ever unsafe, otherwise plain
+        // port arbitration / retire-wake plumbing.
+        if (p->everUnsafe)
+            return {ndaDeferCause(*p), p->pc};
+        return {StallCause::kIssueWait, p->pc};
+    }
+    return chaseInst(p, depth + 1);
+}
+
+OooCore::SlotAttr
+OooCore::chaseInst(const DynInst *inst, int depth)
+{
+    if (depth >= kMaxChaseDepth)
+        return {StallCause::kExecLatency, inst->pc};
+    if (inst->issued || inst->executed) {
+        // In flight: the remaining latency is the cost.
+        const bool mem_op = inst->uop.isMemory() || inst->validating;
+        return {mem_op ? StallCause::kMemLatency
+                       : StallCause::kExecLatency,
+                inst->pc};
+    }
+    // Waiting in the issue queue: find what sourcesReady() sees as
+    // not ready (a store's src2 is read at commit, never here).
+    const OpTraits &t = inst->uop.traits();
+    PhysRegId blocked = kInvalidPhysReg;
+    if (t.readsRs1 && inst->src1 != kInvalidPhysReg &&
+        !regs_.ready(inst->src1)) {
+        blocked = inst->src1;
+    } else if (!inst->uop.isStore() && t.readsRs2 &&
+               inst->src2 != kInvalidPhysReg &&
+               !regs_.ready(inst->src2)) {
+        blocked = inst->src2;
+    }
+    if (blocked == kInvalidPhysReg) {
+        // Sources ready but still unissued: a structural reject (MSHR
+        // full on its last attempt) or selection/port pressure.
+        if (inst->mshrRejected)
+            return {StallCause::kMshrFull, inst->pc};
+        return {StallCause::kIssueWait, inst->pc};
+    }
+    return chaseBlockedReg(blocked, inst->pc, depth);
+}
+
 void
 OooCore::raiseFault(const DynInstPtr &inst)
 {
@@ -430,7 +653,7 @@ OooCore::raiseFault(const DynInstPtr &inst)
     ++counters_.faults;
     const Addr handler = prog_.faultHandler;
     squashAfter(inst->seq - 1, handler == ~Addr{0} ? 0 : handler,
-                SquashCause::kFault);
+                SquashCause::kFault, inst->pc);
     if (handler == ~Addr{0})
         halted_ = true;
 }
@@ -473,7 +696,8 @@ OooCore::completeStage()
                 ++counters_.memOrderViolations;
                 ++counters_.squashes;
                 squashAfter(victim->seq - 1, victim->pc,
-                            SquashCause::kMemOrderViolation);
+                            SquashCause::kMemOrderViolation,
+                            inst->pc);
             }
             // Bypass Restriction: loads that no longer have any
             // unresolved bypassed store become safe (paper §5.2).
@@ -621,7 +845,7 @@ OooCore::resolveBranch(const DynInstPtr &inst)
     if (inst->mispredicted) {
         ++counters_.squashes;
         squashAfter(inst->seq, inst->actualNextPc,
-                    SquashCause::kBranchMispredict);
+                    SquashCause::kBranchMispredict, inst->pc);
         // Recover predictor state to just before this branch, then
         // apply its actual outcome.
         bp_.restore(inst->bpCkpt);
@@ -702,9 +926,14 @@ OooCore::noteUnsafeCleared(DynInst &inst)
 
 void
 OooCore::squashAfter(InstSeqNum keep_seq, Addr redirect_pc,
-                     SquashCause cause)
+                     SquashCause cause, Addr cause_pc)
 {
     ++counters_.squashCause[static_cast<int>(cause)];
+    // CPI stack: until the refetched stream reaches dispatch again,
+    // empty commit slots belong to this squash (and to its culprit).
+    refetchPending_ = true;
+    lastSquashCause_ = cause;
+    lastSquashPc_ = cause_pc;
     // Restore front-end speculative predictor state youngest-first.
     for (auto it = fetchQueue_.rbegin(); it != fetchQueue_.rend(); ++it) {
         if ((*it)->isBranch())
@@ -985,6 +1214,7 @@ OooCore::executeLoad(const DynInstPtr &inst)
 
     const StoreSearchResult search =
         lsq_.searchStores(inst->seq, addr, uop.size, regs_);
+    inst->mshrRejected = false;
     if (search.mustStall)
         return false; // partial overlap: retry next cycle
 
@@ -1072,6 +1302,7 @@ OooCore::executeLoad(const DynInstPtr &inst)
                     // mutated, so the retry recomputes from scratch.
                     inst->effAddrValid = false;
                     inst->bypassedStores.clear();
+                    inst->mshrRejected = true;
                     return false;
                 }
                 res = {req.latency, req.level};
@@ -1124,21 +1355,39 @@ OooCore::scheduleCompletion(const DynInstPtr &inst, unsigned latency)
 void
 OooCore::dispatchStage()
 {
+    dispatchBlock_ = DispatchBlock::kNone;
     for (unsigned n = 0; n < cfg_.core.dispatchWidth; ++n) {
-        if (fetchQueue_.empty())
+        if (fetchQueue_.empty()) {
+            dispatchBlock_ = DispatchBlock::kFetchEmpty;
             break;
+        }
         DynInstPtr inst = fetchQueue_.front();
-        if (cycle_ < inst->fetchedAt + cfg_.core.frontendDelay)
+        if (cycle_ < inst->fetchedAt + cfg_.core.frontendDelay) {
+            dispatchBlock_ = DispatchBlock::kFrontendDelay;
             break;
-        if (rob_.size() >= cfg_.core.robEntries || iq_.full())
+        }
+        if (rob_.size() >= cfg_.core.robEntries) {
+            dispatchBlock_ = DispatchBlock::kRobFull;
             break;
-        if (inst->isLoad() && lsq_.lqFull())
+        }
+        if (iq_.full()) {
+            dispatchBlock_ = DispatchBlock::kIqFull;
             break;
-        if (inst->isStore() && lsq_.sqFull())
+        }
+        if (inst->isLoad() && lsq_.lqFull()) {
+            dispatchBlock_ = DispatchBlock::kLqFull;
             break;
-        if (inst->uop.traits().hasDest && !regs_.hasFree())
+        }
+        if (inst->isStore() && lsq_.sqFull()) {
+            dispatchBlock_ = DispatchBlock::kSqFull;
             break;
+        }
+        if (inst->uop.traits().hasDest && !regs_.hasFree()) {
+            dispatchBlock_ = DispatchBlock::kRegsFull;
+            break;
+        }
         fetchQueue_.pop_front();
+        refetchPending_ = false; // refilled pipe reached dispatch
 
         inst->seq = ++nextSeq_;
         inst->dispatchedAt = cycle_;

@@ -27,6 +27,7 @@
 #include "core/phys_reg_file.hh"
 #include "core/rename_map.hh"
 #include "isa/program.hh"
+#include "obs/hotspot_profiler.hh"
 
 namespace nda {
 
@@ -78,6 +79,18 @@ class OooCore : public CoreBase
     void attachChecker(InvariantChecker *checker) override
     {
         checker_ = checker;
+    }
+
+    /**
+     * Attach the causal CPI-stack profiler. Per cycle the commit
+     * stage owns `commitWidth` slots; each one is attributed — to the
+     * retiring instruction, or to the root cause found by walking the
+     * dependence chain from the blocked ROB head (obs/cpi_stack.hh).
+     * All hooks are null-guarded; detached simulation pays nothing.
+     */
+    void attachCpiStack(CpiStackProfiler *p) override
+    {
+        cpiStack_ = p;
     }
 
     /**
@@ -145,9 +158,10 @@ class OooCore : public CoreBase
     void maybeQueueBroadcast(const DynInstPtr &inst);
 
     /** Squash all instructions with seq > `keep_seq`; redirect fetch.
-     *  `cause` attributes the flush (perf counter + per-inst tag). */
+     *  `cause` attributes the flush (perf counter + per-inst tag) and
+     *  `cause_pc` is the instruction that forced it (CPI stack). */
     void squashAfter(InstSeqNum keep_seq, Addr redirect_pc,
-                     SquashCause cause);
+                     SquashCause cause, Addr cause_pc);
     void raiseFault(const DynInstPtr &inst);
 
     /** Record unsafe-residency once the last unsafe bit clears. */
@@ -164,6 +178,52 @@ class OooCore : public CoreBase
 
     bool hasOlderUnresolvedBranch(InstSeqNum seq) const;
     bool hasOlderWrmsr(InstSeqNum seq) const;
+
+    // --- CPI-stack attribution (all dead code unless cpiStack_ set) -------
+    /** Why the commit loop stopped retiring this cycle. */
+    enum class CommitBreak : std::uint8_t {
+        kNone = 0,      ///< loop ended for a non-head reason
+        kNotExecuted,   ///< head has not completed execution
+        kFaultWait,     ///< head waiting out trap-delivery latency
+        kValidate,      ///< IS-Future validation round trip
+        kStoreData,     ///< store data register not broadcast yet
+        kStoreMshrFull, ///< store drain rejected by a full MSHR file
+    };
+
+    /** Why dispatch stopped renaming this cycle. */
+    enum class DispatchBlock : std::uint8_t {
+        kNone = 0,      ///< used the full width (or nothing arrived)
+        kFetchEmpty,    ///< fetch queue ran dry
+        kFrontendDelay, ///< head still in the fetch-to-dispatch pipe
+        kRobFull,       ///< ROB at capacity
+        kIqFull,        ///< issue queue at capacity
+        kLqFull,        ///< load queue at capacity
+        kSqFull,        ///< store queue at capacity
+        kRegsFull,      ///< physical register file exhausted
+    };
+
+    /** One slot attribution: root cause + the causal instruction. */
+    struct SlotAttr {
+        StallCause cause;
+        Addr pc;
+    };
+
+    /** Attribute this cycle's lost commit slots (commit slots are
+     *  charged inline as instructions retire). */
+    void profileCycle(unsigned ncommit);
+    /** Root cause of the stalled ROB head's occupied slots. */
+    SlotAttr headCause();
+    /** Cause of slots beyond ROB occupancy (squash refetch, frontend
+     *  starvation, or a dispatch capacity limit from last cycle). */
+    SlotAttr emptyCause() const;
+    /** Walk the dependence chain from `inst` to its root blocker. */
+    SlotAttr chaseInst(const DynInst *inst, int depth);
+    /** Attribute a wait on not-ready phys reg `r` (store data, or a
+     *  chased instruction's blocked source). */
+    SlotAttr chaseBlockedReg(PhysRegId r, Addr consumer_pc, int depth);
+    /** Rebuild producerOf_ from the ROB and the deferred-broadcast
+     *  queue (committed NDA producers in the retire-wake window). */
+    void buildProducerMap();
 
     RegVal srcValue(PhysRegId r) const
     {
@@ -223,6 +283,17 @@ class OooCore : public CoreBase
     std::function<void(const DynInst &, Cycle)> retireHook_;
     TaintEngine *dift_ = nullptr; ///< leakage oracle, usually absent
     InvariantChecker *checker_ = nullptr; ///< fuzz invariant checker
+
+    // --- CPI-stack attribution state ---------------------------------------
+    CpiStackProfiler *cpiStack_ = nullptr; ///< usually absent
+    CommitBreak commitBreak_ = CommitBreak::kNone;
+    DispatchBlock dispatchBlock_ = DispatchBlock::kNone;
+    bool refetchPending_ = false; ///< squashed; refill not dispatched
+    SquashCause lastSquashCause_ = SquashCause::kNone;
+    Addr lastSquashPc_ = 0;       ///< pc of the squashing instruction
+    /** Phys reg -> in-flight producer that has not broadcast. Rebuilt
+     *  lazily per profiled stall cycle; never read otherwise. */
+    std::vector<const DynInst *> producerOf_;
 
     PerfCounters counters_;
 

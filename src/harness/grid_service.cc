@@ -376,6 +376,7 @@ GridService::handleRequest(const std::string &request_line,
             p.jobs = ThreadPool::defaultConcurrency();
         p.reuseCheckpoints = boolField(req, "reuse", true);
         p.chainSamples = boolField(req, "chain", false);
+        p.cpiStack = boolField(req, "cpi_stack", false);
 
         // SampleParams::validate() is NDA_FATAL — re-check its
         // conditions here so a bad request degrades to an error line
@@ -462,6 +463,26 @@ GridService::handleRequest(const std::string &request_line,
                 w.key("samples");
                 w.value(static_cast<std::uint64_t>(
                     r.cpiSamples.size()));
+                // CPI-stack summary (requests with "cpi_stack":
+                // true): per-cause slot counts, nonzero buckets
+                // only; the slot identity holds on the full vector,
+                // so sum(slots) == slot_width x cycles exactly.
+                if (!r.mean.slotStack.empty()) {
+                    w.key("slot_width");
+                    w.value(r.mean.slotWidth);
+                    w.key("cycles");
+                    w.value(r.mean.cycles);
+                    w.key("slots");
+                    w.beginObject();
+                    for (int s = 0; s < kNumStallCauses; ++s) {
+                        if (!r.mean.slotStack[s])
+                            continue;
+                        w.key(stallCauseStatName(
+                            static_cast<StallCause>(s)));
+                        w.value(r.mean.slotStack[s]);
+                    }
+                    w.endObject();
+                }
             }));
         }
     }

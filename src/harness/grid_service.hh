@@ -83,13 +83,18 @@ struct GridServiceStats {
  *    "warmup": 20000, "measure": 100000, "samples": 3,
  *    "seed": 1, "jobs": 0,        // jobs 0 = hardware threads
  *    "chain": false,              // chained sampling (stride mode)
- *    "reuse": true}               // share checkpoints across profiles
+ *    "reuse": true,               // share checkpoints across profiles
+ *    "cpi_stack": false}          // attach the causal CPI-stack
+ *                                 // profiler to every window
  *
  * Response lines (one JSON object per line, in request order):
  *
  *   {"type":"progress","id":..,"done":N,"total":M}
  *   {"type":"cell","id":..,"workload":..,"profile":..,
  *    "cpi":..,"ci95":..,"mlp":..,"samples":N}
+ *     ...plus, when the request set "cpi_stack": "slot_width",
+ *     "cycles", and a "slots" object of nonzero per-cause commit-slot
+ *     counts summing exactly to slot_width x cycles
  *   {"type":"done","id":..,"cells":N,"windows":N,
  *    "ckpt_hits":..,"ckpt_misses":..,"ckpt_bytes":..,
  *    "ckpt_chain_len":..,"ff_runs":..,"ff_insts":..}

@@ -10,6 +10,7 @@
 #include "core/core_factory.hh"
 #include "core/snapshot.hh"
 #include "isa/interpreter.hh"
+#include "obs/cpi_stack.hh"
 #include "obs/stats_registry.hh"
 
 namespace nda {
@@ -112,6 +113,15 @@ runWindow(const Workload &workload, const SimConfig &cfg,
     auto core = makeCore(prog, cfg);
     WindowWork local;
 
+    // CPI-stack attribution, measured window only (reset below). The
+    // in-order model retires at most one instruction per cycle.
+    std::unique_ptr<CpiStackProfiler> cpi;
+    if (p.cpiStack) {
+        cpi = std::make_unique<CpiStackProfiler>(
+            cfg.inOrder ? 1u : cfg.core.commitWidth);
+        core->attachCpiStack(cpi.get());
+    }
+
     if (p.fastforwardInsts > 0) {
         if (ckpt != nullptr && ckpt->structurallyCompatible(cfg)) {
             core->restoreCheckpoint(*ckpt);
@@ -147,6 +157,8 @@ runWindow(const Workload &workload, const SimConfig &cfg,
 
     // Measured window.
     core->resetCounters();
+    if (cpi)
+        cpi->reset();
     core->run(p.measureInsts, ~Cycle{0});
     NDA_ASSERT(!core->halted(),
                "workload '%s' halted during measurement",
@@ -169,6 +181,13 @@ runWindow(const Workload &workload, const SimConfig &cfg,
     w.condMispredictRate = c.condMispredictRate();
     w.instructions = c.committedInsts;
     w.cycles = c.cycles;
+    if (cpi) {
+        w.slotWidth = cpi->width();
+        w.slotStack.resize(kNumStallCauses);
+        for (int i = 0; i < kNumStallCauses; ++i)
+            w.slotStack[i] = cpi->slots(static_cast<StallCause>(i));
+        w.hotspots = cpi->hotspots().topN(kHotspotTopN);
+    }
     return w;
 }
 
@@ -190,6 +209,25 @@ aggregateWindows(const std::vector<WindowStats> &windows)
         acc.condMispredictRate += w.condMispredictRate;
         acc.instructions += w.instructions;
         acc.cycles += w.cycles;
+        // Slot stacks SUM like instructions/cycles, so the identity
+        // sum(stack) == width x cycles survives aggregation exactly.
+        if (!w.slotStack.empty()) {
+            acc.slotWidth = w.slotWidth;
+            if (acc.slotStack.empty())
+                acc.slotStack.assign(kNumStallCauses, 0);
+            for (int i = 0; i < kNumStallCauses; ++i)
+                acc.slotStack[i] += w.slotStack[i];
+        }
+    }
+    if (!acc.slotStack.empty()) {
+        // Re-rank the union of the per-window top-N lists (windows in
+        // index order, so the merge is schedule-independent).
+        HotspotProfiler merged;
+        for (const WindowStats &w : windows) {
+            for (const HotspotEntry &e : w.hotspots)
+                merged.mergeEntry(e);
+        }
+        acc.hotspots = merged.topN(kHotspotTopN);
     }
     const double n = static_cast<double>(windows.size());
     acc.cpi /= n;

@@ -47,6 +47,7 @@
 #include "core/core_config.hh"
 #include "core/perf_counters.hh"
 #include "harness/profiles.hh"
+#include "obs/hotspot_profiler.hh"
 #include "obs/scoped_timer.hh"
 #include "workloads/workload.hh"
 
@@ -88,6 +89,13 @@ struct SampleParams {
      * sample). Requires fastforwardInsts > 0.
      */
     bool chainSamples = false;
+    /**
+     * Attach a causal CPI-stack profiler (obs/cpi_stack.hh) to every
+     * measured window and return the per-cause slot stack + top-N
+     * hotspots in WindowStats. Off by default: attribution walks the
+     * dependence chain on stall cycles, which costs simulation speed.
+     */
+    bool cpiStack = false;
 
     /** NDA_FATAL on parameters that cannot produce a measurement
      *  (zero samples, an empty measured window, or chained sampling
@@ -108,7 +116,26 @@ struct WindowStats {
     double condMispredictRate = 0.0;
     std::uint64_t instructions = 0;
     std::uint64_t cycles = 0;
+
+    // --- CPI stack (populated only when SampleParams::cpiStack) ----------
+    /** Commit slots per cycle the stack decomposes against (the
+     *  core's commit width; 1 for the in-order model). */
+    unsigned slotWidth = 0;
+    /** Per-cause slot counts, indexed by StallCause; empty when the
+     *  profiler was detached. Sums exactly to slotWidth x cycles. In
+     *  an aggregated RunResult::mean this is the SUM over samples
+     *  (like instructions/cycles), keeping the identity exact. */
+    std::vector<std::uint64_t> slotStack;
+    /** Top-N PCs by lost slots (kHotspotTopN per window; re-ranked
+     *  after merging in an aggregated mean). */
+    std::vector<HotspotEntry> hotspots;
 };
+
+/** Hotspots kept per window and per aggregated cell. Cross-sample
+ *  merging folds the per-window top-N lists, so a PC outside every
+ *  window's top-N is dropped — fine for "where did the slots go",
+ *  not a complete census. */
+inline constexpr std::size_t kHotspotTopN = 16;
 
 /** How much work one window cost the harness (not the simulated
  *  machine) — fed into GridStats. */

@@ -66,6 +66,12 @@ RunManifest::set(const std::string &key, bool value)
     addField(key, FieldKind::kBool).b = value;
 }
 
+void
+RunManifest::setRaw(const std::string &key, std::string json)
+{
+    addField(key, FieldKind::kRaw).s = std::move(json);
+}
+
 std::string
 RunManifest::toJson() const
 {
@@ -89,6 +95,7 @@ RunManifest::toJson() const
           case FieldKind::kUint: w.value(f.u); break;
           case FieldKind::kDouble: w.value(f.d); break;
           case FieldKind::kBool: w.value(f.b); break;
+          case FieldKind::kRaw: w.raw(f.s); break;
         }
     }
     w.endObject();

@@ -35,6 +35,12 @@ class RunManifest
     void set(const std::string &key, double value);
     void set(const std::string &key, bool value);
 
+    /** Splice a pre-rendered JSON value (object/array) under `key` —
+     *  used for structured payloads like CPI-stack hotspot lists that
+     *  the scalar setters cannot express. `json` must be valid JSON;
+     *  it is re-indented, not validated. */
+    void setRaw(const std::string &key, std::string json);
+
     /** Attach wall-clock phase timings (borrowed; must outlive any
      *  toJson/writeFile call). */
     void setTimings(const PhaseTimings *t) { timings_ = t; }
@@ -50,7 +56,9 @@ class RunManifest
     bool writeFile(const std::string &path) const;
 
   private:
-    enum class FieldKind : std::uint8_t { kString, kUint, kDouble, kBool };
+    enum class FieldKind : std::uint8_t {
+        kString, kUint, kDouble, kBool, kRaw
+    };
     struct Field {
         std::string key;
         FieldKind kind;

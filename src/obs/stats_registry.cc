@@ -193,6 +193,10 @@ StatsRegistry::dumpText() const
                     static_cast<unsigned long long>(h.percentile(q)));
                 line(s->name + tag, num, s->desc);
             }
+            std::snprintf(
+                num, sizeof(num), "%llu",
+                static_cast<unsigned long long>(h.overflow()));
+            line(s->name + "::overflow", num, s->desc);
             break;
           }
         }

@@ -162,6 +162,31 @@ TEST(Histogram, OverflowBucket)
     EXPECT_EQ(h.buckets().back(), 1u);
 }
 
+TEST(Histogram, OverflowAccessorCountsOnlyBeyondCap)
+{
+    Histogram h(4);
+    EXPECT_EQ(h.overflow(), 0u);
+    h.add(3); // in range
+    h.add(4); // at the cap: still a unit-width bucket
+    EXPECT_EQ(h.overflow(), 0u);
+    h.add(5);
+    h.add(5000);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.overflow(), h.buckets().back());
+    // Clamped tail: the overflow index is the reported percentile.
+    EXPECT_EQ(h.percentile(0.99), h.buckets().size() - 1);
+    h.reset();
+    EXPECT_EQ(h.overflow(), 0u);
+}
+
+TEST(Histogram, SummaryReportsOverflow)
+{
+    Histogram h(4);
+    h.add(1);
+    h.add(77);
+    EXPECT_NE(h.summary().find("ovf=1"), std::string::npos);
+}
+
 TEST(Histogram, ResetClears)
 {
     Histogram h(4);

@@ -514,7 +514,30 @@ TEST(Histogram, ToJsonParsesWithPercentiles)
     EXPECT_TRUE(v.has("p50"));
     EXPECT_TRUE(v.has("p95"));
     EXPECT_TRUE(v.has("p99"));
+    EXPECT_EQ(v.at("overflow").number, 0.0);
     EXPECT_EQ(v.at("buckets").at("0").number, 10.0);
+}
+
+TEST(Histogram, ToJsonExposesOverflowCount)
+{
+    Histogram h(4);
+    h.add(2);
+    h.add(99);
+    h.add(100);
+    const JsonValue v = parseOrDie(h.toJson());
+    EXPECT_EQ(v.at("overflow").number, 2.0);
+}
+
+TEST(StatsRegistry, DumpTextEmitsHistogramOverflowRow)
+{
+    Histogram h(4);
+    h.add(1);
+    h.add(500);
+    StatsRegistry reg;
+    reg.addHistogram("core.lat", &h, "latency");
+    const std::string text = reg.dumpText();
+    EXPECT_NE(text.find("core.lat::overflow"), std::string::npos);
+    EXPECT_NE(text.find("core.lat::p99"), std::string::npos);
 }
 
 // ---------------------------------------------------------------------
@@ -541,9 +564,66 @@ TEST(ScopedTimer, RecordsAndAccumulatesPhases)
     EXPECT_GE(t.total(), 0.0);
 }
 
+TEST(ScopedTimer, StopFreezesTheRecordedValue)
+{
+    PhaseTimings t;
+    ScopedTimer a(t, "phase");
+    a.stop();
+    ASSERT_EQ(t.phases().size(), 1u);
+    const double first = t.phases()[0].second;
+    // Further stops (and the destructor) must not accumulate more
+    // time into the already-recorded phase.
+    a.stop();
+    EXPECT_EQ(t.phases().size(), 1u);
+    EXPECT_DOUBLE_EQ(t.phases()[0].second, first);
+}
+
+TEST(PhaseTimings, TotalSumsPhasesInInsertionOrder)
+{
+    PhaseTimings t;
+    t.record("fast_forward", 1.5);
+    t.record("detailed", 2.25);
+    t.record("fast_forward", 0.5); // accumulates, keeps position
+    ASSERT_EQ(t.phases().size(), 2u);
+    EXPECT_EQ(t.phases()[0].first, "fast_forward");
+    EXPECT_DOUBLE_EQ(t.phases()[0].second, 2.0);
+    EXPECT_DOUBLE_EQ(t.total(), 4.25);
+}
+
+TEST(ScopedTimer, ElapsedTimeIsNonNegativeAndOrdered)
+{
+    PhaseTimings t;
+    {
+        ScopedTimer outer(t, "outer");
+        { ScopedTimer inner(t, "inner"); }
+    }
+    ASSERT_EQ(t.phases().size(), 2u);
+    // "inner" was recorded first (destructor order), both >= 0, and
+    // the enclosing scope can never be shorter than the nested one.
+    EXPECT_EQ(t.phases()[0].first, "inner");
+    EXPECT_GE(t.phases()[0].second, 0.0);
+    EXPECT_GE(t.phases()[1].second, t.phases()[0].second);
+}
+
 // ---------------------------------------------------------------------
 // RunManifest
 // ---------------------------------------------------------------------
+
+TEST(RunManifest, SetRawSplicesStructuredFields)
+{
+    RunManifest m("unit_test");
+    m.set("scalar", std::uint64_t{7});
+    m.setRaw("hotspots",
+             "[{\"pc\": \"0x2a\", \"lost_slots\": 3}]");
+    m.setRaw("scalar", "{\"replaced\": true}"); // last write wins
+
+    const JsonValue v = parseOrDie(m.toJson());
+    const JsonValue &fields = v.at("fields");
+    ASSERT_EQ(fields.at("hotspots").type, JsonValue::kArray);
+    EXPECT_EQ(fields.at("hotspots").array[0].at("lost_slots").number,
+              3.0);
+    EXPECT_EQ(fields.at("scalar").at("replaced").boolean, true);
+}
 
 TEST(RunManifest, JsonParsesWithFieldsTimingsAndStats)
 {
