@@ -218,6 +218,68 @@ parseFlagNumber(const char *prog, const std::string &arg,
 }
 
 /**
+ * SMT co-residency knobs shared by the grid and attack benches:
+ * --smt=N sets the hardware-thread count on every simulated core
+ * (--smt=1 is an explicit single-thread run, bit-identical to the
+ * default configs), --smt-policy=rr|icount picks the fetch
+ * arbitration between the contexts.
+ */
+struct BenchSmt {
+    unsigned threads = 0; ///< 0 = leave the configs untouched
+    SmtFetchPolicy policy = SmtFetchPolicy::kRoundRobin;
+    bool policySet = false;
+
+    static constexpr const char *kUsageSmt =
+        "--smt=N        hardware threads per core (1 = explicit "
+        "single-thread)";
+    static constexpr const char *kUsagePolicy =
+        "--smt-policy=P SMT fetch arbitration: rr (default) or icount";
+
+    /** Apply the parsed knobs to one grid config (no-op when unset). */
+    void
+    apply(SimConfig &cfg) const
+    {
+        if (threads)
+            cfg.core.smtThreads = threads;
+        if (policySet)
+            cfg.core.smtFetchPolicy = policy;
+    }
+
+    /** Consume one argv token; false if it is not an SMT flag. */
+    bool
+    parseArg(const std::string &arg, const char *prog)
+    {
+        if (arg.rfind("--smt=", 0) == 0) {
+            threads =
+                static_cast<unsigned>(parseFlagNumber(prog, arg, 6));
+            if (threads == 0) {
+                std::fprintf(stderr,
+                             "%s: --smt= needs at least one thread\n",
+                             prog);
+                std::exit(2);
+            }
+        } else if (arg.rfind("--smt-policy=", 0) == 0) {
+            const std::string value = arg.substr(13);
+            if (value == "rr") {
+                policy = SmtFetchPolicy::kRoundRobin;
+            } else if (value == "icount") {
+                policy = SmtFetchPolicy::kIcount;
+            } else {
+                std::fprintf(stderr,
+                             "%s: unknown SMT fetch policy '%s' "
+                             "(expected rr or icount)\n",
+                             prog, value.c_str());
+                std::exit(2);
+            }
+            policySet = true;
+        } else {
+            return false;
+        }
+        return true;
+    }
+};
+
+/**
  * Parse the shared sampling flags from argv. Unrecognized arguments
  * abort with a usage message: a misspelled flag silently falling back
  * to defaults has burned enough measurement time already.
@@ -229,7 +291,8 @@ parseFlagNumber(const char *prog, const std::string &arg,
 inline SampleParams
 parseSampleArgs(int argc, char **argv,
                 std::initializer_list<const char *> extra = {},
-                BenchObs *obs = nullptr, BenchCkpt *ckpt = nullptr)
+                BenchObs *obs = nullptr, BenchCkpt *ckpt = nullptr,
+                BenchSmt *smt = nullptr)
 {
     SampleParams p;
     p.jobs = ThreadPool::defaultConcurrency();
@@ -240,6 +303,8 @@ parseSampleArgs(int argc, char **argv,
         if (obs && obs->parseArg(arg, argv[0]))
             continue;
         if (ckpt && ckpt->parseArg(arg, argv[0]))
+            continue;
+        if (smt && smt->parseArg(arg, argv[0]))
             continue;
         const auto accepted = [&arg](const char *flag) {
             const std::size_t len = std::strlen(flag);

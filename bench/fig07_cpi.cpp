@@ -32,12 +32,14 @@ main(int argc, char **argv)
 {
     BenchObs obs;
     BenchCkpt ckpt;
+    BenchSmt smt;
     SampleParams sp = parseSampleArgs(
         argc, argv,
         {"--csv=", "--mshr=", "--stack-csv=", "--stack-out=",
+         BenchSmt::kUsageSmt, BenchSmt::kUsagePolicy,
          BenchCkpt::kUsageDir, BenchCkpt::kUsageMaxBytes,
          BenchCkpt::kUsageNoCkpt},
-        &obs, &ckpt);
+        &obs, &ckpt, &smt);
     std::string csv_path;
     std::string stack_csv_path;
     std::string stack_out_path;
@@ -74,6 +76,7 @@ main(int argc, char **argv)
     for (Profile p : profiles) {
         SimConfig cfg = makeProfile(p);
         cfg.memory.mshrEntries = mshr_entries;
+        smt.apply(cfg);
         configs.push_back(cfg);
     }
     const std::unique_ptr<CheckpointStore> corpus = ckpt.open();

@@ -59,7 +59,7 @@ printUsage(const char *prog)
         "rename-corrupt, rob-reorder,\n"
         "                    mshr-dup-primary, mshr-ghost-target, "
         "mshr-overflow,\n"
-        "                    mshr-stuck-fill\n"
+        "                    mshr-stuck-fill, smt-rename-bleed\n"
         "  --inject-seed=N   program seed for --inject (default 1)\n"
         "  --inject-cycle=N  first cycle eligible for corruption "
         "(default 2000)\n"

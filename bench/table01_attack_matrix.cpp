@@ -47,13 +47,22 @@ main(int argc, char **argv)
 {
     bool oracle_strict = false;
     // --oracle: fail (exit 1) if the timing and DIFT-oracle verdicts
-    // disagree on any cell.
+    // disagree on any cell. --smt=1 restricts the matrix to the
+    // single-thread rows, --smt=2 to the cross-thread (co-resident
+    // attacker) rows; without the flag every attack runs. Cross-thread
+    // attacks pick their own thread count in adjustConfig, so the flag
+    // selects rows rather than reconfiguring cores.
+    unsigned smt = 0;
     BenchObs obs;
     const SampleParams params =
-        parseSampleArgs(argc, argv, {"--oracle"}, &obs);
+        parseSampleArgs(argc, argv, {"--oracle", "--smt="}, &obs);
     for (int i = 1; i < argc; ++i) {
-        if (std::string(argv[i]) == "--oracle")
+        const std::string arg = argv[i];
+        if (arg == "--oracle")
             oracle_strict = true;
+        else if (arg.rfind("--smt=", 0) == 0)
+            smt = static_cast<unsigned>(
+                parseFlagNumber(argv[0], arg, 6));
     }
 
     printBanner("Table 1: attack taxonomy");
@@ -81,8 +90,13 @@ main(int argc, char **argv)
         Profile::kInvisiSpecFuture,
     };
     std::vector<std::string> attack_names;
-    for (const auto &a : makeAllAttacks())
+    for (const auto &a : makeAllAttacks()) {
+        if (smt == 1 && a->crossThread())
+            continue;
+        if (smt >= 2 && !a->crossThread())
+            continue;
         attack_names.push_back(a->name());
+    }
 
     const std::size_t cols = profiles.size();
     const std::size_t cells = attack_names.size() * cols;

@@ -38,11 +38,13 @@ main(int argc, char **argv)
 {
     BenchObs obs;
     BenchCkpt ckpt;
+    BenchSmt smt;
     const SampleParams sp = parseSampleArgs(
         argc, argv,
-        {"--csv=", "--mshr=", BenchCkpt::kUsageDir,
+        {"--csv=", "--mshr=", BenchSmt::kUsageSmt,
+         BenchSmt::kUsagePolicy, BenchCkpt::kUsageDir,
          BenchCkpt::kUsageMaxBytes, BenchCkpt::kUsageNoCkpt},
-        &obs, &ckpt);
+        &obs, &ckpt, &smt);
     std::string csv_path;
     unsigned mshr_entries = 0;
     for (int i = 1; i < argc; ++i) {
@@ -78,8 +80,10 @@ main(int argc, char **argv)
     std::vector<SimConfig> configs{makeProfile(Profile::kOoo)};
     for (const RowSpec &row : rows)
         configs.push_back(makeProfile(row.profile));
-    for (SimConfig &cfg : configs)
+    for (SimConfig &cfg : configs) {
         cfg.memory.mshrEntries = mshr_entries;
+        smt.apply(cfg);
+    }
     const std::unique_ptr<CheckpointStore> corpus = ckpt.open();
     GridStats grid_stats;
     ScopedTimer grid_timer(obs.timings, "grid");

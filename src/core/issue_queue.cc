@@ -19,6 +19,9 @@ IssueQueue::insert(const DynInstPtr &inst)
     NDA_ASSERT(!full(), "issue queue overflow");
     ++inserts_;
     inst->inIq = true;
+    if (inst->tid >= perThread_.size())
+        perThread_.resize(inst->tid + 1, 0);
+    ++perThread_[inst->tid];
     entries_.push_back(inst);
 }
 
@@ -40,9 +43,10 @@ IssueQueue::sourcesReady(const DynInst &inst, const PhysRegFile &regs)
 void
 IssueQueue::removeSquashed()
 {
-    const auto is_squashed = [](const DynInstPtr &inst) {
+    const auto is_squashed = [this](const DynInstPtr &inst) {
         if (inst->squashed) {
             inst->inIq = false;
+            release(inst->tid);
             return true;
         }
         return false;

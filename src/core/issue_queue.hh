@@ -29,6 +29,19 @@ class IssueQueue
     std::size_t size() const { return entries_.size(); }
     bool empty() const { return entries_.empty(); }
 
+    /**
+     * Entries currently held by hardware thread `tid`. Used by SMT
+     * dispatch to cap each thread's share of the queue: with a fully
+     * shared IQ one thread's long-latency burst (e.g. a string of
+     * multiplies draining through one port) can park in every entry
+     * and starve the co-resident thread out of dispatch entirely.
+     */
+    unsigned
+    occupancyOf(unsigned tid) const
+    {
+        return tid < perThread_.size() ? perThread_[tid] : 0;
+    }
+
     /** Insert at dispatch (entries stay age-ordered by construction). */
     void insert(const DynInstPtr &inst);
 
@@ -52,6 +65,7 @@ class IssueQueue
             DynInstPtr inst = std::move(entries_[i]);
             if (inst->squashed) {
                 inst->inIq = false;
+                release(inst->tid);
                 continue; // drop
             }
             bool issued = false;
@@ -59,6 +73,7 @@ class IssueQueue
                 issued = try_issue(inst);
             if (issued) {
                 inst->inIq = false;
+                release(inst->tid);
             } else {
                 entries_[out++] = std::move(inst);
             }
@@ -69,7 +84,12 @@ class IssueQueue
     /** Drop squashed entries eagerly (called after a squash). */
     void removeSquashed();
 
-    void clear() { entries_.clear(); }
+    void
+    clear()
+    {
+        entries_.clear();
+        perThread_.assign(perThread_.size(), 0);
+    }
 
     std::uint64_t inserts() const { return inserts_; }
     void resetStats() { inserts_ = 0; }
@@ -81,9 +101,17 @@ class IssueQueue
   private:
     static bool sourcesReady(const DynInst &inst, const PhysRegFile &regs);
 
+    void
+    release(unsigned tid)
+    {
+        if (tid < perThread_.size() && perThread_[tid] > 0)
+            --perThread_[tid];
+    }
+
     unsigned capacity_;
     std::vector<DynInstPtr> entries_;
-    std::uint64_t inserts_ = 0; ///< entries allocated at dispatch
+    std::vector<unsigned> perThread_; ///< occupancy per hardware thread
+    std::uint64_t inserts_ = 0;       ///< entries allocated at dispatch
 };
 
 } // namespace nda

@@ -7,8 +7,9 @@
 
 namespace nda {
 
-Lsq::Lsq(unsigned lq_entries, unsigned sq_entries)
-    : lqEntries_(lq_entries), sqEntries_(sq_entries)
+Lsq::Lsq(unsigned lq_entries, unsigned sq_entries, unsigned nthreads)
+    : lqEntries_(lq_entries), sqEntries_(sq_entries),
+      loads_(nthreads), stores_(nthreads)
 {
 }
 
@@ -16,24 +17,27 @@ void
 Lsq::insertLoad(const DynInstPtr &inst)
 {
     NDA_ASSERT(!lqFull(), "load queue overflow");
-    loads_.push_back(inst);
+    loads_[inst->tid].push_back(inst);
+    ++nLoads_;
 }
 
 void
 Lsq::insertStore(const DynInstPtr &inst)
 {
     NDA_ASSERT(!sqFull(), "store queue overflow");
-    stores_.push_back(inst);
+    stores_[inst->tid].push_back(inst);
+    ++nStores_;
 }
 
 StoreSearchResult
 Lsq::searchStores(InstSeqNum load_seq, Addr addr, unsigned size,
-                  const PhysRegFile &regs) const
+                  const PhysRegFile &regs, unsigned tid) const
 {
     StoreSearchResult result;
     ++searches_;
+    const auto &sq = stores_[tid];
     // Youngest-to-oldest among stores older than the load.
-    for (auto it = stores_.rbegin(); it != stores_.rend(); ++it) {
+    for (auto it = sq.rbegin(); it != sq.rend(); ++it) {
         const DynInst &store = **it;
         if (store.squashed || store.seq >= load_seq)
             continue;
@@ -79,7 +83,7 @@ DynInstPtr
 Lsq::checkViolations(const DynInst &store) const
 {
     NDA_ASSERT(store.effAddrValid, "violation check on unresolved store");
-    for (const DynInstPtr &load : loads_) {
+    for (const DynInstPtr &load : loads_[store.tid]) {
         // A load captures its data when it issues (effAddrValid), so
         // even a not-yet-completed load can hold stale data and must
         // be snooped.
@@ -95,17 +99,17 @@ Lsq::checkViolations(const DynInst &store) const
         const auto &bypassed = load->bypassedStores;
         if (std::find(bypassed.begin(), bypassed.end(), store.seq) !=
             bypassed.end()) {
-            return load; // oldest violating load (loads_ is age-ordered)
+            return load; // oldest violating load (queue is age-ordered)
         }
     }
     return nullptr;
 }
 
 std::vector<DynInstPtr>
-Lsq::retireBypass(InstSeqNum store_seq)
+Lsq::retireBypass(InstSeqNum store_seq, unsigned tid)
 {
     std::vector<DynInstPtr> cleared;
-    for (const DynInstPtr &load : loads_) {
+    for (const DynInstPtr &load : loads_[tid]) {
         if (load->squashed)
             continue;
         auto &bypassed = load->bypassedStores;
@@ -122,33 +126,47 @@ Lsq::retireBypass(InstSeqNum store_seq)
 void
 Lsq::commitLoad(const DynInst &inst)
 {
-    NDA_ASSERT(!loads_.empty() && loads_.front()->seq == inst.seq,
+    auto &lq = loads_[inst.tid];
+    NDA_ASSERT(!lq.empty() && lq.front()->seq == inst.seq,
                "commit of non-head load");
-    loads_.pop_front();
+    lq.pop_front();
+    --nLoads_;
 }
 
 void
 Lsq::commitStore(const DynInst &inst)
 {
-    NDA_ASSERT(!stores_.empty() && stores_.front()->seq == inst.seq,
+    auto &sq = stores_[inst.tid];
+    NDA_ASSERT(!sq.empty() && sq.front()->seq == inst.seq,
                "commit of non-head store");
-    stores_.pop_front();
+    sq.pop_front();
+    --nStores_;
 }
 
 void
-Lsq::squashYoungerThan(InstSeqNum squash_seq)
+Lsq::squashYoungerThan(InstSeqNum squash_seq, unsigned tid)
 {
-    while (!loads_.empty() && loads_.back()->seq > squash_seq)
-        loads_.pop_back();
-    while (!stores_.empty() && stores_.back()->seq > squash_seq)
-        stores_.pop_back();
+    auto &lq = loads_[tid];
+    auto &sq = stores_[tid];
+    while (!lq.empty() && lq.back()->seq > squash_seq) {
+        lq.pop_back();
+        --nLoads_;
+    }
+    while (!sq.empty() && sq.back()->seq > squash_seq) {
+        sq.pop_back();
+        --nStores_;
+    }
 }
 
 void
 Lsq::clear()
 {
-    loads_.clear();
-    stores_.clear();
+    for (auto &q : loads_)
+        q.clear();
+    for (auto &q : stores_)
+        q.clear();
+    nLoads_ = 0;
+    nStores_ = 0;
 }
 
 void

@@ -4,6 +4,13 @@
  * bypass (the SSB attack substrate), memory-order-violation
  * detection, and the bookkeeping NDA's Bypass Restriction needs
  * (paper §4.1, §5.2).
+ *
+ * Under SMT the capacity (LQ/SQ entry counts) is shared between the
+ * hardware threads, but the queues themselves are per-thread:
+ * store-to-load forwarding, bypass tracking, and memory-order
+ * violation detection are all same-thread properties (cross-thread
+ * communication goes through committed memory). A per-thread squash
+ * flash-clears only that thread's entries.
  */
 
 #ifndef NDASIM_CORE_LSQ_HH
@@ -12,6 +19,7 @@
 #include <deque>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/dyn_inst_pool.hh"
 #include "core/phys_reg_file.hh"
@@ -33,23 +41,24 @@ struct StoreSearchResult {
     std::vector<InstSeqNum> bypassedStores;
 };
 
-/** Combined load queue + store queue. */
+/** Combined load queue + store queue (shared across SMT threads). */
 class Lsq
 {
   public:
-    Lsq(unsigned lq_entries, unsigned sq_entries);
+    Lsq(unsigned lq_entries, unsigned sq_entries, unsigned nthreads = 1);
 
-    bool lqFull() const { return loads_.size() >= lqEntries_; }
-    bool sqFull() const { return stores_.size() >= sqEntries_; }
-    std::size_t lqSize() const { return loads_.size(); }
-    std::size_t sqSize() const { return stores_.size(); }
+    bool lqFull() const { return nLoads_ >= lqEntries_; }
+    bool sqFull() const { return nStores_ >= sqEntries_; }
+    std::size_t lqSize() const { return nLoads_; }
+    std::size_t sqSize() const { return nStores_; }
 
-    /** Allocate at dispatch (in program order). */
+    /** Allocate at dispatch (in per-thread program order); the entry
+     *  lands in the queue of the instruction's hardware thread. */
     void insertLoad(const DynInstPtr &inst);
     void insertStore(const DynInstPtr &inst);
 
     /**
-     * Search older stores for a load at `addr`/`size`.
+     * Search thread `tid`'s older stores for a load at `addr`/`size`.
      * Scans youngest-to-oldest among stores older than `load_seq`.
      * `regs` is consulted for store-data readiness: a covering store
      * whose data has not been broadcast cannot forward (and, under
@@ -57,33 +66,51 @@ class Lsq
      */
     StoreSearchResult searchStores(InstSeqNum load_seq, Addr addr,
                                    unsigned size,
-                                   const PhysRegFile &regs) const;
+                                   const PhysRegFile &regs,
+                                   unsigned tid = 0) const;
 
     /**
      * Called when a store's address resolves: find the oldest younger
-     * load that already executed against an overlapping address while
-     * this store was unresolved (a memory-order violation).
+     * same-thread load that already executed against an overlapping
+     * address while this store was unresolved (a memory-order
+     * violation).
      * @return the violating load, if any.
      */
     DynInstPtr checkViolations(const DynInst &store) const;
 
     /**
      * Bypass Restriction bookkeeping: remove `store_seq` from every
-     * load's bypassed-store set; return loads whose set became empty
-     * (candidates to become safe, paper §5.2).
+     * thread-`tid` load's bypassed-store set; return loads whose set
+     * became empty (candidates to become safe, paper §5.2).
      */
-    std::vector<DynInstPtr> retireBypass(InstSeqNum store_seq);
+    std::vector<DynInstPtr> retireBypass(InstSeqNum store_seq,
+                                         unsigned tid = 0);
 
-    /** Remove the (committed) head load/store. */
+    /** Remove the (committed) head load/store of its thread. */
     void commitLoad(const DynInst &inst);
     void commitStore(const DynInst &inst);
 
-    /** Drop all entries younger than `squash_seq` (exclusive). */
-    void squashYoungerThan(InstSeqNum squash_seq);
+    /** Drop thread `tid`'s entries younger than `squash_seq`
+     *  (exclusive); other threads' entries are untouched. */
+    void squashYoungerThan(InstSeqNum squash_seq, unsigned tid = 0);
 
-    /** Oldest un-retired store, if any (for fences / ordering). */
-    const std::deque<DynInstPtr> &stores() const { return stores_; }
-    const std::deque<DynInstPtr> &loads() const { return loads_; }
+    /** Thread `tid`'s age-ordered queues (checker introspection). */
+    const std::deque<DynInstPtr> &
+    stores(unsigned tid = 0) const
+    {
+        return stores_[tid];
+    }
+    const std::deque<DynInstPtr> &
+    loads(unsigned tid = 0) const
+    {
+        return loads_[tid];
+    }
+
+    unsigned
+    numThreads() const
+    {
+        return static_cast<unsigned>(loads_.size());
+    }
 
     void clear();
 
@@ -112,8 +139,10 @@ class Lsq
   private:
     unsigned lqEntries_;
     unsigned sqEntries_;
-    std::deque<DynInstPtr> loads_;   ///< age-ordered
-    std::deque<DynInstPtr> stores_;  ///< age-ordered
+    std::size_t nLoads_ = 0;   ///< occupancy across all threads
+    std::size_t nStores_ = 0;
+    std::vector<std::deque<DynInstPtr>> loads_;   ///< per-thread, aged
+    std::vector<std::deque<DynInstPtr>> stores_;  ///< per-thread, aged
 
     // Search statistics; mutable because searchStores is logically
     // const (no queue state changes) but still worth counting.

@@ -1,6 +1,7 @@
 #include "core/ooo_core.hh"
 
 #include <algorithm>
+#include <string>
 
 #include "common/log.hh"
 #include "core/snapshot.hh"
@@ -14,31 +15,47 @@ namespace nda {
 OooCore::OooCore(Program prog, const SimConfig &cfg)
     : prog_(std::move(prog)),
       cfg_(cfg),
+      numThreads_(std::max(1u, cfg.core.smtThreads)),
       hier_(cfg.memory),
       bp_(cfg.core.predictor),
       regs_(cfg.core.numPhysRegs),
       iq_(cfg.core.iqEntries),
-      lsq_(cfg.core.lqEntries, cfg.core.sqEntries)
+      lsq_(cfg.core.lqEntries, cfg.core.sqEntries,
+           std::max(1u, cfg.core.smtThreads)),
+      threads_(std::max(1u, cfg.core.smtThreads)),
+      commitsThisCycle_(std::max(1u, cfg.core.smtThreads), 0)
 {
     NDA_ASSERT(cfg.core.numPhysRegs >=
-                   kNumArchRegs + cfg.core.robEntries,
-               "need at least arch + ROB physical registers");
+                   numThreads_ * kNumArchRegs + cfg.core.robEntries,
+               "need at least arch-per-thread + ROB physical registers");
     loadDataSegments(prog_, mem_);
-    regs_.reset(kNumArchRegs);
-    rmap_.reset();
-    for (unsigned r = 0; r < kNumArchRegs; ++r) {
-        regs_.setValue(static_cast<PhysRegId>(r), prog_.initialRegs[r]);
-        commitMap_[r] = static_cast<PhysRegId>(r);
+    regs_.reset(kNumArchRegs, numThreads_);
+    for (unsigned t = 0; t < numThreads_; ++t) {
+        ThreadContext &tc = threads_[t];
+        const PhysRegId base =
+            static_cast<PhysRegId>(t * kNumArchRegs);
+        tc.rmap.reset(base);
+        for (unsigned r = 0; r < kNumArchRegs; ++r) {
+            regs_.setValue(static_cast<PhysRegId>(base + r),
+                           prog_.initialRegs[r]);
+            tc.commitMap[r] = static_cast<PhysRegId>(base + r);
+        }
+        for (int i = 0; i < kNumMsrRegs; ++i)
+            tc.msrs[i] = prog_.initialMsrs[i];
+        // Thread 0 runs the program entry; co-resident contexts start
+        // at the SMT entry when the program provides one.
+        tc.fetchPc = t == 0 || prog_.smtEntry == ~Addr{0}
+                         ? prog_.entry
+                         : prog_.smtEntry;
     }
-    for (int i = 0; i < kNumMsrRegs; ++i)
-        msrs_[i] = prog_.initialMsrs[i];
-    fetchPc_ = prog_.entry;
+    if (numThreads_ > 1)
+        threadCounters_.resize(numThreads_);
 }
 
 RegVal
 OooCore::archReg(RegId r) const
 {
-    return regs_.value(commitMap_[r]);
+    return regs_.value(threads_[0].commitMap[r]);
 }
 
 void
@@ -52,35 +69,66 @@ OooCore::attachDift(TaintEngine *engine)
 TaintWord
 OooCore::archRegTaint(RegId r) const
 {
-    return dift_ ? dift_->regTaint(commitMap_[r]) : 0;
+    return dift_ ? dift_->regTaint(threads_[0].commitMap[r]) : 0;
+}
+
+void
+OooCore::resetCounters()
+{
+    counters_.reset();
+    for (PerfCounters &c : threadCounters_)
+        c.reset();
 }
 
 void
 OooCore::saveCheckpoint(SimSnapshot &out) const
 {
     out = SimSnapshot{};
+    const ThreadContext &t0 = threads_[0];
     ArchState &arch = out.arch;
     for (unsigned r = 0; r < kNumArchRegs; ++r)
-        arch.regs[r] = regs_.value(commitMap_[r]);
+        arch.regs[r] = regs_.value(t0.commitMap[r]);
     for (int i = 0; i < kNumMsrRegs; ++i)
-        arch.msrs[i] = msrs_[i];
+        arch.msrs[i] = t0.msrs[i];
     // The architectural PC is the oldest instruction that has not yet
     // committed; with an idle pipeline it is simply the fetch PC.
-    arch.pc = !rob_.empty()         ? rob_.front()->pc
-              : !fetchQueue_.empty() ? fetchQueue_.front()->pc
-                                     : fetchPc_;
-    arch.halted = halted_;
+    arch.pc = !t0.rob.empty()         ? t0.rob.front()->pc
+              : !t0.fetchQueue.empty() ? t0.fetchQueue.front()->pc
+                                       : t0.fetchPc;
+    arch.halted = t0.halted;
     arch.instCount = committed_;
     arch.faultCount = counters_.faults;
-    arch.lastFetchLine = lastFetchLine_;
+    arch.lastFetchLine = t0.lastFetchLine;
     arch.mem = mem_;
     if (dift_) {
         arch.hasTaint = true;
         for (unsigned r = 0; r < kNumArchRegs; ++r)
-            arch.regTaint[r] = dift_->regTaint(commitMap_[r]);
+            arch.regTaint[r] = dift_->regTaint(t0.commitMap[r]);
         for (unsigned i = 0; i < kNumMsrRegs; ++i)
             arch.msrTaint[i] = dift_->msrTaint(i);
         arch.memTaint = dift_->memTaintMap();
+    }
+
+    // Hardware threads beyond 0: architectural view only. Memory is
+    // shared and already captured above, so their mem maps stay empty.
+    for (unsigned t = 1; t < numThreads_; ++t) {
+        const ThreadContext &tc = threads_[t];
+        ArchState extra{};
+        for (unsigned r = 0; r < kNumArchRegs; ++r)
+            extra.regs[r] = regs_.value(tc.commitMap[r]);
+        for (int i = 0; i < kNumMsrRegs; ++i)
+            extra.msrs[i] = tc.msrs[i];
+        extra.pc = !tc.rob.empty()         ? tc.rob.front()->pc
+                   : !tc.fetchQueue.empty() ? tc.fetchQueue.front()->pc
+                                            : tc.fetchPc;
+        extra.halted = tc.halted;
+        extra.lastFetchLine = tc.lastFetchLine;
+        if (dift_) {
+            extra.hasTaint = true;
+            for (unsigned r = 0; r < kNumArchRegs; ++r)
+                extra.regTaint[r] = dift_->regTaint(tc.commitMap[r]);
+        }
+        out.extraThreads.push_back(std::move(extra));
     }
 
     out.hasMem = true;
@@ -94,26 +142,49 @@ OooCore::saveCheckpoint(SimSnapshot &out) const
 void
 OooCore::restoreCheckpoint(const SimSnapshot &snap)
 {
-    NDA_ASSERT(cycle_ == 0 && committed_ == 0 && rob_.empty(),
+    NDA_ASSERT(cycle_ == 0 && committed_ == 0 && threads_[0].rob.empty(),
                "checkpoints restore into freshly constructed cores");
+    ThreadContext &t0 = threads_[0];
     const ArchState &arch = snap.arch;
     for (unsigned r = 0; r < kNumArchRegs; ++r)
-        regs_.setValue(commitMap_[r], arch.regs[r]);
+        regs_.setValue(t0.commitMap[r], arch.regs[r]);
     for (int i = 0; i < kNumMsrRegs; ++i)
-        msrs_[i] = arch.msrs[i];
-    fetchPc_ = arch.pc;
-    halted_ = arch.halted;
+        t0.msrs[i] = arch.msrs[i];
+    t0.fetchPc = arch.pc;
+    t0.halted = arch.halted;
     committed_ = arch.instCount;
     counters_.faults = arch.faultCount;
-    lastFetchLine_ = arch.lastFetchLine;
+    t0.lastFetchLine = arch.lastFetchLine;
     mem_ = arch.mem;
     if (dift_ && arch.hasTaint) {
         for (unsigned r = 0; r < kNumArchRegs; ++r)
-            dift_->setRegTaint(commitMap_[r], arch.regTaint[r]);
+            dift_->setRegTaint(t0.commitMap[r], arch.regTaint[r]);
         for (unsigned i = 0; i < kNumMsrRegs; ++i)
             dift_->setMsrTaint(i, arch.msrTaint[i]);
         dift_->setMemTaintMap(arch.memTaint);
     }
+    // extraThreads seed matching hardware contexts; an smt=1 snapshot
+    // (no extras) leaves threads 1..N-1 at their constructor state.
+    const std::size_t nextra = std::min<std::size_t>(
+        snap.extraThreads.size(), numThreads_ - 1);
+    for (std::size_t i = 0; i < nextra; ++i) {
+        ThreadContext &tc = threads_[i + 1];
+        const ArchState &extra = snap.extraThreads[i];
+        for (unsigned r = 0; r < kNumArchRegs; ++r)
+            regs_.setValue(tc.commitMap[r], extra.regs[r]);
+        for (int m = 0; m < kNumMsrRegs; ++m)
+            tc.msrs[m] = extra.msrs[m];
+        tc.fetchPc = extra.pc;
+        tc.halted = extra.halted;
+        tc.lastFetchLine = extra.lastFetchLine;
+        if (dift_ && extra.hasTaint) {
+            for (unsigned r = 0; r < kNumArchRegs; ++r)
+                dift_->setRegTaint(tc.commitMap[r], extra.regTaint[r]);
+        }
+    }
+    halted_ = true;
+    for (const ThreadContext &tc : threads_)
+        halted_ = halted_ && tc.halted;
     if (snap.hasMem)
         hier_.restore(snap.mem);
     if (snap.hasPredictor)
@@ -123,6 +194,7 @@ OooCore::restoreCheckpoint(const SimSnapshot &snap)
 bool
 OooCore::corruptForTest(FuzzCorruption kind)
 {
+    ThreadContext &t0 = threads_[0];
     switch (kind) {
       case FuzzCorruption::kFreeListLeak:
         // Allocate a register nothing will ever reference or free.
@@ -133,30 +205,40 @@ OooCore::corruptForTest(FuzzCorruption kind)
       case FuzzCorruption::kDoubleFree:
         // A committed mapping lands on the free list while still
         // holding an architectural value.
-        regs_.free(commitMap_[0]);
+        regs_.free(t0.commitMap[0]);
         return true;
       case FuzzCorruption::kEarlyWakeup:
         // Wake dependents of an in-flight producer NDA still holds
         // unsafe — exactly the leak the deferred broadcast prevents.
-        for (const DynInstPtr &inst : rob_) {
-            if (inst->dest != kInvalidPhysReg && inst->isUnsafe() &&
-                !inst->broadcasted) {
-                regs_.setReady(inst->dest);
-                return true;
+        for (const ThreadContext &tc : threads_) {
+            for (const DynInstPtr &inst : tc.rob) {
+                if (inst->dest != kInvalidPhysReg && inst->isUnsafe() &&
+                    !inst->broadcasted) {
+                    regs_.setReady(inst->dest);
+                    return true;
+                }
             }
         }
         return false;
       case FuzzCorruption::kRenameCorrupt:
         // Point r0's speculative mapping at r1's: younger consumers
         // of r0 would silently read r1's value.
-        if (rmap_.lookup(0) == rmap_.lookup(1))
+        if (t0.rmap.lookup(0) == t0.rmap.lookup(1))
             return false;
-        rmap_.rename(0, rmap_.lookup(1));
+        t0.rmap.rename(0, t0.rmap.lookup(1));
         return true;
       case FuzzCorruption::kRobReorder:
-        if (rob_.size() < 2)
+        if (t0.rob.size() < 2)
             return false;
-        std::swap(rob_[0]->seq, rob_[1]->seq);
+        std::swap(t0.rob[0]->seq, t0.rob[1]->seq);
+        return true;
+      case FuzzCorruption::kCrossThreadRenameBleed:
+        // SMT isolation breach: thread 0's speculative map aliases a
+        // register thread 1 owns — t0 consumers would silently read
+        // (and t0 squashes would free) the co-resident thread's state.
+        if (numThreads_ < 2)
+            return false;
+        threads_[0].rmap.rename(0, threads_[1].rmap.lookup(0));
         return true;
       case FuzzCorruption::kMshrDupPrimary:
         // Two primary entries racing for one line: both would fill,
@@ -189,6 +271,8 @@ OooCore::tick()
 {
     ++cycle_;
     ++counters_.cycles;
+    for (PerfCounters &c : threadCounters_)
+        ++c.cycles;
     completionsThisCycle_ = 0;
 
     // Non-blocking mode: land every fill due this cycle before any
@@ -231,7 +315,9 @@ OooCore::run(std::uint64_t max_insts, Cycle max_cycles)
         NDA_ASSERT(cycle_ - lastCommitCycle_ < 500000,
                    "no commit for 500k cycles at pc ~%llu (deadlock?)",
                    static_cast<unsigned long long>(
-                       rob_.empty() ? fetchPc_ : rob_.front()->pc));
+                       threads_[0].rob.empty()
+                           ? threads_[0].fetchPc
+                           : threads_[0].rob.front()->pc));
     }
 }
 
@@ -243,15 +329,28 @@ void
 OooCore::commitStage()
 {
     unsigned ncommit = 0;
-    commitBreak_ = CommitBreak::kNone;
+    std::fill(commitsThisCycle_.begin(), commitsThisCycle_.end(), 0u);
+    for (ThreadContext &tc : threads_)
+        tc.commitBreak = CommitBreak::kNone;
+
+    // Shared commit bandwidth, threads served in rotation order so
+    // neither context can monopolise retirement. One thread reduces
+    // to the pre-SMT loop exactly.
+    for (unsigned k = 0;
+         k < numThreads_ && ncommit < cfg_.core.commitWidth; ++k) {
+        const unsigned tid =
+            (static_cast<unsigned>(cycle_) + k) % numThreads_;
+        ThreadContext &tc = threads_[tid];
+        PerfCounters *tcc = tcnt(tid);
+
     // Stop exactly at the run() instruction target so measurement
     // windows have precise boundaries.
-    while (ncommit < cfg_.core.commitWidth && !rob_.empty() &&
-           !halted_ && committed_ < commitTarget_) {
-        DynInstPtr inst = rob_.front();
+    while (ncommit < cfg_.core.commitWidth && !tc.rob.empty() &&
+           !tc.halted && committed_ < commitTarget_) {
+        DynInstPtr inst = tc.rob.front();
 
         if (!inst->executed) {
-            commitBreak_ = CommitBreak::kNotExecuted;
+            tc.commitBreak = CommitBreak::kNotExecuted;
             break; // stall; classified below
         }
 
@@ -268,7 +367,7 @@ OooCore::commitStage()
                     cycle_ + cfg_.core.faultLatency;
             }
             if (cycle_ < inst->faultDeliverAt) {
-                commitBreak_ = CommitBreak::kFaultWait;
+                tc.commitBreak = CommitBreak::kFaultWait;
                 break;
             }
             raiseFault(inst);
@@ -280,7 +379,7 @@ OooCore::commitStage()
         // issued when older branches resolved; if the line was absent
         // from L1 at peek time, validation re-accesses the (now
         // filled) L1 and stalls retirement for one L1 round trip.
-        if (cfg_.security.invisiSpec == InvisiSpecMode::kFuture &&
+        if (secFor(tid).invisiSpec == InvisiSpecMode::kFuture &&
             inst->shadowLoad && !inst->validating) {
             if (!inst->exposed) {
                 hier_.dataFill(inst->effAddr);
@@ -293,7 +392,7 @@ OooCore::commitStage()
                     : cycle_ + hier_.params().l1d.hitLatency;
         }
         if (inst->validating && cycle_ < inst->validateDoneAt) {
-            commitBreak_ = CommitBreak::kValidate;
+            tc.commitBreak = CommitBreak::kValidate;
             break; // retirement stalled on validation
         }
 
@@ -312,7 +411,7 @@ OooCore::commitStage()
             inst->pendingBcast = true;
             inst->bcastEligibleAt = cycle_ +
                 cfg_.core.retireWakeDelay +
-                cfg_.security.extraBroadcastDelay;
+                secFor(tid).extraBroadcastDelay;
             pendingBcast_.push_back(inst);
         }
 
@@ -320,7 +419,7 @@ OooCore::commitStage()
         // before it can drain (split store-data micro-op).
         if (inst->isStore() && inst->src2 != kInvalidPhysReg &&
             !regs_.ready(inst->src2)) {
-            commitBreak_ = CommitBreak::kStoreData;
+            tc.commitBreak = CommitBreak::kStoreData;
             break;
         }
         if (inst->isStore()) {
@@ -329,9 +428,9 @@ OooCore::commitStage()
                 // file stalls commit this cycle (retry next).
                 const MemRequestResult res = hier_.dataRequest(
                     inst->effAddr, cycle_, inst->seq,
-                    MshrTargetKind::kStore);
+                    MshrTargetKind::kStore, tid);
                 if (res.rejected()) {
-                    commitBreak_ = CommitBreak::kStoreMshrFull;
+                    tc.commitBreak = CommitBreak::kStoreMshrFull;
                     break;
                 }
             }
@@ -341,6 +440,8 @@ OooCore::commitStage()
                 hier_.dataAccess(inst->effAddr);
             lsq_.commitStore(*inst);
             ++counters_.stores;
+            if (tcc)
+                ++tcc->stores;
             // DIFT: the committed store makes its data's taint (or
             // lack of it) the architectural taint of the location.
             if (dift_) {
@@ -350,39 +451,51 @@ OooCore::commitStage()
         } else if (inst->isLoad()) {
             lsq_.commitLoad(*inst);
             ++counters_.loads;
+            if (tcc)
+                ++tcc->loads;
         }
 
         if (inst->uop.traits().isCondBranch) {
             bp_.commitUpdate(inst->uop, inst->pc, inst->actualTaken,
                              inst->bpCkpt.history);
             ++counters_.condBranches;
-            if (inst->mispredicted)
+            if (tcc)
+                ++tcc->condBranches;
+            if (inst->mispredicted) {
                 ++counters_.condMispredicts;
+                if (tcc)
+                    ++tcc->condMispredicts;
+            }
         } else if (inst->uop.traits().isIndirect) {
             ++counters_.indirectBranches;
-            if (inst->mispredicted)
+            if (tcc)
+                ++tcc->indirectBranches;
+            if (inst->mispredicted) {
                 ++counters_.indirectMispredicts;
+                if (tcc)
+                    ++tcc->indirectMispredicts;
+            }
         }
 
         if (inst->uop.op == Opcode::kFence) {
-            NDA_ASSERT(!fencesInFlight_.empty() &&
-                           fencesInFlight_.front() == inst->seq,
+            NDA_ASSERT(!tc.fencesInFlight.empty() &&
+                           tc.fencesInFlight.front() == inst->seq,
                        "fence bookkeeping mismatch");
-            fencesInFlight_.pop_front();
+            tc.fencesInFlight.pop_front();
         }
         if (inst->uop.op == Opcode::kWrMsr) {
-            NDA_ASSERT(!wrmsrInFlight_.empty() &&
-                           wrmsrInFlight_.front() == inst->seq,
+            NDA_ASSERT(!tc.wrmsrInFlight.empty() &&
+                           tc.wrmsrInFlight.front() == inst->seq,
                        "wrmsr bookkeeping mismatch");
-            wrmsrInFlight_.pop_front();
+            tc.wrmsrInFlight.pop_front();
         }
 
         // Free the register holding the previous committed value.
         if (inst->dest != kInvalidPhysReg) {
             const RegId rd = inst->uop.rd;
-            if (commitMap_[rd] != kInvalidPhysReg)
-                regs_.free(commitMap_[rd]);
-            commitMap_[rd] = inst->dest;
+            if (tc.commitMap[rd] != kInvalidPhysReg)
+                regs_.free(tc.commitMap[rd]);
+            tc.commitMap[rd] = inst->dest;
         }
 
         inst->committed = true;
@@ -390,50 +503,89 @@ OooCore::commitStage()
             dift_->onCommit(inst->seq); // its mutations are archit.
         if (retireHook_)
             retireHook_(*inst, cycle_);
-        rob_.pop_front();
+        tc.rob.pop_front();
         ++ncommit;
+        ++commitsThisCycle_[tid];
         ++committed_;
         ++counters_.committedInsts;
+        if (tcc)
+            ++tcc->committedInsts;
         lastCommitCycle_ = cycle_;
         if (cpiStack_)
             cpiStack_->addSlots(StallCause::kCommit, 1, inst->pc);
+        if (CpiStackProfiler *p = tcpi(tid))
+            p->addSlots(StallCause::kCommit, 1, inst->pc);
 
         if (inst->uop.op == Opcode::kHalt) {
+            tc.halted = true;
             halted_ = true;
+            for (const ThreadContext &other : threads_)
+                halted_ = halted_ && other.halted;
             break;
         }
         if (inst->uop.op == Opcode::kSpecOff ||
             inst->uop.op == Opcode::kSpecOn) {
             // Serializing: flush everything younger and refetch it
             // under the new speculation mode (paper SS8, Listing 4).
-            specDisabled_ = inst->uop.op == Opcode::kSpecOff;
-            squashAfter(inst->seq, inst->pc + 1,
+            tc.specDisabled = inst->uop.op == Opcode::kSpecOff;
+            squashAfter(tid, inst->seq, inst->pc + 1,
                         SquashCause::kSerialize, inst->pc);
             break;
         }
     }
-    classifyCycle(ncommit);
-    if (cpiStack_)
-        profileCycle(ncommit);
+    }
+    const unsigned ptid = priorityTid();
+    classifyCycle(ncommit, ptid);
+    if (cpiStack_ || !threadCpi_.empty())
+        profileCycle(ncommit, ptid);
+}
+
+unsigned
+OooCore::priorityTid() const
+{
+    for (unsigned k = 0; k < numThreads_; ++k) {
+        const unsigned tid =
+            (static_cast<unsigned>(cycle_) + k) % numThreads_;
+        if (!threads_[tid].rob.empty())
+            return tid;
+    }
+    return static_cast<unsigned>(cycle_) % numThreads_;
+}
+
+std::size_t
+OooCore::robOccupancy() const
+{
+    std::size_t n = 0;
+    for (const ThreadContext &tc : threads_)
+        n += tc.rob.size();
+    return n;
+}
+
+CycleClass
+OooCore::classifyThread(unsigned committed_now,
+                        const ThreadContext &tc) const
+{
+    if (committed_now > 0)
+        return CycleClass::kCommit;
+    if (tc.rob.empty())
+        return CycleClass::kFrontendStall;
+    const DynInstPtr &head = tc.rob.front();
+    const bool mem_op = head->uop.isMemory() ||
+                        (head->validating &&
+                         cycle_ < head->validateDoneAt);
+    return mem_op ? CycleClass::kMemoryStall
+                  : CycleClass::kBackendStall;
 }
 
 void
-OooCore::classifyCycle(unsigned committed_now)
+OooCore::classifyCycle(unsigned committed_now, unsigned ptid)
 {
-    CycleClass cls;
-    if (committed_now > 0) {
-        cls = CycleClass::kCommit;
-    } else if (rob_.empty()) {
-        cls = CycleClass::kFrontendStall;
-    } else {
-        const DynInstPtr &head = rob_.front();
-        const bool mem_op = head->uop.isMemory() ||
-                            (head->validating &&
-                             cycle_ < head->validateDoneAt);
-        cls = mem_op ? CycleClass::kMemoryStall
-                     : CycleClass::kBackendStall;
+    ++counters_.cycleClass[static_cast<int>(
+        classifyThread(committed_now, threads_[ptid]))];
+    for (unsigned t = 0; t < threadCounters_.size(); ++t) {
+        ++threadCounters_[t].cycleClass[static_cast<int>(
+            classifyThread(commitsThisCycle_[t], threads_[t]))];
     }
-    ++counters_.cycleClass[static_cast<int>(cls)];
 }
 
 // --------------------------------------------------------------------------
@@ -462,17 +614,46 @@ ndaDeferCause(const DynInst &producer)
 } // namespace
 
 void
-OooCore::profileCycle(unsigned ncommit)
+OooCore::profileCycle(unsigned ncommit, unsigned ptid)
 {
-    cpiStack_->onCycle();
     const unsigned width = cfg_.core.commitWidth;
-    const std::uint64_t lost = width - ncommit;
-    if (!lost)
-        return;
-    if (halted_ || committed_ >= commitTarget_) {
+    const bool edge = halted_ || committed_ >= commitTarget_;
+    if (cpiStack_) {
+        cpiStack_->onCycle();
+        const std::uint64_t lost = width - ncommit;
+        if (lost)
+            attributeLostSlots(cpiStack_, ptid, lost, edge);
+    }
+    for (unsigned t = 0; t < threadCpi_.size(); ++t) {
+        CpiStackProfiler *p = threadCpi_[t];
+        if (!p)
+            continue;
+        p->onCycle();
+        const ThreadContext &tc = threads_[t];
+        // Slots another hardware thread retired into: lost to *this*
+        // thread through SMT bandwidth sharing, not through a stall
+        // of its own.
+        if (ncommit > commitsThisCycle_[t]) {
+            p->addSlots(StallCause::kSmtContention,
+                        ncommit - commitsThisCycle_[t],
+                        tc.rob.empty() ? tc.fetchPc
+                                       : tc.rob.front()->pc);
+        }
+        const std::uint64_t lost = width - ncommit;
+        if (lost)
+            attributeLostSlots(p, t, lost, edge || tc.halted);
+    }
+}
+
+void
+OooCore::attributeLostSlots(CpiStackProfiler *p, unsigned tid,
+                            std::uint64_t lost, bool edge)
+{
+    ThreadContext &tc = threads_[tid];
+    if (edge) {
         // Window edge: the machine is done, the slots measure nothing.
-        cpiStack_->addSlots(StallCause::kIdle, lost,
-                            rob_.empty() ? fetchPc_ : rob_.front()->pc);
+        p->addSlots(StallCause::kIdle, lost,
+                    tc.rob.empty() ? tc.fetchPc : tc.rob.front()->pc);
         return;
     }
     // In-order commit: every occupied slot behind the blocked head
@@ -480,22 +661,23 @@ OooCore::profileCycle(unsigned ncommit)
     // had an instruction to retire — their cause is upstream (squash
     // refetch, frontend starvation, or a dispatch capacity limit).
     const std::uint64_t occupied =
-        std::min<std::uint64_t>(lost, rob_.size());
+        std::min<std::uint64_t>(lost, tc.rob.size());
     if (occupied) {
-        const SlotAttr a = headCause();
-        cpiStack_->addSlots(a.cause, occupied, a.pc);
+        const SlotAttr a = headCause(tid);
+        p->addSlots(a.cause, occupied, a.pc);
     }
     if (lost > occupied) {
-        const SlotAttr a = emptyCause();
-        cpiStack_->addSlots(a.cause, lost - occupied, a.pc);
+        const SlotAttr a = emptyCause(tid);
+        p->addSlots(a.cause, lost - occupied, a.pc);
     }
 }
 
 OooCore::SlotAttr
-OooCore::headCause()
+OooCore::headCause(unsigned tid)
 {
-    const DynInstPtr &head = rob_.front();
-    switch (commitBreak_) {
+    ThreadContext &tc = threads_[tid];
+    const DynInstPtr &head = tc.rob.front();
+    switch (tc.commitBreak) {
       case CommitBreak::kFaultWait:
         // Trap-delivery latency is part of the fault's squash cost.
         return {StallCause::kSquashFault, head->pc};
@@ -518,14 +700,15 @@ OooCore::headCause()
 }
 
 OooCore::SlotAttr
-OooCore::emptyCause() const
+OooCore::emptyCause(unsigned tid) const
 {
-    if (refetchPending_) {
+    const ThreadContext &tc = threads_[tid];
+    if (tc.refetchPending) {
         // Between a squash and the refetched stream reaching dispatch,
         // the missing instructions are the flush's fault — charged to
         // the squashing instruction, not to the innocent frontend.
         StallCause c;
-        switch (lastSquashCause_) {
+        switch (tc.lastSquashCause) {
           case SquashCause::kBranchMispredict:
             c = StallCause::kSquashBranch;
             break;
@@ -542,14 +725,14 @@ OooCore::emptyCause() const
             c = StallCause::kFrontend;
             break;
         }
-        return {c, lastSquashPc_};
+        return {c, tc.lastSquashPc};
     }
-    // dispatchBlock_ still holds *last* cycle's outcome (this hook
+    // dispatchBlock still holds *last* cycle's outcome (this hook
     // runs in commit, before this cycle's dispatch) — exactly the
     // dispatch decision that produced today's ROB tail.
     const Addr pc =
-        fetchQueue_.empty() ? fetchPc_ : fetchQueue_.front()->pc;
-    switch (dispatchBlock_) {
+        tc.fetchQueue.empty() ? tc.fetchPc : tc.fetchQueue.front()->pc;
+    switch (tc.dispatchBlock) {
       case DispatchBlock::kIqFull:
         return {StallCause::kIqFull, pc};
       case DispatchBlock::kLqFull:
@@ -570,9 +753,11 @@ void
 OooCore::buildProducerMap()
 {
     producerOf_.assign(cfg_.core.numPhysRegs, nullptr);
-    for (const DynInstPtr &inst : rob_) {
-        if (inst->dest != kInvalidPhysReg && !inst->broadcasted)
-            producerOf_[inst->dest] = inst.get();
+    for (const ThreadContext &tc : threads_) {
+        for (const DynInstPtr &inst : tc.rob) {
+            if (inst->dest != kInvalidPhysReg && !inst->broadcasted)
+                producerOf_[inst->dest] = inst.get();
+        }
     }
     // Committed NDA-deferred producers in the retire-wake window are
     // no longer in the ROB but still gate their consumers — without
@@ -651,11 +836,20 @@ OooCore::raiseFault(const DynInstPtr &inst)
     // (inclusive) is squashed and fetch redirects to the handler.
     ++counters_.squashes;
     ++counters_.faults;
+    if (PerfCounters *c = tcnt(inst->tid)) {
+        ++c->squashes;
+        ++c->faults;
+    }
     const Addr handler = prog_.faultHandler;
-    squashAfter(inst->seq - 1, handler == ~Addr{0} ? 0 : handler,
-                SquashCause::kFault, inst->pc);
-    if (handler == ~Addr{0})
+    squashAfter(inst->tid, inst->seq - 1,
+                handler == ~Addr{0} ? 0 : handler, SquashCause::kFault,
+                inst->pc);
+    if (handler == ~Addr{0}) {
+        threads_[inst->tid].halted = true;
         halted_ = true;
+        for (const ThreadContext &tc : threads_)
+            halted_ = halted_ && tc.halted;
+    }
 }
 
 // --------------------------------------------------------------------------
@@ -691,17 +885,23 @@ OooCore::completeStage()
 
         if (inst->isStore()) {
             inst->effAddrValid = true;
-            // Memory-order violation? (speculative store bypass)
+            // Memory-order violation? (speculative store bypass;
+            // always same-thread — forwarding never crosses contexts)
             if (DynInstPtr victim = lsq_.checkViolations(*inst)) {
                 ++counters_.memOrderViolations;
                 ++counters_.squashes;
-                squashAfter(victim->seq - 1, victim->pc,
+                if (PerfCounters *c = tcnt(inst->tid)) {
+                    ++c->memOrderViolations;
+                    ++c->squashes;
+                }
+                squashAfter(inst->tid, victim->seq - 1, victim->pc,
                             SquashCause::kMemOrderViolation,
                             inst->pc);
             }
             // Bypass Restriction: loads that no longer have any
             // unresolved bypassed store become safe (paper §5.2).
-            for (const DynInstPtr &ld : lsq_.retireBypass(inst->seq)) {
+            for (const DynInstPtr &ld :
+                 lsq_.retireBypass(inst->seq, inst->tid)) {
                 if (ld->unsafeBypass) {
                     ld->unsafeBypass = false;
                     noteUnsafeCleared(*ld);
@@ -715,7 +915,8 @@ OooCore::completeStage()
 
         if (inst->uop.op == Opcode::kWrMsr &&
             inst->fault == FaultType::kNone) {
-            msrs_[static_cast<unsigned>(inst->uop.imm)] =
+            threads_[inst->tid]
+                .msrs[static_cast<unsigned>(inst->uop.imm)] =
                 inst->storeData;
             if (dift_) {
                 dift_->setMsrTaint(
@@ -740,6 +941,8 @@ OooCore::completeStage()
                 dift_->setRegTaint(inst->dest, inst->taint);
             if (inst->isUnsafe()) {
                 ++counters_.deferredBroadcasts;
+                if (PerfCounters *c = tcnt(inst->tid))
+                    ++c->deferredBroadcasts;
             } else {
                 to_broadcast.push_back(inst);
             }
@@ -770,7 +973,8 @@ OooCore::completeStage()
         // then every consumer has already committed, so the wake is
         // both unnecessary and unsafe — drop it.
         const bool reg_reused =
-            inst->committed && commitMap_[inst->uop.rd] != inst->dest;
+            inst->committed &&
+            threads_[inst->tid].commitMap[inst->uop.rd] != inst->dest;
         if (inst->squashed || inst->broadcasted || reg_reused) {
             inst->pendingBcast = false;
             continue;
@@ -800,6 +1004,8 @@ OooCore::broadcast(const DynInstPtr &inst)
         cycle_ > inst->completedAt) {
         counters_.deferredBroadcastDelay.add(cycle_ -
                                              inst->completedAt);
+        if (PerfCounters *c = tcnt(inst->tid))
+            c->deferredBroadcastDelay.add(cycle_ - inst->completedAt);
     }
 }
 
@@ -812,7 +1018,8 @@ OooCore::maybeQueueBroadcast(const DynInstPtr &inst)
         return;
     }
     inst->pendingBcast = true;
-    inst->bcastEligibleAt = cycle_ + cfg_.security.extraBroadcastDelay;
+    inst->bcastEligibleAt =
+        cycle_ + secFor(inst->tid).extraBroadcastDelay;
     pendingBcast_.push_back(inst);
 }
 
@@ -844,7 +1051,9 @@ OooCore::resolveBranch(const DynInstPtr &inst)
     inst->mispredicted = inst->actualNextPc != inst->predNextPc;
     if (inst->mispredicted) {
         ++counters_.squashes;
-        squashAfter(inst->seq, inst->actualNextPc,
+        if (PerfCounters *c = tcnt(inst->tid))
+            ++c->squashes;
+        squashAfter(inst->tid, inst->seq, inst->actualNextPc,
                     SquashCause::kBranchMispredict, inst->pc);
         // Recover predictor state to just before this branch, then
         // apply its actual outcome.
@@ -854,34 +1063,36 @@ OooCore::resolveBranch(const DynInstPtr &inst)
     }
 
     if (inst->isSpecBranch())
-        branchResolved(inst->seq);
+        branchResolved(inst->tid, inst->seq);
 }
 
 void
-OooCore::branchResolved(InstSeqNum seq)
+OooCore::branchResolved(unsigned tid, InstSeqNum seq)
 {
-    const bool was_front =
-        !unresolvedBranches_.empty() && unresolvedBranches_.front() == seq;
-    auto it = std::find(unresolvedBranches_.begin(),
-                        unresolvedBranches_.end(), seq);
-    if (it != unresolvedBranches_.end())
-        unresolvedBranches_.erase(it);
+    ThreadContext &tc = threads_[tid];
+    const bool was_front = !tc.unresolvedBranches.empty() &&
+                           tc.unresolvedBranches.front() == seq;
+    auto it = std::find(tc.unresolvedBranches.begin(),
+                        tc.unresolvedBranches.end(), seq);
+    if (it != tc.unresolvedBranches.end())
+        tc.unresolvedBranches.erase(it);
     if (was_front)
-        ndaClearWalk();
+        ndaClearWalk(tid);
 }
 
 void
-OooCore::ndaClearWalk()
+OooCore::ndaClearWalk(unsigned tid)
 {
-    const InstSeqNum boundary = unresolvedBranches_.empty()
+    ThreadContext &tc = threads_[tid];
+    const InstSeqNum boundary = tc.unresolvedBranches.empty()
                                     ? kInvalidSeqNum
-                                    : unresolvedBranches_.front();
+                                    : tc.unresolvedBranches.front();
     // IS-Spectre exposes (fills) once no older branch can squash the
     // load. IS-Future must wait until retirement: older *faults* can
     // still squash, so exposing here would leak chosen-code accesses.
     const bool expose =
-        cfg_.security.invisiSpec == InvisiSpecMode::kSpectre;
-    for (const DynInstPtr &inst : rob_) {
+        secFor(tid).invisiSpec == InvisiSpecMode::kSpectre;
+    for (const DynInstPtr &inst : tc.rob) {
         if (inst->seq >= boundary)
             break;
         if (inst->unsafeBranch) {
@@ -913,6 +1124,12 @@ OooCore::registerStats(StatsRegistry &reg, const std::string &prefix)
     iq_.registerStats(reg, prefix + ".iq");
     lsq_.registerStats(reg, prefix + ".lsq");
     regs_.registerStats(reg, prefix + ".regfile");
+    // Per-thread views exist only under SMT, so the single-thread
+    // stats schema is untouched.
+    for (unsigned t = 0; t < threadCounters_.size(); ++t) {
+        threadCounters_[t].registerStats(
+            reg, prefix + ".t" + std::to_string(t) + ".perf");
+    }
 }
 
 void
@@ -922,28 +1139,34 @@ OooCore::noteUnsafeCleared(DynInst &inst)
         return;
     inst.unsafeClearedAt = cycle_;
     counters_.unsafeResidency.add(cycle_ - inst.unsafeMarkedAt);
+    if (PerfCounters *c = tcnt(inst.tid))
+        c->unsafeResidency.add(cycle_ - inst.unsafeMarkedAt);
 }
 
 void
-OooCore::squashAfter(InstSeqNum keep_seq, Addr redirect_pc,
-                     SquashCause cause, Addr cause_pc)
+OooCore::squashAfter(unsigned tid, InstSeqNum keep_seq,
+                     Addr redirect_pc, SquashCause cause, Addr cause_pc)
 {
+    ThreadContext &tc = threads_[tid];
     ++counters_.squashCause[static_cast<int>(cause)];
+    if (PerfCounters *c = tcnt(tid))
+        ++c->squashCause[static_cast<int>(cause)];
     // CPI stack: until the refetched stream reaches dispatch again,
     // empty commit slots belong to this squash (and to its culprit).
-    refetchPending_ = true;
-    lastSquashCause_ = cause;
-    lastSquashPc_ = cause_pc;
+    tc.refetchPending = true;
+    tc.lastSquashCause = cause;
+    tc.lastSquashPc = cause_pc;
     // Restore front-end speculative predictor state youngest-first.
-    for (auto it = fetchQueue_.rbegin(); it != fetchQueue_.rend(); ++it) {
+    for (auto it = tc.fetchQueue.rbegin(); it != tc.fetchQueue.rend();
+         ++it) {
         if ((*it)->isBranch())
             bp_.restore((*it)->bpCkpt);
     }
-    fetchQueue_.clear();
+    tc.fetchQueue.clear();
 
     bool unresolved_changed = false;
-    while (!rob_.empty() && rob_.back()->seq > keep_seq) {
-        DynInstPtr inst = rob_.back();
+    while (!tc.rob.empty() && tc.rob.back()->seq > keep_seq) {
+        DynInstPtr inst = tc.rob.back();
         inst->squashed = true;
         inst->squashCause = cause;
         if (dift_)
@@ -951,50 +1174,51 @@ OooCore::squashAfter(InstSeqNum keep_seq, Addr redirect_pc,
         if (retireHook_)
             retireHook_(*inst, cycle_);
         if (inst->dest != kInvalidPhysReg) {
-            rmap_.restore(inst->uop.rd, inst->prevDest);
+            tc.rmap.restore(inst->uop.rd, inst->prevDest);
             regs_.free(inst->dest);
         }
         if (inst->isBranch())
             bp_.restore(inst->bpCkpt);
         if (inst->isSpecBranch()) {
-            auto it = std::find(unresolvedBranches_.begin(),
-                                unresolvedBranches_.end(), inst->seq);
-            if (it != unresolvedBranches_.end()) {
+            auto it = std::find(tc.unresolvedBranches.begin(),
+                                tc.unresolvedBranches.end(), inst->seq);
+            if (it != tc.unresolvedBranches.end()) {
                 unresolved_changed = unresolved_changed ||
-                    it == unresolvedBranches_.begin();
-                unresolvedBranches_.erase(it);
+                    it == tc.unresolvedBranches.begin();
+                tc.unresolvedBranches.erase(it);
             }
         }
         if (inst->uop.op == Opcode::kFence) {
-            auto it = std::find(fencesInFlight_.begin(),
-                                fencesInFlight_.end(), inst->seq);
-            if (it != fencesInFlight_.end())
-                fencesInFlight_.erase(it);
+            auto it = std::find(tc.fencesInFlight.begin(),
+                                tc.fencesInFlight.end(), inst->seq);
+            if (it != tc.fencesInFlight.end())
+                tc.fencesInFlight.erase(it);
         }
         if (inst->uop.op == Opcode::kWrMsr) {
-            auto it = std::find(wrmsrInFlight_.begin(),
-                                wrmsrInFlight_.end(), inst->seq);
-            if (it != wrmsrInFlight_.end())
-                wrmsrInFlight_.erase(it);
+            auto it = std::find(tc.wrmsrInFlight.begin(),
+                                tc.wrmsrInFlight.end(), inst->seq);
+            if (it != tc.wrmsrInFlight.end())
+                tc.wrmsrInFlight.erase(it);
         }
-        rob_.pop_back();
+        tc.rob.pop_back();
     }
-    lsq_.squashYoungerThan(keep_seq);
+    lsq_.squashYoungerThan(keep_seq, tid);
     iq_.removeSquashed();
     // NDA deferral/squash and in-flight fills: the squashed loads'
     // MSHR targets are cancelled (nobody wakes), but the fills
     // themselves are orphaned, not cancelled — wrong-path lines still
     // land, which is precisely the squash-surviving channel the
-    // policies are measured against.
-    hier_.squashLoadTargets(keep_seq);
+    // policies are measured against. Only this thread's targets drop;
+    // the co-resident thread's in-flight loads are untouched.
+    hier_.squashLoadTargets(keep_seq, tid);
 
     // Redirect fetch.
-    fetchPc_ = redirect_pc;
-    fetchBlocked_ = false;
-    lastFetchLine_ = ~Addr{0};
+    tc.fetchPc = redirect_pc;
+    tc.fetchBlocked = false;
+    tc.lastFetchLine = ~Addr{0};
 
     if (unresolved_changed)
-        ndaClearWalk();
+        ndaClearWalk(tid);
 }
 
 // --------------------------------------------------------------------------
@@ -1002,16 +1226,18 @@ OooCore::squashAfter(InstSeqNum keep_seq, Addr redirect_pc,
 // --------------------------------------------------------------------------
 
 bool
-OooCore::hasOlderUnresolvedBranch(InstSeqNum seq) const
+OooCore::hasOlderUnresolvedBranch(unsigned tid, InstSeqNum seq) const
 {
-    return !unresolvedBranches_.empty() &&
-           unresolvedBranches_.front() < seq;
+    const ThreadContext &tc = threads_[tid];
+    return !tc.unresolvedBranches.empty() &&
+           tc.unresolvedBranches.front() < seq;
 }
 
 bool
-OooCore::hasOlderWrmsr(InstSeqNum seq) const
+OooCore::hasOlderWrmsr(unsigned tid, InstSeqNum seq) const
 {
-    return !wrmsrInFlight_.empty() && wrmsrInFlight_.front() < seq;
+    const ThreadContext &tc = threads_[tid];
+    return !tc.wrmsrInFlight.empty() && tc.wrmsrInFlight.front() < seq;
 }
 
 void
@@ -1019,39 +1245,55 @@ OooCore::issueStage()
 {
     unsigned issued = 0;
     unsigned mem_issued = 0;
+    unsigned muldiv_issued = 0;
     iq_.selectReady(regs_, [&](const DynInstPtr &inst) -> bool {
         if (issued >= cfg_.core.issueWidth)
             return false;
+        ThreadContext &tc = threads_[inst->tid];
         const OpTraits &t = inst->uop.traits();
         // lfence-like semantics: younger ops wait for fence retire.
-        if (!fencesInFlight_.empty() &&
-            fencesInFlight_.front() < inst->seq) {
+        if (!tc.fencesInFlight.empty() &&
+            tc.fencesInFlight.front() < inst->seq) {
             return false;
         }
         if (t.serializeAtHead &&
-            (rob_.empty() || rob_.front() != inst)) {
+            (tc.rob.empty() || tc.rob.front() != inst)) {
             return false;
         }
-        if (inst->uop.op == Opcode::kRdMsr && hasOlderWrmsr(inst->seq))
+        if (inst->uop.op == Opcode::kRdMsr &&
+            hasOlderWrmsr(inst->tid, inst->seq)) {
             return false;
+        }
         if (inst->uop.isMemory() && mem_issued >= cfg_.core.memPorts)
             return false;
+        // Multiplier/divider port contention (SMoTherSpectre
+        // substrate): with mulDivPorts > 0 the long-latency unit has
+        // limited issue bandwidth shared by both hardware threads.
+        // 0 (the default) models fully pipelined units — no limit.
+        if (cfg_.core.mulDivPorts > 0 &&
+            (t.latency == LatencyClass::kMul ||
+             t.latency == LatencyClass::kDiv) &&
+            muldiv_issued >= cfg_.core.mulDivPorts) {
+            return false;
+        }
 
         bool rejected = false;
-        executeInst(inst, mem_issued, rejected);
+        executeInst(inst, mem_issued, muldiv_issued, rejected);
         if (rejected)
             return false;
         ++issued;
         inst->issued = true;
         inst->issuedAt = cycle_;
         counters_.dispatchToIssue.add(cycle_ - inst->dispatchedAt);
+        if (PerfCounters *c = tcnt(inst->tid))
+            c->dispatchToIssue.add(cycle_ - inst->dispatchedAt);
         return true;
     });
 }
 
 void
 OooCore::executeInst(const DynInstPtr &inst, unsigned &mem_issued,
-                     bool &rejected)
+                     unsigned &muldiv_issued, bool &rejected)
 {
     const MicroOp &uop = inst->uop;
     const OpTraits &t = uop.traits();
@@ -1123,7 +1365,8 @@ OooCore::executeInst(const DynInstPtr &inst, unsigned &mem_issued,
         AccessResult res;
         if (hier_.mshrEnabled()) {
             const MemRequestResult req = hier_.dataRequest(
-                addr, cycle_, inst->seq, MshrTargetKind::kPrefetch);
+                addr, cycle_, inst->seq, MshrTargetKind::kPrefetch,
+                inst->tid);
             if (req.rejected()) {
                 // Real prefetchers drop requests under MSHR pressure;
                 // the hint completes with no cache-state change.
@@ -1147,31 +1390,31 @@ OooCore::executeInst(const DynInstPtr &inst, unsigned &mem_issued,
       }
       case Opcode::kRdMsr: {
         // Out-of-range indices fault like privileged ones; the
-        // short-circuit keeps the mask shift defined and msrs_[] in
+        // short-circuit keeps the mask shift defined and msrs[] in
         // bounds (matching the interpreter oracle).
         const unsigned idx = static_cast<unsigned>(uop.imm);
         const bool out_of_range =
             idx >= static_cast<unsigned>(kNumMsrRegs);
         const bool privileged =
             out_of_range || (prog_.privilegedMsrMask & (1u << idx));
+        const bool flaw = secFor(inst->tid).meltdownFlaw;
         if (privileged) {
             inst->fault = FaultType::kPrivilegedMsr;
             // The Meltdown-class implementation flaw: the value still
             // propagates speculatively (paper §4.3 / LazyFP). An
             // out-of-range index has no architectural MSR behind it,
             // so even flawed silicon forwards 0.
-            inst->result =
-                cfg_.security.meltdownFlaw && !out_of_range
-                    ? msrs_[idx] : 0;
+            inst->result = flaw && !out_of_range
+                               ? threads_[inst->tid].msrs[idx]
+                               : 0;
         } else {
-            inst->result = msrs_[idx];
+            inst->result = threads_[inst->tid].msrs[idx];
         }
         // DIFT: taint follows the value actually forwarded — fixed
         // silicon forwards 0, so nothing secret propagates.
         if (dift_) {
             const TaintWord vt =
-                out_of_range ||
-                        (privileged && !cfg_.security.meltdownFlaw)
+                out_of_range || (privileged && !flaw)
                     ? 0 : dift_->msrTaint(idx);
             inst->taint = vt;
             if (vt)
@@ -1200,6 +1443,21 @@ OooCore::executeInst(const DynInstPtr &inst, unsigned &mem_issued,
         return;
       default:
         inst->result = evalAlu(uop.op, a, b, uop.imm);
+        if (t.latency == LatencyClass::kMul ||
+            t.latency == LatencyClass::kDiv) {
+            ++muldiv_issued;
+            // DIFT port-contention channel: a tainted op occupying a
+            // *contended* long-latency port modulates the co-resident
+            // thread's issue timing — observable cross-thread, and it
+            // survives this op's squash (SMoTherSpectre).
+            if (dift_ && inst->taint && numThreads_ > 1 &&
+                cfg_.core.mulDivPorts > 0) {
+                dift_->recordPending(inst->seq, inst->pc,
+                                     LeakChannel::kPortContention,
+                                     "port-busy", inst->pc, cycle_,
+                                     inst->taint);
+            }
+        }
         scheduleCompletion(inst, opLatencyCycles(uop.op));
         return;
     }
@@ -1211,9 +1469,10 @@ OooCore::executeLoad(const DynInstPtr &inst)
     const MicroOp &uop = inst->uop;
     const RegVal base = srcValue(inst->src1);
     const Addr addr = base + static_cast<Addr>(uop.imm);
+    const SecurityConfig &sec = secFor(inst->tid);
 
     const StoreSearchResult search =
-        lsq_.searchStores(inst->seq, addr, uop.size, regs_);
+        lsq_.searchStores(inst->seq, addr, uop.size, regs_, inst->tid);
     inst->mshrRejected = false;
     if (search.mustStall)
         return false; // partial overlap: retry next cycle
@@ -1255,7 +1514,7 @@ OooCore::executeLoad(const DynInstPtr &inst)
         }
     } else {
         RegVal data = mem_.read(addr, uop.size);
-        if (!allowed && !cfg_.security.meltdownFlaw)
+        if (!allowed && !sec.meltdownFlaw)
             data = 0; // fixed hardware: no forwarding of faulting data
         inst->result = data;
 
@@ -1266,7 +1525,7 @@ OooCore::executeLoad(const DynInstPtr &inst)
         if (dift_) {
             TaintWord vt =
                 dift_->memTaint(addr, uop.size) | inst->addrTaint;
-            if (!allowed && !cfg_.security.meltdownFlaw)
+            if (!allowed && !sec.meltdownFlaw)
                 vt = 0;
             inst->taint = vt;
             if (vt)
@@ -1276,15 +1535,17 @@ OooCore::executeLoad(const DynInstPtr &inst)
         // InvisiSpec: speculative loads access the hierarchy
         // invisibly (no fills / LRU updates).
         bool shadow = false;
-        switch (cfg_.security.invisiSpec) {
+        switch (sec.invisiSpec) {
           case InvisiSpecMode::kOff:
             break;
           case InvisiSpecMode::kSpectre:
-            shadow = hasOlderUnresolvedBranch(inst->seq);
+            shadow = hasOlderUnresolvedBranch(inst->tid, inst->seq);
             break;
-          case InvisiSpecMode::kFuture:
-            shadow = rob_.empty() || rob_.front() != inst;
+          case InvisiSpecMode::kFuture: {
+            const ThreadContext &tc = threads_[inst->tid];
+            shadow = tc.rob.empty() || tc.rob.front() != inst;
             break;
+          }
         }
         AccessResult res;
         if (shadow) {
@@ -1294,7 +1555,8 @@ OooCore::executeLoad(const DynInstPtr &inst)
         } else {
             if (hier_.mshrEnabled()) {
                 const MemRequestResult req = hier_.dataRequest(
-                    addr, cycle_, inst->seq, MshrTargetKind::kLoad);
+                    addr, cycle_, inst->seq, MshrTargetKind::kLoad,
+                    inst->tid);
                 if (req.rejected()) {
                     // MSHR full: the load stays in the issue queue
                     // and retries next cycle, exactly like a
@@ -1306,6 +1568,17 @@ OooCore::executeLoad(const DynInstPtr &inst)
                     return false;
                 }
                 res = {req.latency, req.level};
+                // DIFT MSHR-contention channel: a secret-indexed miss
+                // occupied a *shared* MSHR entry — backpressure the
+                // co-resident thread can time, and the occupancy is
+                // not reverted by this load's squash.
+                if (dift_ && inst->addrTaint && numThreads_ > 1 &&
+                    req.status != MemReqStatus::kHit) {
+                    dift_->recordPending(inst->seq, inst->pc,
+                                         LeakChannel::kMshrContention,
+                                         "mshr-occupy", addr, cycle_,
+                                         inst->addrTaint);
+                }
             } else {
                 res = hier_.dataAccess(addr);
             }
@@ -1329,8 +1602,7 @@ OooCore::executeLoad(const DynInstPtr &inst)
 
     // NDA Bypass Restriction (paper §5.2): the load stays unsafe
     // until every bypassed store resolves its address.
-    if (cfg_.security.bypassRestriction &&
-        !inst->bypassedStores.empty()) {
+    if (sec.bypassRestriction && !inst->bypassedStores.empty()) {
         inst->unsafeBypass = true;
         if (!inst->everUnsafe) {
             inst->everUnsafe = true;
@@ -1355,86 +1627,109 @@ OooCore::scheduleCompletion(const DynInstPtr &inst, unsigned latency)
 void
 OooCore::dispatchStage()
 {
-    dispatchBlock_ = DispatchBlock::kNone;
-    for (unsigned n = 0; n < cfg_.core.dispatchWidth; ++n) {
-        if (fetchQueue_.empty()) {
-            dispatchBlock_ = DispatchBlock::kFetchEmpty;
-            break;
-        }
-        DynInstPtr inst = fetchQueue_.front();
-        if (cycle_ < inst->fetchedAt + cfg_.core.frontendDelay) {
-            dispatchBlock_ = DispatchBlock::kFrontendDelay;
-            break;
-        }
-        if (rob_.size() >= cfg_.core.robEntries) {
-            dispatchBlock_ = DispatchBlock::kRobFull;
-            break;
-        }
-        if (iq_.full()) {
-            dispatchBlock_ = DispatchBlock::kIqFull;
-            break;
-        }
-        if (inst->isLoad() && lsq_.lqFull()) {
-            dispatchBlock_ = DispatchBlock::kLqFull;
-            break;
-        }
-        if (inst->isStore() && lsq_.sqFull()) {
-            dispatchBlock_ = DispatchBlock::kSqFull;
-            break;
-        }
-        if (inst->uop.traits().hasDest && !regs_.hasFree()) {
-            dispatchBlock_ = DispatchBlock::kRegsFull;
-            break;
-        }
-        fetchQueue_.pop_front();
-        refetchPending_ = false; // refilled pipe reached dispatch
+    // Shared rename/dispatch bandwidth, same rotation order as
+    // commit. Each thread keeps its own block reason (CPI stack).
+    unsigned budget = cfg_.core.dispatchWidth;
+    for (unsigned k = 0; k < numThreads_ && budget > 0; ++k) {
+        const unsigned tid =
+            (static_cast<unsigned>(cycle_) + k) % numThreads_;
+        ThreadContext &tc = threads_[tid];
+        tc.dispatchBlock = DispatchBlock::kNone;
+        while (budget > 0) {
+            if (tc.fetchQueue.empty()) {
+                tc.dispatchBlock = DispatchBlock::kFetchEmpty;
+                break;
+            }
+            DynInstPtr inst = tc.fetchQueue.front();
+            if (cycle_ < inst->fetchedAt + cfg_.core.frontendDelay) {
+                tc.dispatchBlock = DispatchBlock::kFrontendDelay;
+                break;
+            }
+            if (robOccupancy() >= cfg_.core.robEntries) {
+                tc.dispatchBlock = DispatchBlock::kRobFull;
+                break;
+            }
+            // With SMT the IQ is statically partitioned: a thread may
+            // hold at most its share of entries. A fully shared queue
+            // lets one thread's long-latency burst (e.g. multiplies
+            // draining through a single port) park in every slot and
+            // lock the co-resident thread out of dispatch wholesale.
+            if (iq_.full() ||
+                (numThreads_ > 1 &&
+                 iq_.occupancyOf(tid) >=
+                     std::max(1u, cfg_.core.iqEntries / numThreads_))) {
+                tc.dispatchBlock = DispatchBlock::kIqFull;
+                break;
+            }
+            if (inst->isLoad() && lsq_.lqFull()) {
+                tc.dispatchBlock = DispatchBlock::kLqFull;
+                break;
+            }
+            if (inst->isStore() && lsq_.sqFull()) {
+                tc.dispatchBlock = DispatchBlock::kSqFull;
+                break;
+            }
+            if (inst->uop.traits().hasDest && !regs_.hasFree(tid)) {
+                tc.dispatchBlock = DispatchBlock::kRegsFull;
+                break;
+            }
+            tc.fetchQueue.pop_front();
+            tc.refetchPending = false; // refilled pipe reached dispatch
+            --budget;
 
-        inst->seq = ++nextSeq_;
-        inst->dispatchedAt = cycle_;
+            inst->seq = ++nextSeq_;
+            inst->dispatchedAt = cycle_;
 
-        const OpTraits &t = inst->uop.traits();
-        if (t.readsRs1)
-            inst->src1 = rmap_.lookup(inst->uop.rs1);
-        if (t.readsRs2)
-            inst->src2 = rmap_.lookup(inst->uop.rs2);
-        if (t.hasDest) {
-            inst->dest = regs_.alloc();
-            inst->prevDest = rmap_.rename(inst->uop.rd, inst->dest);
-        }
+            const OpTraits &t = inst->uop.traits();
+            if (t.readsRs1)
+                inst->src1 = tc.rmap.lookup(inst->uop.rs1);
+            if (t.readsRs2)
+                inst->src2 = tc.rmap.lookup(inst->uop.rs2);
+            if (t.hasDest) {
+                inst->dest = regs_.alloc(tid);
+                inst->prevDest =
+                    tc.rmap.rename(inst->uop.rd, inst->dest);
+            }
 
-        // NDA unsafe marking at dispatch (paper §5.1/§5.2/§5.3).
-        if (!unresolvedBranches_.empty() &&
-            cfg_.security.marksUnsafeUnderBranch(inst->uop)) {
-            inst->unsafeBranch = true;
-        }
-        if (cfg_.security.loadRestriction && inst->isLoadLike())
-            inst->unsafeLoad = true;
-        if (inst->isUnsafe()) {
-            inst->everUnsafe = true;
-            inst->unsafeMarkedAt = cycle_;
-            ++counters_.unsafeMarked;
-        }
+            // NDA unsafe marking at dispatch (paper §5.1/§5.2/§5.3),
+            // per-thread policy: an unprotected context marks nothing
+            // even while its co-resident victim defers everything.
+            const SecurityConfig &sec = secFor(tid);
+            if (!tc.unresolvedBranches.empty() &&
+                sec.marksUnsafeUnderBranch(inst->uop)) {
+                inst->unsafeBranch = true;
+            }
+            if (sec.loadRestriction && inst->isLoadLike())
+                inst->unsafeLoad = true;
+            if (inst->isUnsafe()) {
+                inst->everUnsafe = true;
+                inst->unsafeMarkedAt = cycle_;
+                ++counters_.unsafeMarked;
+                if (PerfCounters *c = tcnt(tid))
+                    ++c->unsafeMarked;
+            }
 
-        if (inst->isSpecBranch())
-            unresolvedBranches_.push_back(inst->seq);
-        if (inst->uop.op == Opcode::kFence)
-            fencesInFlight_.push_back(inst->seq);
-        if (inst->uop.op == Opcode::kWrMsr)
-            wrmsrInFlight_.push_back(inst->seq);
+            if (inst->isSpecBranch())
+                tc.unresolvedBranches.push_back(inst->seq);
+            if (inst->uop.op == Opcode::kFence)
+                tc.fencesInFlight.push_back(inst->seq);
+            if (inst->uop.op == Opcode::kWrMsr)
+                tc.wrmsrInFlight.push_back(inst->seq);
 
-        rob_.push_back(inst);
-        if (inst->isLoad())
-            lsq_.insertLoad(inst);
-        if (inst->isStore())
-            lsq_.insertStore(inst);
+            tc.rob.push_back(inst);
+            if (inst->isLoad())
+                lsq_.insertLoad(inst);
+            if (inst->isStore())
+                lsq_.insertStore(inst);
 
-        if (inst->uop.op == Opcode::kNop ||
-            inst->uop.op == Opcode::kHalt) {
-            inst->issued = true;
-            inst->executed = true;
-            inst->completedAt = cycle_;
-        } else {
-            iq_.insert(inst);
+            if (inst->uop.op == Opcode::kNop ||
+                inst->uop.op == Opcode::kHalt) {
+                inst->issued = true;
+                inst->executed = true;
+                inst->completedAt = cycle_;
+            } else {
+                iq_.insert(inst);
+            }
         }
     }
 }
@@ -1443,68 +1738,118 @@ OooCore::dispatchStage()
 // Fetch
 // --------------------------------------------------------------------------
 
+unsigned
+OooCore::pickFetchThread() const
+{
+    const auto fetchable = [this](unsigned t) {
+        const ThreadContext &tc = threads_[t];
+        return !tc.halted && !tc.fetchBlocked &&
+               cycle_ >= tc.icacheStallUntil &&
+               tc.fetchQueue.size() < cfg_.core.fetchQueueEntries;
+    };
+    if (cfg_.core.smtFetchPolicy == SmtFetchPolicy::kRoundRobin ||
+        numThreads_ == 1) {
+        for (unsigned k = 0; k < numThreads_; ++k) {
+            const unsigned t =
+                (static_cast<unsigned>(cycle_) + k) % numThreads_;
+            if (fetchable(t))
+                return t;
+        }
+        return numThreads_;
+    }
+    // ICOUNT: the thread with the fewest in-flight instructions
+    // (front-end queue + ROB) gets the fetch slot; ties go to
+    // rotation order.
+    unsigned best = numThreads_;
+    std::size_t best_count = 0;
+    for (unsigned k = 0; k < numThreads_; ++k) {
+        const unsigned t =
+            (static_cast<unsigned>(cycle_) + k) % numThreads_;
+        if (!fetchable(t))
+            continue;
+        const std::size_t count =
+            threads_[t].fetchQueue.size() + threads_[t].rob.size();
+        if (best == numThreads_ || count < best_count) {
+            best = t;
+            best_count = count;
+        }
+    }
+    return best;
+}
+
 void
 OooCore::fetchStage()
 {
-    if (fetchBlocked_ || halted_ || cycle_ < icacheStallUntil_)
+    // One thread owns the fetch engine per cycle (fine-grained SMT
+    // front end). A single-thread core always picks thread 0, taking
+    // exactly the pre-SMT path.
+    const unsigned tid = pickFetchThread();
+    if (tid >= numThreads_)
         return;
+    fetchThread(tid);
+}
 
+void
+OooCore::fetchThread(unsigned tid)
+{
+    ThreadContext &tc = threads_[tid];
     for (unsigned n = 0; n < cfg_.core.fetchWidth; ++n) {
-        if (fetchQueue_.size() >= cfg_.core.fetchQueueEntries)
+        if (tc.fetchQueue.size() >= cfg_.core.fetchQueueEntries)
             break;
-        if (!prog_.validPc(fetchPc_)) {
+        if (!prog_.validPc(tc.fetchPc)) {
             // Wrong-path fetch ran off the program: models dispatch
             // stalling on an unknown opcode until squash redirects.
-            fetchBlocked_ = true;
+            tc.fetchBlocked = true;
             break;
         }
 
-        const Addr fetch_addr = pcToFetchAddr(fetchPc_);
+        const Addr fetch_addr = pcToFetchAddr(tc.fetchPc);
         const Addr line = fetch_addr / kLineSize;
-        if (line != lastFetchLine_) {
+        if (line != tc.lastFetchLine) {
             if (hier_.mshrEnabled()) {
                 const MemRequestResult req =
                     hier_.instRequest(fetch_addr, cycle_);
                 if (req.rejected()) {
                     // I-side MSHR full (only reachable after a squash
                     // raced an in-flight line): retry next cycle.
-                    icacheStallUntil_ = cycle_ + 1;
+                    tc.icacheStallUntil = cycle_ + 1;
                     break;
                 }
-                lastFetchLine_ = line;
+                tc.lastFetchLine = line;
                 if (req.status != MemReqStatus::kHit) {
-                    icacheStallUntil_ = cycle_ + req.latency;
+                    tc.icacheStallUntil = cycle_ + req.latency;
                     break;
                 }
             } else {
                 const AccessResult res = hier_.instAccess(fetch_addr);
-                lastFetchLine_ = line;
+                tc.lastFetchLine = line;
                 if (res.level != HitLevel::kL1) {
-                    icacheStallUntil_ = cycle_ + res.latency;
+                    tc.icacheStallUntil = cycle_ + res.latency;
                     break;
                 }
             }
         }
 
         DynInstPtr inst = pool_.create();
-        inst->uop = prog_.at(fetchPc_);
-        inst->pc = fetchPc_;
+        inst->uop = prog_.at(tc.fetchPc);
+        inst->pc = tc.fetchPc;
+        inst->tid = tid;
         inst->fetchedAt = cycle_;
 
-        Addr next = fetchPc_ + 1;
+        Addr next = tc.fetchPc + 1;
         if (inst->uop.isBranch()) {
-            if (specDisabled_ && inst->uop.isSpeculativeBranch()) {
+            if (tc.specDisabled && inst->uop.isSpeculativeBranch()) {
                 // Speculation-off window (paper SS8, Listing 4): do
                 // not predict; fetch stalls until the branch resolves
                 // and redirects (the sentinel never matches).
                 inst->bpCkpt = bp_.capture();
                 inst->predNextPc = ~Addr{0};
-                fetchQueue_.push_back(inst);
-                fetchBlocked_ = true;
+                tc.fetchQueue.push_back(inst);
+                tc.fetchBlocked = true;
                 break;
             }
             const BranchPrediction pred =
-                bp_.predict(inst->uop, fetchPc_);
+                bp_.predict(inst->uop, tc.fetchPc);
             inst->predTaken = pred.taken;
             inst->fromBtb = pred.fromBtb;
             inst->btbMiss = pred.btbMiss;
@@ -1512,14 +1857,14 @@ OooCore::fetchStage()
             next = pred.nextPc;
         }
         inst->predNextPc = next;
-        fetchQueue_.push_back(inst);
+        tc.fetchQueue.push_back(inst);
 
         if (inst->uop.op == Opcode::kHalt) {
-            fetchBlocked_ = true;
+            tc.fetchBlocked = true;
             break;
         }
-        const bool redirected = next != fetchPc_ + 1;
-        fetchPc_ = next;
+        const bool redirected = next != tc.fetchPc + 1;
+        tc.fetchPc = next;
         if (redirected)
             break; // at most one taken control transfer per cycle
     }

@@ -5,6 +5,15 @@
  * a load/store queue with speculative store bypass, and the NDA
  * safety unit (paper §5) plus the InvisiSpec comparison model.
  *
+ * The core hosts 1..N SMT hardware threads (CoreParams::smtThreads).
+ * Each thread owns its architectural view — rename map, commit map,
+ * MSRs, ROB stream, fetch state, and the NDA ordering deques — in a
+ * ThreadContext; the issue queue, LSQ capacity, functional units,
+ * physical register storage, cache hierarchy (incl. MSHR files), and
+ * branch predictor are shared. A single-thread core takes exactly the
+ * pre-SMT paths: every loop over threads reduces to thread 0 and the
+ * cycle-level behaviour is bit-identical.
+ *
  * Stage order within a cycle (commit-first so broadcasts in cycle C
  * allow dependent issue in cycle C):
  *   commit -> complete/broadcast -> issue -> dispatch/rename -> fetch
@@ -50,7 +59,10 @@ class OooCore : public CoreBase
     std::uint64_t committedInsts() const override { return committed_; }
 
     RegVal archReg(RegId r) const override;
-    RegVal msr(unsigned idx) const override { return msrs_[idx]; }
+    RegVal msr(unsigned idx) const override
+    {
+        return threads_[0].msrs[idx];
+    }
 
     MemoryMap &mem() override { return mem_; }
     const MemoryMap &mem() const override { return mem_; }
@@ -58,9 +70,10 @@ class OooCore : public CoreBase
 
     PerfCounters &counters() override { return counters_; }
     const PerfCounters &counters() const override { return counters_; }
-    void resetCounters() override { counters_.reset(); }
+    void resetCounters() override;
 
-    /** Perf + hierarchy (base) plus predictor, IQ, LSQ, regfile. */
+    /** Perf + hierarchy (base) plus predictor, IQ, LSQ, regfile; with
+     *  SMT, per-thread counters under `prefix`.t<i>.perf. */
     void registerStats(StatsRegistry &reg,
                        const std::string &prefix) override;
 
@@ -94,6 +107,20 @@ class OooCore : public CoreBase
     }
 
     /**
+     * Attach a per-thread CPI-stack profiler: thread `tid`'s view of
+     * the same `commitWidth` slots. Slots retired by *other* threads
+     * are charged to kSmtContention, so each thread's stack obeys the
+     * same width x cycles identity as the pooled one.
+     */
+    void
+    attachThreadCpiStack(unsigned tid, CpiStackProfiler *p)
+    {
+        if (threadCpi_.size() < threads_.size())
+            threadCpi_.resize(threads_.size(), nullptr);
+        threadCpi_[tid] = p;
+    }
+
+    /**
      * Test/fuzz-only: deliberately violate one micro-architectural
      * invariant so the checker's detection logic can itself be tested
      * (a checker that cannot fail is untested). Returns false when the
@@ -104,10 +131,40 @@ class OooCore : public CoreBase
     bool corruptForTest(FuzzCorruption kind);
 
     // --- introspection for tests & the ROB-snapshot example -------------
-    const std::deque<DynInstPtr> &rob() const { return rob_; }
+    const std::deque<DynInstPtr> &
+    rob(unsigned tid = 0) const
+    {
+        return threads_[tid].rob;
+    }
     PredictorUnit &predictor() { return bp_; }
     const SimConfig &config() const { return cfg_; }
-    std::size_t fetchQueueSize() const { return fetchQueue_.size(); }
+    std::size_t
+    fetchQueueSize(unsigned tid = 0) const
+    {
+        return threads_[tid].fetchQueue.size();
+    }
+
+    unsigned numThreads() const { return numThreads_; }
+    bool threadHalted(unsigned tid) const { return threads_[tid].halted; }
+
+    /** Thread `tid`'s committed architectural register `r`. */
+    RegVal
+    archRegOf(unsigned tid, RegId r) const
+    {
+        return regs_.value(threads_[tid].commitMap[r]);
+    }
+    RegVal msrOf(unsigned tid, unsigned idx) const
+    {
+        return threads_[tid].msrs[idx];
+    }
+
+    /** Thread `tid`'s counters; null unless the core runs SMT. */
+    const PerfCounters *
+    threadCounters(unsigned tid) const
+    {
+        return threadCounters_.empty() ? nullptr
+                                       : &threadCounters_[tid];
+    }
 
     /** Taint of the committed architectural register `r` (0 if no
      *  engine is attached). Test/debug introspection. */
@@ -118,11 +175,15 @@ class OooCore : public CoreBase
      * from the commit rename map, the PC is the oldest un-committed
      * instruction's (in-flight work is deliberately excluded — it
      * re-executes after a restore). Cache tags and predictor tables
-     * are captured as-is, wrong-path pollution included.
+     * are captured as-is, wrong-path pollution included. Threads
+     * beyond 0 land in SimSnapshot::extraThreads (empty at smt=1).
      */
     void saveCheckpoint(SimSnapshot &out) const override;
 
-    /** Restore into a freshly constructed core only (asserted). */
+    /** Restore into a freshly constructed core only (asserted).
+     *  Thread 0 always restores; extraThreads apply to matching
+     *  hardware contexts and surplus snapshot threads are ignored
+     *  (an smt=1 snapshot seeds thread 0 of an smt=2 core). */
     void restoreCheckpoint(const SimSnapshot &snap) override;
 
     /**
@@ -137,48 +198,6 @@ class OooCore : public CoreBase
     }
 
   private:
-    // --- pipeline stages -------------------------------------------------
-    void commitStage();
-    void completeStage();
-    void issueStage();
-    void dispatchStage();
-    void fetchStage();
-
-    // --- helpers ----------------------------------------------------------
-    bool tryIssue(const DynInstPtr &inst, unsigned &mem_issued);
-    void executeInst(const DynInstPtr &inst, unsigned &mem_issued,
-                     bool &rejected);
-    bool executeLoad(const DynInstPtr &inst);
-    void resolveBranch(const DynInstPtr &inst);
-    void scheduleCompletion(const DynInstPtr &inst, unsigned latency);
-
-    /** Broadcast the tag: mark dest ready so dependents can wake. */
-    void broadcast(const DynInstPtr &inst);
-    /** Queue a newly-safe completed instruction for broadcast. */
-    void maybeQueueBroadcast(const DynInstPtr &inst);
-
-    /** Squash all instructions with seq > `keep_seq`; redirect fetch.
-     *  `cause` attributes the flush (perf counter + per-inst tag) and
-     *  `cause_pc` is the instruction that forced it (CPI stack). */
-    void squashAfter(InstSeqNum keep_seq, Addr redirect_pc,
-                     SquashCause cause, Addr cause_pc);
-    void raiseFault(const DynInstPtr &inst);
-
-    /** Record unsafe-residency once the last unsafe bit clears. */
-    void noteUnsafeCleared(DynInst &inst);
-
-    /** Remove a resolved/squashed branch from the unresolved list. */
-    void branchResolved(InstSeqNum seq);
-    /**
-     * Paper §5.1: when the eldest unresolved branch changes, clear
-     * `unsafe` on older ROB entries and queue their deferred
-     * broadcasts; also exposes InvisiSpec-Spectre shadow loads.
-     */
-    void ndaClearWalk();
-
-    bool hasOlderUnresolvedBranch(InstSeqNum seq) const;
-    bool hasOlderWrmsr(InstSeqNum seq) const;
-
     // --- CPI-stack attribution (all dead code unless cpiStack_ set) -------
     /** Why the commit loop stopped retiring this cycle. */
     enum class CommitBreak : std::uint8_t {
@@ -202,6 +221,96 @@ class OooCore : public CoreBase
         kRegsFull,      ///< physical register file exhausted
     };
 
+    /**
+     * Everything one SMT hardware thread owns privately: its
+     * architectural view (commit map, MSRs), speculative rename map,
+     * in-order ROB stream, front-end state, and the per-thread NDA /
+     * ordering bookkeeping. A squash is scoped to one ThreadContext.
+     */
+    struct ThreadContext {
+        std::deque<DynInstPtr> rob;
+        /** Committed arch reg -> phys reg holding the value. */
+        PhysRegId commitMap[kNumArchRegs] = {};
+        RenameMap rmap;
+        RegVal msrs[kNumMsrRegs] = {};
+
+        // front end
+        std::deque<DynInstPtr> fetchQueue;
+        Addr fetchPc = 0;
+        bool fetchBlocked = false;
+        Cycle icacheStallUntil = 0;
+        Addr lastFetchLine = ~Addr{0};
+
+        // NDA / ordering bookkeeping (same-thread properties)
+        std::deque<InstSeqNum> unresolvedBranches;
+        std::deque<InstSeqNum> fencesInFlight;
+        std::deque<InstSeqNum> wrmsrInFlight;
+
+        bool specDisabled = false; ///< inside a specoff window (SS8)
+        bool halted = false;
+
+        // CPI-stack attribution state
+        CommitBreak commitBreak = CommitBreak::kNone;
+        DispatchBlock dispatchBlock = DispatchBlock::kNone;
+        bool refetchPending = false; ///< squashed; refill not dispatched
+        SquashCause lastSquashCause = SquashCause::kNone;
+        Addr lastSquashPc = 0;   ///< pc of the squashing instruction
+    };
+
+    // --- pipeline stages -------------------------------------------------
+    void commitStage();
+    void completeStage();
+    void issueStage();
+    void dispatchStage();
+    void fetchStage();
+    /** Fetch up to fetchWidth micro-ops for one hardware thread. */
+    void fetchThread(unsigned tid);
+    /** SMT fetch arbitration (round-robin or ICOUNT); the thread to
+     *  fetch for this cycle, or numThreads_ if none is fetchable. */
+    unsigned pickFetchThread() const;
+
+    // --- helpers ----------------------------------------------------------
+    void executeInst(const DynInstPtr &inst, unsigned &mem_issued,
+                     unsigned &muldiv_issued, bool &rejected);
+    bool executeLoad(const DynInstPtr &inst);
+    void resolveBranch(const DynInstPtr &inst);
+    void scheduleCompletion(const DynInstPtr &inst, unsigned latency);
+
+    /** Broadcast the tag: mark dest ready so dependents can wake. */
+    void broadcast(const DynInstPtr &inst);
+    /** Queue a newly-safe completed instruction for broadcast. */
+    void maybeQueueBroadcast(const DynInstPtr &inst);
+
+    /** Squash thread `tid`'s instructions with seq > `keep_seq`;
+     *  redirect that thread's fetch. Other threads are untouched.
+     *  `cause` attributes the flush (perf counter + per-inst tag) and
+     *  `cause_pc` is the instruction that forced it (CPI stack). */
+    void squashAfter(unsigned tid, InstSeqNum keep_seq,
+                     Addr redirect_pc, SquashCause cause, Addr cause_pc);
+    void raiseFault(const DynInstPtr &inst);
+
+    /** Record unsafe-residency once the last unsafe bit clears. */
+    void noteUnsafeCleared(DynInst &inst);
+
+    /** Remove a resolved/squashed branch from its thread's list. */
+    void branchResolved(unsigned tid, InstSeqNum seq);
+    /**
+     * Paper §5.1: when thread `tid`'s eldest unresolved branch
+     * changes, clear `unsafe` on its older ROB entries and queue
+     * their deferred broadcasts; also exposes InvisiSpec-Spectre
+     * shadow loads.
+     */
+    void ndaClearWalk(unsigned tid);
+
+    bool hasOlderUnresolvedBranch(unsigned tid, InstSeqNum seq) const;
+    bool hasOlderWrmsr(unsigned tid, InstSeqNum seq) const;
+
+    /** NDA policy for thread `tid` (per-thread under SMT). */
+    const SecurityConfig &secFor(unsigned tid) const
+    {
+        return cfg_.secFor(tid);
+    }
+
     /** One slot attribution: root cause + the causal instruction. */
     struct SlotAttr {
         StallCause cause;
@@ -209,19 +318,24 @@ class OooCore : public CoreBase
     };
 
     /** Attribute this cycle's lost commit slots (commit slots are
-     *  charged inline as instructions retire). */
-    void profileCycle(unsigned ncommit);
-    /** Root cause of the stalled ROB head's occupied slots. */
-    SlotAttr headCause();
-    /** Cause of slots beyond ROB occupancy (squash refetch, frontend
-     *  starvation, or a dispatch capacity limit from last cycle). */
-    SlotAttr emptyCause() const;
+     *  charged inline as instructions retire). `ptid` is the thread
+     *  whose stall explains the pooled stack's lost slots. */
+    void profileCycle(unsigned ncommit, unsigned ptid);
+    /** Root cause of thread `tid`'s stalled ROB head. */
+    SlotAttr headCause(unsigned tid);
+    /** Cause of thread `tid`'s slots beyond ROB occupancy (squash
+     *  refetch, frontend starvation, or a dispatch capacity limit
+     *  from last cycle). */
+    SlotAttr emptyCause(unsigned tid) const;
+    /** Attribute thread `tid`'s lost slots into profiler `p`. */
+    void attributeLostSlots(CpiStackProfiler *p, unsigned tid,
+                            std::uint64_t lost, bool edge);
     /** Walk the dependence chain from `inst` to its root blocker. */
     SlotAttr chaseInst(const DynInst *inst, int depth);
     /** Attribute a wait on not-ready phys reg `r` (store data, or a
      *  chased instruction's blocked source). */
     SlotAttr chaseBlockedReg(PhysRegId r, Addr consumer_pc, int depth);
-    /** Rebuild producerOf_ from the ROB and the deferred-broadcast
+    /** Rebuild producerOf_ from every ROB and the deferred-broadcast
      *  queue (committed NDA producers in the retire-wake window). */
     void buildProducerMap();
 
@@ -230,53 +344,64 @@ class OooCore : public CoreBase
         return r == kInvalidPhysReg ? 0 : regs_.value(r);
     }
 
-    void classifyCycle(unsigned committed_now);
+    void classifyCycle(unsigned committed_now, unsigned ptid);
+    /** Commit/frontend/memory/backend class of one thread's cycle. */
+    CycleClass classifyThread(unsigned committed_now,
+                              const ThreadContext &tc) const;
+    /** The thread whose stall explains the pooled cycle class / CPI
+     *  stack: the first in rotation order with a non-empty ROB. */
+    unsigned priorityTid() const;
+    /** Total ROB occupancy across threads (shared capacity). */
+    std::size_t robOccupancy() const;
+
+    /** Thread `tid`'s counters, or null on a single-thread core. */
+    PerfCounters *
+    tcnt(unsigned tid)
+    {
+        return threadCounters_.empty() ? nullptr
+                                       : &threadCounters_[tid];
+    }
+    /** Thread `tid`'s CPI profiler, or null. */
+    CpiStackProfiler *
+    tcpi(unsigned tid) const
+    {
+        return tid < threadCpi_.size() ? threadCpi_[tid] : nullptr;
+    }
 
     // --- configuration / program -----------------------------------------
     const Program prog_;
     SimConfig cfg_;
+    unsigned numThreads_;
 
     /** In-flight instruction allocator. Declared before every
      *  container that holds DynInstPtr so it is destroyed last. */
     DynInstPool pool_;
 
-    // --- architectural + micro-architectural state ------------------------
+    // --- shared architectural + micro-architectural state -----------------
     MemoryMap mem_;
     MemHierarchy hier_;
     PredictorUnit bp_;
     PhysRegFile regs_;
-    RenameMap rmap_;
     IssueQueue iq_;
     Lsq lsq_;
-    RegVal msrs_[kNumMsrRegs] = {};
 
-    std::deque<DynInstPtr> rob_;
-    /** Committed arch reg -> phys reg holding the committed value. */
-    PhysRegId commitMap_[kNumArchRegs] = {};
-
-    // --- front end ---------------------------------------------------------
-    std::deque<DynInstPtr> fetchQueue_;
-    Addr fetchPc_ = 0;
-    bool fetchBlocked_ = false;
-    Cycle icacheStallUntil_ = 0;
-    Addr lastFetchLine_ = ~Addr{0};
+    /** The hardware thread contexts (size == smtThreads). */
+    std::vector<ThreadContext> threads_;
 
     // --- events -------------------------------------------------------------
     std::multimap<Cycle, DynInstPtr> completionEvents_;
 
-    // --- NDA / ordering bookkeeping ----------------------------------------
-    std::deque<InstSeqNum> unresolvedBranches_;
+    /** Completed-but-unwoken producers awaiting a broadcast port
+     *  (shared: ports are a core resource; entries are age-ordered
+     *  by global seq). */
     std::deque<DynInstPtr> pendingBcast_;
-    std::deque<InstSeqNum> fencesInFlight_;
-    std::deque<InstSeqNum> wrmsrInFlight_;
 
     // --- misc state -----------------------------------------------------------
     InstSeqNum nextSeq_ = 0;
     Cycle cycle_ = 0;
     std::uint64_t commitTarget_ = ~std::uint64_t{0};
     std::uint64_t committed_ = 0;
-    bool halted_ = false;
-    bool specDisabled_ = false; ///< inside a specoff window (SS8)
+    bool halted_ = false; ///< every hardware thread halted
     int outstandingMisses_ = 0;
     unsigned completionsThisCycle_ = 0;
     Cycle lastCommitCycle_ = 0;
@@ -285,17 +410,18 @@ class OooCore : public CoreBase
     InvariantChecker *checker_ = nullptr; ///< fuzz invariant checker
 
     // --- CPI-stack attribution state ---------------------------------------
-    CpiStackProfiler *cpiStack_ = nullptr; ///< usually absent
-    CommitBreak commitBreak_ = CommitBreak::kNone;
-    DispatchBlock dispatchBlock_ = DispatchBlock::kNone;
-    bool refetchPending_ = false; ///< squashed; refill not dispatched
-    SquashCause lastSquashCause_ = SquashCause::kNone;
-    Addr lastSquashPc_ = 0;       ///< pc of the squashing instruction
+    CpiStackProfiler *cpiStack_ = nullptr; ///< pooled; usually absent
+    std::vector<CpiStackProfiler *> threadCpi_; ///< per-thread views
+    /** Per-thread commit counts of the current cycle (SMT CPI). */
+    std::vector<unsigned> commitsThisCycle_;
     /** Phys reg -> in-flight producer that has not broadcast. Rebuilt
      *  lazily per profiled stall cycle; never read otherwise. */
     std::vector<const DynInst *> producerOf_;
 
     PerfCounters counters_;
+    /** Per-thread counters; empty on a single-thread core (the pooled
+     *  counters_ then are the thread counters). */
+    std::vector<PerfCounters> threadCounters_;
 
     /** The checker reads every private structure it validates. */
     friend class InvariantChecker;

@@ -6,18 +6,21 @@
 namespace nda {
 
 PhysRegFile::PhysRegFile(unsigned num_regs)
-    : values_(num_regs, 0), ready_(num_regs, false)
+    : values_(num_regs, 0), ready_(num_regs, false),
+      freeLists_(1), owner_(num_regs, 0)
 {
-    freeList_.reserve(num_regs);
+    freeLists_[0].reserve(num_regs);
 }
 
 PhysRegId
-PhysRegFile::alloc()
+PhysRegFile::alloc(unsigned tid)
 {
-    NDA_ASSERT(!freeList_.empty(), "physical register file exhausted");
+    auto &fl = freeLists_[tid];
+    NDA_ASSERT(!fl.empty(), "physical register file exhausted (t%u)",
+               tid);
     ++allocs_;
-    const PhysRegId r = freeList_.back();
-    freeList_.pop_back();
+    const PhysRegId r = fl.back();
+    fl.pop_back();
     ready_[r] = false;
     return r;
 }
@@ -27,21 +30,37 @@ PhysRegFile::free(PhysRegId r)
 {
     NDA_ASSERT(r < values_.size(), "freeing bogus phys reg %u", r);
     ++frees_;
-    freeList_.push_back(r);
+    freeLists_[owner_[r]].push_back(r);
 }
 
 void
-PhysRegFile::reset(unsigned reserved)
+PhysRegFile::reset(unsigned reserved_per_thread, unsigned nthreads)
 {
-    freeList_.clear();
-    for (unsigned r = 0; r < values_.size(); ++r) {
+    const unsigned total = static_cast<unsigned>(values_.size());
+    const unsigned reserved = reserved_per_thread * nthreads;
+    NDA_ASSERT(reserved <= total, "more reserved regs than exist");
+    freeLists_.assign(nthreads, {});
+    for (unsigned r = 0; r < total; ++r) {
         values_[r] = 0;
         ready_[r] = r < reserved;
     }
-    // Push high registers first so low ids allocate first (stable tests).
-    for (unsigned r = static_cast<unsigned>(values_.size()); r > reserved;
-         --r) {
-        freeList_.push_back(static_cast<PhysRegId>(r - 1));
+    // Static ownership: thread t owns its identity-mapped arch range
+    // plus one contiguous chunk of the rename pool (the last thread
+    // absorbs the remainder). With one thread this is the whole file.
+    const unsigned pool = total - reserved;
+    const unsigned chunk = pool / nthreads;
+    for (unsigned r = 0; r < reserved; ++r)
+        owner_[r] = r / reserved_per_thread;
+    for (unsigned r = reserved; r < total; ++r) {
+        const unsigned t = chunk ? (r - reserved) / chunk : 0;
+        owner_[r] = t >= nthreads ? nthreads - 1 : t;
+    }
+    // Push high registers first so low ids allocate first within each
+    // partition (stable tests; identical to the pre-SMT order when
+    // nthreads == 1).
+    for (unsigned r = total; r > reserved; --r) {
+        const PhysRegId id = static_cast<PhysRegId>(r - 1);
+        freeLists_[owner_[id]].push_back(id);
     }
 }
 
@@ -53,7 +72,7 @@ PhysRegFile::registerStats(StatsRegistry &reg,
     g.counter("allocs", &allocs_, "rename allocations");
     g.counter("frees", &frees_, "registers returned (commit + squash)");
     g.formula("free_now",
-              [this] { return static_cast<double>(freeList_.size()); },
+              [this] { return static_cast<double>(numFree()); },
               "free-list depth at dump time");
 }
 

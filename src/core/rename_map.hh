@@ -20,12 +20,13 @@ class RenameMap
   public:
     RenameMap() { reset(); }
 
-    /** Identity-map arch reg i -> phys reg i. */
+    /** Identity-map arch reg i -> phys reg base + i. A non-zero base
+     *  is an SMT thread's slice of the physical register file. */
     void
-    reset()
+    reset(PhysRegId base = 0)
     {
         for (unsigned i = 0; i < kNumArchRegs; ++i)
-            map_[i] = static_cast<PhysRegId>(i);
+            map_[i] = static_cast<PhysRegId>(base + i);
     }
 
     PhysRegId lookup(RegId arch) const { return map_[arch]; }

@@ -32,6 +32,8 @@ SimSnapshot::operator==(const SimSnapshot &other) const
 {
     if (!(arch == other.arch))
         return false;
+    if (extraThreads != other.extraThreads)
+        return false;
     if (hasMem != other.hasMem || hasPredictor != other.hasPredictor)
         return false;
     if (hasMem &&

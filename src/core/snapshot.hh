@@ -31,6 +31,15 @@ struct SimConfig;
 struct SimSnapshot {
     ArchState arch;
 
+    /**
+     * Architectural state of SMT hardware threads 1..N-1, in thread
+     * order. Empty for a single-thread machine — and serialized only
+     * when non-empty, so smt=1 checkpoint files are byte-identical to
+     * the pre-SMT schema. The entries' `mem` maps are empty: memory
+     * is shared and lives in `arch.mem`.
+     */
+    std::vector<ArchState> extraThreads;
+
     bool hasMem = false;
     MemHierarchy::Snapshot mem;
     HierarchyParams memParams;       ///< geometry the tags assume

@@ -15,6 +15,10 @@ leakChannelName(LeakChannel c)
         return "btb";
       case LeakChannel::kSqForward:
         return "sq-forward";
+      case LeakChannel::kPortContention:
+        return "port-contention";
+      case LeakChannel::kMshrContention:
+        return "mshr-contention";
       default:
         return "?";
     }

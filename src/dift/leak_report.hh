@@ -23,6 +23,8 @@ enum class LeakChannel : std::uint8_t {
     kDCache = 0, ///< cache line fill / eviction / LRU touch
     kBtb,        ///< speculative BTB update (never reverted)
     kSqForward,  ///< tainted SQ data forwarded to a younger load
+    kPortContention, ///< tainted op occupied a contended issue port
+    kMshrContention, ///< tainted miss occupied a shared MSHR entry
     kNumChannels,
 };
 

@@ -432,6 +432,8 @@ expectedInvariant(FuzzCorruption kind)
         return InvariantKind::kMshrOccupancy;
       case FuzzCorruption::kMshrStuckFill:
         return InvariantKind::kMshrFill;
+      case FuzzCorruption::kCrossThreadRenameBleed:
+        return InvariantKind::kSmtPartition;
       default:
         return InvariantKind::kNumInvariantKinds;
     }
@@ -455,6 +457,11 @@ runWithInjection(const Program &prog, Profile profile,
       case FuzzCorruption::kMshrOverflow:
       case FuzzCorruption::kMshrStuckFill:
         cfg.memory.mshrEntries = 4;
+        break;
+      case FuzzCorruption::kCrossThreadRenameBleed:
+        // The bleed aliases two hardware threads' register
+        // partitions, so the core must actually have two.
+        cfg.core.smtThreads = 2;
         break;
       default:
         break;

@@ -30,6 +30,8 @@ fuzzCorruptionName(FuzzCorruption kind)
         return "mshr-overflow";
       case FuzzCorruption::kMshrStuckFill:
         return "mshr-stuck-fill";
+      case FuzzCorruption::kCrossThreadRenameBleed:
+        return "smt-rename-bleed";
     }
     return "?";
 }
@@ -43,6 +45,7 @@ fuzzCorruptionFromName(const std::string &name)
         FuzzCorruption::kRobReorder,    FuzzCorruption::kMshrDupPrimary,
         FuzzCorruption::kMshrGhostTarget,
         FuzzCorruption::kMshrOverflow,  FuzzCorruption::kMshrStuckFill,
+        FuzzCorruption::kCrossThreadRenameBleed,
     };
     for (FuzzCorruption k : kAll) {
         if (name == fuzzCorruptionName(k))
@@ -77,6 +80,8 @@ invariantKindName(InvariantKind kind)
         return "mshr-occupancy";
       case InvariantKind::kMshrFill:
         return "mshr-fill";
+      case InvariantKind::kSmtPartition:
+        return "smt-partition";
       default:
         return "?";
     }
@@ -122,6 +127,9 @@ InvariantChecker::onCycleEnd(const OooCore &core)
     checkRobOrder(core);
     checkBranchBookkeeping(core);
     checkFreeList(core);
+    // Partition isolation before the rename-map check: a cross-thread
+    // bleed violates both, and the isolation breach is the root cause.
+    checkSmtPartition(core);
     checkRenameMap(core);
     checkLsq(core);
     checkWakeupOrder(core);
@@ -132,53 +140,61 @@ InvariantChecker::onCycleEnd(const OooCore &core)
 void
 InvariantChecker::checkRobOrder(const OooCore &core)
 {
-    InstSeqNum prev = 0;
-    bool first = true;
-    for (const DynInstPtr &inst : core.rob_) {
-        if (!first && inst->seq <= prev) {
-            report(InvariantKind::kRobOrder, core.cycle_, inst->seq,
-                   "ROB not in age order (prev seq " +
-                       std::to_string(prev) + ")");
+    for (const auto &tc : core.threads_) {
+        InstSeqNum prev = 0;
+        bool first = true;
+        for (const DynInstPtr &inst : tc.rob) {
+            if (!first && inst->seq <= prev) {
+                report(InvariantKind::kRobOrder, core.cycle_, inst->seq,
+                       "ROB not in age order (prev seq " +
+                           std::to_string(prev) + ")");
+            }
+            if (inst->squashed) {
+                report(InvariantKind::kRobOrder, core.cycle_, inst->seq,
+                       "squashed entry still in the ROB");
+            }
+            if (inst->committed) {
+                report(InvariantKind::kRobOrder, core.cycle_, inst->seq,
+                       "committed entry still in the ROB");
+            }
+            prev = inst->seq;
+            first = false;
         }
-        if (inst->squashed) {
-            report(InvariantKind::kRobOrder, core.cycle_, inst->seq,
-                   "squashed entry still in the ROB");
-        }
-        if (inst->committed) {
-            report(InvariantKind::kRobOrder, core.cycle_, inst->seq,
-                   "committed entry still in the ROB");
-        }
-        prev = inst->seq;
-        first = false;
     }
 }
 
 void
 InvariantChecker::checkBranchBookkeeping(const OooCore &core)
 {
-    // Expected list: in-ROB speculative branches not yet executed,
-    // in age order (resolution happens the cycle `executed` is set).
-    std::vector<InstSeqNum> expect;
-    for (const DynInstPtr &inst : core.rob_) {
-        if (inst->isSpecBranch() && !inst->executed)
-            expect.push_back(inst->seq);
-    }
-    const auto &got = core.unresolvedBranches_;
-    if (expect.size() != got.size() ||
-        !std::equal(expect.begin(), expect.end(), got.begin())) {
-        report(InvariantKind::kBranchBookkeeping, core.cycle_,
-               got.empty() ? kInvalidSeqNum : got.front(),
-               "unresolved-branch list (" + std::to_string(got.size()) +
-                   " entries) does not mirror the ROB's " +
-                   std::to_string(expect.size()) +
-                   " unresolved speculative branches");
+    // Expected list per thread: in-ROB speculative branches not yet
+    // executed, in age order (resolution happens the cycle `executed`
+    // is set).
+    for (unsigned t = 0; t < core.numThreads_; ++t) {
+        const auto &tc = core.threads_[t];
+        std::vector<InstSeqNum> expect;
+        for (const DynInstPtr &inst : tc.rob) {
+            if (inst->isSpecBranch() && !inst->executed)
+                expect.push_back(inst->seq);
+        }
+        const auto &got = tc.unresolvedBranches;
+        if (expect.size() != got.size() ||
+            !std::equal(expect.begin(), expect.end(), got.begin())) {
+            report(InvariantKind::kBranchBookkeeping, core.cycle_,
+                   got.empty() ? kInvalidSeqNum : got.front(),
+                   "thread " + std::to_string(t) +
+                       " unresolved-branch list (" +
+                       std::to_string(got.size()) +
+                       " entries) does not mirror the ROB's " +
+                       std::to_string(expect.size()) +
+                       " unresolved speculative branches");
+        }
     }
 }
 
 void
 InvariantChecker::checkFreeList(const OooCore &core)
 {
-    // Free list, committed mappings, and in-flight destinations must
+    // Free lists, committed mappings, and in-flight destinations must
     // partition the physical register file: no duplicates (a double
     // free or aliased rename) and no unreachable register (a leak,
     // typically dropped during squash recovery).
@@ -203,13 +219,17 @@ InvariantChecker::checkFreeList(const OooCore &core)
         owner[r] = who;
     };
 
-    for (PhysRegId r : core.regs_.freeList())
-        claim(r, kFree, kInvalidSeqNum);
-    for (unsigned a = 0; a < kNumArchRegs; ++a)
-        claim(core.commitMap_[a], kCommitted, kInvalidSeqNum);
-    for (const DynInstPtr &inst : core.rob_) {
-        if (inst->dest != kInvalidPhysReg)
-            claim(inst->dest, kInFlight, inst->seq);
+    for (unsigned p = 0; p < core.regs_.numPartitions(); ++p) {
+        for (PhysRegId r : core.regs_.freeList(p))
+            claim(r, kFree, kInvalidSeqNum);
+    }
+    for (const auto &tc : core.threads_) {
+        for (unsigned a = 0; a < kNumArchRegs; ++a)
+            claim(tc.commitMap[a], kCommitted, kInvalidSeqNum);
+        for (const DynInstPtr &inst : tc.rob) {
+            if (inst->dest != kInvalidPhysReg)
+                claim(inst->dest, kInFlight, inst->seq);
+        }
     }
 
     for (unsigned r = 0; r < owner.size(); ++r) {
@@ -222,25 +242,100 @@ InvariantChecker::checkFreeList(const OooCore &core)
 }
 
 void
+InvariantChecker::checkSmtPartition(const OooCore &core)
+{
+    // SMT isolation: everything a hardware thread references must be
+    // its own. Trivially true (and skipped) on a single-thread core.
+    if (core.numThreads_ < 2)
+        return;
+
+    const auto owned_by = [&](PhysRegId r, unsigned t) {
+        return r != kInvalidPhysReg && core.regs_.owner(r) == t;
+    };
+
+    for (unsigned t = 0; t < core.numThreads_; ++t) {
+        const auto &tc = core.threads_[t];
+        for (unsigned a = 0; a < kNumArchRegs; ++a) {
+            const PhysRegId spec = tc.rmap.lookup(static_cast<RegId>(a));
+            if (!owned_by(spec, t)) {
+                report(InvariantKind::kSmtPartition, core.cycle_,
+                       kInvalidSeqNum,
+                       "thread " + std::to_string(t) + " arch r" +
+                           std::to_string(a) + " renamed to p" +
+                           std::to_string(spec) +
+                           ", owned by thread " +
+                           std::to_string(core.regs_.owner(spec)));
+            }
+            const PhysRegId comm = tc.commitMap[a];
+            if (!owned_by(comm, t)) {
+                report(InvariantKind::kSmtPartition, core.cycle_,
+                       kInvalidSeqNum,
+                       "thread " + std::to_string(t) + " arch r" +
+                           std::to_string(a) + " committed to p" +
+                           std::to_string(comm) +
+                           ", owned by thread " +
+                           std::to_string(core.regs_.owner(comm)));
+            }
+        }
+        for (const DynInstPtr &inst : tc.rob) {
+            if (inst->tid != t) {
+                report(InvariantKind::kSmtPartition, core.cycle_,
+                       inst->seq,
+                       "thread " + std::to_string(t) +
+                           " ROB holds an instruction tagged tid " +
+                           std::to_string(inst->tid));
+            }
+            if (inst->dest != kInvalidPhysReg &&
+                !owned_by(inst->dest, t)) {
+                report(InvariantKind::kSmtPartition, core.cycle_,
+                       inst->seq,
+                       "thread " + std::to_string(t) +
+                           " in-flight dest p" +
+                           std::to_string(inst->dest) +
+                           " owned by thread " +
+                           std::to_string(core.regs_.owner(inst->dest)));
+            }
+        }
+        // Free-list purity: free(r) routes through the owner table,
+        // so a foreign register here means a cross-thread free.
+        for (PhysRegId r : core.regs_.freeList(t)) {
+            if (core.regs_.owner(r) != t) {
+                report(InvariantKind::kSmtPartition, core.cycle_,
+                       kInvalidSeqNum,
+                       "thread " + std::to_string(t) +
+                           " free list holds p" + std::to_string(r) +
+                           ", owned by thread " +
+                           std::to_string(core.regs_.owner(r)));
+            }
+        }
+    }
+}
+
+void
 InvariantChecker::checkRenameMap(const OooCore &core)
 {
     // The speculative map must equal the committed map overridden by
-    // the youngest in-flight writer of each architectural register.
-    PhysRegId expect[kNumArchRegs];
-    for (unsigned a = 0; a < kNumArchRegs; ++a)
-        expect[a] = core.commitMap_[a];
-    for (const DynInstPtr &inst : core.rob_) {
-        if (inst->dest != kInvalidPhysReg)
-            expect[inst->uop.rd] = inst->dest;
-    }
-    for (unsigned a = 0; a < kNumArchRegs; ++a) {
-        const PhysRegId got = core.rmap_.lookup(static_cast<RegId>(a));
-        if (got != expect[a]) {
-            report(InvariantKind::kRenameMap, core.cycle_,
-                   kInvalidSeqNum,
-                   "arch r" + std::to_string(a) + " maps to p" +
-                       std::to_string(got) + ", expected p" +
-                       std::to_string(expect[a]));
+    // the youngest in-flight writer of each architectural register —
+    // per thread: renames never cross hardware contexts.
+    for (unsigned t = 0; t < core.numThreads_; ++t) {
+        const auto &tc = core.threads_[t];
+        PhysRegId expect[kNumArchRegs];
+        for (unsigned a = 0; a < kNumArchRegs; ++a)
+            expect[a] = tc.commitMap[a];
+        for (const DynInstPtr &inst : tc.rob) {
+            if (inst->dest != kInvalidPhysReg)
+                expect[inst->uop.rd] = inst->dest;
+        }
+        for (unsigned a = 0; a < kNumArchRegs; ++a) {
+            const PhysRegId got = tc.rmap.lookup(static_cast<RegId>(a));
+            if (got != expect[a]) {
+                report(InvariantKind::kRenameMap, core.cycle_,
+                       kInvalidSeqNum,
+                       "thread " + std::to_string(t) + " arch r" +
+                           std::to_string(a) + " maps to p" +
+                           std::to_string(got) + ", expected p" +
+                           std::to_string(expect[a]));
+            }
         }
     }
 }
@@ -248,60 +343,82 @@ InvariantChecker::checkRenameMap(const OooCore &core)
 void
 InvariantChecker::checkLsq(const OooCore &core)
 {
-    const auto in_rob = [&](InstSeqNum seq) {
-        const auto it = std::lower_bound(
-            core.rob_.begin(), core.rob_.end(), seq,
-            [](const DynInstPtr &inst, InstSeqNum s) {
-                return inst->seq < s;
-            });
-        return it != core.rob_.end() && (*it)->seq == seq;
-    };
+    for (unsigned t = 0; t < core.numThreads_; ++t) {
+        const auto &rob = core.threads_[t].rob;
+        const auto in_rob = [&](InstSeqNum seq) {
+            const auto it = std::lower_bound(
+                rob.begin(), rob.end(), seq,
+                [](const DynInstPtr &inst, InstSeqNum s) {
+                    return inst->seq < s;
+                });
+            return it != rob.end() && (*it)->seq == seq;
+        };
 
-    const auto check_queue = [&](const std::deque<DynInstPtr> &q,
-                                 const char *which, bool want_load) {
-        InstSeqNum prev = 0;
-        bool first = true;
-        for (const DynInstPtr &inst : q) {
-            if (!first && inst->seq <= prev) {
-                report(InvariantKind::kLsqOrder, core.cycle_, inst->seq,
-                       std::string(which) + " queue not in age order");
+        const auto check_queue = [&](const std::deque<DynInstPtr> &q,
+                                     const char *which, bool want_load) {
+            InstSeqNum prev = 0;
+            bool first = true;
+            for (const DynInstPtr &inst : q) {
+                if (!first && inst->seq <= prev) {
+                    report(InvariantKind::kLsqOrder, core.cycle_,
+                           inst->seq,
+                           std::string(which) +
+                               " queue not in age order");
+                }
+                if (inst->squashed) {
+                    report(InvariantKind::kLsqOrder, core.cycle_,
+                           inst->seq,
+                           std::string(which) +
+                               " queue holds a squashed entry");
+                } else if (!in_rob(inst->seq)) {
+                    report(InvariantKind::kLsqOrder, core.cycle_,
+                           inst->seq,
+                           std::string(which) +
+                               " queue entry not in the ROB");
+                }
+                if (inst->isLoad() != want_load) {
+                    report(InvariantKind::kLsqOrder, core.cycle_,
+                           inst->seq,
+                           std::string(which) +
+                               " queue holds a non-" + which);
+                }
+                if (core.numThreads_ > 1 && inst->tid != t) {
+                    report(InvariantKind::kSmtPartition, core.cycle_,
+                           inst->seq,
+                           "thread " + std::to_string(t) + " " + which +
+                               " queue holds an instruction tagged tid " +
+                               std::to_string(inst->tid));
+                }
+                prev = inst->seq;
+                first = false;
             }
-            if (inst->squashed) {
-                report(InvariantKind::kLsqOrder, core.cycle_, inst->seq,
-                       std::string(which) + " queue holds a squashed entry");
-            } else if (!in_rob(inst->seq)) {
-                report(InvariantKind::kLsqOrder, core.cycle_, inst->seq,
-                       std::string(which) + " queue entry not in the ROB");
-            }
-            if (inst->isLoad() != want_load) {
-                report(InvariantKind::kLsqOrder, core.cycle_, inst->seq,
-                       std::string(which) + " queue holds a non-" + which);
-            }
-            prev = inst->seq;
-            first = false;
-        }
-    };
+        };
 
-    check_queue(core.lsq_.loads(), "load", true);
-    check_queue(core.lsq_.stores(), "store", false);
+        check_queue(core.lsq_.loads(t), "load", true);
+        check_queue(core.lsq_.stores(t), "store", false);
+    }
 }
 
 void
 InvariantChecker::checkWakeupOrder(const OooCore &core)
 {
-    for (const DynInstPtr &inst : core.rob_) {
-        if (inst->dest == kInvalidPhysReg)
-            continue;
-        const bool ready = core.regs_.ready(inst->dest);
-        if (ready != inst->broadcasted) {
-            report(InvariantKind::kWakeupOrder, core.cycle_, inst->seq,
-                   std::string("dest p") + std::to_string(inst->dest) +
-                       (ready ? " ready without a broadcast"
-                              : " broadcast but not ready"));
-        }
-        if (inst->broadcasted && !inst->executed) {
-            report(InvariantKind::kWakeupOrder, core.cycle_, inst->seq,
-                   "broadcast before execution");
+    for (const auto &tc : core.threads_) {
+        for (const DynInstPtr &inst : tc.rob) {
+            if (inst->dest == kInvalidPhysReg)
+                continue;
+            const bool ready = core.regs_.ready(inst->dest);
+            if (ready != inst->broadcasted) {
+                report(InvariantKind::kWakeupOrder, core.cycle_,
+                       inst->seq,
+                       std::string("dest p") +
+                           std::to_string(inst->dest) +
+                           (ready ? " ready without a broadcast"
+                                  : " broadcast but not ready"));
+            }
+            if (inst->broadcasted && !inst->executed) {
+                report(InvariantKind::kWakeupOrder, core.cycle_,
+                       inst->seq, "broadcast before execution");
+            }
         }
     }
 }
@@ -309,76 +426,86 @@ InvariantChecker::checkWakeupOrder(const OooCore &core)
 void
 InvariantChecker::checkNdaSafety(const OooCore &core)
 {
-    const SecurityConfig &sec = core.cfg_.security;
+    // Per thread, under that thread's own policy: SMT runs mixed
+    // protection levels (unprotected attacker, protected victim).
+    for (unsigned t = 0; t < core.numThreads_; ++t) {
+        const SecurityConfig &sec = core.cfg_.secFor(t);
+        const auto &tc = core.threads_[t];
 
-    // Recompute the paper's safety boundary independently of the
-    // core's own unsafe bits: the eldest unresolved speculative branch.
-    const InstSeqNum boundary = core.unresolvedBranches_.empty()
-                                    ? kInvalidSeqNum
-                                    : core.unresolvedBranches_.front();
+        // Recompute the paper's safety boundary independently of the
+        // core's own unsafe bits: the eldest unresolved spec branch.
+        const InstSeqNum boundary = tc.unresolvedBranches.empty()
+                                        ? kInvalidSeqNum
+                                        : tc.unresolvedBranches.front();
 
-    for (const DynInstPtr &inst : core.rob_) {
-        const bool woke =
-            inst->broadcasted ||
-            (inst->dest != kInvalidPhysReg &&
-             core.regs_.ready(inst->dest));
+        for (const DynInstPtr &inst : tc.rob) {
+            const bool woke =
+                inst->broadcasted ||
+                (inst->dest != kInvalidPhysReg &&
+                 core.regs_.ready(inst->dest));
 
-        // An instruction the core itself still holds unsafe must not
-        // have woken consumers, under any configuration.
-        if (inst->isUnsafe() && woke) {
-            report(InvariantKind::kNdaSafety, core.cycle_, inst->seq,
-                   "unsafe instruction woke its consumers");
-        }
-
-        // Propagation policy (paper §5.1/§5.2): every covered op
-        // younger than the boundary must be marked and deferred.
-        if (boundary != kInvalidSeqNum && inst->seq > boundary &&
-            sec.marksUnsafeUnderBranch(inst->uop)) {
-            if (!inst->unsafeBranch) {
+            // An instruction the core itself still holds unsafe must
+            // not have woken consumers, under any configuration.
+            if (inst->isUnsafe() && woke) {
                 report(InvariantKind::kNdaSafety, core.cycle_,
                        inst->seq,
-                       "covered op under unresolved branch " +
-                           std::to_string(boundary) +
-                           " lost its unsafe mark");
+                       "unsafe instruction woke its consumers");
             }
-            if (woke) {
-                report(InvariantKind::kNdaSafety, core.cycle_,
-                       inst->seq,
-                       "op broadcast under unresolved branch " +
-                           std::to_string(boundary));
-            }
-        }
 
-        // Bypass Restriction (paper §5.2): a load that executed past
-        // stores whose addresses are still unknown stays deferred.
-        if (sec.bypassRestriction && inst->isLoad() && inst->executed &&
-            !inst->bypassedStores.empty()) {
-            if (!inst->unsafeBypass) {
-                report(InvariantKind::kNdaSafety, core.cycle_,
-                       inst->seq,
-                       "load with unresolved bypassed stores lost its "
-                       "unsafe mark");
+            // Propagation policy (paper §5.1/§5.2): every covered op
+            // younger than the boundary must be marked and deferred.
+            if (boundary != kInvalidSeqNum && inst->seq > boundary &&
+                sec.marksUnsafeUnderBranch(inst->uop)) {
+                if (!inst->unsafeBranch) {
+                    report(InvariantKind::kNdaSafety, core.cycle_,
+                           inst->seq,
+                           "covered op under unresolved branch " +
+                               std::to_string(boundary) +
+                               " lost its unsafe mark");
+                }
+                if (woke) {
+                    report(InvariantKind::kNdaSafety, core.cycle_,
+                           inst->seq,
+                           "op broadcast under unresolved branch " +
+                               std::to_string(boundary));
+                }
             }
-            if (woke) {
-                report(InvariantKind::kNdaSafety, core.cycle_,
-                       inst->seq,
-                       "load broadcast with " +
-                           std::to_string(inst->bypassedStores.size()) +
-                           " bypassed stores unresolved");
-            }
-        }
 
-        // Load restriction (paper §5.3): only the ROB head may wake.
-        if (sec.loadRestriction && inst->isLoadLike() &&
-            inst != core.rob_.front()) {
-            if (!inst->unsafeLoad) {
-                report(InvariantKind::kNdaSafety, core.cycle_,
-                       inst->seq,
-                       "non-head load-like op lost its unsafe mark");
+            // Bypass Restriction (paper §5.2): a load that executed
+            // past stores whose addresses are still unknown stays
+            // deferred.
+            if (sec.bypassRestriction && inst->isLoad() &&
+                inst->executed && !inst->bypassedStores.empty()) {
+                if (!inst->unsafeBypass) {
+                    report(InvariantKind::kNdaSafety, core.cycle_,
+                           inst->seq,
+                           "load with unresolved bypassed stores lost "
+                           "its unsafe mark");
+                }
+                if (woke) {
+                    report(InvariantKind::kNdaSafety, core.cycle_,
+                           inst->seq,
+                           "load broadcast with " +
+                               std::to_string(
+                                   inst->bypassedStores.size()) +
+                               " bypassed stores unresolved");
+                }
             }
-            if (woke) {
-                report(InvariantKind::kNdaSafety, core.cycle_,
-                       inst->seq, "non-head load-like op woke consumers");
+
+            // Load restriction (paper §5.3): only the ROB head of the
+            // load's own thread may wake.
+            if (sec.loadRestriction && inst->isLoadLike() &&
+                inst != tc.rob.front()) {
+                if (!inst->unsafeLoad) {
+                    report(InvariantKind::kNdaSafety, core.cycle_,
+                           inst->seq,
+                           "non-head load-like op lost its unsafe mark");
+                }
+                if (woke) {
+                    report(InvariantKind::kNdaSafety, core.cycle_,
+                           inst->seq,
+                           "non-head load-like op woke consumers");
+                }
             }
         }
     }
@@ -400,9 +527,11 @@ InvariantChecker::checkMshr(const OooCore &core)
     const Cycle fill_bound =
         core.cycle_ + p.l2.hitLatency + p.dramLatency;
 
-    const auto live_load = [&](InstSeqNum seq) {
-        for (const DynInstPtr &ld : core.lsq_.loads()) {
-            if (ld->seq == seq)
+    const auto live_load = [&](const MshrTarget &t) {
+        if (t.tid >= core.numThreads_)
+            return false;
+        for (const DynInstPtr &ld : core.lsq_.loads(t.tid)) {
+            if (ld->seq == t.seq)
                 return !ld->squashed;
         }
         return false;
@@ -439,10 +568,11 @@ InvariantChecker::checkMshr(const OooCore &core)
             for (const MshrTarget &t : e.targets) {
                 // Stores are committed, prefetches fire-and-forget,
                 // fetch targets belong to the front end — only load
-                // targets must map to a live (un-squashed) LSQ load.
+                // targets must map to a live (un-squashed) LSQ load
+                // of the thread recorded in the target.
                 if (t.kind != MshrTargetKind::kLoad)
                     continue;
-                if (!live_load(t.seq)) {
+                if (!live_load(t)) {
                     report(InvariantKind::kMshrTargets, core.cycle_,
                            t.seq,
                            file.name() + " line " +

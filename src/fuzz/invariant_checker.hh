@@ -14,23 +14,30 @@
  *    squashed or committed (both are removed eagerly);
  *  - the unresolved-speculative-branch list mirrors exactly the
  *    in-ROB speculative branches that have not executed;
- *  - physical-register accounting: free list, committed map, and
+ *  - physical-register accounting: free lists, committed maps, and
  *    in-flight destinations partition the register file with no
  *    duplicates and no leaks (squash recovery is the hard case);
+ *  - SMT partition isolation (only checked with >1 hardware thread):
+ *    every register a thread's rename map, commit map, or in-flight
+ *    destinations reference is owned by that thread's partition, and
+ *    every ROB/LSQ entry carries its owning thread's id — a breach
+ *    means one context can read (or free) its co-resident's state;
  *  - the speculative rename map equals the committed map overridden
  *    by the youngest in-flight writer of each architectural register;
  *  - LSQ load/store queues are age-ordered subsets of the ROB;
  *  - wakeup ordering: an in-flight destination is ready iff its
  *    producer broadcast, and only executed producers broadcast;
- *  - the NDA safety property (paper §5): under the active policy no
+ *  - the NDA safety property (paper §5), evaluated per thread under
+ *    that thread's policy (SMT runs mixed protection levels): no
  *    value produced in the shadow of an unresolved speculative branch
  *    (or an unresolved-address store bypass, or a non-head load under
  *    the load restriction) may have been broadcast to consumers;
  *  - MSHR files (when non-blocking mode is on): one primary entry per
  *    line, occupancy within capacity, every data-side load target
- *    backed by a live LSQ load, and every fill due within the maximal
- *    legal miss latency (L2 + DRAM) — a later fill is one the memory
- *    system lost, whose waiters would sleep forever.
+ *    backed by a live LSQ load of the target's thread, and every fill
+ *    due within the maximal legal miss latency (L2 + DRAM) — a later
+ *    fill is one the memory system lost, whose waiters would sleep
+ *    forever.
  */
 
 #ifndef NDASIM_FUZZ_INVARIANT_CHECKER_HH
@@ -62,6 +69,7 @@ enum class FuzzCorruption : std::uint8_t {
     kMshrGhostTarget, ///< MSHR load target with no LSQ load behind it
     kMshrOverflow,   ///< MSHR occupancy pushed past capacity
     kMshrStuckFill,  ///< fill scheduled past any legal miss latency
+    kCrossThreadRenameBleed, ///< thread 0's rename map aliases thread 1's partition
 };
 
 /** Name of a corruption kind (CLI flag spelling). */
@@ -72,7 +80,7 @@ FuzzCorruption fuzzCorruptionFromName(const std::string &name);
 /** The invariant families the checker enforces. */
 enum class InvariantKind : std::uint8_t {
     kRobOrder = 0,        ///< ROB age order / no dead entries
-    kBranchBookkeeping,   ///< unresolvedBranches_ mirrors the ROB
+    kBranchBookkeeping,   ///< unresolvedBranches mirrors the ROB
     kFreeList,            ///< phys-reg partition, no leak/double-free
     kRenameMap,           ///< rename map vs commit map + ROB writers
     kLsqOrder,            ///< LSQ age order and ROB membership
@@ -82,6 +90,7 @@ enum class InvariantKind : std::uint8_t {
     kMshrTargets,         ///< load targets backed by live LSQ loads
     kMshrOccupancy,       ///< occupancy within the file's capacity
     kMshrFill,            ///< fills due within the legal latency bound
+    kSmtPartition,        ///< per-thread phys-reg/ROB/LSQ isolation
     kNumInvariantKinds,
 };
 
@@ -129,6 +138,7 @@ class InvariantChecker
     void checkRobOrder(const OooCore &core);
     void checkBranchBookkeeping(const OooCore &core);
     void checkFreeList(const OooCore &core);
+    void checkSmtPartition(const OooCore &core);
     void checkRenameMap(const OooCore &core);
     void checkLsq(const OooCore &core);
     void checkWakeupOrder(const OooCore &core);

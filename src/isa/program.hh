@@ -38,6 +38,9 @@ struct Program {
     /** MSR indices that fault when read from user mode. */
     std::uint8_t privilegedMsrMask = 0;
     Addr entry = 0;
+    /** Entry PC for SMT hardware thread 1+ (co-resident context);
+     *  ~0 = threads beyond 0 start at `entry` (homogeneous co-run). */
+    Addr smtEntry = ~Addr{0};
     /** PC to redirect to on a committed fault; ~0 = halt on fault. */
     Addr faultHandler = ~Addr{0};
 

@@ -59,7 +59,7 @@ MemHierarchy::instAccess(Addr addr)
 
 MemRequestResult
 MemHierarchy::dataRequest(Addr addr, Cycle now, InstSeqNum seq,
-                          MshrTargetKind kind)
+                          MshrTargetKind kind, unsigned tid)
 {
     NDA_ASSERT(mshrEnabled(), "dataRequest needs mshrEntries > 0");
     if (l1d_.probe(addr)) {
@@ -69,7 +69,7 @@ MemHierarchy::dataRequest(Addr addr, Cycle now, InstSeqNum seq,
     }
 
     const Addr line = lineOf(addr);
-    const MshrTarget target{seq, kind};
+    const MshrTarget target{seq, kind, tid};
 
     // Secondary miss: the line is already on its way to L1D.
     if (MshrEntry *e = mshrD_.find(line)) {
@@ -194,12 +194,12 @@ MemHierarchy::advance(Cycle now)
 }
 
 void
-MemHierarchy::squashLoadTargets(InstSeqNum keep_seq)
+MemHierarchy::squashLoadTargets(InstSeqNum keep_seq, unsigned tid)
 {
     if (!mshrEnabled())
         return;
-    mshrD_.squashLoadTargets(keep_seq);
-    mshrL2_.squashLoadTargets(keep_seq);
+    mshrD_.squashLoadTargets(keep_seq, tid);
+    mshrL2_.squashLoadTargets(keep_seq, tid);
 }
 
 namespace {

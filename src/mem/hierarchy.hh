@@ -130,11 +130,12 @@ class MemHierarchy
      * Data-side request in non-blocking mode. On a miss the fill is
      * scheduled through the MSHR files instead of landing eagerly;
      * kRejected means the file was full and *nothing* was mutated
-     * (retry next cycle). `now` is the core's current cycle, `seq`
-     * identifies the requester for squash-time target cancellation.
+     * (retry next cycle). `now` is the core's current cycle; `seq`
+     * and `tid` identify the requester for squash-time target
+     * cancellation (squashes are per-hardware-thread under SMT).
      */
     MemRequestResult dataRequest(Addr addr, Cycle now, InstSeqNum seq,
-                                 MshrTargetKind kind);
+                                 MshrTargetKind kind, unsigned tid = 0);
 
     /** Instruction-side request in non-blocking mode. */
     MemRequestResult instRequest(Addr addr, Cycle now);
@@ -144,11 +145,11 @@ class MemHierarchy
      *  file) and sample MSHR occupancy. Call once per core cycle. */
     void advance(Cycle now);
 
-    /** Squash recovery: drop load targets younger than `keep_seq`
-     *  from every file. The fills themselves still land (orphaned
-     *  wrong-path fills are the squash-surviving channel NDA
-     *  studies). */
-    void squashLoadTargets(InstSeqNum keep_seq);
+    /** Squash recovery: drop thread `tid`'s load targets younger than
+     *  `keep_seq` from every file. The fills themselves still land
+     *  (orphaned wrong-path fills are the squash-surviving channel NDA
+     *  studies), and other threads' targets are untouched. */
+    void squashLoadTargets(InstSeqNum keep_seq, unsigned tid = 0);
 
     bool mshrEnabled() const { return params_.mshrEntries > 0; }
     /** No fill in flight in any file. */

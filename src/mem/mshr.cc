@@ -90,14 +90,14 @@ Mshr::pendingSorted() const
 }
 
 void
-Mshr::squashLoadTargets(InstSeqNum keep_seq)
+Mshr::squashLoadTargets(InstSeqNum keep_seq, unsigned tid)
 {
     for (MshrEntry &e : pending_) {
         e.targets.erase(
             std::remove_if(e.targets.begin(), e.targets.end(),
-                           [keep_seq](const MshrTarget &t) {
+                           [keep_seq, tid](const MshrTarget &t) {
                                return t.kind == MshrTargetKind::kLoad &&
-                                      t.seq > keep_seq;
+                                      t.tid == tid && t.seq > keep_seq;
                            }),
             e.targets.end());
     }

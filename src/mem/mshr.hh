@@ -45,6 +45,7 @@ enum class MshrTargetKind : std::uint8_t {
 struct MshrTarget {
     InstSeqNum seq = kInvalidSeqNum;
     MshrTargetKind kind = MshrTargetKind::kLoad;
+    unsigned tid = 0;  ///< requesting hardware thread (SMT squash scope)
 };
 
 /** One in-flight miss (a primary entry plus its target list). */
@@ -99,9 +100,10 @@ class Mshr
      *  drain-into-snapshot path; does not modify the file). */
     std::vector<MshrEntry> pendingSorted() const;
 
-    /** Squash: drop load targets younger than `keep_seq`. Entries stay
-     *  behind as orphans — their fills still land. */
-    void squashLoadTargets(InstSeqNum keep_seq);
+    /** Squash: drop thread `tid`'s load targets younger than
+     *  `keep_seq`. Other threads' targets and the entries themselves
+     *  stay behind — orphaned fills still land. */
+    void squashLoadTargets(InstSeqNum keep_seq, unsigned tid = 0);
 
     /** Forget everything in flight (checkpoint restore). */
     void clear() { pending_.clear(); }

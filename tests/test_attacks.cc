@@ -64,7 +64,7 @@ TEST_P(AttackMatrixTest, OutcomeMatchesTable2)
 
 INSTANTIATE_TEST_SUITE_P(
     AllAttacksAllProfiles, AttackMatrixTest,
-    ::testing::Combine(::testing::Range(0, 9), ::testing::Range(0, 9)),
+    ::testing::Combine(::testing::Range(0, 11), ::testing::Range(0, 9)),
     [](const auto &info) {
         const auto attacks = makeAllAttacks();
         std::string name =
@@ -139,15 +139,20 @@ TEST(AttackSignals, MeltdownNeedsTheHardwareFlaw)
 TEST(AttackRegistry, NamesAndTaxonomy)
 {
     const auto attacks = makeAllAttacks();
-    ASSERT_EQ(attacks.size(), 9u);
+    ASSERT_EQ(attacks.size(), 11u);
     int chosen_code = 0;
+    int cross_thread = 0;
     for (const auto &a : attacks) {
         EXPECT_FALSE(a->name().empty());
         EXPECT_FALSE(a->description().empty());
-        EXPECT_TRUE(a->channel() == "d-cache" || a->channel() == "btb");
+        EXPECT_TRUE(a->channel() == "d-cache" || a->channel() == "btb" ||
+                    a->channel() == "port-contention" ||
+                    a->channel() == "mshr-contention");
         chosen_code += a->isChosenCode();
+        cross_thread += a->crossThread();
     }
     EXPECT_EQ(chosen_code, 2) << "meltdown + lazyfp";
+    EXPECT_EQ(cross_thread, 2) << "smother-port + smt-mshr";
     EXPECT_NE(makeAttack("spectre-v1-cache"), nullptr);
     EXPECT_EQ(makeAttack("no-such-attack"), nullptr);
 }

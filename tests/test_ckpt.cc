@@ -21,6 +21,7 @@
 #include "ckpt/checkpoint_store.hh"
 #include "ckpt/serializer.hh"
 #include "core/core_factory.hh"
+#include "core/ooo_core.hh"
 #include "core/snapshot.hh"
 #include "dift/secret_map.hh"
 #include "dift/taint_engine.hh"
@@ -187,6 +188,110 @@ TEST(CkptSerializer, SerializationIsDeterministic)
     a.put(snap);
     b.put(snap);
     EXPECT_EQ(a.bytes(), b.bytes());
+}
+
+// --------------------------------------------------------------------------
+// Serializer: SMT version gating (schema v2 only when extra threads exist)
+// --------------------------------------------------------------------------
+
+/** Schema version field of a serialized image (u32 LE at offset 8). */
+std::uint32_t
+imageVersion(const std::vector<std::uint8_t> &bytes)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(bytes[8 + i]) << (8 * i);
+    return v;
+}
+
+/** An smt=2 core snapshot with one extra thread context captured. */
+SimSnapshot
+smtCheckpoint()
+{
+    ProgramBuilder b("smt-ckpt");
+    b.zeroSegment(0x1000, 64);
+    b.movi(1, 0);
+    b.movi(2, 0);
+    auto loop = b.label();
+    b.addi(2, 2, 1);
+    b.add(1, 1, 2);
+    b.movi(3, 5000);
+    b.blt(2, 3, loop);
+    b.movi(4, 0x1000);
+    b.store(4, 0, 1, 8);
+    b.halt();
+    Program prog = b.build(); // homogeneous co-run on both threads
+
+    SimConfig cfg;
+    cfg.core.smtThreads = 2;
+    OooCore core(prog, cfg);
+    core.run(800, ~Cycle{0});
+    SimSnapshot snap;
+    core.saveCheckpoint(snap);
+    return snap;
+}
+
+TEST(CkptSerializer, SmtSnapshotRoundTripsUnderSchemaV2)
+{
+    const SimSnapshot snap = smtCheckpoint();
+    ASSERT_EQ(snap.extraThreads.size(), 1u);
+
+    CkptWriter writer;
+    writer.put(snap);
+    EXPECT_EQ(imageVersion(writer.bytes()), 2u)
+        << "extra threads must bump the schema version";
+
+    CkptReader reader;
+    SimSnapshot back;
+    ASSERT_TRUE(reader.parse(writer.bytes().data(),
+                             writer.bytes().size(), back))
+        << reader.error();
+    EXPECT_TRUE(back == snap);
+    ASSERT_EQ(back.extraThreads.size(), 1u);
+    EXPECT_TRUE(back.extraThreads[0] == snap.extraThreads[0]);
+}
+
+TEST(CkptSerializer, SingleThreadSnapshotStaysSchemaV1)
+{
+    // Byte-for-byte backward compatibility: without extra threads the
+    // writer must emit exactly the v1 format, so the whole pre-SMT
+    // corpus (and any file written at smt=1 today) stays one schema.
+    const SimSnapshot snap = interpCheckpoint("stream", 7, 4'000);
+    ASSERT_TRUE(snap.extraThreads.empty());
+
+    CkptWriter writer;
+    writer.put(snap);
+    EXPECT_EQ(imageVersion(writer.bytes()), 1u)
+        << "an smt=1 snapshot must remain a v1 file";
+
+    CkptReader reader;
+    SimSnapshot back;
+    ASSERT_TRUE(reader.parse(writer.bytes().data(),
+                             writer.bytes().size(), back))
+        << reader.error();
+    EXPECT_TRUE(back == snap);
+    EXPECT_TRUE(back.extraThreads.empty());
+}
+
+TEST(CkptSerializer, RejectsThreadsSectionInV1File)
+{
+    // A THREADS section is meaningless under schema v1; a file that
+    // claims v1 but carries one is corrupt and must be rejected (the
+    // section CRCs do not cover the header, so this is a real hole a
+    // tampered index could otherwise slip through).
+    const SimSnapshot snap = smtCheckpoint();
+    CkptWriter writer;
+    writer.put(snap);
+    std::vector<std::uint8_t> downgraded = writer.bytes();
+    ASSERT_EQ(imageVersion(downgraded), 2u);
+    downgraded[8] = 1; // patch the version field back to v1
+
+    CkptReader reader;
+    SimSnapshot out;
+    EXPECT_FALSE(
+        reader.parse(downgraded.data(), downgraded.size(), out));
+    EXPECT_NE(reader.error().find("THREADS"), std::string::npos)
+        << reader.error();
 }
 
 // --------------------------------------------------------------------------

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "core/ooo_core.hh"
 #include "core/perf_counters.hh"
 #include "harness/profiles.hh"
 #include "harness/runner.hh"
@@ -258,6 +259,54 @@ TEST(CpiStackIdentity, SurvivesAggregation)
                   r.mean.cycles);
     EXPECT_FALSE(r.mean.hotspots.empty());
     EXPECT_LE(r.mean.hotspots.size(), kHotspotTopN);
+}
+
+TEST(CpiStackIdentity, HoldsPerThreadAndPooledUnderSmt)
+{
+    // With two hardware threads each thread's view of the commit
+    // slots must close the same width x cycles identity as the pooled
+    // stack: slots another thread retired into are charged to
+    // kSmtContention, everything else to the thread's own causes.
+    ProgramBuilder b("smt-cpi");
+    b.zeroSegment(0x1000, 64);
+    b.movi(1, 0);
+    b.movi(2, 0);
+    auto loop = b.label();
+    b.addi(2, 2, 1);
+    b.add(1, 1, 2);
+    b.movi(3, 0x1000);
+    b.load(4, 3, 0, 8);   // shared-line traffic between the contexts
+    b.add(1, 1, 4);
+    b.movi(3, 2000);
+    b.blt(2, 3, loop);
+    b.halt();
+    const Program prog = b.build(); // homogeneous co-run
+
+    SimConfig cfg;
+    cfg.core.smtThreads = 2;
+    OooCore core(prog, cfg);
+    CpiStackProfiler pooled(cfg.core.commitWidth);
+    CpiStackProfiler t0(cfg.core.commitWidth);
+    CpiStackProfiler t1(cfg.core.commitWidth);
+    core.attachCpiStack(&pooled);
+    core.attachThreadCpiStack(0, &t0);
+    core.attachThreadCpiStack(1, &t1);
+    core.run(~std::uint64_t{0}, 400'000);
+    ASSERT_TRUE(core.halted());
+
+    // Every profiler saw every cycle, and every view closes exactly.
+    EXPECT_GT(pooled.cycles(), 0u);
+    EXPECT_EQ(t0.cycles(), pooled.cycles());
+    EXPECT_EQ(t1.cycles(), pooled.cycles());
+    EXPECT_EQ(pooled.accountedSlots(), pooled.totalSlots());
+    EXPECT_EQ(t0.accountedSlots(), t0.totalSlots());
+    EXPECT_EQ(t1.accountedSlots(), t1.totalSlots());
+
+    // Co-residency is visible: each thread lost commit bandwidth to
+    // the other, and only the per-thread views may say so.
+    EXPECT_GT(t0.slots(StallCause::kSmtContention), 0u);
+    EXPECT_GT(t1.slots(StallCause::kSmtContention), 0u);
+    EXPECT_EQ(pooled.slots(StallCause::kSmtContention), 0u);
 }
 
 TEST(CpiStackCausality, DeferBucketsTrackLoadRestriction)

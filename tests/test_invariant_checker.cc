@@ -24,6 +24,7 @@ constexpr FuzzCorruption kAllCorruptions[] = {
     FuzzCorruption::kRobReorder,     FuzzCorruption::kMshrDupPrimary,
     FuzzCorruption::kMshrGhostTarget, FuzzCorruption::kMshrOverflow,
     FuzzCorruption::kMshrStuckFill,
+    FuzzCorruption::kCrossThreadRenameBleed,
 };
 
 TEST(InvariantChecker, CleanRunStaysClean)
@@ -136,7 +137,7 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(
         ::testing::Range(
             static_cast<int>(FuzzCorruption::kFreeListLeak),
-            static_cast<int>(FuzzCorruption::kMshrStuckFill) + 1),
+            static_cast<int>(FuzzCorruption::kCrossThreadRenameBleed) + 1),
         ::testing::Values(static_cast<int>(Profile::kStrict),
                           static_cast<int>(Profile::kFullProtection))),
     [](const auto &info) {

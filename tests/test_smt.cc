@@ -1,0 +1,293 @@
+/**
+ * @file
+ * SMT-specific behavioural tests of the OoO core: two hardware
+ * contexts running distinct (or homogeneous) instruction streams,
+ * per-thread architectural state and counters, per-thread NDA policy
+ * split (the co-residency threat model's asymmetric case), the
+ * per-thread issue-queue partition, stats namespacing (t0./t1.), and
+ * checkpoint save/restore with extra thread contexts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/issue_queue.hh"
+#include "core/ooo_core.hh"
+#include "core/snapshot.hh"
+#include "isa/program.hh"
+#include "obs/stats_registry.hh"
+
+namespace nda {
+namespace {
+
+/**
+ * Heterogeneous two-thread program: thread 0 sums 1..100 into r1 and
+ * stores it at 0x1000; thread 1 (smtEntry) computes 2^20 by doubling
+ * and stores it at 0x1008. Memory is shared, the stores are disjoint.
+ */
+Program
+twoThreadProgram()
+{
+    ProgramBuilder b("smt-hetero");
+    b.zeroSegment(0x1000, 64);
+    b.movi(1, 0);
+    b.movi(2, 0);
+    auto sum_loop = b.label();
+    b.addi(2, 2, 1);
+    b.add(1, 1, 2);
+    b.movi(3, 100);
+    b.blt(2, 3, sum_loop);
+    b.movi(4, 0x1000);
+    b.store(4, 0, 1, 8);
+    b.halt();
+
+    const Addr t1_entry = b.here();
+    b.movi(1, 1);
+    b.movi(2, 0);
+    auto dbl_loop = b.label();
+    b.add(1, 1, 1);
+    b.addi(2, 2, 1);
+    b.movi(3, 20);
+    b.blt(2, 3, dbl_loop);
+    b.movi(4, 0x1008);
+    b.store(4, 0, 1, 8);
+    b.halt();
+
+    Program p = b.build();
+    p.smtEntry = t1_entry;
+    return p;
+}
+
+SimConfig
+smtConfig(unsigned threads)
+{
+    SimConfig cfg;
+    cfg.core.smtThreads = threads;
+    return cfg;
+}
+
+TEST(SmtCore, TwoThreadsRunDistinctStreams)
+{
+    OooCore core(twoThreadProgram(), smtConfig(2));
+    core.run(~std::uint64_t{0}, 200'000);
+    ASSERT_TRUE(core.halted());
+    EXPECT_EQ(core.numThreads(), 2u);
+    EXPECT_TRUE(core.threadHalted(0));
+    EXPECT_TRUE(core.threadHalted(1));
+
+    EXPECT_EQ(core.archRegOf(0, 1), 5050u);
+    EXPECT_EQ(core.archRegOf(1, 1), 1u << 20);
+    // archReg() is thread 0's view.
+    EXPECT_EQ(core.archReg(1), core.archRegOf(0, 1));
+    // Both stores reached the shared memory.
+    EXPECT_EQ(core.mem().read(0x1000, 8), 5050u);
+    EXPECT_EQ(core.mem().read(0x1008, 8), 1u << 20);
+}
+
+TEST(SmtCore, PerThreadCountersPartitionThePooledCounts)
+{
+    OooCore core(twoThreadProgram(), smtConfig(2));
+    core.run(~std::uint64_t{0}, 200'000);
+    ASSERT_TRUE(core.halted());
+
+    const PerfCounters *c0 = core.threadCounters(0);
+    const PerfCounters *c1 = core.threadCounters(1);
+    ASSERT_NE(c0, nullptr);
+    ASSERT_NE(c1, nullptr);
+    EXPECT_GT(c0->committedInsts, 0u);
+    EXPECT_GT(c1->committedInsts, 0u);
+    EXPECT_EQ(c0->committedInsts + c1->committedInsts,
+              core.counters().committedInsts);
+    EXPECT_EQ(c0->stores + c1->stores, core.counters().stores);
+    EXPECT_EQ(c0->condBranches + c1->condBranches,
+              core.counters().condBranches);
+    // The sum loop runs 5x the iterations of the doubling loop.
+    EXPECT_GT(c0->committedInsts, c1->committedInsts);
+}
+
+TEST(SmtCore, HomogeneousCoRunWhenNoSmtEntry)
+{
+    // Without smtEntry both threads execute the same stream from
+    // `entry`; each context must reach the same architectural result.
+    Program p = twoThreadProgram();
+    p.smtEntry = ~Addr{0};
+    OooCore core(p, smtConfig(2));
+    core.run(~std::uint64_t{0}, 200'000);
+    ASSERT_TRUE(core.halted());
+    EXPECT_EQ(core.archRegOf(0, 1), 5050u);
+    EXPECT_EQ(core.archRegOf(1, 1), 5050u);
+}
+
+TEST(SmtCore, SingleThreadCoreHasNoPerThreadView)
+{
+    OooCore core(twoThreadProgram(), smtConfig(1));
+    core.run(~std::uint64_t{0}, 200'000);
+    ASSERT_TRUE(core.halted());
+    EXPECT_EQ(core.numThreads(), 1u);
+    // smtEntry is ignored: only thread 0's stream ran.
+    EXPECT_EQ(core.archReg(1), 5050u);
+    EXPECT_EQ(core.mem().read(0x1008, 8), 0u);
+    // The pooled counters ARE the thread counters at smt=1.
+    EXPECT_EQ(core.threadCounters(0), nullptr);
+
+    StatsRegistry reg;
+    core.registerStats(reg, "core");
+    for (const std::string &n : reg.names())
+        EXPECT_EQ(n.find(".t0."), std::string::npos)
+            << "smt=1 must not emit per-thread stats: " << n;
+}
+
+TEST(SmtCore, PerThreadStatsAreNamespaced)
+{
+    OooCore core(twoThreadProgram(), smtConfig(2));
+    core.run(~std::uint64_t{0}, 200'000);
+
+    StatsRegistry reg;
+    core.registerStats(reg, "core");
+    bool has_t0 = false;
+    bool has_t1 = false;
+    for (const std::string &n : reg.names()) {
+        has_t0 = has_t0 || n.rfind("core.t0.perf.", 0) == 0;
+        has_t1 = has_t1 || n.rfind("core.t1.perf.", 0) == 0;
+    }
+    EXPECT_TRUE(has_t0);
+    EXPECT_TRUE(has_t1);
+}
+
+TEST(SmtCore, FetchPoliciesAgreeArchitecturally)
+{
+    // Round-robin vs ICOUNT arbitration is timing-only; both must
+    // complete with identical architectural results.
+    for (const SmtFetchPolicy pol :
+         {SmtFetchPolicy::kRoundRobin, SmtFetchPolicy::kIcount}) {
+        SimConfig cfg = smtConfig(2);
+        cfg.core.smtFetchPolicy = pol;
+        OooCore core(twoThreadProgram(), cfg);
+        core.run(~std::uint64_t{0}, 200'000);
+        ASSERT_TRUE(core.halted());
+        EXPECT_EQ(core.archRegOf(0, 1), 5050u);
+        EXPECT_EQ(core.archRegOf(1, 1), 1u << 20);
+    }
+}
+
+TEST(SmtCore, PerThreadNdaPolicySplit)
+{
+    // The co-residency threat model: a strict-NDA victim on thread 0
+    // sharing the core with an unprotected thread 1 running the SAME
+    // code. Only the protected thread's instructions may be marked
+    // unsafe; the policy is timing-only so both results agree.
+    Program p = twoThreadProgram();
+    p.smtEntry = ~Addr{0}; // homogeneous: identical streams
+    SimConfig cfg = smtConfig(2);
+    cfg.security.propagation = NdaPolicy::kStrict;
+    cfg.perThreadSecurity = true;
+    cfg.security1 = SecurityConfig{};
+
+    OooCore core(p, cfg);
+    core.run(~std::uint64_t{0}, 400'000);
+    ASSERT_TRUE(core.halted());
+    EXPECT_EQ(core.archRegOf(0, 1), 5050u);
+    EXPECT_EQ(core.archRegOf(1, 1), 5050u);
+
+    const PerfCounters *c0 = core.threadCounters(0);
+    const PerfCounters *c1 = core.threadCounters(1);
+    ASSERT_NE(c0, nullptr);
+    ASSERT_NE(c1, nullptr);
+    EXPECT_GT(c0->unsafeMarked, 0u)
+        << "strict NDA on thread 0 must mark unsafe instructions";
+    EXPECT_EQ(c1->unsafeMarked, 0u)
+        << "the unprotected thread must never be marked unsafe";
+    EXPECT_EQ(c1->deferredBroadcasts, 0u);
+}
+
+TEST(SmtCore, IssueQueuePartitionTracksPerThreadOccupancy)
+{
+    DynInstPool pool;
+    PhysRegFile regs(16);
+    IssueQueue iq(8);
+
+    auto make = [&pool](unsigned tid) {
+        DynInstPtr inst = pool.create();
+        inst->tid = tid;
+        return inst;
+    };
+
+    std::vector<DynInstPtr> held;
+    held.push_back(make(0));
+    held.push_back(make(0));
+    held.push_back(make(1));
+    for (const DynInstPtr &i : held)
+        iq.insert(i);
+    EXPECT_EQ(iq.occupancyOf(0), 2u);
+    EXPECT_EQ(iq.occupancyOf(1), 1u);
+    EXPECT_EQ(iq.occupancyOf(7), 0u); // never-seen tid
+
+    // A squash releases only the squashed thread's share.
+    held[0]->squashed = true;
+    iq.removeSquashed();
+    EXPECT_EQ(iq.occupancyOf(0), 1u);
+    EXPECT_EQ(iq.occupancyOf(1), 1u);
+
+    // Issue releases the issuing instruction's thread.
+    iq.selectReady(regs, [](const DynInstPtr &inst) {
+        return inst->tid == 1; // issue thread 1's entry only
+    });
+    EXPECT_EQ(iq.occupancyOf(0), 1u);
+    EXPECT_EQ(iq.occupancyOf(1), 0u);
+
+    iq.clear();
+    EXPECT_EQ(iq.occupancyOf(0), 0u);
+}
+
+TEST(SmtCore, CheckpointRoundTripCarriesExtraThreads)
+{
+    // Stop an smt=2 run midway, snapshot, restore into a fresh core,
+    // and finish: both threads must land on the same architectural
+    // results as an uninterrupted run.
+    const Program p = twoThreadProgram();
+    OooCore first(p, smtConfig(2));
+    first.run(300, ~Cycle{0});
+    ASSERT_FALSE(first.halted());
+
+    SimSnapshot snap;
+    first.saveCheckpoint(snap);
+    ASSERT_EQ(snap.extraThreads.size(), 1u);
+    // Thread 1's memory image lives in the shared arch.mem only.
+    EXPECT_EQ(snap.extraThreads[0].mem.pageCount(), 0u);
+
+    OooCore resumed(p, smtConfig(2));
+    resumed.restoreCheckpoint(snap);
+    resumed.run(~std::uint64_t{0}, 200'000);
+    ASSERT_TRUE(resumed.halted());
+    EXPECT_EQ(resumed.archRegOf(0, 1), 5050u);
+    EXPECT_EQ(resumed.archRegOf(1, 1), 1u << 20);
+    EXPECT_EQ(resumed.mem().read(0x1000, 8), 5050u);
+    EXPECT_EQ(resumed.mem().read(0x1008, 8), 1u << 20);
+}
+
+TEST(SmtCore, SingleThreadSnapshotSeedsThreadZeroOfSmtCore)
+{
+    // Backward compatibility: an smt=1 checkpoint (no extraThreads)
+    // restores into an smt=2 core, seeding thread 0; thread 1 starts
+    // fresh at the program's smtEntry.
+    const Program p = twoThreadProgram();
+    OooCore single(p, smtConfig(1));
+    single.run(200, ~Cycle{0});
+    ASSERT_FALSE(single.halted());
+
+    SimSnapshot snap;
+    single.saveCheckpoint(snap);
+    ASSERT_TRUE(snap.extraThreads.empty());
+
+    OooCore wide(p, smtConfig(2));
+    wide.restoreCheckpoint(snap);
+    wide.run(~std::uint64_t{0}, 200'000);
+    ASSERT_TRUE(wide.halted());
+    EXPECT_EQ(wide.archRegOf(0, 1), 5050u);
+    EXPECT_EQ(wide.archRegOf(1, 1), 1u << 20);
+}
+
+} // namespace
+} // namespace nda
